@@ -1,0 +1,46 @@
+// Ablation of the superstep barrier algorithm (paper Appendix B.1 uses
+// spin-flag synchronization on the SGI). Measures the wall-clock cost per
+// empty superstep of the three barrier implementations on the native thread
+// backend.
+//
+// Note for oversubscribed hosts (fewer cores than workers): spinning
+// barriers burn the core the awaited worker needs, so the blocking barrier
+// wins by a wide margin there — itself a useful datum for choosing a
+// default.
+#include <iostream>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const int steps = static_cast<int>(args.get_int("steps", 2000));
+
+  std::cout << "== barrier ablation: wall-clock us per empty superstep ==\n"
+            << "(native thread backend; host has "
+            << std::thread::hardware_concurrency() << " hardware threads)\n";
+  TextTable t({"nprocs", "central-spin", "central-blocking", "dissemination"});
+  for (int np : {2, 4, 8}) {
+    t.row().add(std::int64_t{np});
+    for (BarrierKind kind :
+         {BarrierKind::CentralSpin, BarrierKind::CentralBlocking,
+          BarrierKind::Dissemination}) {
+      Config cfg;
+      cfg.nprocs = np;
+      cfg.barrier = kind;
+      cfg.collect_stats = false;
+      Runtime rt(cfg);
+      WallTimer timer;
+      rt.run([steps](Worker& w) {
+        for (int s = 0; s < steps; ++s) w.sync();
+      });
+      t.add(timer.elapsed_us() / steps, 2);
+    }
+  }
+  t.render(std::cout);
+  return 0;
+}

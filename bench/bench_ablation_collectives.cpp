@@ -1,0 +1,58 @@
+// Ablation of the h-vs-S trade-off at the heart of BSP programming (paper
+// Section 1: minimizing h-relations and minimizing supersteps "can
+// conflict, and trade-offs must be made ... by taking into account the g
+// and L parameters of the underlying machine").
+//
+// Broadcast of one packet: Direct costs one superstep with h = p-1; Tree
+// costs ceil(log2 p) supersteps with h = 1. Under Equation 1 the winner
+// flips with L/g — visible across the three machine profiles.
+#include <iostream>
+
+#include "core/collectives.hpp"
+#include "emul/emulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::function<void(gbsp::Worker&)> bcaster(gbsp::CollectiveAlgorithm alg,
+                                           int reps) {
+  return [alg, reps](gbsp::Worker& w) {
+    for (int r = 0; r < reps; ++r) {
+      const double v = gbsp::broadcast(w, 0, 3.14, alg);
+      if (v != 3.14) throw std::logic_error("broadcast ablation: bad value");
+    }
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace gbsp;
+  constexpr int kReps = 50;
+
+  std::cout << "== collective-algorithm ablation: broadcast, emulated us "
+               "per operation ==\n";
+  TextTable t({"nprocs", "alg", "S/op", "h/op", "SGI", "Cenju", "PC"});
+  for (int np : {4, 8, 16}) {
+    for (auto alg :
+         {CollectiveAlgorithm::Direct, CollectiveAlgorithm::Tree}) {
+      const RunStats trace = execute_traced(np, bcaster(alg, kReps));
+      t.row().add(std::int64_t{np}).add(
+          alg == CollectiveAlgorithm::Direct ? "direct" : "tree");
+      t.add(static_cast<std::int64_t>((trace.S() - 1) / kReps));
+      t.add(static_cast<std::int64_t>(trace.H() / kReps));
+      for (const auto& machine : emulated_machines()) {
+        if (np > machine.max_procs()) {
+          t.add_missing();
+          continue;
+        }
+        t.add(price_trace(trace, machine, 0.0) * 1e6 / kReps, 1);
+      }
+    }
+  }
+  t.render(std::cout);
+  std::cout << "\nexpected shape: on the high-latency Cenju/PC the direct "
+               "form (1 superstep) wins at these h; as p grows the tree "
+               "form gains on bandwidth-bound machines.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation for the paper's Section 3.4 design knob: "the appropriate way to
+// use this algorithm is to adjust the work factor according to the
+// architecture (i.e., the work factor should grow with L)".
+//
+// Sweeps the work factor for the shortest-paths application and prices each
+// trace on all three machines: the emulated time should be minimized at a
+// small work factor on the low-latency SGI and at much larger work factors
+// on the Cenju and PC-LAN.
+#include <iostream>
+
+#include "apps/sp/shortest_paths.hpp"
+#include "emul/emulator.hpp"
+#include "graph/geometric.hpp"
+#include "graph/partition.hpp"
+#include "paperdata/paperdata.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const int n = static_cast<int>(args.get_int("size", 10000));
+  const int np = static_cast<int>(args.get_int("procs", 8));
+
+  const GeometricGraph gg = make_geometric_graph(n, 42);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, np);
+  const auto machines = emulated_machines();
+
+  std::cout << "== work-factor ablation: sp, n=" << n << ", p=" << np
+            << " ==\n(emulated seconds; calibrated to the paper's "
+               "one-processor times)\n";
+  TextTable t({"work_factor", "S", "H", "SGI", "Cenju", "PC"});
+
+  // Calibration from a one-processor run (any work factor: same total work).
+  std::vector<std::vector<double>> out1(
+      1, std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  const GraphPartition part1 = partition_by_stripes(gg.graph, gg.points, 1);
+  const RunStats one =
+      execute_traced(1, make_sp_program(part1, {0}, SpConfig{}, &out1));
+  std::array<double, 3> scale{};
+  for (int m = 0; m < 3; ++m) {
+    scale[static_cast<std::size_t>(m)] = calibrate_cpu_scale(
+        paper_calibration_time("sp", n, m), one.W_s());
+  }
+
+  std::array<std::pair<double, int>, 3> best;
+  best.fill({1e30, 0});
+  std::array<double, 3> finest{};  // emulated time at the smallest wf
+  for (int wf : {25, 100, 400, 1600, 6400, 25600, 102400}) {
+    SpConfig cfg;
+    cfg.work_factor = wf;
+    std::vector<std::vector<double>> out(
+        1, std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    const RunStats stats =
+        execute_traced(np, make_sp_program(part, {0}, cfg, &out));
+    t.row().add(std::int64_t{wf}).add(static_cast<std::int64_t>(stats.S()));
+    t.add(static_cast<std::int64_t>(stats.H()));
+    for (int m = 0; m < 3; ++m) {
+      if (np > machines[static_cast<std::size_t>(m)].max_procs()) {
+        t.add_missing();
+        continue;
+      }
+      const double time = price_trace(stats,
+                                      machines[static_cast<std::size_t>(m)],
+                                      scale[static_cast<std::size_t>(m)]);
+      t.add(time, 4);
+      if (wf == 25) finest[static_cast<std::size_t>(m)] = time;
+      if (time < best[static_cast<std::size_t>(m)].first) {
+        best[static_cast<std::size_t>(m)] = {time, wf};
+      }
+    }
+  }
+  t.render(std::cout);
+  static const char* kNames[3] = {"SGI", "Cenju", "PC"};
+  std::cout << "\npaper 3.4: \"the work factor should grow with L\" — the "
+               "penalty for choosing one that is too fine grows with L:\n";
+  for (int m = 0; m < 3; ++m) {
+    if (np > machines[static_cast<std::size_t>(m)].max_procs()) continue;
+    const auto& [tbest, wfbest] = best[static_cast<std::size_t>(m)];
+    std::cout << "  " << kNames[m] << " (L="
+              << machines[static_cast<std::size_t>(m)]
+                     .profile->params_for(np)
+                     .L_us
+              << "us): optimum wf=" << wfbest << "; wf=25 costs "
+              << format_number(finest[static_cast<std::size_t>(m)] / tbest, 1)
+              << "x the optimum\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared driver for the per-table bench binaries (Appendix C tables).
+//
+// Every bench accepts:
+//   --full            run the paper's full size list (default: quick subset)
+//   --sizes a,b,c     explicit size list
+//   --procs a,b,c     explicit processor list
+//   --csv             machine-readable output as well
+//   --quiet           suppress progress
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "expt/experiment.hpp"
+#include "paperdata/paperdata.hpp"
+#include "util/cli.hpp"
+
+namespace gbsp::bench {
+
+struct BenchSpec {
+  std::string app;
+  std::vector<int> quick_sizes;
+  /// Also print the Figure 1.1-style actual/predicted series for this size
+  /// (0 = skip).
+  int figure11_size = 0;
+};
+
+inline int run_table_bench(const BenchSpec& spec, int argc, char** argv) {
+  CliArgs args(argc, argv);
+  SweepOptions opts;
+  opts.verbose = !args.has_flag("quiet");
+  std::vector<std::int64_t> fallback_sizes(spec.quick_sizes.begin(),
+                                           spec.quick_sizes.end());
+  if (args.has_flag("full")) {
+    fallback_sizes.clear();
+    for (int s : paper_sizes(spec.app)) fallback_sizes.push_back(s);
+  }
+  for (auto s : args.get_int_list("sizes", fallback_sizes)) {
+    opts.sizes.push_back(static_cast<int>(s));
+  }
+  for (auto p : args.get_int_list("procs", {})) {
+    opts.nprocs.push_back(static_cast<int>(p));
+  }
+
+  auto adapter = make_app_adapter(spec.app);
+  const SweepResult result = run_sweep(*adapter, opts);
+
+  if (args.has_flag("csv")) {
+    render_appendix_table(std::cout, result, /*include_paper=*/true,
+                          /*csv=*/true);
+    return 0;
+  }
+  render_appendix_table(std::cout, result);
+  std::cout << "\n";
+  if (spec.figure11_size != 0) {
+    bool have = false;
+    for (const auto& r : result.rows) have |= (r.size == spec.figure11_size);
+    if (have) {
+      render_figure11(std::cout, result, spec.figure11_size);
+      std::cout << "\n";
+    }
+  }
+  render_deviation_summary(std::cout, result);
+  return 0;
+}
+
+}  // namespace gbsp::bench

@@ -1,0 +1,110 @@
+// The paper's Section 5 extension study: Barnes-Hut versus the Fast
+// Multipole Method as the force engine of the BSP N-body application.
+// Compares accuracy (against the O(n^2) direct sum), measured work, and the
+// emulated runtime of the full BSP time step on the paper's machines.
+#include <algorithm>
+#include <iostream>
+
+#include "apps/nbody/bhtree.hpp"
+#include "apps/nbody/fmm.hpp"
+#include "apps/nbody/nbody.hpp"
+#include "apps/nbody/orb.hpp"
+#include "apps/nbody/plummer.hpp"
+#include "emul/emulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+double median_err(const std::vector<gbsp::Vec3>& got,
+                  const std::vector<gbsp::Vec3>& want) {
+  std::vector<double> errs;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    errs.push_back((got[i] - want[i]).norm() /
+                   std::max(want[i].norm(), 1e-12));
+  }
+  std::nth_element(errs.begin(), errs.begin() + errs.size() / 2, errs.end());
+  return errs[errs.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const bool full = args.has_flag("full");
+
+  // --- sequential engine comparison ---------------------------------------
+  std::cout << "== force-engine comparison: Barnes-Hut (theta=0.7) vs FMM "
+               "(order 3) ==\n";
+  TextTable t({"n", "engine", "median rel err", "host ms", "interactions"});
+  for (int n : full ? std::vector<int>{4096, 16384, 65536}
+                    : std::vector<int>{2048, 8192}) {
+    const auto bodies = plummer_model(n, 99);
+    std::vector<PointMass> pts;
+    for (const auto& b : bodies) pts.push_back({b.pos, b.mass});
+    const bool check = n <= 16384;  // direct sum feasible
+    std::vector<Vec3> direct;
+    if (check) direct = direct_accels(bodies, 0.0);
+
+    {
+      WallTimer timer;
+      const auto bh = bh_accels(bodies, 0.7, 0.0);
+      const double ms = timer.elapsed_us() / 1000.0;
+      t.row().add(std::int64_t{n}).add("barnes-hut");
+      if (check) {
+        t.add(median_err(bh, direct), 5);
+      } else {
+        t.add_missing();
+      }
+      t.add(ms, 1).add_missing();
+    }
+    {
+      WallTimer timer;
+      const auto fmm = fmm_accels(pts, {});
+      const double ms = timer.elapsed_us() / 1000.0;
+      const FmmStats st = fmm_last_stats();
+      t.row().add(std::int64_t{n}).add("fmm");
+      if (check) {
+        t.add(median_err(fmm, direct), 5);
+      } else {
+        t.add_missing();
+      }
+      t.add(ms, 1).add(static_cast<std::int64_t>(st.m2l_pairs +
+                                                 st.p2p_pairs));
+    }
+  }
+  t.render(std::cout);
+
+  // --- full BSP step on the emulated machines ------------------------------
+  const int n = full ? 16384 : 4096;
+  std::cout << "\n== one BSP time step, n=" << n
+            << ", emulated seconds (calibrated work scale = 1) ==\n";
+  TextTable bt({"engine", "procs", "W (s)", "H", "SGI", "Cenju"});
+  for (ForceMethod fm : {ForceMethod::BarnesHut, ForceMethod::Fmm}) {
+    for (int np : {4, 16}) {
+      const auto initial = plummer_model(n, 7);
+      const auto assign = orb_assign(initial, np);
+      std::vector<Body> out(initial.size());
+      NbodyConfig cfg;
+      cfg.iterations = 1;
+      cfg.force = fm;
+      const RunStats stats =
+          execute_traced(np, make_nbody_program(initial, assign, cfg, &out));
+      bt.row()
+          .add(fm == ForceMethod::Fmm ? "fmm" : "barnes-hut")
+          .add(std::int64_t{np})
+          .add(stats.W_s(), 4)
+          .add(static_cast<std::int64_t>(stats.H()))
+          .add(price_trace(stats, emulated_sgi(), 1.0), 4)
+          .add(price_trace(stats, emulated_cenju(), 1.0), 4);
+    }
+  }
+  bt.render(std::cout);
+  std::cout << "\nthe communication structure (H, S) is engine-independent "
+               "— the essential-tree exchange feeds either solver — so the "
+               "BSP trade-offs carry over unchanged, which is why the paper "
+               "could plan the FMM as a drop-in future application.\n";
+  return 0;
+}

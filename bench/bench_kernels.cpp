@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) of the computational kernels
+// underneath the applications and the runtime hot paths.
+#include <benchmark/benchmark.h>
+
+#include "apps/matmul/matmul.hpp"
+#include "apps/nbody/bhtree.hpp"
+#include "apps/nbody/plummer.hpp"
+#include "apps/ocean/kernels.hpp"
+#include "core/runtime.hpp"
+#include "graph/geometric.hpp"
+#include "graph/heap.hpp"
+#include "util/rng.hpp"
+
+namespace gbsp {
+namespace {
+
+void BM_BlockMultiply(benchmark::State& state) {
+  const int bn = static_cast<int>(state.range(0));
+  Matrix A = random_matrix(bn, 1), B = random_matrix(bn, 2);
+  std::vector<double> C(static_cast<std::size_t>(bn) * bn, 0.0);
+  for (auto _ : state) {
+    block_multiply_add(A.data(), B.data(), C.data(), bn);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * bn * bn * bn);
+}
+BENCHMARK(BM_BlockMultiply)->Arg(36)->Arg(72)->Arg(144);
+
+void BM_OceanSweepRow(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<double> u(static_cast<std::size_t>(m + 2) * 3, 1.0);
+  std::vector<double> f(static_cast<std::size_t>(m + 2), 0.5);
+  double* mid = u.data() + (m + 2);
+  for (auto _ : state) {
+    ocean_kernels::relax_row(mid, u.data(), u.data() + 2 * (m + 2), f.data(),
+                             m, 1.0 / (m * m), 1, 0);
+    benchmark::DoNotOptimize(mid);
+  }
+  state.SetItemsProcessed(state.iterations() * (m / 2));
+}
+BENCHMARK(BM_OceanSweepRow)->Arg(64)->Arg(512);
+
+void BM_BhTreeBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto bodies = plummer_model(n, 5);
+  std::vector<PointMass> pts;
+  for (const auto& b : bodies) pts.push_back({b.pos, b.mass});
+  for (auto _ : state) {
+    BarnesHutTree tree(pts);
+    benchmark::DoNotOptimize(tree.num_cells());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BhTreeBuild)->Arg(1024)->Arg(16384);
+
+void BM_BhForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto bodies = plummer_model(n, 6);
+  std::vector<PointMass> pts;
+  for (const auto& b : bodies) pts.push_back({b.pos, b.mass});
+  BarnesHutTree tree(pts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.accel_at(bodies[i % bodies.size()].pos, 0.7, 0.05));
+    ++i;
+  }
+}
+BENCHMARK(BM_BhForce)->Arg(1024)->Arg(16384);
+
+void BM_HeapPushPop(benchmark::State& state) {
+  const int n = 4096;
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    IndexedMinHeap h(n);
+    for (int k = 0; k < n; ++k) {
+      h.push_or_decrease(static_cast<int>(rng.uniform_int(n)), rng.uniform());
+    }
+    while (!h.empty()) benchmark::DoNotOptimize(h.pop_min());
+  }
+}
+BENCHMARK(BM_HeapPushPop);
+
+void BM_GeometricGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_geometric_graph(n, 3).graph.num_edges());
+  }
+}
+BENCHMARK(BM_GeometricGraph)->Arg(1000)->Arg(5000);
+
+void BM_SuperstepRoundtrip(benchmark::State& state) {
+  // Native cost of a complete superstep with one small message per worker.
+  const int np = static_cast<int>(state.range(0));
+  Config cfg;
+  cfg.nprocs = np;
+  cfg.collect_stats = false;
+  Runtime rt(cfg);
+  for (auto _ : state) {
+    rt.run([](Worker& w) {
+      for (int s = 0; s < 50; ++s) {
+        w.send((w.pid() + 1) % w.nprocs(), s);
+        w.sync();
+        while (w.get_message() != nullptr) {
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_SuperstepRoundtrip)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace gbsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,6 @@
+// Regenerates paper Figure C.3 (Cannon matrix multiplication sweep).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return gbsp::bench::run_table_bench({"matmult", {144, 288}, 0}, argc, argv);
+}

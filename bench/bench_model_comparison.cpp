@@ -1,0 +1,83 @@
+// BSP versus LogP as predictive models (paper Sections 1 and 1.3: "we also
+// wish to give a basis for a comparison with asynchronous models such as
+// LogP").
+//
+// For each application trace, compares three numbers per machine: the
+// emulated "actual" time, the 2-parameter BSP prediction W + gH + LS, and
+// the 4-parameter LogP estimate. The BSP model's claim is not that it is
+// more precise — it is that two parameters suffice to rank machines and
+// locate breakpoints for bulk-synchronous programs.
+#include <iostream>
+
+#include "cost/logp.hpp"
+#include "emul/emulator.hpp"
+#include "expt/experiment.hpp"
+#include "paperdata/paperdata.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+
+  struct Case {
+    const char* app;
+    int size;
+  };
+  const std::vector<Case> cases = args.has_flag("full")
+                                      ? std::vector<Case>{{"ocean", 130},
+                                                          {"nbody", 16384},
+                                                          {"mst", 10000},
+                                                          {"msp", 10000}}
+                                      : std::vector<Case>{{"ocean", 66},
+                                                          {"nbody", 4096},
+                                                          {"mst", 2500}};
+
+  const auto machines = emulated_machines();
+  using LogPFn = LogPParams (*)(int);
+  const LogPFn logp_of[3] = {logp_sgi, logp_cenju, logp_pc};
+  static const char* kNames[3] = {"SGI", "Cenju", "PC"};
+
+  for (const Case& c : cases) {
+    auto adapter = make_app_adapter(c.app);
+    adapter->prepare(c.size);
+    std::cout << "== " << c.app << " (size " << c.size
+              << "): emulated actual vs BSP (2 params) vs LogP (4 params) "
+                 "==\n";
+    TextTable t({"NP", "machine", "actual", "BSP pred", "LogP pred"});
+
+    RunStats one;
+    std::array<double, 3> scale{1.0, 1.0, 1.0};
+    for (int np : {1, 2, 4, 8, 16}) {
+      if (!args.has_flag("quiet")) {
+        std::cerr << "[models] " << c.app << " p=" << np << "\n";
+      }
+      const RunStats stats = execute_traced(np, adapter->program(np));
+      if (np == 1) {
+        one = stats;
+        for (int m = 0; m < 3; ++m) {
+          const double t1 = paper_calibration_time(c.app, c.size, m);
+          scale[static_cast<std::size_t>(m)] =
+              calibrate_cpu_scale(t1, one.W_s());
+        }
+      }
+      for (int m = 0; m < 3; ++m) {
+        if (np > machines[static_cast<std::size_t>(m)].max_procs()) continue;
+        const double cal = scale[static_cast<std::size_t>(m)];
+        t.row().add(std::int64_t{np}).add(kNames[m]);
+        t.add(price_trace(stats, machines[static_cast<std::size_t>(m)], cal),
+              3);
+        t.add(predict_cost(stats,
+                           machines[static_cast<std::size_t>(m)]
+                               .profile->params_for(np),
+                           cal)
+                  .total_s(),
+              3);
+        t.add(predict_logp_s(stats, logp_of[m](np), cal), 3);
+      }
+    }
+    t.render(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Regenerates paper Figure C.6 (25-source multiple shortest paths sweep).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return gbsp::bench::run_table_bench({"msp", {2500}, 0}, argc, argv);
+}

@@ -1,0 +1,6 @@
+// Regenerates paper Figure C.4 (Barnes-Hut N-body sweep).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return gbsp::bench::run_table_bench({"nbody", {1024, 4096}, 0}, argc, argv);
+}

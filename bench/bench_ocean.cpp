@@ -1,0 +1,7 @@
+// Regenerates paper Figure C.1 (ocean sweep) and Figure 1.1 (size-130
+// actual vs predicted vs predicted-communication series).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return gbsp::bench::run_table_bench({"ocean", {66, 130}, 130}, argc, argv);
+}

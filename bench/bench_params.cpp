@@ -1,0 +1,120 @@
+// Regenerates paper Figure 2.1: the (g, L) characterization of each
+// platform, using the paper's own recipe — "the value for L corresponds to
+// the time for a superstep in which each processor sends a single packet;
+// the bandwidth parameter g is the time per 16-byte packet for a
+// sufficiently large superstep with a total-exchange communication
+// pattern" — executed against the machine emulator, plus a least-squares
+// fit over a range of h-relation sizes.
+//
+// With --native, additionally probes the host's real thread backend and
+// prints this machine's own BSP parameters (what examples/bsp_probe.cpp
+// does interactively).
+#include <iostream>
+
+#include "core/runtime.hpp"
+#include "cost/fit.hpp"
+#include "emul/emulator.hpp"
+#include "paperdata/paperdata.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace gbsp {
+namespace {
+
+// Probe program: `steps` supersteps, each a balanced total exchange with
+// `per_peer` 16-byte packets to every other processor (h = per_peer*(p-1)),
+// or a single self-packet when p == 1.
+std::function<void(Worker&)> probe_program(int steps, int per_peer) {
+  return [steps, per_peer](Worker& w) {
+    const int p = w.nprocs();
+    char pkt[16] = {};
+    for (int s = 0; s < steps; ++s) {
+      if (p == 1) {
+        // Loopback probe: h = per_peer self-packets.
+        for (int k = 0; k < per_peer; ++k) w.send_bytes(0, pkt, sizeof(pkt));
+      } else {
+        for (int d = 0; d < p; ++d) {
+          if (d == w.pid()) continue;
+          for (int k = 0; k < per_peer; ++k) w.send_bytes(d, pkt, sizeof(pkt));
+        }
+      }
+      w.sync();
+      while (w.get_message() != nullptr) {
+      }
+    }
+  };
+}
+
+MachineParams probe_emulated(const EmulatedMachine& machine, int np) {
+  constexpr int kSteps = 24;
+  std::vector<ProbeSample> samples;
+  for (int per_peer : {1, 4, 16, 64, 256}) {
+    const RunStats stats = execute_traced(np, probe_program(kSteps, per_peer));
+    // Communication-only probe: price with zero cpu_scale so measured local
+    // bookkeeping work does not pollute the (g, L) estimate.
+    const double total_us = price_trace(stats, machine, 0.0) * 1e6;
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(per_peer) * (np == 1 ? 1 : np - 1);
+    samples.push_back({h, total_us / kSteps});
+  }
+  return fit_g_L(samples);
+}
+
+MachineParams probe_native(int np) {
+  constexpr int kSteps = 200;
+  std::vector<ProbeSample> samples;
+  Config cfg;
+  cfg.nprocs = np;
+  Runtime rt(cfg);
+  for (int per_peer : {1, 4, 16, 64}) {
+    WallTimer t;
+    rt.run(probe_program(kSteps, per_peer));
+    const double total_us = t.elapsed_us();
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(per_peer) * (np == 1 ? 1 : np - 1);
+    samples.push_back({h, total_us / kSteps});
+  }
+  return fit_g_L(samples);
+}
+
+}  // namespace
+}  // namespace gbsp
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+
+  std::cout << "== Figure 2.1 style: BSP system parameters ==\n"
+            << "(probe executed against the machine emulator; paper values "
+               "in brackets)\n";
+  TextTable t({"nprocs", "SGI g", "SGI L", "Cenju g", "Cenju L", "PC g",
+               "PC L"});
+  for (int np : {1, 2, 4, 8, 9, 16}) {
+    t.row().add(std::int64_t{np});
+    for (const auto& machine : emulated_machines()) {
+      if (np > machine.max_procs()) {
+        t.add_missing().add_missing();
+        continue;
+      }
+      const MachineParams est = probe_emulated(machine, np);
+      const MachineParams paper = machine.profile->params_for(np);
+      t.add(format_number(est.g_us, 2) + " [" +
+            format_number(paper.g_us, 2) + "]");
+      t.add(format_number(est.L_us, 0) + " [" +
+            format_number(paper.L_us, 0) + "]");
+    }
+  }
+  t.render(std::cout);
+
+  if (args.has_flag("native")) {
+    std::cout << "\n== native thread backend on this host ==\n";
+    TextTable n({"nprocs", "g (us/16B pkt)", "L (us)"});
+    for (int np : {1, 2, 4, 8}) {
+      const MachineParams est = probe_native(np);
+      n.row().add(std::int64_t{np}).add(est.g_us).add(est.L_us, 1);
+    }
+    n.render(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The paper's Section 5 extension: "we plan to extend our study to several
+// larger machines ... Promising initial results have been obtained for
+// experiments on machines with 64 and more processors."
+//
+// Runs three contrasting applications out to 64 virtual processors on
+// trend-extrapolated SGI and Cenju profiles (see cost/scaling.hpp) and
+// reports speedups, parallel efficiency, and the breakpoints where adding
+// processors stops helping.
+#include <iostream>
+
+#include "cost/scaling.hpp"
+#include "emul/emulator.hpp"
+#include "expt/experiment.hpp"
+#include "paperdata/paperdata.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const bool full = args.has_flag("full");
+
+  EmulatedMachine sgi64 = emulated_sgi();
+  EmulatedMachine cenju64 = emulated_cenju();
+  static const MachineProfile sgi_prof =
+      extrapolate_profile(paper_sgi(), {32, 64});
+  static const MachineProfile cenju_prof =
+      extrapolate_profile(paper_cenju(), {32, 64});
+  sgi64.profile = &sgi_prof;
+  cenju64.profile = &cenju_prof;
+
+  std::cout << "== scaling to 64 processors (trend-extrapolated profiles) =="
+            << "\nSGI+:   g(64)=" << format_number(sgi_prof.params_for(64).g_us)
+            << "us L(64)=" << format_number(sgi_prof.params_for(64).L_us)
+            << "us;  Cenju+: g(64)="
+            << format_number(cenju_prof.params_for(64).g_us)
+            << "us L(64)=" << format_number(cenju_prof.params_for(64).L_us)
+            << "us\n\n";
+
+  struct Case {
+    const char* app;
+    int size;
+    std::vector<int> procs;
+  };
+  const std::vector<Case> cases = {
+      {"nbody", full ? 65536 : 16384, {1, 2, 4, 8, 16, 32, 64}},
+      {"matmult", full ? 576 : 288, {1, 4, 16, 36, 64}},
+      {"ocean", full ? 258 : 130, {1, 2, 4, 8, 16, 32, 64}},
+  };
+
+  for (const Case& c : cases) {
+    auto adapter = make_app_adapter(c.app);
+    adapter->prepare(c.size);
+
+    std::vector<RunStats> traces;
+    for (int np : c.procs) {
+      if (!args.has_flag("quiet")) {
+        std::cerr << "[scaling] " << c.app << " " << c.size << " p=" << np
+                  << "\n";
+      }
+      traces.push_back(execute_traced(np, adapter->program(np)));
+    }
+    const double w1 = traces.front().W_s();
+    const double scale_sgi =
+        calibrate_cpu_scale(paper_calibration_time(c.app, c.size, 0), w1);
+    const double scale_cenju =
+        calibrate_cpu_scale(paper_calibration_time(c.app, c.size, 1), w1);
+
+    TextTable t({"NP", "SGI+ time", "SGI+ spdp", "Cenju+ time",
+                 "Cenju+ spdp", "S", "H"});
+    std::vector<SeriesPoint> sgi_series, cenju_series;
+    for (std::size_t i = 0; i < c.procs.size(); ++i) {
+      const double ts = price_trace(traces[i], sgi64, scale_sgi);
+      const double tc = price_trace(traces[i], cenju64, scale_cenju);
+      sgi_series.push_back({c.procs[i], ts});
+      cenju_series.push_back({c.procs[i], tc});
+      t.row().add(std::int64_t{c.procs[i]});
+      t.add(ts, 3).add(sgi_series.front().time_s / ts, 1);
+      t.add(tc, 3).add(cenju_series.front().time_s / tc, 1);
+      t.add(static_cast<std::int64_t>(traces[i].S()));
+      t.add(static_cast<std::int64_t>(traces[i].H()));
+    }
+    std::cout << "-- " << c.app << " (size " << c.size << ") --\n";
+    t.render(std::cout);
+    auto report = [&](const char* name,
+                      const std::vector<SeriesPoint>& series) {
+      const int best = best_processor_count(series);
+      const int knee = degradation_point(series);
+      std::cout << "   " << name << ": best at p=" << best << " (efficiency "
+                << format_number(100 * efficiency_at(series, best), 0)
+                << "%)";
+      if (knee != 0) std::cout << "; degrades from p=" << knee;
+      std::cout << "\n";
+    };
+    report("SGI+", sgi_series);
+    report("Cenju+", cenju_series);
+    std::cout << "\n";
+  }
+  return 0;
+}

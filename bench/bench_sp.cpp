@@ -1,0 +1,6 @@
+// Regenerates paper Figure C.5 (single-source shortest paths sweep).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return gbsp::bench::run_table_bench({"sp", {2500, 10000}, 0}, argc, argv);
+}

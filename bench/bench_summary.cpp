@@ -1,0 +1,35 @@
+// Regenerates paper Figures 3.1 and 3.2: the large-problem-size summary of
+// all six applications — speedups per machine, and the abstract BSP numbers
+// (pred/time/W/H/S/total-work) on the 16-processor SGI.
+//
+// Default sizes are the paper's "large" sizes (ocean 514, nbody 64K,
+// mst/sp/msp 40K, matmult 576); use --quick for a fast reduced run.
+#include <iostream>
+
+#include "expt/experiment.hpp"
+#include "paperdata/paperdata.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const bool quick = args.has_flag("quick");
+
+  for (const std::string& app : paper_apps()) {
+    SweepOptions opts;
+    opts.verbose = !args.has_flag("quiet");
+    int size = paper_large_size(app);
+    if (quick) {
+      // Second-smallest paper size keeps the shapes visible but runs fast.
+      const auto sizes = paper_sizes(app);
+      size = sizes.size() > 1 ? sizes[1] : sizes.front();
+    }
+    opts.sizes = {size};
+
+    auto adapter = make_app_adapter(app);
+    const SweepResult result = run_sweep(*adapter, opts);
+    render_summary(std::cout, result, size);
+    std::cout << "\n";
+  }
+  return 0;
+}

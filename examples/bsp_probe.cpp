@@ -1,0 +1,65 @@
+// bsp_probe: measure THIS machine's BSP parameters (g, L) with the paper's
+// Figure 2.1 recipe, using the native thread backend.
+//
+//   $ bsp_probe [--procs 1,2,4,8] [--steps 200]
+//
+// L is estimated from supersteps where each processor sends a single
+// 16-byte packet; g from the marginal per-packet cost of large
+// total-exchange supersteps; both via a least-squares fit across h sizes.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "cost/fit.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const int steps = static_cast<int>(args.get_int("steps", 200));
+  const auto procs = args.get_int_list("procs", {1, 2, 4, 8});
+
+  std::printf("probing the native thread backend (%u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  TextTable t({"nprocs", "g (us / 16B packet)", "L (us)"});
+  for (auto np64 : procs) {
+    const int np = static_cast<int>(np64);
+    std::vector<ProbeSample> samples;
+    Config cfg;
+    cfg.nprocs = np;
+    cfg.collect_stats = false;
+    Runtime rt(cfg);
+    for (int per_peer : {1, 4, 16, 64, 256}) {
+      WallTimer timer;
+      rt.run([steps, per_peer](Worker& w) {
+        const int p = w.nprocs();
+        char pkt[16] = {};
+        for (int s = 0; s < steps; ++s) {
+          const int fanout = (p == 1) ? 1 : p - 1;
+          for (int d = 0; d < fanout; ++d) {
+            const int dest = (p == 1) ? 0 : (w.pid() + 1 + d) % p;
+            for (int k = 0; k < per_peer; ++k) {
+              w.send_bytes(dest, pkt, sizeof(pkt));
+            }
+          }
+          w.sync();
+          while (w.get_message() != nullptr) {
+          }
+        }
+      });
+      const std::uint64_t h =
+          static_cast<std::uint64_t>(per_peer) * (np == 1 ? 1 : np - 1);
+      samples.push_back({h, timer.elapsed_us() / steps});
+    }
+    const MachineParams mp = fit_g_L(samples);
+    t.row().add(std::int64_t{np}).add(mp.g_us, 3).add(mp.L_us, 1);
+  }
+  t.render(std::cout);
+  std::printf(
+      "\ncompare with the paper's Figure 2.1: SGI g=0.77-0.95, L=3-105; "
+      "Cenju g=2.2-3.6, L=130-2880; PC-LAN g=0.92-8.6, L=2-3715.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// radiosity_demo: solve the Cornell-like scene with BSP hierarchical
+// radiosity and render the floor's radiosity as ASCII shading (the slab's
+// shadow should be visible in the middle).
+//
+//   $ radiosity_demo [--procs 4] [--ff-eps 0.01]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/radiosity/radiosity.hpp"
+#include "apps/radiosity/radiosity_bsp.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const int nprocs = static_cast<int>(args.get_int("procs", 4));
+
+  const Scene scene = make_cornell_scene();
+  RadiosityConfig cfg;
+  cfg.ff_eps = args.get_double("ff-eps", 0.01);
+  cfg.max_depth = 6;
+  cfg.max_iterations = 32;
+
+  std::printf("Cornell scene: %zu patches; solving on %d processors...\n",
+              scene.patches.size(), nprocs);
+  WallTimer timer;
+  RadiosityRunInfo info;
+  const auto B = bsp_radiosity(scene, cfg, nprocs, &info);
+  std::printf("converged in %d sweeps (%.3fs wall, final delta %.2e)\n\n",
+              info.sweeps, timer.elapsed_s(), info.final_delta);
+
+  std::printf("patch radiosities:\n");
+  static const char* kNames[] = {"floor",  "ceiling", "wall y0",
+                                 "wall y1", "wall x0", "wall x1",
+                                 "light",  "slab top", "slab bottom"};
+  for (std::size_t p = 0; p < B.size(); ++p) {
+    std::printf("  %-12s %.4f\n", p < 9 ? kNames[p] : "?", B[p]);
+  }
+
+  // Render the floor with a fine sequential query pass (the BSP solve only
+  // publishes patch averages; re-solve sequentially for per-point queries).
+  HierarchicalRadiosity hr(scene, cfg);
+  hr.build([](int) { return true; });
+  hr.solve();
+  double lo = 1e30, hi = 0;
+  const int rows = 24, cols = 48;
+  std::vector<double> img(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double v = hr.radiosity_at(0, (c + 0.5) / cols, (r + 0.5) / rows);
+      img[static_cast<std::size_t>(r) * cols + c] = v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  std::printf("\nfloor radiosity (note the slab's shadow):\n");
+  static const char kShades[] = " .:-=+*#%@";
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double t =
+          (hi > lo)
+              ? (img[static_cast<std::size_t>(r) * cols + c] - lo) / (hi - lo)
+              : 0.0;
+      std::putchar(kShades[static_cast<int>(t * 9.0)]);
+    }
+    std::putchar('\n');
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Dense matrix multiplication with Cannon's algorithm (paper Section 3.6).
+//
+// The input matrices are distributed in the paper's pre-skewed block layout:
+// with p = q^2 processors and blocks of size n/q, processor i = (x, y)
+// (x = floor(i/q), y = i mod q) initially holds block (x, (x+y) mod q) of A
+// and block ((x+y) mod q, y) of B. The algorithm runs q iterations; each
+// multiplies the two resident blocks into C(x, y), then sends the A block to
+// the right neighbor and the B block to the neighbor below (mod q).
+//
+// Superstep structure matches the paper's counts (S = 2*sqrt(p) - 1): every
+// iteration except the last is [multiply+send | sync | unpack | sync]; the
+// final multiply is the tail superstep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+/// Dense row-major square matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(int n) : n_(n), a_(static_cast<std::size_t>(n) * n, 0.0) {}
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] double& at(int i, int j) {
+    return a_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  [[nodiscard]] double at(int i, int j) const {
+    return a_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  [[nodiscard]] double* data() { return a_.data(); }
+  [[nodiscard]] const double* data() const { return a_.data(); }
+
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+ private:
+  int n_ = 0;
+  std::vector<double> a_;
+};
+
+/// Matrix with entries uniform in [-1, 1), deterministic in `seed`.
+Matrix random_matrix(int n, std::uint64_t seed);
+
+/// Unblocked i-j-k product (test oracle).
+Matrix matmul_naive(const Matrix& A, const Matrix& B);
+
+/// The sequential baseline: cache-blocked i-k-j product — the "sequential
+/// blocked matrix multiplication algorithm" each processor also uses on its
+/// local blocks.
+Matrix matmul_blocked(const Matrix& A, const Matrix& B);
+
+/// C[0..bn,0..bn] += Ablk * Bblk for row-major bn x bn blocks (the local
+/// kernel of Cannon's algorithm).
+void block_multiply_add(const double* Ablk, const double* Bblk, double* Cblk,
+                        int bn);
+
+/// Number of Cannon iterations = sqrt(p); throws unless p is a perfect
+/// square and sqrt(p) divides n.
+int cannon_grid_dim(int nprocs, int n);
+
+/// SPMD program computing C = A * B on a q x q processor grid. A and B are
+/// shared read-only inputs; each worker writes its C block into the shared
+/// output (disjoint regions, so no synchronization is needed). The output
+/// matrix must be pre-sized to n x n.
+std::function<void(Worker&)> make_cannon_program(const Matrix& A,
+                                                 const Matrix& B, Matrix* C);
+
+}  // namespace gbsp

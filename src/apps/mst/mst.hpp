@@ -1,0 +1,74 @@
+// Distributed minimum spanning tree (paper Section 3.3).
+//
+// Three phases, following the paper:
+//
+//  1. LOCAL: each processor repeatedly merges components whose globally
+//     minimum outgoing edge has both endpoints home (a Boruvka restricted to
+//     merges that are provably safe without communication). "The program
+//     starts out with a completely local phase that computes the local
+//     components of the minimum spanning tree."
+//
+//  2. PARALLEL: distributed Boruvka rounds in the spirit of the
+//     Leiserson–Maggs conservative DRAM algorithm. Components are named by
+//     the minimum global node id they contain; the processor owning that
+//     node is the component's bookkeeper. Each round:
+//       - every processor sends, per component, its best outgoing edge to
+//         the component's owner (messages bounded by border counts — the
+//         "conservative" property);
+//       - owners pick the global minimum and exchange choices, hooking
+//         components (mutual choices pick the same edge under the total
+//         order on edges, recorded once by the smaller label's owner);
+//       - owners pointer-jump the parent forest to roots (each jump round is
+//         query / reply / changed-flag supersteps);
+//       - node labels are refreshed from their old component's root and
+//         pushed to border watchers.
+//
+//  3. ENDGAME: "once the number of components becomes small", every
+//     processor sends the minimum edge between each pair of adjacent
+//     components to processor 0, which finishes the forest sequentially
+//     (Kruskal over the contracted graph) and broadcasts the result.
+//
+// Edge weights are compared by the total order (w, min id, max id), so all
+// decisions are deterministic and mutual choices are consistent even with
+// duplicate weights.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+
+namespace gbsp {
+
+struct MstConfig {
+  /// Switch to the endgame at or below this many components (scaled by the
+  /// larger of this and 2 * nprocs).
+  int endgame_components = 64;
+  /// Safety cap on Boruvka rounds (the endgame finishes whatever remains).
+  int max_rounds = 64;
+  /// Ship the actual tree edges to processor 0 (tests); weight and edge
+  /// count are always computed.
+  bool collect_edges = false;
+};
+
+struct MstParallelResult {
+  double total_weight = 0.0;
+  std::int64_t edge_count = 0;
+  std::vector<Edge> edges;  ///< filled only when MstConfig::collect_edges
+};
+
+/// SPMD program. `result` is written by processor 0 before the program ends
+/// (all processors learn total_weight/edge_count via the final broadcast).
+/// Run with nprocs == part.nparts.
+std::function<void(Worker&)> make_mst_program(const GraphPartition& part,
+                                              MstConfig cfg,
+                                              MstParallelResult* result);
+
+/// Convenience wrapper for tests/examples: partitions, runs, returns result.
+MstParallelResult bsp_mst(const Graph& g, const std::vector<Point2>& points,
+                          int nprocs, MstConfig cfg = {});
+
+}  // namespace gbsp

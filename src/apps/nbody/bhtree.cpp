@@ -1,0 +1,200 @@
+#include "apps/nbody/bhtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbsp {
+
+Box3 bounding_box(std::span<const Body> bodies) {
+  Box3 box;
+  for (const Body& b : bodies) box.expand(b.pos);
+  return box;
+}
+
+BarnesHutTree::BarnesHutTree(std::span<const PointMass> points,
+                             int leaf_capacity)
+    : leaf_capacity_(std::max(1, leaf_capacity)),
+      points_(points.begin(), points.end()) {
+  if (points_.empty()) return;
+  Box3 box;
+  for (const auto& p : points_) box.expand(p.pos);
+  const Vec3 center{(box.lo.x + box.hi.x) / 2, (box.lo.y + box.hi.y) / 2,
+                    (box.lo.z + box.hi.z) / 2};
+  double half = std::max({box.hi.x - box.lo.x, box.hi.y - box.lo.y,
+                          box.hi.z - box.lo.z}) /
+                    2.0 +
+                1e-12;
+  nodes_.reserve(points_.size() / 2 + 16);
+  root_ = build(center, half, 0, static_cast<int>(points_.size()), 0);
+}
+
+int BarnesHutTree::build(Vec3 center, double half, int begin, int end,
+                         int depth) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& n = nodes_.back();
+    n.center = center;
+    n.half = half;
+    n.begin = begin;
+    n.end = end;
+  }
+  // Mass properties.
+  Vec3 com;
+  double mass = 0;
+  for (int i = begin; i < end; ++i) {
+    const PointMass& p = points_[static_cast<std::size_t>(i)];
+    com += p.pos * p.mass;
+    mass += p.mass;
+  }
+  if (mass > 0) com *= 1.0 / mass;
+  nodes_[static_cast<std::size_t>(id)].com = com;
+  nodes_[static_cast<std::size_t>(id)].mass = mass;
+
+  // Leaf: few bodies, or cell degenerate (coincident points).
+  if (end - begin <= leaf_capacity_ || half < 1e-12 || depth > 64) {
+    return id;
+  }
+
+  // Partition the range into octants (three stable partitions).
+  auto octant_of = [&](const PointMass& p) {
+    return (p.pos.x >= center.x ? 1 : 0) | (p.pos.y >= center.y ? 2 : 0) |
+           (p.pos.z >= center.z ? 4 : 0);
+  };
+  std::array<int, 9> start{};
+  {
+    std::array<int, 8> count{};
+    for (int i = begin; i < end; ++i) {
+      ++count[static_cast<std::size_t>(
+          octant_of(points_[static_cast<std::size_t>(i)]))];
+    }
+    start[0] = begin;
+    for (int o = 0; o < 8; ++o) {
+      start[static_cast<std::size_t>(o) + 1] =
+          start[static_cast<std::size_t>(o)] +
+          count[static_cast<std::size_t>(o)];
+    }
+    std::vector<PointMass> tmp(points_.begin() + begin, points_.begin() + end);
+    std::array<int, 8> cursor{};
+    for (int o = 0; o < 8; ++o) {
+      cursor[static_cast<std::size_t>(o)] = start[static_cast<std::size_t>(o)];
+    }
+    for (const PointMass& p : tmp) {
+      points_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(octant_of(p))]++)] = p;
+    }
+  }
+
+  nodes_[static_cast<std::size_t>(id)].leaf = false;
+  const double h2 = half / 2;
+  for (int o = 0; o < 8; ++o) {
+    const int b = start[static_cast<std::size_t>(o)];
+    const int e = start[static_cast<std::size_t>(o) + 1];
+    if (b == e) continue;
+    const Vec3 ccenter{center.x + ((o & 1) ? h2 : -h2),
+                       center.y + ((o & 2) ? h2 : -h2),
+                       center.z + ((o & 4) ? h2 : -h2)};
+    const int child = build(ccenter, h2, b, e, depth + 1);
+    nodes_[static_cast<std::size_t>(id)].child[static_cast<std::size_t>(o)] =
+        child;
+  }
+  return id;
+}
+
+void BarnesHutTree::accel_rec(int node, const Vec3& p, double theta2,
+                              double eps2, Vec3& acc) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec3 d = n.com - p;
+  const double r2 = d.norm2();
+  const double side = 2.0 * n.half;
+  if (!n.leaf && side * side < theta2 * r2) {
+    const double denom = r2 + eps2;
+    const double inv = 1.0 / (denom * std::sqrt(denom));
+    acc += d * (n.mass * inv);
+    return;
+  }
+  if (n.leaf) {
+    for (int i = n.begin; i < n.end; ++i) {
+      const PointMass& b = points_[static_cast<std::size_t>(i)];
+      const Vec3 db = b.pos - p;
+      const double rb2 = db.norm2();
+      if (rb2 == 0.0) continue;  // self
+      const double denom = rb2 + eps2;
+      const double inv = 1.0 / (denom * std::sqrt(denom));
+      acc += db * (b.mass * inv);
+    }
+    return;
+  }
+  for (int c : n.child) {
+    if (c >= 0) accel_rec(c, p, theta2, eps2, acc);
+  }
+}
+
+Vec3 BarnesHutTree::accel_at(const Vec3& p, double theta,
+                             double eps) const {
+  Vec3 acc;
+  if (root_ >= 0) accel_rec(root_, p, theta * theta, eps * eps, acc);
+  return acc;
+}
+
+void BarnesHutTree::essential_rec(int node, const Box3& box, double theta,
+                                  std::vector<PointMass>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.leaf) {
+    for (int i = n.begin; i < n.end; ++i) {
+      out.push_back(points_[static_cast<std::size_t>(i)]);
+    }
+    return;
+  }
+  const double d2 = box.dist2_to(n.com);
+  const double side = 2.0 * n.half;
+  if (side * side < theta * theta * d2) {
+    // Unopenable from anywhere in the box: the summary suffices.
+    out.push_back({n.com, n.mass});
+    return;
+  }
+  for (int c : n.child) {
+    if (c >= 0) essential_rec(c, box, theta, out);
+  }
+}
+
+void BarnesHutTree::extract_essential(const Box3& target_box, double theta,
+                                      std::vector<PointMass>& out) const {
+  if (root_ >= 0 && target_box.valid()) {
+    essential_rec(root_, target_box, theta, out);
+  }
+}
+
+double BarnesHutTree::total_mass() const {
+  return root_ >= 0 ? nodes_[static_cast<std::size_t>(root_)].mass : 0.0;
+}
+
+std::vector<Vec3> bh_accels(const std::vector<Body>& bodies, double theta,
+                            double eps, int leaf_capacity) {
+  std::vector<PointMass> pts;
+  pts.reserve(bodies.size());
+  for (const Body& b : bodies) pts.push_back({b.pos, b.mass});
+  BarnesHutTree tree(pts, leaf_capacity);
+  std::vector<Vec3> acc(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    acc[i] = tree.accel_at(bodies[i].pos, theta, eps);
+  }
+  return acc;
+}
+
+std::vector<Vec3> direct_accels(const std::vector<Body>& bodies, double eps) {
+  const double eps2 = eps * eps;
+  std::vector<Vec3> acc(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    for (std::size_t j = 0; j < bodies.size(); ++j) {
+      if (i == j) continue;
+      const Vec3 d = bodies[j].pos - bodies[i].pos;
+      const double denom = d.norm2() + eps2;
+      const double inv = 1.0 / (denom * std::sqrt(denom));
+      acc[i] += d * (bodies[j].mass * inv);
+    }
+  }
+  return acc;
+}
+
+}  // namespace gbsp

@@ -1,0 +1,76 @@
+// Barnes–Hut octree (paper Section 3.2; Barnes & Hut 1986).
+//
+// The tree is built over point masses; internal cells carry total mass and
+// center of mass. Force evaluation uses the standard opening criterion
+// s/d < theta (s = cell side, d = distance to the cell's center of mass)
+// with Plummer softening.
+//
+// `extract_essential` implements the sender side of the essential-tree
+// exchange: for a remote processor's domain box it walks the tree, emitting
+// a cell's (com, mass) summary when the cell can never be opened from
+// anywhere inside the box (conservative: distance measured from the box, so
+// the receiver's force evaluation is at least as accurate as a sequential
+// Barnes–Hut traversal), and recursing otherwise; leaf bodies are emitted
+// verbatim. The receiver grafts the summaries by rebuilding its tree over
+// local bodies + received point masses — "a local BH tree that contains all
+// the data needed to compute the forces on its bodies".
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "apps/nbody/body.hpp"
+
+namespace gbsp {
+
+class BarnesHutTree {
+ public:
+  /// Builds over the given point masses. `leaf_capacity` bodies per leaf.
+  explicit BarnesHutTree(std::span<const PointMass> points,
+                         int leaf_capacity = 8);
+
+  /// Gravitational acceleration at `p` (G = 1, Plummer softening `eps`).
+  /// A point mass exactly at `p` is skipped (self-interaction).
+  [[nodiscard]] Vec3 accel_at(const Vec3& p, double theta, double eps) const;
+
+  /// Appends to `out` the minimal set of point masses that lets any target
+  /// inside `target_box` evaluate forces with accuracy >= theta-BH.
+  void extract_essential(const Box3& target_box, double theta,
+                         std::vector<PointMass>& out) const;
+
+  [[nodiscard]] std::size_t num_cells() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_points() const { return points_.size(); }
+  [[nodiscard]] double total_mass() const;
+
+ private:
+  struct Node {
+    Vec3 center;       // geometric cell center
+    double half = 0;   // half side length
+    Vec3 com;          // center of mass
+    double mass = 0;
+    int begin = 0, end = 0;  // point range (leaves)
+    std::array<int, 8> child{-1, -1, -1, -1, -1, -1, -1, -1};
+    bool leaf = true;
+  };
+
+  int build(Vec3 center, double half, int begin, int end, int depth);
+  void accel_rec(int node, const Vec3& p, double theta2, double eps2,
+                 Vec3& acc) const;
+  void essential_rec(int node, const Box3& box, double theta,
+                     std::vector<PointMass>& out) const;
+
+  int leaf_capacity_;
+  std::vector<PointMass> points_;  // reordered copy
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Accelerations on each body from all others, via the tree.
+std::vector<Vec3> bh_accels(const std::vector<Body>& bodies, double theta,
+                            double eps, int leaf_capacity = 8);
+
+/// O(n^2) direct-sum oracle.
+std::vector<Vec3> direct_accels(const std::vector<Body>& bodies, double eps);
+
+}  // namespace gbsp

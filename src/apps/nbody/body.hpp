@@ -1,0 +1,64 @@
+// Body and bounding-box types shared across the N-body modules.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "apps/nbody/vec3.hpp"
+
+namespace gbsp {
+
+struct Body {
+  Vec3 pos;
+  Vec3 vel;
+  double mass = 0.0;
+};
+
+/// A point mass: what essential-tree exchange ships (a body, or the
+/// center-of-mass summary of an unopened remote cell).
+struct PointMass {
+  Vec3 pos;
+  double mass = 0.0;
+};
+
+/// Axis-aligned box.
+struct Box3 {
+  Vec3 lo{+std::numeric_limits<double>::infinity(),
+          +std::numeric_limits<double>::infinity(),
+          +std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  [[nodiscard]] bool valid() const { return lo.x <= hi.x; }
+
+  /// Squared distance from the box to a point (0 if inside).
+  [[nodiscard]] double dist2_to(const Vec3& p) const {
+    auto axis = [](double v, double lo, double hi) {
+      if (v < lo) return lo - v;
+      if (v > hi) return v - hi;
+      return 0.0;
+    };
+    const double dx = axis(p.x, lo.x, hi.x);
+    const double dy = axis(p.y, lo.y, hi.y);
+    const double dz = axis(p.z, lo.z, hi.z);
+    return dx * dx + dy * dy + dz * dz;
+  }
+};
+
+/// Bounding box of a set of bodies.
+Box3 bounding_box(std::span<const Body> bodies);
+
+}  // namespace gbsp

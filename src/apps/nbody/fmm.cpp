@@ -1,0 +1,481 @@
+#include "apps/nbody/fmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace gbsp {
+
+namespace {
+
+thread_local FmmStats tl_stats;
+
+// ---------------------------------------------------------------- tensors
+//
+// Full (non-compressed) symmetric tensors: rank 2 as double[9], rank 3 as
+// double[27], rank 4 as double[81], indexed [a*3+b], [(a*3+b)*3+c], ... .
+// Naive full storage keeps every contraction a transparent loop.
+
+struct Multipole {
+  double M = 0.0;
+  double D[3] = {0, 0, 0};
+  double Q[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+  void add(const Multipole& o) {
+    M += o.M;
+    for (int a = 0; a < 3; ++a) D[a] += o.D[a];
+    for (int k = 0; k < 9; ++k) Q[k] += o.Q[k];
+  }
+};
+
+struct LocalExp {
+  double L0 = 0.0;
+  double L1[3] = {0, 0, 0};
+  double L2[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  double L3[27] = {};
+};
+
+/// Derivative tensors of K(R) = 1/|R| up to fourth order.
+struct KernelDerivs {
+  double k1[3];
+  double k2[9];
+  double k3[27];
+  double k4[81];
+};
+
+void kernel_derivs(const Vec3& R, KernelDerivs* kd) {
+  const double x[3] = {R.x, R.y, R.z};
+  const double r2 = R.norm2();
+  const double r = std::sqrt(r2);
+  const double ir = 1.0 / r;
+  const double ir3 = ir / r2;
+  const double ir5 = ir3 / r2;
+  const double ir7 = ir5 / r2;
+  const double ir9 = ir7 / r2;
+  auto delta = [](int a, int b) { return a == b ? 1.0 : 0.0; };
+  for (int a = 0; a < 3; ++a) {
+    kd->k1[a] = -x[a] * ir3;
+    for (int b = 0; b < 3; ++b) {
+      kd->k2[a * 3 + b] = 3.0 * x[a] * x[b] * ir5 - delta(a, b) * ir3;
+      for (int c = 0; c < 3; ++c) {
+        kd->k3[(a * 3 + b) * 3 + c] =
+            -15.0 * x[a] * x[b] * x[c] * ir7 +
+            3.0 *
+                (delta(a, b) * x[c] + delta(a, c) * x[b] +
+                 delta(b, c) * x[a]) *
+                ir5;
+        for (int d = 0; d < 3; ++d) {
+          kd->k4[((a * 3 + b) * 3 + c) * 3 + d] =
+              105.0 * x[a] * x[b] * x[c] * x[d] * ir9 -
+              15.0 *
+                  (delta(a, b) * x[c] * x[d] + delta(a, c) * x[b] * x[d] +
+                   delta(a, d) * x[b] * x[c] + delta(b, c) * x[a] * x[d] +
+                   delta(b, d) * x[a] * x[c] + delta(c, d) * x[a] * x[b]) *
+                  ir7 +
+              3.0 *
+                  (delta(a, b) * delta(c, d) + delta(a, c) * delta(b, d) +
+                   delta(a, d) * delta(b, c)) *
+                  ir5;
+        }
+      }
+    }
+  }
+}
+
+/// Adds the field of multipole `src` at separation R = z_target - z_source
+/// into the target's local expansion.
+void m2l(const Multipole& src, const Vec3& R, LocalExp* dst) {
+  KernelDerivs kd;
+  kernel_derivs(R, &kd);
+  const double K = 1.0 / R.norm();
+
+  double l0 = src.M * K;
+  for (int a = 0; a < 3; ++a) l0 -= src.D[a] * kd.k1[a];
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      l0 += 0.5 * src.Q[a * 3 + b] * kd.k2[a * 3 + b];
+    }
+  }
+  dst->L0 += l0;
+
+  for (int a = 0; a < 3; ++a) {
+    double l1 = src.M * kd.k1[a];
+    for (int b = 0; b < 3; ++b) {
+      l1 -= src.D[b] * kd.k2[a * 3 + b];
+      for (int c = 0; c < 3; ++c) {
+        l1 += 0.5 * src.Q[b * 3 + c] * kd.k3[(a * 3 + b) * 3 + c];
+      }
+    }
+    dst->L1[a] += l1;
+  }
+
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double l2 = src.M * kd.k2[a * 3 + b];
+      for (int c = 0; c < 3; ++c) {
+        l2 -= src.D[c] * kd.k3[(a * 3 + b) * 3 + c];
+        for (int d = 0; d < 3; ++d) {
+          l2 += 0.5 * src.Q[c * 3 + d] * kd.k4[((a * 3 + b) * 3 + c) * 3 + d];
+        }
+      }
+      dst->L2[a * 3 + b] += l2;
+    }
+  }
+
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        double l3 = src.M * kd.k3[(a * 3 + b) * 3 + c];
+        for (int d = 0; d < 3; ++d) {
+          l3 -= src.D[d] * kd.k4[((a * 3 + b) * 3 + c) * 3 + d];
+        }
+        dst->L3[(a * 3 + b) * 3 + c] += l3;
+      }
+    }
+  }
+}
+
+/// Shifts a parent local expansion to a child center (t = child - parent)
+/// and adds it into the child's expansion.
+void l2l(const LocalExp& parent, const Vec3& tvec, LocalExp* child) {
+  const double t[3] = {tvec.x, tvec.y, tvec.z};
+  double l0 = parent.L0;
+  for (int a = 0; a < 3; ++a) {
+    l0 += parent.L1[a] * t[a];
+    for (int b = 0; b < 3; ++b) {
+      l0 += 0.5 * parent.L2[a * 3 + b] * t[a] * t[b];
+      for (int c = 0; c < 3; ++c) {
+        l0 += parent.L3[(a * 3 + b) * 3 + c] * t[a] * t[b] * t[c] / 6.0;
+      }
+    }
+  }
+  child->L0 += l0;
+  for (int a = 0; a < 3; ++a) {
+    double l1 = parent.L1[a];
+    for (int b = 0; b < 3; ++b) {
+      l1 += parent.L2[a * 3 + b] * t[b];
+      for (int c = 0; c < 3; ++c) {
+        l1 += 0.5 * parent.L3[(a * 3 + b) * 3 + c] * t[b] * t[c];
+      }
+    }
+    child->L1[a] += l1;
+  }
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double l2 = parent.L2[a * 3 + b];
+      for (int c = 0; c < 3; ++c) {
+        l2 += parent.L3[(a * 3 + b) * 3 + c] * t[c];
+      }
+      child->L2[a * 3 + b] += l2;
+    }
+  }
+  for (int k = 0; k < 27; ++k) child->L3[k] += parent.L3[k];
+}
+
+/// Gradient of the local expansion at offset t from the cell center.
+Vec3 l2p(const LocalExp& le, const Vec3& tvec) {
+  const double t[3] = {tvec.x, tvec.y, tvec.z};
+  double acc[3];
+  for (int a = 0; a < 3; ++a) {
+    double v = le.L1[a];
+    for (int b = 0; b < 3; ++b) {
+      v += le.L2[a * 3 + b] * t[b];
+      for (int c = 0; c < 3; ++c) {
+        v += 0.5 * le.L3[(a * 3 + b) * 3 + c] * t[b] * t[c];
+      }
+    }
+    acc[a] = v;
+  }
+  return {acc[0], acc[1], acc[2]};
+}
+
+// ------------------------------------------------------------------- tree
+
+/// Packed per-level cell coordinates: 10 bits per axis.
+std::uint32_t pack(int ix, int iy, int iz) {
+  return static_cast<std::uint32_t>(ix) |
+         (static_cast<std::uint32_t>(iy) << 10) |
+         (static_cast<std::uint32_t>(iz) << 20);
+}
+void unpack(std::uint32_t key, int* ix, int* iy, int* iz) {
+  *ix = static_cast<int>(key & 0x3ff);
+  *iy = static_cast<int>((key >> 10) & 0x3ff);
+  *iz = static_cast<int>((key >> 20) & 0x3ff);
+}
+
+struct Cell {
+  std::uint32_t key = 0;
+  Multipole mp;
+  LocalExp le;
+  std::vector<int> points;  // leaves only
+};
+
+struct Level {
+  std::unordered_map<std::uint32_t, int> index;  // key -> cell id
+  std::vector<Cell> cells;
+};
+
+class FmmTree {
+ public:
+  FmmTree(std::span<const PointMass> points, const FmmConfig& cfg)
+      : points_(points), cfg_(cfg) {
+    // Bounding cube.
+    Box3 box;
+    for (const auto& p : points_) box.expand(p.pos);
+    center_ = {(box.lo.x + box.hi.x) / 2, (box.lo.y + box.hi.y) / 2,
+               (box.lo.z + box.hi.z) / 2};
+    half_ = std::max({box.hi.x - box.lo.x, box.hi.y - box.lo.y,
+                      box.hi.z - box.lo.z}) /
+                2.0 +
+            1e-12;
+    // Depth by occupancy: deepen until the fullest leaf holds at most
+    // leaf_target points (this, plus hashed empty-cell skipping, is what
+    // keeps clustered distributions like the Plummer core O(n)-ish — the
+    // "adaptive" in the paper's adaptive FMM).
+    int depth = 3;
+    for (; depth < cfg_.max_level; ++depth) {
+      std::unordered_map<std::uint32_t, int> occupancy;
+      int fullest = 0;
+      for (const auto& p : points_) {
+        fullest = std::max(fullest, ++occupancy[key_of(p.pos, depth)]);
+      }
+      if (fullest <= cfg_.leaf_target) break;
+    }
+    depth_ = depth;
+    levels_.resize(static_cast<std::size_t>(depth_) + 1);
+
+    // Leaves.
+    Level& leaf_level = levels_[static_cast<std::size_t>(depth_)];
+    for (int i = 0; i < static_cast<int>(points_.size()); ++i) {
+      const std::uint32_t key = key_of(points_[static_cast<std::size_t>(i)].pos, depth_);
+      Cell& c = cell_at(leaf_level, key);
+      c.points.push_back(i);
+    }
+    // Ancestors.
+    for (int l = depth_; l > 0; --l) {
+      Level& fine = levels_[static_cast<std::size_t>(l)];
+      Level& coarse = levels_[static_cast<std::size_t>(l - 1)];
+      for (const Cell& c : fine.cells) {
+        int ix, iy, iz;
+        unpack(c.key, &ix, &iy, &iz);
+        cell_at(coarse, pack(ix / 2, iy / 2, iz / 2));
+      }
+    }
+    tl_stats = FmmStats{};
+    tl_stats.levels = static_cast<std::size_t>(depth_) + 1;
+    for (const auto& lv : levels_) tl_stats.cells += lv.cells.size();
+  }
+
+  std::vector<Vec3> solve() {
+    upward();
+    interactions();
+    downward();
+    return evaluate();
+  }
+
+ private:
+  static Cell& cell_at(Level& lv, std::uint32_t key) {
+    auto [it, fresh] = lv.index.emplace(key, static_cast<int>(lv.cells.size()));
+    if (fresh) {
+      lv.cells.emplace_back();
+      lv.cells.back().key = key;
+    }
+    return lv.cells[static_cast<std::size_t>(it->second)];
+  }
+
+  [[nodiscard]] std::uint32_t key_of(const Vec3& p, int level) const {
+    const int cells = 1 << level;
+    const double scale = cells / (2.0 * half_);
+    auto clampi = [cells](int v) { return std::clamp(v, 0, cells - 1); };
+    const int ix = clampi(static_cast<int>((p.x - (center_.x - half_)) * scale));
+    const int iy = clampi(static_cast<int>((p.y - (center_.y - half_)) * scale));
+    const int iz = clampi(static_cast<int>((p.z - (center_.z - half_)) * scale));
+    return pack(ix, iy, iz);
+  }
+
+  [[nodiscard]] Vec3 cell_center(std::uint32_t key, int level) const {
+    int ix, iy, iz;
+    unpack(key, &ix, &iy, &iz);
+    const double w = 2.0 * half_ / (1 << level);
+    return {center_.x - half_ + (ix + 0.5) * w,
+            center_.y - half_ + (iy + 0.5) * w,
+            center_.z - half_ + (iz + 0.5) * w};
+  }
+
+  void upward() {
+    // P2M at the leaves.
+    Level& leaves = levels_[static_cast<std::size_t>(depth_)];
+    for (Cell& c : leaves.cells) {
+      const Vec3 z = cell_center(c.key, depth_);
+      for (int i : c.points) {
+        const PointMass& p = points_[static_cast<std::size_t>(i)];
+        const Vec3 d = p.pos - z;
+        const double dd[3] = {d.x, d.y, d.z};
+        c.mp.M += p.mass;
+        for (int a = 0; a < 3; ++a) {
+          c.mp.D[a] += p.mass * dd[a];
+          for (int b = 0; b < 3; ++b) {
+            c.mp.Q[a * 3 + b] += p.mass * dd[a] * dd[b];
+          }
+        }
+      }
+    }
+    // M2M upward.
+    for (int l = depth_; l > 0; --l) {
+      Level& fine = levels_[static_cast<std::size_t>(l)];
+      Level& coarse = levels_[static_cast<std::size_t>(l - 1)];
+      for (const Cell& c : fine.cells) {
+        int ix, iy, iz;
+        unpack(c.key, &ix, &iy, &iz);
+        const std::uint32_t pkey = pack(ix / 2, iy / 2, iz / 2);
+        Cell& parent = coarse.cells[static_cast<std::size_t>(
+            coarse.index.at(pkey))];
+        const Vec3 d =
+            cell_center(c.key, l) - cell_center(pkey, l - 1);
+        const double dd[3] = {d.x, d.y, d.z};
+        parent.mp.M += c.mp.M;
+        for (int a = 0; a < 3; ++a) {
+          parent.mp.D[a] += c.mp.D[a] + c.mp.M * dd[a];
+          for (int b = 0; b < 3; ++b) {
+            parent.mp.Q[a * 3 + b] += c.mp.Q[a * 3 + b] +
+                                      c.mp.D[a] * dd[b] + dd[a] * c.mp.D[b] +
+                                      c.mp.M * dd[a] * dd[b];
+          }
+        }
+      }
+    }
+  }
+
+  void interactions() {
+    // Well-separated-by-2 M2L list: cells u with Chebyshev distance > 2
+    // whose parents are within Chebyshev distance 2 of c's parent. Pairs
+    // farther apart were already handled at a coarser level; closer pairs
+    // are deferred to finer levels (and ultimately leaf P2P).
+    constexpr int kWs = 2;
+    for (int l = 2; l <= depth_; ++l) {
+      Level& lv = levels_[static_cast<std::size_t>(l)];
+      Level& plv = levels_[static_cast<std::size_t>(l - 1)];
+      const int cells = 1 << l;
+      const int pcells = 1 << (l - 1);
+      for (Cell& c : lv.cells) {
+        int ix, iy, iz;
+        unpack(c.key, &ix, &iy, &iz);
+        const int px = ix / 2, py = iy / 2, pz = iz / 2;
+        const Vec3 zc = cell_center(c.key, l);
+        for (int nx = std::max(0, px - kWs);
+             nx <= std::min(pcells - 1, px + kWs); ++nx) {
+          for (int ny = std::max(0, py - kWs);
+               ny <= std::min(pcells - 1, py + kWs); ++ny) {
+            for (int nz = std::max(0, pz - kWs);
+                 nz <= std::min(pcells - 1, pz + kWs); ++nz) {
+              if (plv.index.find(pack(nx, ny, nz)) == plv.index.end()) {
+                continue;
+              }
+              for (int o = 0; o < 8; ++o) {
+                const int ux = 2 * nx + (o & 1);
+                const int uy = 2 * ny + ((o >> 1) & 1);
+                const int uz = 2 * nz + ((o >> 2) & 1);
+                if (ux >= cells || uy >= cells || uz >= cells) continue;
+                if (std::abs(ux - ix) <= kWs && std::abs(uy - iy) <= kWs &&
+                    std::abs(uz - iz) <= kWs) {
+                  continue;  // near field: finer levels / leaf P2P
+                }
+                const auto it = lv.index.find(pack(ux, uy, uz));
+                if (it == lv.index.end()) continue;
+                const Cell& u =
+                    lv.cells[static_cast<std::size_t>(it->second)];
+                if (u.mp.M == 0.0) continue;
+                m2l(u.mp, zc - cell_center(u.key, l), &c.le);
+                ++tl_stats.m2l_pairs;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void downward() {
+    for (int l = 2; l < depth_; ++l) {
+      Level& lv = levels_[static_cast<std::size_t>(l)];
+      Level& flv = levels_[static_cast<std::size_t>(l + 1)];
+      for (Cell& child : flv.cells) {
+        int ix, iy, iz;
+        unpack(child.key, &ix, &iy, &iz);
+        const std::uint32_t pkey = pack(ix / 2, iy / 2, iz / 2);
+        const Cell& parent =
+            lv.cells[static_cast<std::size_t>(lv.index.at(pkey))];
+        l2l(parent.le,
+            cell_center(child.key, l + 1) - cell_center(pkey, l),
+            &child.le);
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<Vec3> evaluate() {
+    std::vector<Vec3> acc(points_.size());
+    Level& leaves = levels_[static_cast<std::size_t>(depth_)];
+    const int cells = 1 << depth_;
+    const double eps2 = cfg_.eps * cfg_.eps;
+    for (const Cell& c : leaves.cells) {
+      const Vec3 z = cell_center(c.key, depth_);
+      int ix, iy, iz;
+      unpack(c.key, &ix, &iy, &iz);
+      // Gather the near-field source list (Chebyshev distance <= 2,
+      // matching the M2L separation rule) once per leaf.
+      constexpr int kWs = 2;
+      near_.clear();
+      for (int nx = std::max(0, ix - kWs); nx <= std::min(cells - 1, ix + kWs);
+           ++nx) {
+        for (int ny = std::max(0, iy - kWs);
+             ny <= std::min(cells - 1, iy + kWs); ++ny) {
+          for (int nz = std::max(0, iz - kWs);
+               nz <= std::min(cells - 1, iz + kWs); ++nz) {
+            const auto it = leaves.index.find(pack(nx, ny, nz));
+            if (it == leaves.index.end()) continue;
+            const Cell& u =
+                leaves.cells[static_cast<std::size_t>(it->second)];
+            near_.insert(near_.end(), u.points.begin(), u.points.end());
+          }
+        }
+      }
+      for (int i : c.points) {
+        const Vec3& y = points_[static_cast<std::size_t>(i)].pos;
+        Vec3 a = l2p(c.le, y - z);
+        for (int j : near_) {
+          if (j == i) continue;
+          const Vec3 d = points_[static_cast<std::size_t>(j)].pos - y;
+          const double r2 = d.norm2();
+          if (r2 == 0.0) continue;
+          const double denom = r2 + eps2;
+          const double inv = 1.0 / (denom * std::sqrt(denom));
+          a += d * (points_[static_cast<std::size_t>(j)].mass * inv);
+          ++tl_stats.p2p_pairs;
+        }
+        acc[static_cast<std::size_t>(i)] = a;
+      }
+    }
+    return acc;
+  }
+
+  std::span<const PointMass> points_;
+  FmmConfig cfg_;
+  Vec3 center_;
+  double half_ = 0.0;
+  int depth_ = 2;
+  std::vector<Level> levels_;
+  std::vector<int> near_;
+};
+
+}  // namespace
+
+std::vector<Vec3> fmm_accels(std::span<const PointMass> points,
+                             const FmmConfig& cfg) {
+  if (points.empty()) return {};
+  FmmTree tree(points, cfg);
+  return tree.solve();
+}
+
+FmmStats fmm_last_stats() { return tl_stats; }
+
+}  // namespace gbsp

@@ -1,0 +1,59 @@
+// Fast Multipole Method — the paper's stated next application ("we are
+// currently working on the implementation of some additional application
+// programs, including the adaptive Fast Multipole Method", Section 5).
+//
+// Cartesian-tensor FMM for the 1/r kernel on a hashed octree:
+//   P2M/M2M  multipoles to quadrupole order (M, D_i, Q_ij) about cell
+//            centers;
+//   M2L      multipole-to-local conversion with kernel derivative tensors
+//            up to fourth order, producing cubic local expansions
+//            (L0, L1_i, L2_ij, L3_ijk);
+//   L2L/L2P  downward translation and gradient evaluation;
+//   P2P      direct sum (with Plummer softening) over the 27-cell leaf
+//            neighborhood.
+// The interaction list is the classic uniform-grid one: children of the
+// parent's neighbors that are not adjacent to the cell. Empty cells are
+// skipped via per-level hash maps, which is what makes the method behave
+// adaptively on clustered (Plummer) distributions.
+//
+// In the BSP N-body application the FMM acts as a drop-in replacement for
+// the Barnes–Hut traversal on the locally essential body set
+// (NbodyConfig::force), leaving the superstep structure untouched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/nbody/body.hpp"
+
+namespace gbsp {
+
+struct FmmConfig {
+  /// Maximum points per leaf; the tree deepens (up to max_level) until the
+  /// fullest leaf fits, which adapts the depth to clustered distributions.
+  int leaf_target = 8;
+  /// Hard cap on the octree depth (hash keys pack 10 bits per axis).
+  int max_level = 9;
+  /// Plummer softening applied in the near field (P2P) only; the far field
+  /// is genuine 1/r, so eps should be small relative to the leaf width.
+  double eps = 0.0;
+};
+
+/// Accelerations at every point due to all others (self-interaction
+/// excluded), G = 1. Equivalent to direct_accels(..., eps) up to the
+/// truncation error of the expansions (~1e-3 relative at default order).
+std::vector<Vec3> fmm_accels(std::span<const PointMass> points,
+                             const FmmConfig& cfg = {});
+
+/// Diagnostic counters from the last fmm_accels call on this thread
+/// (benches report the work decomposition).
+struct FmmStats {
+  std::size_t levels = 0;
+  std::size_t cells = 0;
+  std::size_t m2l_pairs = 0;
+  std::size_t p2p_pairs = 0;
+};
+FmmStats fmm_last_stats();
+
+}  // namespace gbsp

@@ -1,0 +1,232 @@
+#include "apps/nbody/nbody.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "apps/nbody/fmm.hpp"
+#include "apps/nbody/orb.hpp"
+#include "core/collectives.hpp"
+#include "util/timer.hpp"
+
+namespace gbsp {
+
+namespace {
+
+// Wire format for migrating bodies (rebalance) and publishing results.
+struct WireBody {
+  Vec3 pos;
+  Vec3 vel;
+  double mass = 0.0;
+  std::int64_t gid = 0;
+};
+static_assert(sizeof(WireBody) == 64);
+
+// Per-iteration statistics exchanged in the load allgather.
+struct LoadInfo {
+  Box3 box;
+  std::int64_t count = 0;
+  double load_s = 0.0;
+};
+
+void integrate(std::vector<WireBody>& bodies, const std::vector<Vec3>& acc,
+               double dt) {
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    bodies[i].vel += acc[i] * dt;
+    bodies[i].pos += bodies[i].vel * dt;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Accelerations of all `points` under the configured force engine
+/// (local bodies first, remote essentials appended).
+std::vector<Vec3> engine_accels(const std::vector<PointMass>& points,
+                                const NbodyConfig& cfg) {
+  if (cfg.force == ForceMethod::Fmm) {
+    FmmConfig fc;
+    fc.eps = cfg.eps;
+    return fmm_accels(points, fc);
+  }
+  BarnesHutTree tree(points, cfg.leaf_capacity);
+  std::vector<Vec3> acc(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    acc[i] = tree.accel_at(points[i].pos, cfg.theta, cfg.eps);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void sequential_nbody_steps(std::vector<Body>& bodies,
+                            const NbodyConfig& cfg) {
+  for (int it = 0; it < cfg.iterations; ++it) {
+    std::vector<PointMass> pts;
+    pts.reserve(bodies.size());
+    for (const Body& b : bodies) pts.push_back({b.pos, b.mass});
+    const std::vector<Vec3> acc = engine_accels(pts, cfg);
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      bodies[i].vel += acc[i] * cfg.dt;
+      bodies[i].pos += bodies[i].vel * cfg.dt;
+    }
+  }
+}
+
+std::function<void(Worker&)> make_nbody_program(
+    const std::vector<Body>& initial, const std::vector<int>& assign,
+    NbodyConfig cfg, std::vector<Body>* out) {
+  if (assign.size() != initial.size()) {
+    throw std::invalid_argument("nbody: assignment size mismatch");
+  }
+  if (out->size() != initial.size()) {
+    throw std::invalid_argument("nbody: output size mismatch");
+  }
+  return [&initial, &assign, cfg, out](Worker& w) {
+    const int p = w.nprocs();
+
+    // Pick up this processor's bodies from the shared initial state.
+    std::vector<WireBody> mine;
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      if (assign[i] == w.pid()) {
+        const Body& b = initial[i];
+        mine.push_back({b.pos, b.vel, b.mass,
+                        static_cast<std::int64_t>(i)});
+      }
+    }
+
+    double last_load_s = 0.0;
+
+    for (int iter = 0; iter < cfg.iterations; ++iter) {
+      // --- (1) load statistics + rebalance decision ----------------------
+      Box3 my_box;
+      for (const auto& b : mine) my_box.expand(b.pos);
+      LoadInfo info{my_box, static_cast<std::int64_t>(mine.size()),
+                    last_load_s};
+      std::vector<LoadInfo> all = allgather(w, info);
+
+      double max_load = 0.0, sum_load = 0.0;
+      for (const auto& li : all) {
+        max_load = std::max(max_load, li.load_s);
+        sum_load += li.load_s;
+      }
+      const double mean_load = sum_load / p;
+      const bool rebalance =
+          iter > 0 && p > 1 && mean_load > 1e-6 &&
+          max_load / mean_load > cfg.imbalance_threshold;
+
+      // --- (2) optional ORB repartition via processor 0 -------------------
+      if (rebalance) {
+        if (w.pid() != 0 && !mine.empty()) {
+          w.send_array(0, mine);
+        }
+        w.sync();
+        if (w.pid() == 0) {
+          std::vector<WireBody> everything = std::move(mine);
+          mine.clear();
+          while (const Message* m = w.get_message()) {
+            std::vector<WireBody> batch;
+            m->copy_array(batch);
+            everything.insert(everything.end(), batch.begin(), batch.end());
+          }
+          std::vector<Body> as_bodies(everything.size());
+          for (std::size_t i = 0; i < everything.size(); ++i) {
+            as_bodies[i] = {everything[i].pos, everything[i].vel,
+                            everything[i].mass};
+          }
+          const std::vector<int> fresh = orb_assign(as_bodies, p);
+          std::vector<std::vector<WireBody>> buckets(
+              static_cast<std::size_t>(p));
+          for (std::size_t i = 0; i < everything.size(); ++i) {
+            buckets[static_cast<std::size_t>(fresh[i])].push_back(
+                everything[i]);
+          }
+          mine = std::move(buckets[0]);
+          for (int d = 1; d < p; ++d) {
+            w.send_array(d, buckets[static_cast<std::size_t>(d)]);
+          }
+        }
+        w.sync();
+        if (w.pid() != 0) {
+          mine.clear();
+          while (const Message* m = w.get_message()) {
+            m->copy_array(mine);
+          }
+        }
+        // Boxes changed; recompute and re-share.
+        my_box = Box3{};
+        for (const auto& b : mine) my_box.expand(b.pos);
+        info = LoadInfo{my_box, static_cast<std::int64_t>(mine.size()), 0.0};
+        all = allgather(w, info);
+      }
+
+      // --- (3/4) local tree, essential extraction, exchange ---------------
+      std::vector<PointMass> local_points;
+      local_points.reserve(mine.size());
+      for (const auto& b : mine) local_points.push_back({b.pos, b.mass});
+      {
+        BarnesHutTree local_tree(local_points, cfg.leaf_capacity);
+        std::vector<PointMass> essential;
+        for (int d = 0; d < p; ++d) {
+          if (d == w.pid()) continue;
+          essential.clear();
+          if (all[static_cast<std::size_t>(d)].count > 0 &&
+              all[static_cast<std::size_t>(d)].box.valid()) {
+            local_tree.extract_essential(
+                all[static_cast<std::size_t>(d)].box, cfg.theta, essential);
+          }
+          w.send_array(d, essential);
+        }
+      }
+      w.sync();
+
+      // --- (5) merged tree, forces, integration ---------------------------
+      ThreadCpuTimer load_timer;
+      std::vector<PointMass> merged = std::move(local_points);
+      while (const Message* m = w.get_message()) {
+        const std::size_t k = m->count_of(sizeof(PointMass));
+        const std::size_t base = merged.size();
+        merged.resize(base + k);
+        if (k != 0) {
+          std::memcpy(merged.data() + base, m->payload.data(),
+                      k * sizeof(PointMass));
+        }
+      }
+      std::vector<Vec3> acc;
+      if (cfg.force == ForceMethod::Fmm) {
+        // FMM over the locally essential set; our bodies are the first
+        // mine.size() entries of `merged`, which is all integrate() reads.
+        FmmConfig fc;
+        fc.eps = cfg.eps;
+        acc = fmm_accels(merged, fc);
+      } else {
+        BarnesHutTree tree(merged, cfg.leaf_capacity);
+        acc.resize(mine.size());
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          acc[i] = tree.accel_at(mine[i].pos, cfg.theta, cfg.eps);
+        }
+      }
+      integrate(mine, acc, cfg.dt);
+      last_load_s = load_timer.elapsed_s();
+    }
+
+    // Publish final state (disjoint global indices).
+    for (const auto& b : mine) {
+      (*out)[static_cast<std::size_t>(b.gid)] = Body{b.pos, b.vel, b.mass};
+    }
+  };
+}
+
+std::vector<Body> bsp_nbody(const std::vector<Body>& initial, int nprocs,
+                            NbodyConfig cfg) {
+  const std::vector<int> assign = orb_assign(initial, nprocs);
+  std::vector<Body> out(initial.size());
+  Config rc;
+  rc.nprocs = nprocs;
+  Runtime rt(rc);
+  rt.run(make_nbody_program(initial, assign, cfg, &out));
+  return out;
+}
+
+}  // namespace gbsp

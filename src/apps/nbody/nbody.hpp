@@ -1,0 +1,68 @@
+// The N-body application (paper Section 3.2): Barnes–Hut with ORB
+// partitioning and essential-tree exchange.
+//
+// Parallel structure per time step (the paper reports six supersteps per
+// iteration; ours folds the same exchanges into two — one superstep carrying
+// load statistics plus domain boxes, one carrying essential trees — with
+// force computation and integration in the trailing slice, and two more
+// supersteps on the rare iterations that rebalance):
+//
+//   1. allgather per-processor load (measured force-phase seconds) and body
+//      counts; every processor deterministically decides whether to
+//      rebalance ("instead of repartitioning the bodies after each
+//      iteration, we only do so if the load imbalance reaches a certain
+//      threshold", after Liu & Bhatt);
+//   2. [rebalance only] bodies stream to processor 0, which recomputes the
+//      ORB assignment and streams them back (two supersteps);
+//   3. allgather local bounding boxes (the ORB domains);
+//   4. build the local Barnes–Hut tree, extract one essential set per
+//      remote domain, exchange;
+//   5. rebuild the tree over local bodies + received essentials — "a local
+//      BH tree that contains all the data needed" — evaluate accelerations,
+//      and integrate (symplectic Euler).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/nbody/bhtree.hpp"
+#include "apps/nbody/body.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+/// Force engine for the local (essential-augmented) body set.
+enum class ForceMethod {
+  BarnesHut,  ///< theta-opening tree traversal (the paper's Section 3.2)
+  Fmm,        ///< Fast Multipole Method (the paper's Section 5 future work)
+};
+
+struct NbodyConfig {
+  double theta = 0.7;   ///< Barnes-Hut opening angle
+  double eps = 0.05;    ///< Plummer softening
+  double dt = 0.0125;   ///< time step
+  int iterations = 1;   ///< time steps to run
+  int leaf_capacity = 8;
+  /// Rebalance when max/mean measured force time exceeds this.
+  double imbalance_threshold = 1.4;
+  ForceMethod force = ForceMethod::BarnesHut;
+};
+
+/// Sequential Barnes–Hut baseline: advances `bodies` by cfg.iterations steps.
+void sequential_nbody_steps(std::vector<Body>& bodies,
+                            const NbodyConfig& cfg);
+
+/// SPMD program. `initial` and `assign` (body -> processor, e.g. from
+/// orb_assign) are shared read-only; each processor writes the final state
+/// of the bodies it owns into (*out)[global_index] (disjoint writes).
+/// `out` must be pre-sized to initial.size().
+std::function<void(Worker&)> make_nbody_program(
+    const std::vector<Body>& initial, const std::vector<int>& assign,
+    NbodyConfig cfg, std::vector<Body>* out);
+
+/// Convenience wrapper: ORB-partition, run on `nprocs`, return final bodies.
+std::vector<Body> bsp_nbody(const std::vector<Body>& initial, int nprocs,
+                            NbodyConfig cfg);
+
+}  // namespace gbsp

@@ -1,0 +1,72 @@
+#include "apps/nbody/orb.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+void orb_rec(const std::vector<Body>& bodies, std::vector<int>& idx,
+             int begin, int end, int proc_base, int nprocs,
+             std::vector<int>& assign) {
+  if (nprocs == 1) {
+    for (int i = begin; i < end; ++i) {
+      assign[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])] =
+          proc_base;
+    }
+    return;
+  }
+  // Widest axis of the current set.
+  Box3 box;
+  for (int i = begin; i < end; ++i) {
+    box.expand(bodies[static_cast<std::size_t>(
+                          idx[static_cast<std::size_t>(i)])].pos);
+  }
+  const double wx = box.hi.x - box.lo.x;
+  const double wy = box.hi.y - box.lo.y;
+  const double wz = box.hi.z - box.lo.z;
+  int axis = 0;
+  if (wy >= wx && wy >= wz) axis = 1;
+  if (wz >= wx && wz >= wy) axis = 2;
+
+  auto coord = [&](int body) {
+    const Vec3& p = bodies[static_cast<std::size_t>(body)].pos;
+    return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+  };
+
+  const int pleft = nprocs / 2;
+  const int count = end - begin;
+  const int nleft = static_cast<int>(
+      (static_cast<std::int64_t>(count) * pleft) / nprocs);
+  std::nth_element(idx.begin() + begin, idx.begin() + begin + nleft,
+                   idx.begin() + end, [&](int a, int b) {
+                     const double ca = coord(a), cb = coord(b);
+                     return ca != cb ? ca < cb : a < b;
+                   });
+  orb_rec(bodies, idx, begin, begin + nleft, proc_base, pleft, assign);
+  orb_rec(bodies, idx, begin + nleft, end, proc_base + pleft,
+          nprocs - pleft, assign);
+}
+
+}  // namespace
+
+std::vector<int> orb_assign(const std::vector<Body>& bodies, int nprocs) {
+  if (nprocs < 1) throw std::invalid_argument("orb_assign: nprocs >= 1");
+  std::vector<int> assign(bodies.size(), 0);
+  if (nprocs == 1 || bodies.empty()) return assign;
+  std::vector<int> idx(bodies.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  orb_rec(bodies, idx, 0, static_cast<int>(bodies.size()), 0, nprocs, assign);
+  return assign;
+}
+
+std::vector<int> assignment_counts(const std::vector<int>& assign,
+                                   int nprocs) {
+  std::vector<int> counts(static_cast<std::size_t>(nprocs), 0);
+  for (int a : assign) ++counts[static_cast<std::size_t>(a)];
+  return counts;
+}
+
+}  // namespace gbsp

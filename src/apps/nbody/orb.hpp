@@ -1,0 +1,25 @@
+// Orthogonal recursive bisection (ORB) over bodies — the paper's
+// partitioning scheme for the N-body application ("we use the ORB
+// partitioning scheme to partition the bodies among the processors",
+// Section 3.2, after Warren & Salmon and Liu & Bhatt).
+//
+// Splits recursively along the widest axis of the current point set; when a
+// subtree is responsible for p processors, the left side receives
+// floor(p/2)/p of the bodies (so any processor count works, not just powers
+// of two).
+#pragma once
+
+#include <vector>
+
+#include "apps/nbody/body.hpp"
+
+namespace gbsp {
+
+/// Returns body index -> processor, balanced within +-1 body per processor
+/// per bisection level.
+std::vector<int> orb_assign(const std::vector<Body>& bodies, int nprocs);
+
+/// Convenience: per-processor body counts implied by an assignment.
+std::vector<int> assignment_counts(const std::vector<int>& assign, int nprocs);
+
+}  // namespace gbsp

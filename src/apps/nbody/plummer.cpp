@@ -1,0 +1,74 @@
+#include "apps/nbody/plummer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gbsp {
+
+namespace {
+
+// Uniform direction on the unit sphere.
+Vec3 random_direction(Xoshiro256& rng) {
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.uniform(0.0, 2.0 * M_PI);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+}  // namespace
+
+std::vector<Body> plummer_model(int n, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("plummer_model: n must be >= 1");
+  Xoshiro256 rng(seed);
+  std::vector<Body> bodies(static_cast<std::size_t>(n));
+  const double mass = 1.0 / n;
+  // Virial scaling to standard units (Hénon): E = -1/4.
+  const double rsc = 3.0 * M_PI / 16.0;
+  const double vsc = std::sqrt(1.0 / rsc);
+
+  for (auto& b : bodies) {
+    b.mass = mass;
+    // Radius from the cumulative mass profile, cut at 99.9% mass to avoid
+    // far outliers (as the SPLASH generator does).
+    const double u = rng.uniform(0.0, 0.999);
+    const double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    b.pos = random_direction(rng) * (r * rsc);
+    // Velocity magnitude by von Neumann rejection on q^2 (1-q^2)^{7/2}.
+    double q, y;
+    do {
+      q = rng.uniform();
+      y = rng.uniform(0.0, 0.1);
+    } while (y > q * q * std::pow(1.0 - q * q, 3.5));
+    const double vesc = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    b.vel = random_direction(rng) * (q * vesc * vsc);
+  }
+
+  // Shift to the center-of-mass frame.
+  Vec3 cpos, cvel;
+  for (const auto& b : bodies) {
+    cpos += b.pos * b.mass;
+    cvel += b.vel * b.mass;
+  }
+  for (auto& b : bodies) {
+    b.pos -= cpos;
+    b.vel -= cvel;
+  }
+  return bodies;
+}
+
+double total_energy(const std::vector<Body>& bodies, double eps) {
+  double kinetic = 0.0, potential = 0.0;
+  const double eps2 = eps * eps;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    kinetic += 0.5 * bodies[i].mass * bodies[i].vel.norm2();
+    for (std::size_t j = i + 1; j < bodies.size(); ++j) {
+      const double r2 = (bodies[i].pos - bodies[j].pos).norm2();
+      potential -= bodies[i].mass * bodies[j].mass / std::sqrt(r2 + eps2);
+    }
+  }
+  return kinetic + potential;
+}
+
+}  // namespace gbsp

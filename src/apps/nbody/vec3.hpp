@@ -1,0 +1,39 @@
+// Minimal 3-vector for the N-body application.
+#pragma once
+
+#include <cmath>
+
+namespace gbsp {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+
+  [[nodiscard]] double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+}  // namespace gbsp

@@ -1,0 +1,125 @@
+// Row-level numeric kernels shared by the sequential and BSP ocean codes.
+//
+// Discretization: cell-centered on an m x m interior (m = 2^k), cell size
+// h = 1/m, centers at (j - 1/2) h. The boundary ring of the (m+2)^2 arrays
+// holds ghost cells; the Dirichlet condition psi = 0 on the basin walls is
+// imposed by reflection (ghost = -adjacent interior cell, so the linear
+// interpolant vanishes at the wall). Cell-centered grids nest exactly under
+// coarsening m -> m/2, which is what makes multigrid converge at
+// grid-independent rates on the paper's (2^k + 2)-sized grids.
+//
+// Both implementations call exactly these functions on rows of width m + 2,
+// so their arithmetic is bit-identical — the test suite exploits this by
+// requiring exact agreement between the parallel and sequential fields.
+#pragma once
+
+#include <cmath>
+
+namespace gbsp::ocean_kernels {
+
+/// Compiler barrier keeping amplification scratch work alive (see
+/// OceanConfig::work_amplification).
+inline void keep(const double* p) {
+  asm volatile("" : : "r"(p) : "memory");
+}
+
+/// Imposes the wall condition on the two edge columns of an interior row.
+inline void reflect_columns(double* row, int m) {
+  row[0] = -row[1];
+  row[m + 1] = -row[m];
+}
+
+/// One red-black Gauss–Seidel update of row `global_row` (interior columns
+/// only, cells with (global_row + j) % 2 == color) for Lap(u) = f.
+/// Within one color, reads touch only the opposite color, so sweep order —
+/// and hence the parallel row decomposition — cannot change the result.
+inline void relax_row(double* u, const double* up, const double* dn,
+                      const double* f, int m, double h2, int global_row,
+                      int color) {
+  for (int j = 1 + ((global_row + 1 + color) % 2); j <= m; j += 2) {
+    u[j] = 0.25 * (up[j] + dn[j] + u[j - 1] + u[j + 1] - h2 * f[j]);
+  }
+}
+
+/// Residual row: r = f - Lap(u).
+inline void residual_row(double* r, const double* u, const double* up,
+                         const double* dn, const double* f, int m,
+                         double inv_h2) {
+  for (int j = 1; j <= m; ++j) {
+    r[j] = f[j] -
+           (up[j] + dn[j] + u[j - 1] + u[j + 1] - 4.0 * u[j]) * inv_h2;
+  }
+  r[0] = 0.0;
+  r[m + 1] = 0.0;
+}
+
+/// Cell-centered restriction: coarse cell (I, J) is the average of its four
+/// fine children; coarse row I comes from fine rows 2I-1 and 2I.
+inline void cc_restrict_row(double* coarse, const double* fine0,
+                            const double* fine1, int mc) {
+  for (int J = 1; J <= mc; ++J) {
+    const int j = 2 * J;
+    coarse[J] = 0.25 * (fine0[j - 1] + fine0[j] + fine1[j - 1] + fine1[j]);
+  }
+  coarse[0] = 0.0;
+  coarse[mc + 1] = 0.0;
+}
+
+/// Cell-centered bilinear prolongation of one fine row (interior size mf):
+/// fine[j] += interpolation of the coarse correction. `cnear` is the coarse
+/// row containing the fine row's parent, `cfar` the next coarse row toward
+/// the fine row's off-center side; `far_scale` is +1 normally and -1 when
+/// the far row is the wall reflection of `cnear` itself.
+inline void cc_prolong_row(double* fine, const double* cnear,
+                           const double* cfar, double far_scale, int mf) {
+  const int mc = mf / 2;
+  auto cval = [mc](const double* c, int J) {
+    if (J < 1) return -c[1];        // column reflection at the left wall
+    if (J > mc) return -c[mc];      // and at the right wall
+    return c[J];
+  };
+  for (int j = 1; j <= mf; ++j) {
+    int Jn, Jf;
+    if (j % 2 == 1) {
+      Jn = (j + 1) / 2;
+      Jf = Jn - 1;
+    } else {
+      Jn = j / 2;
+      Jf = Jn + 1;
+    }
+    fine[j] += (9.0 * cval(cnear, Jn) + 3.0 * cval(cnear, Jf) +
+                far_scale * (3.0 * cval(cfar, Jn) + cval(cfar, Jf))) /
+               16.0;
+  }
+}
+
+/// Vorticity tendency for one interior row:
+///   zeta_new = zeta + dt * (-J(psi, zeta) - beta*psi_x + nu*Lap(zeta) + F)
+/// with centered differences; row index i (y = (i-1/2)*h), columns j.
+inline void tendency_row(double* zeta_new, const double* psi_up,
+                         const double* psi, const double* psi_dn,
+                         const double* zeta_up, const double* zeta,
+                         const double* zeta_dn, int m, double h, int row,
+                         double dt, double nu, double beta, double wind) {
+  const double inv2h = 1.0 / (2.0 * h);
+  const double inv_h2 = 1.0 / (h * h);
+  const double y = (row - 0.5) * h;
+  const double forcing = -wind * std::sin(M_PI * y);
+  for (int j = 1; j <= m; ++j) {
+    const double psi_x = (psi[j + 1] - psi[j - 1]) * inv2h;
+    const double psi_y = (psi_dn[j] - psi_up[j]) * inv2h;
+    const double zeta_x = (zeta[j + 1] - zeta[j - 1]) * inv2h;
+    const double zeta_y = (zeta_dn[j] - zeta_up[j]) * inv2h;
+    const double jac = psi_x * zeta_y - psi_y * zeta_x;
+    const double lap =
+        (zeta_up[j] + zeta_dn[j] + zeta[j - 1] + zeta[j + 1] -
+         4.0 * zeta[j]) *
+        inv_h2;
+    zeta_new[j] =
+        zeta[j] + dt * (-jac - beta * psi_x + nu * lap + forcing);
+  }
+  zeta_new[0] = 0.0;
+  zeta_new[m + 1] = 0.0;
+}
+
+}  // namespace gbsp::ocean_kernels

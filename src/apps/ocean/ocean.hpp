@@ -1,0 +1,80 @@
+// Ocean eddy simulation (paper Section 3.1) — configuration and shared
+// definitions.
+//
+// The paper adapted the SPLASH Ocean code: a wind-driven ocean basin solved
+// with "a multigrid technique on an underlying grid". We implement the same
+// computational structure: a streamfunction–vorticity formulation
+//
+//     d zeta/dt = -J(psi, zeta) - beta * psi_x + nu * Lap(zeta) + F_wind(y)
+//     Lap(psi)  = zeta,     psi = 0 on the basin boundary,
+//
+// advanced explicitly in time, with the Poisson solve done by multigrid
+// V-cycles (red-black Gauss–Seidel relaxation, full-weighting restriction,
+// bilinear prolongation) iterated to a residual tolerance. Grids are
+// (2^k + 2)^2 including the boundary ring — the paper's sizes 66, 130, 258,
+// 514. The BSP decomposition is by contiguous interior-row blocks at every
+// multigrid level, with one ghost row exchanged per relaxation color — the
+// nearest-neighbour, many-small-superstep pattern that makes Ocean the
+// paper's latency-sensitivity stress test.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace gbsp {
+
+/// How the BSP ocean moves ghost rows between neighbors: Green-style
+/// message passing, or Oxford-style DRMA puts into the neighbor's ghost
+/// slots (paper Section 1.3 contrasts exactly these two designs, noting the
+/// Oxford library "is well suited for many static computations that arise
+/// in scientific computing" — of which this is one).
+enum class OceanExchange { Message, Drma };
+
+struct OceanConfig {
+  int n = 66;          ///< grid size including boundary; interior n-2 = 2^k
+  int timesteps = 2;
+  double dt = 5e-4;
+  double nu = 1e-3;    ///< viscosity
+  double beta = 50.0;  ///< Coriolis gradient
+  double wind = 1.0;   ///< wind-stress curl amplitude
+  int nu_pre = 2;      ///< pre-smoothing sweeps per level
+  int nu_post = 2;     ///< post-smoothing sweeps per level
+  int coarsest = 4;    ///< stop coarsening at this interior size
+  int coarse_sweeps = 10;
+  double solve_tol = 1e-3;  ///< relative residual target per solve
+  int max_vcycles = 20;
+
+  /// Measurement-resolution amplifier: every relaxation/residual/tendency
+  /// row update is recomputed into a scratch buffer this many times (the
+  /// real update happens once, so results are unchanged). A 1996-era
+  /// processor spent ~1 ms of local computation per ocean superstep; a
+  /// modern core spends ~1 us, below the per-superstep measurement floor.
+  /// Amplification restores a measurable work-to-overhead ratio; the
+  /// constant factor cancels exactly through the per-size emulator
+  /// calibration (DESIGN.md section 2).
+  int work_amplification = 1;
+
+  /// Ghost-row transport (restriction/prolongation rows always travel as
+  /// messages; both transports produce bit-identical fields).
+  OceanExchange exchange = OceanExchange::Message;
+
+  [[nodiscard]] int interior() const { return n - 2; }
+
+  void validate() const {
+    const int m = interior();
+    if (m < 4 || (m & (m - 1)) != 0) {
+      throw std::invalid_argument(
+          "ocean: n must be 2^k + 2 with interior >= 4");
+    }
+    if (timesteps < 1 || coarsest < 2 || max_vcycles < 1 ||
+        work_amplification < 1) {
+      throw std::invalid_argument("ocean: bad iteration parameters");
+    }
+  }
+};
+
+/// Multigrid level sizes for a configuration: interior() , interior()/2, ...
+/// down to (and including) the coarsest level.
+std::vector<int> ocean_levels(const OceanConfig& cfg);
+
+}  // namespace gbsp

@@ -1,0 +1,461 @@
+#include "apps/ocean/ocean_bsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "apps/ocean/kernels.hpp"
+#include "core/collectives.hpp"
+#include "core/drma.hpp"
+
+namespace gbsp {
+
+namespace {
+
+double max_op(double a, double b) { return a > b ? a : b; }
+
+/// One multigrid level as seen by one processor: a contiguous block of
+/// interior rows [first, last] (empty when first > last) with one ghost row
+/// on each side; width m + 2 including the ghost columns.
+class PLevel {
+ public:
+  void init(int m, int nprocs, int pid) {
+    m_ = m;
+    nprocs_ = nprocs;
+    const double h = 1.0 / m;
+    h2_ = h * h;
+    owner_.assign(static_cast<std::size_t>(m) + 2, -1);
+    int my_first = 1, my_last = 0;
+    for (int q = 0; q < nprocs; ++q) {
+      const int s = 1 + (q * m) / nprocs;
+      const int e = 1 + ((q + 1) * m) / nprocs;  // exclusive
+      for (int r = s; r < e; ++r) owner_[static_cast<std::size_t>(r)] = q;
+      if (q == pid) {
+        my_first = s;
+        my_last = e - 1;
+      }
+    }
+    first_ = my_first;
+    last_ = my_last;
+    const int rows = std::max(0, last_ - first_ + 1);
+    const std::size_t sz =
+        static_cast<std::size_t>(rows + 2) * static_cast<std::size_t>(m + 2);
+    u.assign(sz, 0.0);
+    f.assign(sz, 0.0);
+    r.assign(sz, 0.0);
+  }
+
+  [[nodiscard]] int m() const { return m_; }
+  [[nodiscard]] double h2() const { return h2_; }
+  [[nodiscard]] int first() const { return first_; }
+  [[nodiscard]] int last() const { return last_; }
+  [[nodiscard]] bool has_rows() const { return first_ <= last_; }
+  [[nodiscard]] int width() const { return m_ + 2; }
+  [[nodiscard]] int owner_of(int row) const {
+    return owner_[static_cast<std::size_t>(row)];
+  }
+  [[nodiscard]] bool mine(int row) const {
+    return row >= first_ && row <= last_;
+  }
+  /// First interior row owned by processor q (the block-partition formula;
+  /// DRMA senders use it to compute ghost-slot offsets in the peer's
+  /// storage).
+  [[nodiscard]] int first_row_of(int q) const {
+    return 1 + (q * m_) / nprocs_;
+  }
+
+  int seg_u = -1, seg_f = -1, seg_r = -1;  // DRMA segment slots
+
+  /// Pointer to global row `grow` in [first-1, last+1].
+  [[nodiscard]] double* row(std::vector<double>& a, int grow) const {
+    return a.data() +
+           static_cast<std::size_t>(grow - (first_ - 1)) * width();
+  }
+  [[nodiscard]] const double* row(const std::vector<double>& a,
+                                  int grow) const {
+    return a.data() +
+           static_cast<std::size_t>(grow - (first_ - 1)) * width();
+  }
+
+  std::vector<double> u, f, r;
+
+ private:
+  int m_ = 0;
+  int nprocs_ = 1;
+  double h2_ = 0.0;
+  int first_ = 1, last_ = 0;
+  std::vector<int> owner_;
+};
+
+/// Rows travel as [int64 global_row][width doubles].
+void send_row(Worker& w, int dest, int grow, const double* data, int width,
+              std::vector<std::uint8_t>& buf) {
+  buf.resize(sizeof(std::int64_t) +
+             static_cast<std::size_t>(width) * sizeof(double));
+  const std::int64_t r64 = grow;
+  std::memcpy(buf.data(), &r64, sizeof(r64));
+  std::memcpy(buf.data() + sizeof(r64), data,
+              static_cast<std::size_t>(width) * sizeof(double));
+  w.send_bytes(dest, buf.data(), buf.size());
+}
+
+std::int64_t parse_row(const Message& m, const double** data) {
+  std::int64_t r64 = 0;
+  std::memcpy(&r64, m.payload.data(), sizeof(r64));
+  *data = reinterpret_cast<const double*>(m.payload.data() + sizeof(r64));
+  return r64;
+}
+
+/// The per-worker simulation state and operations.
+class OceanWorker {
+ public:
+  OceanWorker(Worker& w, const OceanConfig& cfg) : w_(w), cfg_(cfg) {
+    const auto ms = ocean_levels(cfg_);
+    levels_.resize(ms.size());
+    for (std::size_t l = 0; l < ms.size(); ++l) {
+      levels_[l].init(ms[l], w_.nprocs(), w_.pid());
+    }
+    if (cfg_.exchange == OceanExchange::Drma) {
+      drma_ = std::make_unique<Drma>(w_);
+      for (auto& L : levels_) {  // collective, same order everywhere
+        L.seg_u = drma_->register_segment(L.u.data(),
+                                          L.u.size() * sizeof(double));
+        L.seg_f = drma_->register_segment(L.f.data(),
+                                          L.f.size() * sizeof(double));
+        L.seg_r = drma_->register_segment(L.r.data(),
+                                          L.r.size() * sizeof(double));
+      }
+    }
+    PLevel& top = levels_[0];
+    const int rows = std::max(0, top.last() - top.first() + 1);
+    zeta_tmp_.assign(static_cast<std::size_t>(rows + 2) * top.width(), 0.0);
+    scratch_.assign(static_cast<std::size_t>(top.width()), 0.0);
+  }
+
+  /// Work-amplification repeats of one row update (see
+  /// OceanConfig::work_amplification); the real update follows at the call
+  /// site, so results are unchanged.
+  template <typename Fn>
+  void amplify(Fn&& update_into) {
+    for (int rep = 1; rep < cfg_.work_amplification; ++rep) {
+      update_into(scratch_.data());
+      ocean_kernels::keep(scratch_.data());
+    }
+  }
+
+  /// Neighbor ghost-row exchange for one array of one level (one superstep).
+  void exchange(PLevel& L, std::vector<double>& a) {
+    if (drma_) {
+      exchange_drma(L, a);
+      return;
+    }
+    if (L.has_rows()) {
+      if (L.first() > 1) {
+        send_row(w_, L.owner_of(L.first() - 1), L.first(),
+                 L.row(a, L.first()), L.width(), buf_);
+      }
+      if (L.last() < L.m()) {
+        send_row(w_, L.owner_of(L.last() + 1), L.last(), L.row(a, L.last()),
+                 L.width(), buf_);
+      }
+    }
+    w_.sync();
+    while (const Message* m = w_.get_message()) {
+      const double* data = nullptr;
+      const std::int64_t grow = parse_row(*m, &data);
+      std::memcpy(L.row(a, static_cast<int>(grow)), data,
+                  static_cast<std::size_t>(L.width()) * sizeof(double));
+    }
+  }
+
+  /// Oxford-style variant: write edge rows directly into the neighbor's
+  /// ghost slots with DRMA puts (same superstep count, same values).
+  void exchange_drma(PLevel& L, std::vector<double>& a) {
+    const int seg = (&a == &L.u)   ? L.seg_u
+                    : (&a == &L.f) ? L.seg_f
+                                   : L.seg_r;
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(L.width()) * sizeof(double);
+    auto ghost_offset = [&](int dest, int grow) {
+      // Row `grow` sits at index grow - (first(dest) - 1) in dest's slab.
+      return static_cast<std::size_t>(grow - (L.first_row_of(dest) - 1)) *
+             row_bytes;
+    };
+    if (L.has_rows()) {
+      if (L.first() > 1) {
+        const int dest = L.owner_of(L.first() - 1);
+        drma_->put(dest, L.row(a, L.first()), seg,
+                   ghost_offset(dest, L.first()), row_bytes);
+      }
+      if (L.last() < L.m()) {
+        const int dest = L.owner_of(L.last() + 1);
+        drma_->put(dest, L.row(a, L.last()), seg,
+                   ghost_offset(dest, L.last()), row_bytes);
+      }
+    }
+    drma_->sync_puts_only();
+  }
+
+  /// Exchange plus the wall conditions: row reflection at the basin top and
+  /// bottom, column reflection of every owned row — mirroring the
+  /// sequential reflect_all() (rows first, then columns).
+  void exchange_with_walls(PLevel& L, std::vector<double>& a) {
+    exchange(L, a);
+    if (!L.has_rows()) return;
+    if (L.first() == 1) {
+      const double* src = L.row(a, 1);
+      double* dst = L.row(a, 0);
+      for (int j = 0; j < L.width(); ++j) dst[j] = -src[j];
+    }
+    if (L.last() == L.m()) {
+      const double* src = L.row(a, L.m());
+      double* dst = L.row(a, L.m() + 1);
+      for (int j = 0; j < L.width(); ++j) dst[j] = -src[j];
+    }
+    for (int i = L.first(); i <= L.last(); ++i) {
+      ocean_kernels::reflect_columns(L.row(a, i), L.m());
+    }
+  }
+
+  void smooth(PLevel& L, int sweeps) {
+    for (int s = 0; s < sweeps; ++s) {
+      for (int color = 0; color < 2; ++color) {
+        exchange_with_walls(L, L.u);
+        for (int i = L.first(); i <= L.last(); ++i) {
+          amplify([&](double* scratch) {
+            std::memcpy(scratch, L.row(L.u, i),
+                        static_cast<std::size_t>(L.width()) * sizeof(double));
+            ocean_kernels::relax_row(scratch, L.row(L.u, i - 1),
+                                     L.row(L.u, i + 1), L.row(L.f, i), L.m(),
+                                     L.h2(), i, color);
+          });
+          ocean_kernels::relax_row(L.row(L.u, i), L.row(L.u, i - 1),
+                                   L.row(L.u, i + 1), L.row(L.f, i), L.m(),
+                                   L.h2(), i, color);
+        }
+      }
+    }
+  }
+
+  void compute_residual(PLevel& L) {
+    exchange_with_walls(L, L.u);
+    const double inv_h2 = 1.0 / L.h2();
+    for (int i = L.first(); i <= L.last(); ++i) {
+      amplify([&](double* scratch) {
+        ocean_kernels::residual_row(scratch, L.row(L.u, i),
+                                    L.row(L.u, i - 1), L.row(L.u, i + 1),
+                                    L.row(L.f, i), L.m(), inv_h2);
+      });
+      ocean_kernels::residual_row(L.row(L.r, i), L.row(L.u, i),
+                                  L.row(L.u, i - 1), L.row(L.u, i + 1),
+                                  L.row(L.f, i), L.m(), inv_h2);
+    }
+  }
+
+  void restrict_to(PLevel& fine, PLevel& coarse) {
+    compute_residual(fine);
+    exchange(fine, fine.r);
+    // Coarse row I = average of fine rows 2I-1, 2I; computed by the owner
+    // of fine row 2I (the 2I-1 row is local or in the ghost slot), then
+    // shipped to the coarse owner.
+    std::vector<double> crow(static_cast<std::size_t>(coarse.width()));
+    for (int I = 1; I <= coarse.m(); ++I) {
+      const int i = 2 * I;
+      if (!fine.mine(i)) continue;
+      ocean_kernels::cc_restrict_row(crow.data(), fine.row(fine.r, i - 1),
+                                     fine.row(fine.r, i), coarse.m());
+      if (coarse.owner_of(I) == w_.pid()) {
+        std::memcpy(coarse.row(coarse.f, I), crow.data(),
+                    crow.size() * sizeof(double));
+      } else {
+        send_row(w_, coarse.owner_of(I), I, crow.data(), coarse.width(),
+                 buf_);
+      }
+    }
+    w_.sync();
+    while (const Message* m = w_.get_message()) {
+      const double* data = nullptr;
+      const std::int64_t I = parse_row(*m, &data);
+      std::memcpy(coarse.row(coarse.f, static_cast<int>(I)), data,
+                  static_cast<std::size_t>(coarse.width()) * sizeof(double));
+    }
+    std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+  }
+
+  void prolong_from(PLevel& coarse, PLevel& fine) {
+    // Coarse row I participates in interpolating fine rows 2I-2 .. 2I+1.
+    for (int I = coarse.first(); I <= coarse.last(); ++I) {
+      std::set<int> targets;
+      for (int i = 2 * I - 2; i <= 2 * I + 1; ++i) {
+        if (i >= 1 && i <= fine.m()) targets.insert(fine.owner_of(i));
+      }
+      for (int t : targets) {
+        if (t != w_.pid()) {
+          send_row(w_, t, I, coarse.row(coarse.u, I), coarse.width(), buf_);
+        }
+      }
+    }
+    w_.sync();
+    // Coarse rows available here: own + received.
+    std::vector<std::vector<double>> stash;
+    std::vector<std::pair<int, const double*>> have;
+    for (int I = coarse.first(); I <= coarse.last(); ++I) {
+      have.emplace_back(I, coarse.row(coarse.u, I));
+    }
+    while (const Message* m = w_.get_message()) {
+      const double* data = nullptr;
+      const std::int64_t I = parse_row(*m, &data);
+      stash.emplace_back(data, data + coarse.width());
+      have.emplace_back(static_cast<int>(I), stash.back().data());
+    }
+    auto find_row = [&](int I) -> const double* {
+      for (const auto& [row, ptr] : have) {
+        if (row == I) return ptr;
+      }
+      throw std::logic_error("ocean: missing coarse row for prolongation");
+    };
+    for (int i = fine.first(); i <= fine.last(); ++i) {
+      const int near = (i % 2 == 1) ? (i + 1) / 2 : i / 2;
+      const int far = (i % 2 == 1) ? near - 1 : near + 1;
+      const double* cnear = find_row(near);
+      const double* cfar = cnear;
+      double scale = -1.0;  // wall reflection of the near row
+      if (far >= 1 && far <= coarse.m()) {
+        cfar = find_row(far);
+        scale = 1.0;
+      }
+      ocean_kernels::cc_prolong_row(fine.row(fine.u, i), cnear, cfar, scale,
+                                    fine.m());
+    }
+  }
+
+  void vcycle(std::size_t l) {
+    PLevel& L = levels_[l];
+    if (l + 1 == levels_.size()) {
+      smooth(L, cfg_.coarse_sweeps);
+      return;
+    }
+    smooth(L, cfg_.nu_pre);
+    restrict_to(L, levels_[l + 1]);
+    vcycle(l + 1);
+    prolong_from(levels_[l + 1], L);
+    smooth(L, cfg_.nu_post);
+  }
+
+  [[nodiscard]] double local_interior_max(const PLevel& L,
+                                          const std::vector<double>& a) const {
+    double mx = 0.0;
+    for (int i = L.first(); i <= L.last(); ++i) {
+      const double* r = L.row(a, i);
+      for (int j = 1; j <= L.m(); ++j) mx = std::max(mx, std::abs(r[j]));
+    }
+    return mx;
+  }
+
+  /// Multigrid solve on level 0 (u = psi, f = zeta). Returns V-cycles used.
+  int solve(double* rel_residual_out) {
+    PLevel& top = levels_[0];
+    double fnorm = allreduce(w_, local_interior_max(top, top.f), max_op);
+    if (fnorm == 0.0) fnorm = 1.0;
+    int cycles = 0;
+    double rel = 0.0;
+    while (cycles < cfg_.max_vcycles) {
+      vcycle(0);
+      ++cycles;
+      compute_residual(top);
+      rel = allreduce(w_, local_interior_max(top, top.r), max_op) / fnorm;
+      if (rel < cfg_.solve_tol) break;
+    }
+    *rel_residual_out = rel;
+    return cycles;
+  }
+
+  void tendency() {
+    PLevel& top = levels_[0];
+    exchange_with_walls(top, top.u);  // psi ghosts + walls
+    exchange_with_walls(top, top.f);  // zeta ghosts + walls
+    const double h = 1.0 / top.m();
+    for (int i = top.first(); i <= top.last(); ++i) {
+      amplify([&](double* scratch) {
+        ocean_kernels::tendency_row(
+            scratch, top.row(top.u, i - 1), top.row(top.u, i),
+            top.row(top.u, i + 1), top.row(top.f, i - 1), top.row(top.f, i),
+            top.row(top.f, i + 1), top.m(), h, i, cfg_.dt, cfg_.nu,
+            cfg_.beta, cfg_.wind);
+      });
+      ocean_kernels::tendency_row(
+          top.row(zeta_tmp_, i), top.row(top.u, i - 1), top.row(top.u, i),
+          top.row(top.u, i + 1), top.row(top.f, i - 1), top.row(top.f, i),
+          top.row(top.f, i + 1), top.m(), h, i, cfg_.dt, cfg_.nu, cfg_.beta,
+          cfg_.wind);
+    }
+    // Copy rather than swap: seg_f's DRMA registration pins top.f's buffer.
+    std::copy(zeta_tmp_.begin(), zeta_tmp_.end(), top.f.begin());
+  }
+
+  void publish(std::vector<double>* psi_out,
+               std::vector<double>* zeta_out) const {
+    const PLevel& top = levels_[0];
+    for (int i = top.first(); i <= top.last(); ++i) {
+      std::memcpy(psi_out->data() +
+                      static_cast<std::size_t>(i) * top.width(),
+                  top.row(top.u, i),
+                  static_cast<std::size_t>(top.width()) * sizeof(double));
+      std::memcpy(zeta_out->data() +
+                      static_cast<std::size_t>(i) * top.width(),
+                  top.row(top.f, i),
+                  static_cast<std::size_t>(top.width()) * sizeof(double));
+    }
+  }
+
+ private:
+  Worker& w_;
+  const OceanConfig& cfg_;
+  std::vector<PLevel> levels_;
+  std::vector<double> zeta_tmp_;
+  std::vector<double> scratch_;  // work-amplification target row
+  std::vector<std::uint8_t> buf_;
+  std::unique_ptr<Drma> drma_;  // only in OceanExchange::Drma mode
+};
+
+}  // namespace
+
+std::function<void(Worker&)> make_ocean_program(OceanConfig cfg,
+                                                std::vector<double>* psi_out,
+                                                std::vector<double>* zeta_out,
+                                                OceanRunInfo* info) {
+  cfg.validate();
+  const std::size_t want =
+      static_cast<std::size_t>(cfg.n) * static_cast<std::size_t>(cfg.n);
+  if (psi_out->size() != want || zeta_out->size() != want) {
+    throw std::invalid_argument("ocean: output fields must be n*n");
+  }
+  return [cfg, psi_out, zeta_out, info](Worker& w) {
+    OceanWorker sim(w, cfg);
+    int total_cycles = 0;
+    double rel = 0.0;
+    for (int t = 0; t < cfg.timesteps; ++t) {
+      sim.tendency();
+      total_cycles += sim.solve(&rel);
+    }
+    sim.publish(psi_out, zeta_out);
+    if (w.pid() == 0) {  // identical on every processor; one writer suffices
+      info->total_vcycles = total_cycles;
+      info->last_residual = rel;
+    }
+  };
+}
+
+OceanRunInfo bsp_ocean(const OceanConfig& cfg, int nprocs,
+                       std::vector<double>* psi_out,
+                       std::vector<double>* zeta_out) {
+  OceanRunInfo info;
+  Config rc;
+  rc.nprocs = nprocs;
+  Runtime rt(rc);
+  rt.run(make_ocean_program(cfg, psi_out, zeta_out, &info));
+  return info;
+}
+
+}  // namespace gbsp

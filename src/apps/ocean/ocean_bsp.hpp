@@ -1,0 +1,35 @@
+// BSP ocean simulation: row-block decomposition of every multigrid level,
+// ghost-row exchange per relaxation color, distributed restriction /
+// prolongation, and allreduce-based convergence tests. Built on the same
+// row kernels as OceanSequential, so parallel results match the sequential
+// baseline exactly (bit-for-bit), which the tests verify.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "apps/ocean/ocean.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+struct OceanRunInfo {
+  int total_vcycles = 0;
+  double last_residual = 0.0;  ///< relative residual of the final solve
+};
+
+/// SPMD ocean program. `psi_out` / `zeta_out` must be zero-initialized
+/// n*n row-major vectors; every processor writes its own interior rows
+/// (disjoint). `info` is written by processor 0 (all processors compute
+/// identical values).
+std::function<void(Worker&)> make_ocean_program(OceanConfig cfg,
+                                                std::vector<double>* psi_out,
+                                                std::vector<double>* zeta_out,
+                                                OceanRunInfo* info);
+
+/// Convenience wrapper for tests/examples.
+OceanRunInfo bsp_ocean(const OceanConfig& cfg, int nprocs,
+                       std::vector<double>* psi_out,
+                       std::vector<double>* zeta_out);
+
+}  // namespace gbsp

@@ -1,0 +1,217 @@
+#include "apps/ocean/ocean_seq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "apps/ocean/kernels.hpp"
+
+namespace gbsp {
+
+std::vector<int> ocean_levels(const OceanConfig& cfg) {
+  std::vector<int> out;
+  for (int m = cfg.interior(); m >= cfg.coarsest; m /= 2) {
+    out.push_back(m);
+    if (m == cfg.coarsest) break;
+  }
+  return out;
+}
+
+namespace {
+
+/// Wall reflections for a full (m+2)^2 field: ghost rows/columns = -adjacent
+/// interior cells, so the bilinear interpolant vanishes on the basin walls.
+void reflect_all(std::vector<double>& a, int m) {
+  const int w = m + 2;
+  double* r0 = a.data();
+  double* r1 = a.data() + w;
+  double* rm = a.data() + static_cast<std::size_t>(m) * w;
+  double* rm1 = a.data() + static_cast<std::size_t>(m + 1) * w;
+  for (int j = 0; j < w; ++j) {
+    r0[j] = -r1[j];
+    rm1[j] = -rm[j];
+  }
+  for (int i = 1; i <= m; ++i) {
+    gbsp::ocean_kernels::reflect_columns(a.data() +
+                                             static_cast<std::size_t>(i) * w,
+                                         m);
+  }
+}
+
+}  // namespace
+
+OceanSequential::OceanSequential(OceanConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  for (int m : ocean_levels(cfg_)) {
+    Level lv;
+    lv.m = m;
+    const double h = 1.0 / m;
+    lv.h2 = h * h;
+    const std::size_t sz = static_cast<std::size_t>(m + 2) * (m + 2);
+    lv.u.assign(sz, 0.0);
+    lv.f.assign(sz, 0.0);
+    lv.r.assign(sz, 0.0);
+    levels_.push_back(std::move(lv));
+  }
+  const std::size_t sz =
+      static_cast<std::size_t>(cfg_.n) * static_cast<std::size_t>(cfg_.n);
+  psi_.assign(sz, 0.0);
+  zeta_.assign(sz, 0.0);
+  zeta_tmp_.assign(sz, 0.0);
+  scratch_.assign(static_cast<std::size_t>(cfg_.interior()) + 2, 0.0);
+}
+
+void OceanSequential::smooth(Level& lv, int sweeps) {
+  for (int s = 0; s < sweeps; ++s) {
+    for (int color = 0; color < 2; ++color) {
+      reflect_all(lv.u, lv.m);
+      for (int i = 1; i <= lv.m; ++i) {
+        for (int rep = 1; rep < cfg_.work_amplification; ++rep) {
+          std::memcpy(scratch_.data(), row(lv.u, lv.m, i),
+                      static_cast<std::size_t>(lv.m + 2) * sizeof(double));
+          ocean_kernels::relax_row(scratch_.data(), row(lv.u, lv.m, i - 1),
+                                   row(lv.u, lv.m, i + 1),
+                                   row(lv.f, lv.m, i), lv.m, lv.h2, i, color);
+          ocean_kernels::keep(scratch_.data());
+        }
+        ocean_kernels::relax_row(row(lv.u, lv.m, i), row(lv.u, lv.m, i - 1),
+                                 row(lv.u, lv.m, i + 1), row(lv.f, lv.m, i),
+                                 lv.m, lv.h2, i, color);
+      }
+    }
+  }
+}
+
+void OceanSequential::compute_residual(Level& lv) {
+  reflect_all(lv.u, lv.m);
+  const double inv_h2 = 1.0 / lv.h2;
+  for (int i = 1; i <= lv.m; ++i) {
+    for (int rep = 1; rep < cfg_.work_amplification; ++rep) {
+      ocean_kernels::residual_row(scratch_.data(), row(lv.u, lv.m, i),
+                                  row(lv.u, lv.m, i - 1),
+                                  row(lv.u, lv.m, i + 1), row(lv.f, lv.m, i),
+                                  lv.m, inv_h2);
+      ocean_kernels::keep(scratch_.data());
+    }
+    ocean_kernels::residual_row(row(lv.r, lv.m, i), row(lv.u, lv.m, i),
+                                row(lv.u, lv.m, i - 1), row(lv.u, lv.m, i + 1),
+                                row(lv.f, lv.m, i), lv.m, inv_h2);
+  }
+}
+
+void OceanSequential::restrict_to(const Level& fine, Level& coarse) {
+  for (int I = 1; I <= coarse.m; ++I) {
+    const int i = 2 * I;
+    ocean_kernels::cc_restrict_row(row(coarse.f, coarse.m, I),
+                                   row(fine.r, fine.m, i - 1),
+                                   row(fine.r, fine.m, i), coarse.m);
+  }
+  std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+}
+
+void OceanSequential::prolong_from(const Level& coarse, Level& fine) {
+  for (int i = 1; i <= fine.m; ++i) {
+    const int near = (i % 2 == 1) ? (i + 1) / 2 : i / 2;
+    const int far = (i % 2 == 1) ? near - 1 : near + 1;
+    const double* cnear = row(coarse.u, coarse.m, near);
+    const double* cfar = cnear;
+    double scale = -1.0;  // wall reflection of the near row
+    if (far >= 1 && far <= coarse.m) {
+      cfar = row(coarse.u, coarse.m, far);
+      scale = 1.0;
+    }
+    ocean_kernels::cc_prolong_row(row(fine.u, fine.m, i), cnear, cfar, scale,
+                                  fine.m);
+  }
+}
+
+void OceanSequential::vcycle(std::size_t l) {
+  Level& lv = levels_[l];
+  if (l + 1 == levels_.size()) {
+    smooth(lv, cfg_.coarse_sweeps);
+    return;
+  }
+  smooth(lv, cfg_.nu_pre);
+  compute_residual(lv);
+  restrict_to(lv, levels_[l + 1]);
+  vcycle(l + 1);
+  prolong_from(levels_[l + 1], lv);
+  smooth(lv, cfg_.nu_post);
+}
+
+double OceanSequential::residual_inf(Level& lv) {
+  compute_residual(lv);
+  double mx = 0.0;
+  for (int i = 1; i <= lv.m; ++i) {
+    const double* r = row(lv.r, lv.m, i);
+    for (int j = 1; j <= lv.m; ++j) mx = std::max(mx, std::abs(r[j]));
+  }
+  return mx;
+}
+
+int OceanSequential::solve(Level& top) {
+  double fnorm = 0.0;
+  for (int i = 1; i <= top.m; ++i) {
+    const double* f = row(top.f, top.m, i);
+    for (int j = 1; j <= top.m; ++j) fnorm = std::max(fnorm, std::abs(f[j]));
+  }
+  if (fnorm == 0.0) fnorm = 1.0;
+  int cycles = 0;
+  while (cycles < cfg_.max_vcycles) {
+    vcycle(0);
+    ++cycles;
+    const double res = residual_inf(top);
+    last_residual_ = res / fnorm;
+    if (last_residual_ < cfg_.solve_tol) break;
+  }
+  return cycles;
+}
+
+int OceanSequential::solve_poisson(const std::vector<double>& f,
+                                   std::vector<double>& u) {
+  Level& top = levels_[0];
+  top.f = f;
+  std::fill(top.u.begin(), top.u.end(), 0.0);
+  const int cycles = solve(top);
+  u = top.u;
+  return cycles;
+}
+
+int OceanSequential::step() {
+  const int m = cfg_.interior();
+  const double h = 1.0 / m;
+  reflect_all(psi_, m);
+  reflect_all(zeta_, m);
+  for (int i = 1; i <= m; ++i) {
+    for (int rep = 1; rep < cfg_.work_amplification; ++rep) {
+      ocean_kernels::tendency_row(
+          scratch_.data(), row(psi_, m, i - 1), row(psi_, m, i),
+          row(psi_, m, i + 1), row(zeta_, m, i - 1), row(zeta_, m, i),
+          row(zeta_, m, i + 1), m, h, i, cfg_.dt, cfg_.nu, cfg_.beta,
+          cfg_.wind);
+      ocean_kernels::keep(scratch_.data());
+    }
+    ocean_kernels::tendency_row(
+        row(zeta_tmp_, m, i), row(psi_, m, i - 1), row(psi_, m, i),
+        row(psi_, m, i + 1), row(zeta_, m, i - 1), row(zeta_, m, i),
+        row(zeta_, m, i + 1), m, h, i, cfg_.dt, cfg_.nu, cfg_.beta,
+        cfg_.wind);
+  }
+  zeta_.swap(zeta_tmp_);
+
+  // Solve Lap(psi) = zeta, warm-started from the previous psi.
+  Level& top = levels_[0];
+  top.f = zeta_;
+  top.u = psi_;
+  const int cycles = solve(top);
+  psi_ = top.u;
+  return cycles;
+}
+
+int OceanSequential::run() {
+  int total = 0;
+  for (int t = 0; t < cfg_.timesteps; ++t) total += step();
+  return total;
+}
+
+}  // namespace gbsp

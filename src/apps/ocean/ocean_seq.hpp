@@ -1,0 +1,65 @@
+// Sequential ocean simulation — the single-processor baseline, built on the
+// same row kernels as the BSP version (kernels.hpp), so the two agree
+// exactly.
+#pragma once
+
+#include <vector>
+
+#include "apps/ocean/ocean.hpp"
+
+namespace gbsp {
+
+class OceanSequential {
+ public:
+  explicit OceanSequential(OceanConfig cfg);
+
+  /// Advances one time step (tendency + multigrid solve). Returns the number
+  /// of V-cycles the solve used.
+  int step();
+
+  /// Runs cfg.timesteps steps; returns total V-cycles.
+  int run();
+
+  /// Row-major n x n fields including the boundary ring.
+  [[nodiscard]] const std::vector<double>& psi() const { return psi_; }
+  [[nodiscard]] const std::vector<double>& zeta() const { return zeta_; }
+
+  /// Relative infinity-norm residual of Lap(psi) = zeta after the last solve.
+  [[nodiscard]] double last_residual() const { return last_residual_; }
+
+  /// Solves Lap(u) = f on the configured grid from a zero initial guess
+  /// (exposed for multigrid convergence tests). Returns V-cycles used.
+  int solve_poisson(const std::vector<double>& f, std::vector<double>& u);
+
+ private:
+  struct Level {
+    int m = 0;       // interior size
+    double h2 = 0;   // grid spacing squared
+    std::vector<double> u, f, r;  // (m+2) x (m+2)
+  };
+
+  [[nodiscard]] double* row(std::vector<double>& a, int level_m,
+                            int i) const {
+    return a.data() + static_cast<std::size_t>(i) * (level_m + 2);
+  }
+  [[nodiscard]] const double* row(const std::vector<double>& a, int level_m,
+                                  int i) const {
+    return a.data() + static_cast<std::size_t>(i) * (level_m + 2);
+  }
+
+  void smooth(Level& lv, int sweeps);
+  void compute_residual(Level& lv);
+  void restrict_to(const Level& fine, Level& coarse);
+  void prolong_from(const Level& coarse, Level& fine);
+  void vcycle(std::size_t l);
+  [[nodiscard]] double residual_inf(Level& lv);
+  int solve(Level& top);
+
+  OceanConfig cfg_;
+  std::vector<Level> levels_;
+  std::vector<double> psi_, zeta_, zeta_tmp_;
+  std::vector<double> scratch_;  // work-amplification target row
+  double last_residual_ = 0.0;
+};
+
+}  // namespace gbsp

@@ -1,0 +1,200 @@
+#include "apps/radiosity/radiosity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+}  // namespace
+
+HierarchicalRadiosity::HierarchicalRadiosity(const Scene& scene,
+                                             RadiosityConfig cfg)
+    : scene_(scene), cfg_(cfg) {
+  roots_.reserve(scene_.patches.size());
+  for (int p = 0; p < static_cast<int>(scene_.patches.size()); ++p) {
+    roots_.push_back(make_root(p));
+  }
+}
+
+int HierarchicalRadiosity::make_root(int patch) {
+  Element e;
+  e.patch = patch;
+  const Patch& p = scene_.patches[static_cast<std::size_t>(patch)];
+  e.area = p.area();
+  e.center = p.center();
+  e.radiosity = p.emission;  // initial guess: pure emission
+  elements_.push_back(e);
+  return static_cast<int>(elements_.size()) - 1;
+}
+
+int HierarchicalRadiosity::subdivide(int element) {
+  Element& e = elements_[static_cast<std::size_t>(element)];
+  if (!e.leaf()) return e.child[0];
+  const Patch& p = scene_.patches[static_cast<std::size_t>(e.patch)];
+  const double sm = 0.5 * (e.s0 + e.s1);
+  const double tm = 0.5 * (e.t0 + e.t1);
+  const double quads[4][4] = {{e.s0, e.t0, sm, tm},
+                              {sm, e.t0, e.s1, tm},
+                              {e.s0, tm, sm, e.t1},
+                              {sm, tm, e.s1, e.t1}};
+  // Copy fields used after the reallocation that push_back may cause.
+  const int patch = e.patch;
+  const int depth = e.depth;
+  const double area = e.area;
+  const double radiosity = e.radiosity;
+  int first = -1;
+  for (int k = 0; k < 4; ++k) {
+    Element c;
+    c.patch = patch;
+    c.parent = element;
+    c.depth = depth + 1;
+    c.s0 = quads[k][0];
+    c.t0 = quads[k][1];
+    c.s1 = quads[k][2];
+    c.t1 = quads[k][3];
+    c.area = area / 4.0;
+    c.center = p.point_at(0.5 * (c.s0 + c.s1), 0.5 * (c.t0 + c.t1));
+    c.radiosity = radiosity;
+    elements_.push_back(c);
+    const int id = static_cast<int>(elements_.size()) - 1;
+    elements_[static_cast<std::size_t>(element)].child[k] = id;
+    if (k == 0) first = id;
+  }
+  return first;
+}
+
+double HierarchicalRadiosity::estimate_ff(int r, int s) const {
+  const Element& er = elements_[static_cast<std::size_t>(r)];
+  const Element& es = elements_[static_cast<std::size_t>(s)];
+  if (er.patch == es.patch) return 0.0;  // flat patches don't see themselves
+  const Vec3 d = es.center - er.center;
+  const double d2 = d.norm2();
+  if (d2 <= 0) return 0.0;
+  const double dist = std::sqrt(d2);
+  const Vec3 dir = d * (1.0 / dist);
+  const double cos_r =
+      dot(scene_.patches[static_cast<std::size_t>(er.patch)].normal(), dir);
+  const double cos_s = -dot(
+      scene_.patches[static_cast<std::size_t>(es.patch)].normal(), dir);
+  if (cos_r <= 0 || cos_s <= 0) return 0.0;
+  if (scene_.occluded(er.center, es.center, er.patch, es.patch)) return 0.0;
+  return cos_r * cos_s * es.area / (M_PI * d2 + es.area);
+}
+
+void HierarchicalRadiosity::refine_pair(int receiver, int source,
+                                        bool keep_links) {
+  const double F = estimate_ff(receiver, source);
+  if (F <= 0.0) return;
+  const Element& er = elements_[static_cast<std::size_t>(receiver)];
+  const Element& es = elements_[static_cast<std::size_t>(source)];
+  const bool r_divisible = er.depth < cfg_.max_depth;
+  const bool s_divisible = es.depth < cfg_.max_depth;
+  if (F < cfg_.ff_eps || (!r_divisible && !s_divisible)) {
+    if (keep_links) {
+      links_.push_back({receiver, source, F});
+    }
+    return;
+  }
+  // Subdivide the side subtending the larger solid angle (by area).
+  if (s_divisible && (es.area >= er.area || !r_divisible)) {
+    const int first = subdivide(source);
+    for (int k = 0; k < 4; ++k) refine_pair(receiver, first + k, keep_links);
+  } else {
+    const int first = subdivide(receiver);
+    for (int k = 0; k < 4; ++k) refine_pair(first + k, source, keep_links);
+  }
+}
+
+void HierarchicalRadiosity::build(
+    const std::function<bool(int)>& owns_receiver) {
+  const int n = static_cast<int>(scene_.patches.size());
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      if (p == q) continue;
+      refine_pair(roots_[static_cast<std::size_t>(p)],
+                  roots_[static_cast<std::size_t>(q)], owns_receiver(p));
+    }
+  }
+}
+
+void HierarchicalRadiosity::push_pull(int element, double inherited) {
+  Element& e = elements_[static_cast<std::size_t>(element)];
+  const double down = inherited + e.gathered;
+  if (e.leaf()) {
+    const Patch& p = scene_.patches[static_cast<std::size_t>(e.patch)];
+    e.radiosity = p.emission + p.reflectance * down;
+    return;
+  }
+  double acc = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    push_pull(e.child[k], down);
+    acc += elements_[static_cast<std::size_t>(e.child[k])].radiosity;
+  }
+  elements_[static_cast<std::size_t>(element)].radiosity = acc / 4.0;
+}
+
+double HierarchicalRadiosity::sweep(
+    const std::function<bool(int)>& owns_patch) {
+  // Gather at link level.
+  for (Element& e : elements_) e.gathered = 0.0;
+  for (const Link& l : links_) {
+    elements_[static_cast<std::size_t>(l.receiver)].gathered +=
+        l.F * elements_[static_cast<std::size_t>(l.source)].radiosity;
+  }
+  // Push-pull per owned patch; track the largest change.
+  double delta = 0.0;
+  for (int p = 0; p < static_cast<int>(roots_.size()); ++p) {
+    if (!owns_patch(p)) continue;
+    const int root = roots_[static_cast<std::size_t>(p)];
+    const double before =
+        elements_[static_cast<std::size_t>(root)].radiosity;
+    push_pull(root, 0.0);
+    delta = std::max(delta,
+                     std::abs(elements_[static_cast<std::size_t>(root)]
+                                  .radiosity -
+                              before));
+  }
+  return delta;
+}
+
+int HierarchicalRadiosity::solve() {
+  double emax = 0.0;
+  for (const auto& p : scene_.patches) emax = std::max(emax, p.emission);
+  if (emax <= 0) emax = 1.0;
+  auto all = [](int) { return true; };
+  int it = 0;
+  while (it < cfg_.max_iterations) {
+    const double delta = sweep(all);
+    ++it;
+    if (delta < cfg_.tol * emax) break;
+  }
+  return it;
+}
+
+double HierarchicalRadiosity::patch_radiosity(int patch) const {
+  return elements_[static_cast<std::size_t>(
+                       roots_[static_cast<std::size_t>(patch)])]
+      .radiosity;
+}
+
+double HierarchicalRadiosity::radiosity_at(int patch, double s,
+                                           double t) const {
+  int id = roots_[static_cast<std::size_t>(patch)];
+  for (;;) {
+    const Element& e = elements_[static_cast<std::size_t>(id)];
+    if (e.leaf()) return e.radiosity;
+    const double sm = 0.5 * (e.s0 + e.s1);
+    const double tm = 0.5 * (e.t0 + e.t1);
+    const int k = (s >= sm ? 1 : 0) | (t >= tm ? 2 : 0);
+    id = e.child[k];
+  }
+}
+
+}  // namespace gbsp

@@ -1,0 +1,111 @@
+// Hierarchical radiosity (Hanrahan, Salzman & Aupperle 1991) — the second
+// of the paper's Section 5 planned applications.
+//
+// Each input patch carries a quadtree of elements. Link refinement descends
+// pairs of elements until the estimated form factor falls below ff_eps (or
+// the subdivision limits are hit), producing O(n) links instead of the
+// O(n^2) full matrix. The solution iterates: GATHER irradiance across the
+// links at whatever level each link lives, then PUSH the gathered
+// irradiance down each quadtree and PULL area-averaged radiosity back up,
+// until the radiosity fixed point B = E + rho * (F B) converges.
+//
+// Form factors use the point-to-disk estimate
+//     F = cos(theta_r) cos(theta_s) A_s / (pi r^2 + A_s)
+// with binary center-to-center visibility.
+//
+// The BSP parallelization (radiosity_bsp.cpp) replicates the deterministic
+// refinement, distributes patches round-robin, and exchanges element
+// radiosities once per superstep — one gather/push-pull sweep per
+// superstep, like the paper's other iterative applications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/radiosity/scene.hpp"
+
+namespace gbsp {
+
+struct RadiosityConfig {
+  double ff_eps = 0.05;  ///< refine links with estimated F above this
+  int max_depth = 5;     ///< element quadtree depth limit per patch
+  int max_iterations = 24;
+  double tol = 1e-6;     ///< stop when the largest radiosity change drops
+                         ///< below tol * max emission
+};
+
+/// One element of a patch quadtree.
+struct Element {
+  std::int32_t patch = 0;
+  std::int32_t parent = -1;
+  std::int32_t child[4] = {-1, -1, -1, -1};
+  std::int32_t depth = 0;
+  double s0 = 0, t0 = 0, s1 = 1, t1 = 1;  // patch parameter rectangle
+  double area = 0;
+  Vec3 center;
+  double radiosity = 0;  // B
+  double gathered = 0;   // irradiance gathered this sweep
+
+  [[nodiscard]] bool leaf() const { return child[0] < 0; }
+};
+
+/// A link: `receiver` gathers F * B(source).
+struct Link {
+  std::int32_t receiver = 0;
+  std::int32_t source = 0;
+  double F = 0;
+};
+
+class HierarchicalRadiosity {
+ public:
+  HierarchicalRadiosity(const Scene& scene, RadiosityConfig cfg);
+
+  /// Runs link refinement. `owns_receiver(patch)` selects the patches whose
+  /// incoming links this instance keeps (everything, in the sequential
+  /// case). Element subdivision is performed for ALL pairs so that every
+  /// instance builds the identical element forest.
+  void build(const std::function<bool(int)>& owns_receiver);
+
+  /// One gather + push-pull sweep over the owned patches; returns the
+  /// largest |delta B| over their elements.
+  double sweep(const std::function<bool(int)>& owns_patch);
+
+  /// Sequential solve over all patches: sweeps to convergence, returns the
+  /// number of sweeps.
+  int solve();
+
+  // --- solution access ------------------------------------------------------
+  [[nodiscard]] double patch_radiosity(int patch) const;  ///< area average
+  [[nodiscard]] double radiosity_at(int patch, double s, double t) const;
+
+  // --- structure access (tests, BSP exchange) -------------------------------
+  [[nodiscard]] const std::vector<Element>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] int root_of(int patch) const {
+    return roots_[static_cast<std::size_t>(patch)];
+  }
+  [[nodiscard]] const Scene& scene() const { return scene_; }
+  void set_radiosity(int element, double b) {
+    elements_[static_cast<std::size_t>(element)].radiosity = b;
+  }
+
+  /// Estimated form factor from element r to element s (exposed for tests).
+  [[nodiscard]] double estimate_ff(int r, int s) const;
+
+ private:
+  int make_root(int patch);
+  int subdivide(int element);  // returns first child id
+  void refine_pair(int receiver, int source, bool keep_links);
+  void push_pull(int element, double inherited);
+
+  const Scene& scene_;
+  RadiosityConfig cfg_;
+  std::vector<Element> elements_;
+  std::vector<int> roots_;
+  std::vector<Link> links_;
+};
+
+}  // namespace gbsp

@@ -1,0 +1,128 @@
+#include "apps/radiosity/radiosity_bsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+struct WireHeader {
+  double delta = 0.0;       // sender's largest radiosity change this sweep
+  std::int64_t count = 0;   // entries following
+};
+
+struct WireEntry {
+  std::int64_t element = 0;
+  double radiosity = 0.0;
+};
+
+/// Element ids of the subtree under `root`, in deterministic order.
+void collect_subtree(const std::vector<Element>& elements, int root,
+                     std::vector<int>* out) {
+  out->push_back(root);
+  const Element& e = elements[static_cast<std::size_t>(root)];
+  if (e.leaf()) return;
+  for (int k = 0; k < 4; ++k) collect_subtree(elements, e.child[k], out);
+}
+
+}  // namespace
+
+std::function<void(Worker&)> make_radiosity_program(
+    const Scene& scene, RadiosityConfig cfg, std::vector<double>* patch_B_out,
+    RadiosityRunInfo* info) {
+  if (patch_B_out->size() != scene.patches.size()) {
+    throw std::invalid_argument("radiosity: output not sized to patches");
+  }
+  return [&scene, cfg, patch_B_out, info](Worker& w) {
+    const int p = w.nprocs();
+    auto owns = [&w, p](int patch) { return patch % p == w.pid(); };
+
+    HierarchicalRadiosity solver(scene, cfg);
+    solver.build(owns);
+
+    // Owned element ids, gathered once (the forest is fixed after build).
+    std::vector<int> owned_elements;
+    for (int patch = 0; patch < static_cast<int>(scene.patches.size());
+         ++patch) {
+      if (owns(patch)) {
+        collect_subtree(solver.elements(), solver.root_of(patch),
+                        &owned_elements);
+      }
+    }
+
+    double emax = 0.0;
+    for (const auto& pa : scene.patches) emax = std::max(emax, pa.emission);
+    if (emax <= 0) emax = 1.0;
+
+    int sweeps = 0;
+    double global_delta = 0.0;
+    std::vector<std::uint8_t> buf;
+    while (sweeps < cfg.max_iterations) {
+      const double my_delta = solver.sweep(owns);
+      ++sweeps;
+
+      // One superstep: owned radiosities + convergence vote to every peer.
+      WireHeader h;
+      h.delta = my_delta;
+      h.count = static_cast<std::int64_t>(owned_elements.size());
+      buf.resize(sizeof(h) + owned_elements.size() * sizeof(WireEntry));
+      std::memcpy(buf.data(), &h, sizeof(h));
+      for (std::size_t i = 0; i < owned_elements.size(); ++i) {
+        WireEntry e;
+        e.element = owned_elements[i];
+        e.radiosity =
+            solver.elements()[static_cast<std::size_t>(owned_elements[i])]
+                .radiosity;
+        std::memcpy(buf.data() + sizeof(h) + i * sizeof(e), &e, sizeof(e));
+      }
+      for (int d = 0; d < p; ++d) {
+        if (d != w.pid()) w.send_bytes(d, buf.data(), buf.size());
+      }
+      w.sync();
+
+      global_delta = my_delta;
+      while (const Message* m = w.get_message()) {
+        WireHeader rh;
+        std::memcpy(&rh, m->payload.data(), sizeof(rh));
+        global_delta = std::max(global_delta, rh.delta);
+        for (std::int64_t i = 0; i < rh.count; ++i) {
+          WireEntry e;
+          std::memcpy(&e,
+                      m->payload.data() + sizeof(rh) +
+                          static_cast<std::size_t>(i) * sizeof(e),
+                      sizeof(e));
+          solver.set_radiosity(static_cast<int>(e.element), e.radiosity);
+        }
+      }
+      if (global_delta < cfg.tol * emax) break;
+    }
+
+    for (int patch = 0; patch < static_cast<int>(scene.patches.size());
+         ++patch) {
+      if (owns(patch)) {
+        (*patch_B_out)[static_cast<std::size_t>(patch)] =
+            solver.patch_radiosity(patch);
+      }
+    }
+    if (w.pid() == 0) {
+      info->sweeps = sweeps;
+      info->final_delta = global_delta;
+    }
+  };
+}
+
+std::vector<double> bsp_radiosity(const Scene& scene, RadiosityConfig cfg,
+                                  int nprocs, RadiosityRunInfo* info) {
+  std::vector<double> out(scene.patches.size(), 0.0);
+  RadiosityRunInfo local;
+  Config rc;
+  rc.nprocs = nprocs;
+  Runtime rt(rc);
+  rt.run(make_radiosity_program(scene, cfg, &out, info ? info : &local));
+  return out;
+}
+
+}  // namespace gbsp

@@ -1,0 +1,37 @@
+// BSP-parallel hierarchical radiosity: patches are distributed round-robin;
+// link refinement is replicated (it is deterministic, so every processor
+// builds the identical element forest and keeps only the links whose
+// receivers it owns); each gather/push-pull sweep is one superstep that
+// ends with an exchange of the owned elements' radiosities plus a
+// piggybacked convergence vote.
+//
+// The parallel solution is bit-identical to HierarchicalRadiosity::solve():
+// sweeps are Jacobi-style (all gathers read the previous sweep's
+// radiosities), so distribution cannot change the arithmetic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "apps/radiosity/radiosity.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+struct RadiosityRunInfo {
+  int sweeps = 0;
+  double final_delta = 0.0;
+};
+
+/// SPMD program. `patch_B_out` must be pre-sized to scene.patches.size();
+/// each owner writes its patches' area-averaged radiosities. `info` is
+/// written by processor 0.
+std::function<void(Worker&)> make_radiosity_program(
+    const Scene& scene, RadiosityConfig cfg, std::vector<double>* patch_B_out,
+    RadiosityRunInfo* info);
+
+/// Convenience wrapper: run on `nprocs`, return per-patch radiosities.
+std::vector<double> bsp_radiosity(const Scene& scene, RadiosityConfig cfg,
+                                  int nprocs, RadiosityRunInfo* info = nullptr);
+
+}  // namespace gbsp

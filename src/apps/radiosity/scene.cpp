@@ -1,0 +1,124 @@
+#include "apps/radiosity/scene.hpp"
+
+#include <cmath>
+
+namespace gbsp {
+
+namespace {
+
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+}  // namespace
+
+Vec3 Patch::normal() const {
+  Vec3 n = cross(edge_u, edge_v);
+  const double len = n.norm();
+  return len > 0 ? n * (1.0 / len) : Vec3{0, 0, 1};
+}
+
+double Patch::area() const { return cross(edge_u, edge_v).norm(); }
+
+double intersect_rectangle(const Patch& p, const Vec3& from, const Vec3& dir,
+                           double tmin, double tmax) {
+  const Vec3 n = cross(p.edge_u, p.edge_v);  // unnormalized
+  const double denom = dot(n, dir);
+  if (std::abs(denom) < 1e-14) return -1.0;
+  const double t = dot(n, p.origin - from) / denom;
+  if (t <= tmin || t >= tmax) return -1.0;
+  const Vec3 hit = from + dir * t - p.origin;
+  // Decompose into (s, u) patch coordinates; edges are orthogonal.
+  const double uu = dot(p.edge_u, p.edge_u);
+  const double vv = dot(p.edge_v, p.edge_v);
+  if (uu <= 0 || vv <= 0) return -1.0;
+  const double s = dot(hit, p.edge_u) / uu;
+  const double u = dot(hit, p.edge_v) / vv;
+  if (s < 0.0 || s > 1.0 || u < 0.0 || u > 1.0) return -1.0;
+  return t;
+}
+
+bool Scene::occluded(const Vec3& a, const Vec3& b, int skip_a,
+                     int skip_b) const {
+  const Vec3 dir = b - a;
+  for (int i = 0; i < static_cast<int>(patches.size()); ++i) {
+    if (i == skip_a || i == skip_b) continue;
+    if (intersect_rectangle(patches[static_cast<std::size_t>(i)], a, dir,
+                            1e-9, 1.0 - 1e-9) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double Scene::total_emitted_power() const {
+  double power = 0.0;
+  for (const auto& p : patches) power += p.emission * p.area();
+  return power;
+}
+
+Scene make_furnace_box(double size, double emission, double reflectance) {
+  const double s = size;
+  Scene scene;
+  // Inward-facing walls of [0,s]^3 (normal = edge_u x edge_v points inside).
+  // floor z=0, normal +z
+  scene.patches.push_back({{0, 0, 0}, {s, 0, 0}, {0, s, 0}, emission,
+                           reflectance});
+  // ceiling z=s, normal -z
+  scene.patches.push_back({{0, 0, s}, {0, s, 0}, {s, 0, 0}, emission,
+                           reflectance});
+  // wall y=0, normal +y
+  scene.patches.push_back({{0, 0, 0}, {0, 0, s}, {s, 0, 0}, emission,
+                           reflectance});
+  // wall y=s, normal -y
+  scene.patches.push_back({{0, s, 0}, {s, 0, 0}, {0, 0, s}, emission,
+                           reflectance});
+  // wall x=0, normal +x
+  scene.patches.push_back({{0, 0, 0}, {0, s, 0}, {0, 0, s}, emission,
+                           reflectance});
+  // wall x=s, normal -x
+  scene.patches.push_back({{s, 0, 0}, {0, 0, s}, {0, s, 0}, emission,
+                           reflectance});
+  return scene;
+}
+
+Scene make_cornell_scene() {
+  Scene scene = make_furnace_box(1.0, 0.0, 0.7);
+  // Emissive panel just below the ceiling, facing down.
+  scene.patches.push_back({{0.35, 0.35, 0.999},
+                           {0, 0.3, 0},
+                           {0.3, 0, 0},
+                           15.0,
+                           0.0});
+  // A free-standing horizontal slab between light and floor, shading the
+  // center of the floor; lit from above, dark below.
+  scene.patches.push_back({{0.3, 0.3, 0.5},
+                           {0.4, 0, 0},
+                           {0, 0.4, 0},
+                           0.0,
+                           0.6});  // top side (normal +z)
+  scene.patches.push_back({{0.3, 0.3, 0.5},
+                           {0, 0.4, 0},
+                           {0.4, 0, 0},
+                           0.0,
+                           0.6});  // bottom side (normal -z)
+  return scene;
+}
+
+Scene make_parallel_squares(double d, double emission_top,
+                            double reflectance) {
+  Scene scene;
+  // Bottom square in z=0 facing up, top square in z=d facing down.
+  scene.patches.push_back(
+      {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0.0, reflectance});
+  scene.patches.push_back(
+      {{0, 0, d}, {0, 1, 0}, {1, 0, 0}, emission_top, reflectance});
+  return scene;
+}
+
+}  // namespace gbsp

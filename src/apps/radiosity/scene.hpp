@@ -1,0 +1,68 @@
+// Scene geometry for the radiosity application (paper Section 5: "a
+// hierarchical algorithm for the radiosity problem in computer graphics",
+// after Hanrahan, Salzman & Aupperle).
+//
+// Scenes are collections of rectangular patches (origin + two orthogonal
+// edge vectors), each with a scalar (monochrome) emission and diffuse
+// reflectance. Visibility between points is resolved by ray/rectangle
+// intersection against every patch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/nbody/vec3.hpp"
+
+namespace gbsp {
+
+/// One rectangular diffuse patch: points origin + s*edge_u + t*edge_v for
+/// s, t in [0, 1]. The normal is edge_u x edge_v, normalized; light leaves
+/// on the normal side.
+struct Patch {
+  Vec3 origin;
+  Vec3 edge_u;
+  Vec3 edge_v;
+  double emission = 0.0;     ///< emitted radiosity [power/area]
+  double reflectance = 0.0;  ///< diffuse albedo in [0, 1)
+
+  [[nodiscard]] Vec3 normal() const;  ///< unit normal
+  [[nodiscard]] double area() const;
+  [[nodiscard]] Vec3 point_at(double s, double t) const {
+    return origin + edge_u * s + edge_v * t;
+  }
+  [[nodiscard]] Vec3 center() const { return point_at(0.5, 0.5); }
+};
+
+struct Scene {
+  std::vector<Patch> patches;
+
+  /// True when the open segment between a and b is blocked by any patch
+  /// (patches `skip_a` / `skip_b` are excluded — the endpoints' own
+  /// surfaces).
+  [[nodiscard]] bool occluded(const Vec3& a, const Vec3& b, int skip_a,
+                              int skip_b) const;
+
+  [[nodiscard]] double total_emitted_power() const;
+};
+
+/// Ray/rectangle intersection: returns the ray parameter in (tmin, tmax),
+/// or a negative value when there is no hit.
+double intersect_rectangle(const Patch& p, const Vec3& from, const Vec3& dir,
+                           double tmin, double tmax);
+
+/// The interior of an axis-aligned box with inward-facing walls (a closed
+/// environment: every wall sees only the other walls). `emission` and
+/// `reflectance` apply to all six walls — the "white furnace" whose exact
+/// solution is B = E / (1 - rho).
+Scene make_furnace_box(double size, double emission, double reflectance);
+
+/// A Cornell-box-like scene: white walls, one emissive ceiling panel, and a
+/// free-standing occluder slab between the light and part of the floor.
+Scene make_cornell_scene();
+
+/// Two unit squares facing each other at distance d (the classic analytic
+/// form-factor configuration).
+Scene make_parallel_squares(double d, double emission_top,
+                            double reflectance);
+
+}  // namespace gbsp

@@ -1,0 +1,153 @@
+#include "apps/sort/sample_sort.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/collectives.hpp"
+
+namespace gbsp {
+
+namespace {
+
+/// Merges sorted runs pairwise until one remains.
+std::vector<std::uint64_t> merge_runs(
+    std::vector<std::vector<std::uint64_t>> runs) {
+  if (runs.empty()) return {};
+  while (runs.size() > 1) {
+    std::vector<std::vector<std::uint64_t>> next;
+    for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+      std::vector<std::uint64_t> merged;
+      merged.resize(runs[i].size() + runs[i + 1].size());
+      std::merge(runs[i].begin(), runs[i].end(), runs[i + 1].begin(),
+                 runs[i + 1].end(), merged.begin());
+      next.push_back(std::move(merged));
+    }
+    if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
+    runs = std::move(next);
+  }
+  return std::move(runs.front());
+}
+
+}  // namespace
+
+std::function<void(Worker&)> make_sample_sort_program(
+    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out) {
+  if (out->size() != input.size()) {
+    throw std::invalid_argument("sample_sort: output size mismatch");
+  }
+  return [&input, out](Worker& w) {
+    const int p = w.nprocs();
+    const std::size_t n = input.size();
+
+    // Blockwise share of the shared input.
+    const std::size_t lo = n * static_cast<std::size_t>(w.pid()) /
+                           static_cast<std::size_t>(p);
+    const std::size_t hi = n * (static_cast<std::size_t>(w.pid()) + 1) /
+                           static_cast<std::size_t>(p);
+    std::vector<std::uint64_t> local(input.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     input.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::sort(local.begin(), local.end());
+
+    if (p == 1) {
+      std::copy(local.begin(), local.end(), out->begin());
+      return;
+    }
+
+    // --- superstep 1: regular samples to processor 0 -----------------------
+    std::vector<std::uint64_t> samples;
+    for (int k = 0; k < p; ++k) {
+      if (!local.empty()) {
+        samples.push_back(local[local.size() * static_cast<std::size_t>(k) /
+                                static_cast<std::size_t>(p)]);
+      }
+    }
+    if (w.pid() != 0) {
+      w.send_array(0, samples);
+    }
+    w.sync();
+
+    // --- superstep 2: splitter selection and broadcast ----------------------
+    std::vector<std::uint64_t> splitters;
+    if (w.pid() == 0) {
+      std::vector<std::uint64_t> all = samples;
+      while (const Message* m = w.get_message()) {
+        std::vector<std::uint64_t> s;
+        m->copy_array(s);
+        all.insert(all.end(), s.begin(), s.end());
+      }
+      std::sort(all.begin(), all.end());
+      for (int j = 1; j < p; ++j) {
+        if (!all.empty()) {
+          splitters.push_back(
+              all[std::min(all.size() - 1,
+                           all.size() * static_cast<std::size_t>(j) /
+                               static_cast<std::size_t>(p))]);
+        }
+      }
+      for (int d = 1; d < p; ++d) w.send_array(d, splitters);
+    }
+    w.sync();
+    if (w.pid() != 0) {
+      const Message* m = w.get_message();
+      if (m == nullptr) throw std::logic_error("sample_sort: no splitters");
+      m->copy_array(splitters);
+    }
+
+    // --- superstep 3: personalized all-to-all of buckets --------------------
+    std::size_t from = 0;
+    std::vector<std::vector<std::uint64_t>> keep(1);
+    for (int d = 0; d < p; ++d) {
+      std::size_t to = local.size();
+      if (d < static_cast<int>(splitters.size())) {
+        to = static_cast<std::size_t>(
+            std::upper_bound(local.begin(), local.end(),
+                             splitters[static_cast<std::size_t>(d)]) -
+            local.begin());
+      }
+      if (d == w.pid()) {
+        keep[0].assign(local.begin() + static_cast<std::ptrdiff_t>(from),
+                       local.begin() + static_cast<std::ptrdiff_t>(to));
+      } else if (to > from) {
+        w.send_array(d, local.data() + from, to - from);
+      }
+      from = to;
+    }
+    w.sync();
+
+    std::vector<std::vector<std::uint64_t>> runs = std::move(keep);
+    while (const Message* m = w.get_message()) {
+      std::vector<std::uint64_t> run;
+      m->copy_array(run);
+      runs.push_back(std::move(run));
+    }
+    std::size_t my_len = 0;
+    for (const auto& r : runs) my_len += r.size();
+
+    // --- superstep 4: output offsets via allgather --------------------------
+    const auto lengths = allgather(w, static_cast<std::uint64_t>(my_len));
+    std::size_t offset = 0;
+    for (int q = 0; q < w.pid(); ++q) {
+      offset += static_cast<std::size_t>(lengths[static_cast<std::size_t>(q)]);
+    }
+
+    // --- tail: merge sorted runs into the output ----------------------------
+    const std::vector<std::uint64_t> result = merge_runs(std::move(runs));
+    if (!result.empty()) {
+      std::memcpy(out->data() + offset, result.data(),
+                  result.size() * sizeof(std::uint64_t));
+    }
+  };
+}
+
+std::vector<std::uint64_t> bsp_sample_sort(
+    const std::vector<std::uint64_t>& input, int nprocs) {
+  std::vector<std::uint64_t> out(input.size(), 0);
+  Config cfg;
+  cfg.nprocs = nprocs;
+  Runtime rt(cfg);
+  rt.run(make_sample_sort_program(input, &out));
+  return out;
+}
+
+}  // namespace gbsp

@@ -1,0 +1,35 @@
+// BSP parallel sorting by regular sampling (PSRS) — the paper's Section 4
+// names sorting (with broadcast) as the canonical "fairly simple
+// subroutine" whose BSP cost curve can be fit precisely; this is that
+// subroutine, written in the library's own style.
+//
+// Four-superstep structure (for p > 1):
+//   1. sort locally; pick p regular samples each; gather samples to 0
+//   2. processor 0 selects p-1 splitters; broadcast
+//   3. partition locally by splitter; personalized all-to-all of buckets
+//   4. merge incoming sorted runs (the tail superstep)
+//
+// so S is constant, H ~ 2n/p per processor, and W ~ (n/p) log n — the
+// classic BSP sorting profile.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+/// SPMD program sorting the shared input into *out (the caller pre-sizes it
+/// to input.size()). Keys are distributed blockwise by index at the start;
+/// each processor writes its final run into the output at the correct
+/// global offset (offsets are exchanged, so writes are disjoint).
+std::function<void(Worker&)> make_sample_sort_program(
+    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out);
+
+/// Convenience wrapper: sort via the BSP program on `nprocs` processors.
+std::vector<std::uint64_t> bsp_sample_sort(
+    const std::vector<std::uint64_t>& input, int nprocs);
+
+}  // namespace gbsp

@@ -1,0 +1,190 @@
+#include "apps/sp/shortest_paths.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/heap.hpp"
+
+namespace gbsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Wire format: one message per (sender, receiver) pair per superstep.
+struct WireHeader {
+  std::uint32_t active = 0;  // sender had work left or sent updates
+  std::uint32_t count = 0;   // number of WireUpdate records following
+};
+
+struct WireUpdate {
+  std::int32_t node = 0;    // global node id (home node of the receiver)
+  std::int32_t source = 0;  // which shortest-path computation
+  double dist = 0.0;
+};
+static_assert(sizeof(WireHeader) == 8);
+static_assert(sizeof(WireUpdate) == 16);
+
+}  // namespace
+
+std::function<void(Worker&)> make_sp_program(
+    const GraphPartition& part, std::vector<int> sources, SpConfig cfg,
+    std::vector<std::vector<double>>* out) {
+  if (cfg.work_factor < 1) {
+    throw std::invalid_argument("sp: work_factor must be >= 1");
+  }
+  if (out->size() != sources.size()) {
+    throw std::invalid_argument("sp: output not sized to sources");
+  }
+  return [&part, sources, cfg, out](Worker& w) {
+    if (w.nprocs() != part.nparts) {
+      throw std::invalid_argument("sp: nprocs != partition parts");
+    }
+    const GraphPart& gp = part.parts[static_cast<std::size_t>(w.pid())];
+    const int p = w.nprocs();
+    const int nl = gp.num_local;
+    const int K = static_cast<int>(sources.size());
+
+    // dist[k * nl + v]: current label of local node v for source k.
+    std::vector<double> dist(static_cast<std::size_t>(K) * nl, kInf);
+    std::vector<IndexedMinHeap> heaps;
+    heaps.reserve(static_cast<std::size_t>(K));
+    for (int k = 0; k < K; ++k) heaps.emplace_back(nl);
+
+    for (int k = 0; k < K; ++k) {
+      auto it = gp.global_to_local.find(sources[static_cast<std::size_t>(k)]);
+      if (it != gp.global_to_local.end() && gp.is_home(it->second)) {
+        dist[static_cast<std::size_t>(k) * nl + it->second] = 0.0;
+        heaps[static_cast<std::size_t>(k)].push_or_decrease(it->second, 0.0);
+      }
+    }
+
+    // Per-superstep border-improvement batches, deduplicated per (k, border).
+    std::vector<std::vector<WireUpdate>> outgoing(static_cast<std::size_t>(p));
+    std::vector<char> dirty(static_cast<std::size_t>(K) * nl, 0);
+    std::vector<std::pair<int, int>> dirty_list;  // (k, border local id)
+
+    for (;;) {
+      // --- local phase: up to work_factor pops per source -----------------
+      for (int k = 0; k < K; ++k) {
+        IndexedMinHeap& heap = heaps[static_cast<std::size_t>(k)];
+        double* dk = dist.data() + static_cast<std::size_t>(k) * nl;
+        int budget = cfg.work_factor;
+        while (budget > 0 && !heap.empty()) {
+          const auto [u, du] = heap.pop_min();
+          --budget;
+          if (du > dk[u]) continue;  // superseded by a remote update
+          const auto nbrs = gp.neighbors(u);
+          const auto ws = gp.edge_weights(u);
+          for (std::size_t e = 0; e < nbrs.size(); ++e) {
+            const int v = nbrs[e];
+            const double cand = du + ws[e];
+            if (cand < dk[v]) {
+              dk[v] = cand;
+              if (gp.is_home(v)) {
+                heap.push_or_decrease(v, cand);
+              } else {
+                char& d = dirty[static_cast<std::size_t>(k) * nl + v];
+                if (!d) {
+                  d = 1;
+                  dirty_list.emplace_back(k, v);
+                }
+              }
+            }
+          }
+        }
+      }
+
+      // --- assemble per-destination batches --------------------------------
+      for (const auto& [k, v] : dirty_list) {
+        dirty[static_cast<std::size_t>(k) * nl + v] = 0;
+        WireUpdate u;
+        u.node = gp.local_to_global[static_cast<std::size_t>(v)];
+        u.source = k;
+        u.dist = dist[static_cast<std::size_t>(k) * nl + v];
+        outgoing[static_cast<std::size_t>(gp.owner(v))].push_back(u);
+      }
+      dirty_list.clear();
+
+      bool active = false;
+      for (const auto& h : heaps) {
+        if (!h.empty()) {
+          active = true;
+          break;
+        }
+      }
+      for (const auto& o : outgoing) {
+        if (!o.empty()) active = true;
+      }
+
+      // --- exchange (one message per peer, header + updates) --------------
+      std::vector<std::uint8_t> buf;
+      for (int d = 0; d < p; ++d) {
+        if (d == w.pid()) continue;
+        auto& ups = outgoing[static_cast<std::size_t>(d)];
+        WireHeader h;
+        h.active = active ? 1 : 0;
+        h.count = static_cast<std::uint32_t>(ups.size());
+        buf.resize(sizeof(WireHeader) + ups.size() * sizeof(WireUpdate));
+        std::memcpy(buf.data(), &h, sizeof(h));
+        if (!ups.empty()) {
+          std::memcpy(buf.data() + sizeof(h), ups.data(),
+                      ups.size() * sizeof(WireUpdate));
+        }
+        w.send_bytes(d, buf.data(), buf.size());
+        ups.clear();
+      }
+      w.sync();
+
+      // --- absorb updates, collect termination votes ----------------------
+      bool anyone_active = active;
+      while (const Message* m = w.get_message()) {
+        WireHeader h;
+        std::memcpy(&h, m->payload.data(), sizeof(h));
+        if (h.active != 0) anyone_active = true;
+        const auto* ups = reinterpret_cast<const std::uint8_t*>(
+            m->payload.data() + sizeof(h));
+        for (std::uint32_t i = 0; i < h.count; ++i) {
+          WireUpdate u;
+          std::memcpy(&u, ups + static_cast<std::size_t>(i) * sizeof(u),
+                      sizeof(u));
+          const int local = gp.global_to_local.at(u.node);
+          double& cur =
+              dist[static_cast<std::size_t>(u.source) * nl + local];
+          if (u.dist < cur) {
+            cur = u.dist;
+            heaps[static_cast<std::size_t>(u.source)].push_or_decrease(
+                local, u.dist);
+          }
+        }
+      }
+      if (!anyone_active) break;
+    }
+
+    // --- publish home labels (disjoint writes across processors) ----------
+    for (int k = 0; k < K; ++k) {
+      auto& row = (*out)[static_cast<std::size_t>(k)];
+      for (int h = 0; h < gp.num_home; ++h) {
+        row[static_cast<std::size_t>(
+            gp.local_to_global[static_cast<std::size_t>(h)])] =
+            dist[static_cast<std::size_t>(k) * nl + h];
+      }
+    }
+  };
+}
+
+std::vector<double> bsp_shortest_paths(const Graph& g,
+                                       const std::vector<Point2>& points,
+                                       int nprocs, int source, SpConfig cfg) {
+  const GraphPartition part = partition_by_stripes(g, points, nprocs);
+  std::vector<std::vector<double>> out(
+      1, std::vector<double>(static_cast<std::size_t>(g.num_nodes()), kInf));
+  Config rc;
+  rc.nprocs = nprocs;
+  Runtime rt(rc);
+  rt.run(make_sp_program(part, {source}, cfg, &out));
+  return std::move(out[0]);
+}
+
+}  // namespace gbsp

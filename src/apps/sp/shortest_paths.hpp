@@ -1,0 +1,58 @@
+// Distributed single-source and multiple-source shortest paths
+// (paper Sections 3.4 and 3.5).
+//
+// Each processor keeps a priority queue over its home nodes and runs
+// Dijkstra-style relaxations, but — the paper's key redesign — it "ends its
+// superstep whenever it has worked on its local piece of the graph for some
+// period of time called the work factor, rather than continuing until it has
+// absolutely no work left". Improvements to border-node labels are batched
+// and sent to the border node's owner at every superstep boundary; the
+// algorithm is conservative (messages per processor bounded by its border
+// count, one update per improved border node per superstep).
+//
+// Globally the computation is label-correcting: a home label may improve
+// after it was popped, in which case the node is simply re-queued.
+// Termination is detected by piggybacking an "active" flag on the (possibly
+// empty) per-destination update message each superstep: when every processor
+// was quiet in superstep t (empty queues, nothing sent), no update can be in
+// flight, and everyone halts after reading the round-t flags.
+//
+// The multiple-shortest-paths variant (Section 3.5) runs `sources.size()`
+// computations simultaneously over the shared read-only graph, with
+// per-source distance arrays and queues; the work factor applies per source.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "graph/partition.hpp"
+
+namespace gbsp {
+
+struct SpConfig {
+  /// Priority-queue pops per source per superstep before the processor
+  /// yields. The paper tuned one value across all platforms ("we chose one
+  /// work factor to optimize performance across our platforms"); this
+  /// default plays the same role — it puts the superstep counts in the
+  /// paper's reported range. The work-factor ablation bench sweeps it.
+  int work_factor = 50;
+};
+
+/// SPMD program computing shortest-path distances from every node in
+/// `sources` simultaneously. `out` must be pre-sized to
+/// sources.size() x num_global_nodes; each owner writes the final labels of
+/// its home nodes (disjoint writes, no synchronization needed).
+/// Run with nprocs == part.nparts.
+std::function<void(Worker&)> make_sp_program(
+    const GraphPartition& part, std::vector<int> sources, SpConfig cfg,
+    std::vector<std::vector<double>>* out);
+
+/// Convenience: single-source distances via the BSP program on `nprocs`
+/// processors (builds its own runtime; intended for tests/examples).
+std::vector<double> bsp_shortest_paths(const Graph& g,
+                                       const std::vector<Point2>& points,
+                                       int nprocs, int source,
+                                       SpConfig cfg = {});
+
+}  // namespace gbsp

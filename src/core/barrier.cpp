@@ -1,0 +1,108 @@
+#include "core/barrier.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace gbsp {
+
+namespace {
+
+inline void spin_pause() { std::this_thread::yield(); }
+
+inline void throw_if_aborted(const std::atomic<bool>* abort) {
+  if (abort != nullptr && abort->load(std::memory_order_acquire)) {
+    throw BspAborted{};
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- CentralSpin
+
+CentralSpinBarrier::CentralSpinBarrier(int nprocs,
+                                       const std::atomic<bool>* abort_flag)
+    : nprocs_(nprocs), abort_(abort_flag) {}
+
+void CentralSpinBarrier::arrive_and_wait(int /*pid*/) {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == nprocs_) {
+    count_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      throw_if_aborted(abort_);
+      spin_pause();
+    }
+  }
+}
+
+// ------------------------------------------------------------ CentralBlocking
+
+CentralBlockingBarrier::CentralBlockingBarrier(
+    int nprocs, const std::atomic<bool>* abort_flag)
+    : nprocs_(nprocs), abort_(abort_flag) {}
+
+void CentralBlockingBarrier::arrive_and_wait(int /*pid*/) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t gen = generation_;
+  if (++count_ == nprocs_) {
+    count_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  // Wake periodically to observe the abort flag: the peer we wait for may
+  // have died and will never arrive.
+  while (generation_ == gen) {
+    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
+      throw BspAborted{};
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+// -------------------------------------------------------------- Dissemination
+
+DisseminationBarrier::DisseminationBarrier(int nprocs,
+                                           const std::atomic<bool>* abort_flag)
+    : nprocs_(nprocs), abort_(abort_flag) {
+  rounds_ = 0;
+  for (int reach = 1; reach < nprocs_; reach *= 2) ++rounds_;
+  if (rounds_ == 0) rounds_ = 1;  // p == 1: trivial round
+  slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(rounds_) *
+                                    static_cast<std::size_t>(nprocs_));
+  expected_.assign(static_cast<std::size_t>(nprocs_) * rounds_, 0);
+}
+
+void DisseminationBarrier::arrive_and_wait(int pid) {
+  if (nprocs_ == 1) return;
+  for (int r = 0, reach = 1; r < rounds_; ++r, reach *= 2) {
+    const int partner = (pid + reach) % nprocs_;
+    slots_[static_cast<std::size_t>(r) * nprocs_ + partner].signals.fetch_add(
+        1, std::memory_order_acq_rel);
+    std::uint64_t& want = expected_[static_cast<std::size_t>(pid) * rounds_ + r];
+    ++want;
+    const auto& mine = slots_[static_cast<std::size_t>(r) * nprocs_ + pid];
+    while (mine.signals.load(std::memory_order_acquire) < want) {
+      throw_if_aborted(abort_);
+      spin_pause();
+    }
+  }
+}
+
+// -------------------------------------------------------------------- factory
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int nprocs,
+                                      const std::atomic<bool>* abort_flag) {
+  switch (kind) {
+    case BarrierKind::CentralSpin:
+      return std::make_unique<CentralSpinBarrier>(nprocs, abort_flag);
+    case BarrierKind::CentralBlocking:
+      return std::make_unique<CentralBlockingBarrier>(nprocs, abort_flag);
+    case BarrierKind::Dissemination:
+      return std::make_unique<DisseminationBarrier>(nprocs, abort_flag);
+  }
+  throw std::invalid_argument("unknown BarrierKind");
+}
+
+}  // namespace gbsp

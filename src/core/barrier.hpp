@@ -1,0 +1,92 @@
+// Barrier implementations for superstep boundaries.
+//
+// All barriers here are abort-aware: a worker that fails sets a shared abort
+// flag and the remaining workers, instead of waiting forever for a peer that
+// will never arrive, throw BspAborted out of the barrier. This is what makes
+// failure injection testable (DESIGN.md section 7).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace gbsp {
+
+/// Thrown out of a barrier when another worker aborted the computation.
+/// Internal control flow: the runtime catches it and unwinds the worker.
+struct BspAborted : std::runtime_error {
+  BspAborted() : std::runtime_error("BSP computation aborted by a peer") {}
+};
+
+/// Abstract superstep barrier for a fixed set of participants.
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+
+  /// Blocks until all participants arrive. `pid` identifies the caller
+  /// (needed by the dissemination barrier; central barriers ignore it).
+  /// Throws BspAborted if the shared abort flag is raised while waiting.
+  virtual void arrive_and_wait(int pid) = 0;
+};
+
+/// Central sense-reversing (generation-counter) spin barrier with yielding.
+class CentralSpinBarrier final : public Barrier {
+ public:
+  CentralSpinBarrier(int nprocs, const std::atomic<bool>* abort_flag);
+  void arrive_and_wait(int pid) override;
+
+ private:
+  const int nprocs_;
+  const std::atomic<bool>* const abort_;
+  alignas(64) std::atomic<int> count_{0};
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Mutex + condition-variable central barrier. Preferred on hosts with fewer
+/// cores than workers, where spinning starves the workers being waited for.
+class CentralBlockingBarrier final : public Barrier {
+ public:
+  CentralBlockingBarrier(int nprocs, const std::atomic<bool>* abort_flag);
+  void arrive_and_wait(int pid) override;
+
+ private:
+  const int nprocs_;
+  const std::atomic<bool>* const abort_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Dissemination barrier: ceil(log2 p) rounds; in round r, processor i
+/// signals processor (i + 2^r) mod p and waits for its own round-r signal.
+class DisseminationBarrier final : public Barrier {
+ public:
+  DisseminationBarrier(int nprocs, const std::atomic<bool>* abort_flag);
+  void arrive_and_wait(int pid) override;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> signals{0};
+  };
+  const int nprocs_;
+  int rounds_ = 0;
+  const std::atomic<bool>* const abort_;
+  // slots_[r * nprocs_ + pid]: signals received by `pid` in round r.
+  // (unique_ptr array: atomics are neither copyable nor movable.)
+  std::unique_ptr<Slot[]> slots_;
+  // expected_[pid * rounds_ + r]: signals `pid` has consumed in round r.
+  // Only thread `pid` touches its row.
+  std::vector<std::uint64_t> expected_;
+};
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int nprocs,
+                                      const std::atomic<bool>* abort_flag);
+
+}  // namespace gbsp

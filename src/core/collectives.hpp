@@ -1,0 +1,245 @@
+// Collective operations built strictly on top of the three Green BSP
+// primitives (send / sync / get), as the paper prescribes: "the BSP and LogP
+// models assume a very small set of basic functions and (at least in theory)
+// require any other operations to be implemented on top of these functions"
+// (Section 1.3).
+//
+// Each collective offers two algorithms exposing the paper's core trade-off
+// between h-relation size and superstep count (Section 1: objectives (2) and
+// (3) "can conflict"):
+//   * Direct — one superstep, h up to p-1: best when L dominates.
+//   * Tree   — ceil(log2 p) supersteps, h = 1 per step: best when g dominates.
+// bench_ablation_* measures the crossover under the paper's machine profiles.
+//
+// Contract: collectives occupy dedicated supersteps — every processor calls
+// the same collective with compatible arguments, and the caller's inbox must
+// be fully drained (pending() == 0) on entry.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+enum class CollectiveAlgorithm { Direct, Tree };
+
+namespace detail {
+
+inline void require_clean_inbox(Worker& w, const char* what) {
+  if (w.pending() != 0) {
+    throw std::logic_error(std::string("gbsp collective ") + what +
+                           ": inbox not drained on entry");
+  }
+}
+
+inline int rel_rank(int pid, int root, int p) { return (pid - root + p) % p; }
+
+}  // namespace detail
+
+/// Broadcast `value` from `root` to all processors; every processor returns
+/// the broadcast value.
+template <typename T>
+T broadcast(Worker& w, int root, const T& value,
+            CollectiveAlgorithm alg = CollectiveAlgorithm::Direct) {
+  detail::require_clean_inbox(w, "broadcast");
+  const int p = w.nprocs();
+  if (p == 1) return value;
+  const int rel = detail::rel_rank(w.pid(), root, p);
+  if (alg == CollectiveAlgorithm::Direct) {
+    if (rel == 0) {
+      for (int d = 0; d < p; ++d) {
+        if (d != w.pid()) w.send(d, value);
+      }
+    }
+    w.sync();
+    if (rel == 0) return value;
+    const Message* m = w.get_message();
+    if (m == nullptr) throw std::logic_error("broadcast: missing message");
+    return m->template as<T>();
+  }
+  // Binomial tree: in round r, holders rel < 2^r forward to rel + 2^r.
+  T current = value;
+  bool have = (rel == 0);
+  for (int reach = 1; reach < p; reach *= 2) {
+    if (have && rel + reach < p) {
+      const int dest = (root + rel + reach) % p;
+      w.send(dest, current);
+    }
+    w.sync();
+    if (!have && rel < 2 * reach) {
+      if (const Message* m = w.get_message()) {
+        current = m->template as<T>();
+        have = true;
+      }
+    }
+  }
+  if (!have) throw std::logic_error("broadcast: value never arrived");
+  return current;
+}
+
+/// Reduce all processors' `value` with `op` (assumed associative and
+/// commutative) onto `root`. The return value is the reduction at `root` and
+/// the caller's own `value` elsewhere.
+template <typename T, typename Op>
+T reduce(Worker& w, int root, const T& value, Op op,
+         CollectiveAlgorithm alg = CollectiveAlgorithm::Direct) {
+  detail::require_clean_inbox(w, "reduce");
+  const int p = w.nprocs();
+  if (p == 1) return value;
+  const int rel = detail::rel_rank(w.pid(), root, p);
+  if (alg == CollectiveAlgorithm::Direct) {
+    if (rel != 0) w.send(root, value);
+    w.sync();
+    if (rel != 0) return value;
+    // Fold in pid order for a deterministic result irrespective of arrival
+    // order.
+    std::vector<std::pair<int, T>> got;
+    got.reserve(static_cast<std::size_t>(p) - 1);
+    while (const Message* m = w.get_message()) {
+      got.emplace_back(static_cast<int>(m->source), m->template as<T>());
+    }
+    std::sort(got.begin(), got.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    T acc = value;
+    for (const auto& [src, v] : got) acc = op(acc, v);
+    return acc;
+  }
+  // Binomial tree reduction toward rel 0. Every processor syncs every round
+  // (a BSP barrier is global even for processors with nothing to send).
+  T acc = value;
+  bool alive = true;
+  for (int reach = 1; reach < p; reach *= 2) {
+    if (alive) {
+      if ((rel & reach) != 0) {
+        const int dest = (root + (rel - reach)) % p;
+        w.send(dest, acc);
+        alive = false;
+      }
+    }
+    w.sync();
+    if (alive) {
+      while (const Message* m = w.get_message()) {
+        acc = op(acc, m->template as<T>());
+      }
+    }
+  }
+  return rel == 0 ? acc : value;
+}
+
+/// Reduction whose result every processor receives.
+template <typename T, typename Op>
+T allreduce(Worker& w, const T& value, Op op,
+            CollectiveAlgorithm alg = CollectiveAlgorithm::Direct) {
+  const int p = w.nprocs();
+  if (p == 1) return value;
+  const bool pow2 = (p & (p - 1)) == 0;
+  if (alg == CollectiveAlgorithm::Tree && pow2) {
+    // Butterfly: log2 p supersteps, h = 1 per step, no broadcast needed.
+    detail::require_clean_inbox(w, "allreduce");
+    T acc = value;
+    for (int reach = 1; reach < p; reach *= 2) {
+      const int partner = w.pid() ^ reach;
+      w.send(partner, acc);
+      w.sync();
+      const Message* m = w.get_message();
+      if (m == nullptr) throw std::logic_error("allreduce: missing message");
+      acc = op(acc, m->template as<T>());
+    }
+    return acc;
+  }
+  const T reduced = reduce(w, 0, value, op, alg);
+  return broadcast(w, 0, reduced, alg);
+}
+
+/// Inclusive prefix with `op` in pid order (Hillis–Steele; ceil(log2 p)
+/// supersteps, h = 1 per step).
+template <typename T, typename Op>
+T inclusive_scan(Worker& w, const T& value, Op op) {
+  detail::require_clean_inbox(w, "inclusive_scan");
+  const int p = w.nprocs();
+  T acc = value;
+  for (int reach = 1; reach < p; reach *= 2) {
+    if (w.pid() + reach < p) w.send(w.pid() + reach, acc);
+    w.sync();
+    if (w.pid() - reach >= 0) {
+      const Message* m = w.get_message();
+      if (m == nullptr) throw std::logic_error("scan: missing message");
+      acc = op(m->template as<T>(), acc);
+    }
+  }
+  return acc;
+}
+
+/// Gathers one value per processor onto `root`; returns the pid-indexed
+/// vector at `root` and an empty vector elsewhere. One superstep.
+template <typename T>
+std::vector<T> gather(Worker& w, int root, const T& value) {
+  detail::require_clean_inbox(w, "gather");
+  const int p = w.nprocs();
+  if (w.pid() != root) w.send(root, value);
+  w.sync();
+  if (w.pid() != root) return {};
+  std::vector<T> out(static_cast<std::size_t>(p));
+  std::vector<char> seen(static_cast<std::size_t>(p), 0);
+  out[static_cast<std::size_t>(root)] = value;
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (const Message* m = w.get_message()) {
+    out[m->source] = m->template as<T>();
+    seen[m->source] = 1;
+  }
+  for (char s : seen) {
+    if (!s) throw std::logic_error("gather: missing contribution");
+  }
+  return out;
+}
+
+/// Gathers one value per processor onto everyone (h = p-1, one superstep).
+template <typename T>
+std::vector<T> allgather(Worker& w, const T& value) {
+  detail::require_clean_inbox(w, "allgather");
+  const int p = w.nprocs();
+  for (int d = 0; d < p; ++d) {
+    if (d != w.pid()) w.send(d, value);
+  }
+  w.sync();
+  std::vector<T> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(w.pid())] = value;
+  while (const Message* m = w.get_message()) {
+    out[m->source] = m->template as<T>();
+  }
+  return out;
+}
+
+/// Personalized all-to-all: `outgoing[d]` (d != pid, may be empty) is sent as
+/// one message to d; returns the pid-indexed incoming arrays. The self slot
+/// of the result is moved from `outgoing[pid]`. One superstep.
+template <typename T>
+std::vector<std::vector<T>> alltoallv(Worker& w,
+                                      std::vector<std::vector<T>> outgoing) {
+  detail::require_clean_inbox(w, "alltoallv");
+  const int p = w.nprocs();
+  if (outgoing.size() != static_cast<std::size_t>(p)) {
+    throw std::invalid_argument("alltoallv: outgoing must have nprocs slots");
+  }
+  for (int d = 0; d < p; ++d) {
+    if (d == w.pid()) continue;
+    const auto& v = outgoing[static_cast<std::size_t>(d)];
+    if (!v.empty()) w.send_array(d, v);
+  }
+  w.sync();
+  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+  incoming[static_cast<std::size_t>(w.pid())] =
+      std::move(outgoing[static_cast<std::size_t>(w.pid())]);
+  while (const Message* m = w.get_message()) {
+    m->copy_array(incoming[m->source]);
+  }
+  return incoming;
+}
+
+}  // namespace gbsp

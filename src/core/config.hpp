@@ -1,0 +1,73 @@
+// Runtime configuration knobs.
+#pragma once
+
+#include <cstddef>
+
+namespace gbsp {
+
+/// How virtual processors execute.
+enum class Scheduling {
+  /// One OS thread per BSP processor, truly concurrent. This is the
+  /// production mode and the analogue of the paper's shared-memory library.
+  Parallel,
+  /// Processors run one at a time (baton passing). This is the paper's
+  /// "simulating the parallel computation on a single processor" methodology
+  /// (Section 3): it yields clean per-processor work measurements on hosts
+  /// with fewer cores than BSP processors, and feeds the machine emulator.
+  Serialized,
+};
+
+/// How messages travel from sender to receiver.
+enum class DeliveryStrategy {
+  /// Senders buffer locally per destination; the exchange happens at the
+  /// superstep boundary with no locks. The natural BSP realisation.
+  Deferred,
+  /// The paper's Appendix B.1 shared-memory scheme: each processor owns two
+  /// alternating input buffers that remote senders append to during the
+  /// superstep, with chunk-granularity locking so "the locking cost is small
+  /// per packet".
+  Eager,
+};
+
+/// Barrier algorithm used at superstep boundaries.
+enum class BarrierKind {
+  /// Central sense-reversing spin barrier (with yielding), in the spirit of
+  /// the paper's spin-flag synchronisation.
+  CentralSpin,
+  /// Mutex + condition-variable central barrier; friendly to oversubscribed
+  /// hosts where spinning burns the one core the other workers need.
+  CentralBlocking,
+  /// Dissemination barrier: ceil(log2 p) rounds of pairwise signals.
+  Dissemination,
+};
+
+struct Config {
+  int nprocs = 1;
+  Scheduling scheduling = Scheduling::Parallel;
+  DeliveryStrategy delivery = DeliveryStrategy::Deferred;
+  BarrierKind barrier = BarrierKind::CentralBlocking;
+
+  /// Deliver messages sorted by (source, sequence). The paper's library
+  /// returns packets "in any arbitrary order"; tests use this for
+  /// reproducibility.
+  bool deterministic_delivery = false;
+
+  /// h-relation accounting unit. The paper uses 16-byte packets throughout.
+  std::size_t packet_unit_bytes = 16;
+
+  /// Record per-superstep work/communication statistics (w_i, h_i, S).
+  bool collect_stats = true;
+
+  /// Additionally record, per processor and superstep, the number of packets
+  /// sent to each destination. Needed by machine models whose cost depends
+  /// on the *pattern* of an h-relation (the PC-LAN staged-TCP model), not
+  /// just its size.
+  bool collect_comm_matrix = false;
+
+  /// Eager delivery: number of messages a sender batches per destination
+  /// before taking the destination's inbox lock (paper: space for 1000
+  /// packets per lock acquisition).
+  std::size_t eager_chunk_messages = 1000;
+};
+
+}  // namespace gbsp

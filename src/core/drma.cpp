@@ -1,0 +1,195 @@
+#include "core/drma.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+enum WireTag : std::int32_t { kPut = 1, kGetRequest = 2, kGetReply = 3 };
+
+struct PutHeader {
+  std::int32_t tag = kPut;
+  std::int32_t seg = 0;
+  std::uint64_t offset = 0;
+  // payload follows
+};
+
+struct GetRequest {
+  std::int32_t tag = kGetRequest;
+  std::int32_t seg = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t cookie = 0;  // index into the requester's pending list
+};
+
+struct GetReplyHeader {
+  std::int32_t tag = kGetReply;
+  std::int32_t pad = 0;
+  std::uint64_t cookie = 0;
+  // payload follows
+};
+
+std::int32_t tag_of(const Message& m) {
+  std::int32_t tag = 0;
+  std::memcpy(&tag, m.payload.data(), sizeof(tag));
+  return tag;
+}
+
+}  // namespace
+
+int Drma::register_segment(void* base, std::size_t bytes) {
+  segments_.push_back({static_cast<std::byte*>(base), bytes});
+  return static_cast<int>(segments_.size()) - 1;
+}
+
+void Drma::pop_segment() {
+  if (segments_.empty()) {
+    throw std::logic_error("drma: pop_segment with no registered segment");
+  }
+  segments_.pop_back();
+}
+
+Drma::Segment& Drma::checked_segment(int seg, std::size_t offset,
+                                     std::size_t bytes, const char* what) {
+  if (seg < 0 || static_cast<std::size_t>(seg) >= segments_.size()) {
+    throw std::out_of_range(std::string("drma: ") + what +
+                            " on unregistered segment");
+  }
+  Segment& s = segments_[static_cast<std::size_t>(seg)];
+  if (offset + bytes > s.bytes) {
+    throw std::out_of_range(std::string("drma: ") + what +
+                            " outside the registered segment");
+  }
+  return s;
+}
+
+void Drma::put(int dest, const void* src, int seg, std::size_t offset,
+               std::size_t bytes) {
+  // Local sanity against our own registration (peers registered the same
+  // slots collectively; sizes are validated again at the destination).
+  if (seg < 0 || static_cast<std::size_t>(seg) >= segments_.size()) {
+    throw std::out_of_range("drma: put on unregistered segment");
+  }
+  std::vector<std::uint8_t> buf(sizeof(PutHeader) + bytes);
+  PutHeader h;
+  h.seg = seg;
+  h.offset = offset;
+  std::memcpy(buf.data(), &h, sizeof(h));
+  if (bytes != 0) std::memcpy(buf.data() + sizeof(h), src, bytes);
+  w_.send_bytes(dest, buf.data(), buf.size());
+}
+
+void Drma::get(int from, int seg, std::size_t offset, void* dst,
+               std::size_t bytes) {
+  if (seg < 0 || static_cast<std::size_t>(seg) >= segments_.size()) {
+    throw std::out_of_range("drma: get on unregistered segment");
+  }
+  GetRequest req;
+  req.seg = seg;
+  req.offset = offset;
+  req.bytes = bytes;
+  req.cookie = pending_gets_.size();
+  pending_gets_.push_back({from, seg, offset, static_cast<std::byte*>(dst),
+                           bytes});
+  w_.send(from, req);
+}
+
+void Drma::sync_puts_only() {
+  if (!pending_gets_.empty()) {
+    throw std::logic_error("drma: sync_puts_only() with pending gets");
+  }
+  if (w_.pending() != 0) {
+    throw std::logic_error(
+        "drma: sync_puts_only() with undrained message inbox");
+  }
+  w_.sync();
+  while (const Message* m = w_.get_message()) {
+    if (tag_of(*m) != kPut) {
+      throw std::logic_error(
+          "drma: get traffic in a puts-only superstep");
+    }
+    PutHeader h;
+    std::memcpy(&h, m->payload.data(), sizeof(h));
+    const std::size_t bytes = m->size() - sizeof(h);
+    Segment& s = checked_segment(h.seg, static_cast<std::size_t>(h.offset),
+                                 bytes, "remote put");
+    if (bytes != 0) {
+      std::memcpy(s.base + h.offset, m->payload.data() + sizeof(h), bytes);
+    }
+  }
+}
+
+void Drma::sync() {
+  if (w_.pending() != 0) {
+    throw std::logic_error(
+        "drma: sync() with undrained message inbox — DRMA supersteps are "
+        "dedicated");
+  }
+  // --- BSP superstep 1: puts and get-requests arrive ------------------------
+  w_.sync();
+  // Gets observe memory before puts take effect: serve replies first.
+  std::vector<const Message*> puts;
+  std::vector<std::uint8_t> reply;
+  for (const Message* m = w_.get_message(); m != nullptr;
+       m = w_.get_message()) {
+    switch (tag_of(*m)) {
+      case kGetRequest: {
+        GetRequest req;
+        std::memcpy(&req, m->payload.data(), sizeof(req));
+        Segment& s = checked_segment(req.seg,
+                                     static_cast<std::size_t>(req.offset),
+                                     static_cast<std::size_t>(req.bytes),
+                                     "remote get");
+        reply.resize(sizeof(GetReplyHeader) +
+                     static_cast<std::size_t>(req.bytes));
+        GetReplyHeader h;
+        h.cookie = req.cookie;
+        std::memcpy(reply.data(), &h, sizeof(h));
+        if (req.bytes != 0) {
+          std::memcpy(reply.data() + sizeof(h), s.base + req.offset,
+                      static_cast<std::size_t>(req.bytes));
+        }
+        w_.send_bytes(static_cast<int>(m->source), reply.data(),
+                      reply.size());
+        break;
+      }
+      case kPut:
+        puts.push_back(m);
+        break;
+      default:
+        throw std::logic_error("drma: stray non-DRMA message in superstep");
+    }
+  }
+  for (const Message* m : puts) {
+    PutHeader h;
+    std::memcpy(&h, m->payload.data(), sizeof(h));
+    const std::size_t bytes = m->size() - sizeof(h);
+    Segment& s = checked_segment(h.seg, static_cast<std::size_t>(h.offset),
+                                 bytes, "remote put");
+    if (bytes != 0) {
+      std::memcpy(s.base + h.offset, m->payload.data() + sizeof(h), bytes);
+    }
+  }
+  // --- BSP superstep 2: get replies land -----------------------------------
+  w_.sync();
+  while (const Message* m = w_.get_message()) {
+    if (tag_of(*m) != kGetReply) {
+      throw std::logic_error("drma: stray message in the reply superstep");
+    }
+    GetReplyHeader h;
+    std::memcpy(&h, m->payload.data(), sizeof(h));
+    const PendingGet& pg = pending_gets_.at(static_cast<std::size_t>(h.cookie));
+    const std::size_t bytes = m->size() - sizeof(h);
+    if (bytes != pg.bytes) {
+      throw std::logic_error("drma: get reply size mismatch");
+    }
+    if (bytes != 0) {
+      std::memcpy(pg.dst, m->payload.data() + sizeof(h), bytes);
+    }
+  }
+  pending_gets_.clear();
+}
+
+}  // namespace gbsp

@@ -1,0 +1,94 @@
+// Direct remote memory access in the style of the Oxford BSP library.
+//
+// The paper contrasts two BSP library designs (Section 1.3): "The Oxford
+// BSP library ... allows a processor to directly access the memory of
+// another processor ... well suited for many static computations", versus
+// the Green BSP library's message passing, "better suited for ... dynamic
+// applications". This module provides the Oxford-style interface —
+// registered segments, put, and get with superstep semantics — implemented
+// entirely ON TOP of the Green BSP primitives (send/sync/get_message),
+// demonstrating the paper's thesis that richer operations layer cleanly
+// over the minimal core.
+//
+// Semantics (BSPlib-compatible):
+//  * Registration is collective: every processor calls register_segment in
+//    the same order; the returned slot identifies the peer segments.
+//  * put(dest, ...) copies local bytes into the destination's segment; the
+//    write lands at the end of the current DRMA superstep.
+//  * get(from, ...) reads the source's segment as it was when the source
+//    entered drma.sync() — before any incoming puts of the same superstep
+//    are applied ("all gets are performed before any puts take effect").
+//  * drma.sync() is the DRMA superstep boundary; it spends two BSP
+//    supersteps (request delivery + get replies).
+//
+// One Drma object per Worker, used only by that worker's thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace gbsp {
+
+class Drma {
+ public:
+  explicit Drma(Worker& w) : w_(w) {}
+
+  /// Collective: registers `bytes` of local memory at `base` and returns
+  /// the segment slot (identical on every processor when called in the same
+  /// order, as required). Usable after the next drma sync().
+  int register_segment(void* base, std::size_t bytes);
+
+  /// Deregisters the most recently registered segment (stack discipline,
+  /// like BSPlib's pop_reg). Collective; effective immediately.
+  void pop_segment();
+
+  /// Queues a copy of local [src, src+bytes) into processor `dest`'s
+  /// segment `seg` at `offset`. Delivered at the end of this superstep.
+  void put(int dest, const void* src, int seg, std::size_t offset,
+           std::size_t bytes);
+
+  /// Queues a read of processor `from`'s segment `seg` at `offset` into
+  /// local `dst`. Satisfied during sync() with the pre-put remote contents.
+  void get(int from, int seg, std::size_t offset, void* dst,
+           std::size_t bytes);
+
+  /// DRMA superstep boundary: delivers puts, serves gets. Costs two BSP
+  /// supersteps. The worker's plain message inbox must be drained first
+  /// (DRMA supersteps are dedicated, like collectives).
+  void sync();
+
+  /// One-superstep boundary for put-only traffic (the common case in
+  /// static computations — exactly the workloads the paper says the Oxford
+  /// library suits). Collective: no processor may have issued a get in this
+  /// superstep; a pending local get (or an arriving get request) throws.
+  void sync_puts_only();
+
+  [[nodiscard]] Worker& worker() { return w_; }
+  [[nodiscard]] std::size_t num_segments() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+  };
+  struct PendingGet {
+    int from = 0;
+    std::int32_t seg = 0;
+    std::uint64_t offset = 0;
+    std::byte* dst = nullptr;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] Segment& checked_segment(int seg, std::size_t offset,
+                                         std::size_t bytes,
+                                         const char* what);
+
+  Worker& w_;
+  std::vector<Segment> segments_;
+  std::vector<PendingGet> pending_gets_;
+};
+
+}  // namespace gbsp

@@ -1,0 +1,120 @@
+#include "core/green_bsp.h"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "core/drma.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+gbsp::Worker& require_worker() {
+  gbsp::Worker* w = gbsp::detail::current_worker_slot();
+  if (w == nullptr) {
+    throw std::logic_error(
+        "green_bsp: called outside a gbsp::Runtime::run() worker");
+  }
+  return *w;
+}
+
+// Per-worker-thread DRMA context for the BSPlib-style C functions, created
+// lazily and rebound when a new run reuses the thread. BSPlib names remote
+// areas by the caller's own registered base address; `slots` maps it to the
+// underlying gbsp::Drma segment.
+struct CApiDrma {
+  gbsp::Worker* worker = nullptr;
+  std::unique_ptr<gbsp::Drma> drma;
+  std::map<const void*, int> slots;
+  std::vector<const void*> stack;
+};
+
+CApiDrma& require_drma() {
+  thread_local CApiDrma ctx;
+  gbsp::Worker& w = require_worker();
+  if (ctx.worker != &w) {
+    ctx.worker = &w;
+    ctx.drma = std::make_unique<gbsp::Drma>(w);
+    ctx.slots.clear();
+    ctx.stack.clear();
+  }
+  return ctx;
+}
+
+int slot_of(const CApiDrma& ctx, const void* base, const char* what) {
+  auto it = ctx.slots.find(base);
+  if (it == ctx.slots.end()) {
+    throw std::logic_error(std::string("green_bsp: ") + what +
+                           " on an address that was never bspPushReg'd");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+extern "C" {
+
+void bspSynch(void) { require_worker().sync(); }
+
+void bspSendPkt(int dest, const bspPkt* pkt) {
+  require_worker().send_bytes(dest, pkt->data, BSP_PKT_SIZE);
+}
+
+bspPkt* bspGetPkt(void) {
+  gbsp::Worker& w = require_worker();
+  const gbsp::Message* m = w.get_message();
+  if (m == nullptr) return nullptr;
+  if (m->size() != BSP_PKT_SIZE) {
+    throw std::logic_error(
+        "green_bsp: bspGetPkt() saw a message that is not a 16-byte packet; "
+        "mixing the C API with variable-length sends is not supported");
+  }
+  // The payload buffer lives until the worker's next sync(), matching the
+  // lifetime contract in the header. The caller may scribble on its copy.
+  return reinterpret_cast<bspPkt*>(
+      const_cast<std::byte*>(m->payload.data()));
+}
+
+int bspPid(void) { return require_worker().pid(); }
+
+int bspNProcs(void) { return require_worker().nprocs(); }
+
+int bspNumPkts(void) {
+  return static_cast<int>(require_worker().pending());
+}
+
+void bspPushReg(void* base, long nbytes) {
+  CApiDrma& ctx = require_drma();
+  const int slot = ctx.drma->register_segment(
+      base, static_cast<std::size_t>(nbytes));
+  ctx.slots[base] = slot;
+  ctx.stack.push_back(base);
+}
+
+void bspPopReg(void) {
+  CApiDrma& ctx = require_drma();
+  if (ctx.stack.empty()) {
+    throw std::logic_error("green_bsp: bspPopReg with nothing registered");
+  }
+  ctx.drma->pop_segment();
+  ctx.slots.erase(ctx.stack.back());
+  ctx.stack.pop_back();
+}
+
+void bspPut(int pid, const void* src, void* dst, long offset, long nbytes) {
+  CApiDrma& ctx = require_drma();
+  ctx.drma->put(pid, src, slot_of(ctx, dst, "bspPut"),
+                static_cast<std::size_t>(offset),
+                static_cast<std::size_t>(nbytes));
+}
+
+void bspGet(int pid, const void* src, long offset, void* dst, long nbytes) {
+  CApiDrma& ctx = require_drma();
+  ctx.drma->get(pid, slot_of(ctx, src, "bspGet"),
+                static_cast<std::size_t>(offset), dst,
+                static_cast<std::size_t>(nbytes));
+}
+
+void bspDrmaSync(void) { require_drma().drma->sync(); }
+
+}  // extern "C"

@@ -1,0 +1,77 @@
+// C-compatible Green BSP interface, mirroring the paper's Appendix A exactly:
+//
+//   * bspSynch()    — barrier synchronization; afterwards all packets sent to
+//                     this process in the previous superstep are available.
+//   * bspSendPkt()  — send one fixed-size 16-byte packet to a process.
+//   * bspGetPkt()   — next received packet, in arbitrary order; NULL when
+//                     there are no further packets.
+//
+// plus the auxiliary functions the paper mentions (process ID, number of
+// processes, number of unreceived packets). Callable only from inside a
+// gbsp::Runtime::run() worker; the functions bind to the worker running on
+// the calling thread.
+#pragma once
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+enum { BSP_PKT_SIZE = 16 };
+
+typedef struct bspPkt {
+  char data[BSP_PKT_SIZE];
+} bspPkt;
+
+/// Barrier synchronization across all processes.
+void bspSynch(void);
+
+/// Sends the 16-byte packet `pkt` to process `dest`; it is delivered at the
+/// beginning of the next superstep.
+void bspSendPkt(int dest, const bspPkt* pkt);
+
+/// Returns a pointer to a packet sent to this process in the previous
+/// superstep, or NULL if there are no further packets. The pointer stays
+/// valid until the next bspSynch().
+bspPkt* bspGetPkt(void);
+
+/// This process's ID in [0, bspNProcs()).
+int bspPid(void);
+
+/// Number of processes in the computation.
+int bspNProcs(void);
+
+/// Number of packets received in the previous superstep that have not yet
+/// been returned by bspGetPkt().
+int bspNumPkts(void);
+
+/* ---- BSPlib-style DRMA extension --------------------------------------
+ * The registration/put/get interface the Oxford BSP library pioneered and
+ * BSPlib later standardized, bound to the same runtime (backed by
+ * gbsp::Drma; see core/drma.hpp for the semantics). Registration is
+ * collective and identified by the local base address, as in BSPlib.
+ * bspDrmaSync() is the DRMA superstep boundary (it consumes two of the
+ * runtime's supersteps, serving gets before applying puts).
+ */
+
+/// Collectively registers `nbytes` at `base` for remote access.
+void bspPushReg(void* base, long nbytes);
+
+/// Deregisters the most recent registration (stack discipline).
+void bspPopReg(void);
+
+/// Copies local [src, src+nbytes) into processor pid's registered area
+/// `dst` (named by the caller's own registered base address) at byte
+/// `offset`; lands at the end of the DRMA superstep.
+void bspPut(int pid, const void* src, void* dst, long offset, long nbytes);
+
+/// Reads processor pid's registered area `src` at `offset` into local
+/// `dst`; the value observed is the remote memory before this superstep's
+/// puts take effect.
+void bspGet(int pid, const void* src, long offset, void* dst, long nbytes);
+
+/// DRMA superstep boundary.
+void bspDrmaSync(void);
+
+#ifdef __cplusplus
+}
+#endif

@@ -1,0 +1,284 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace gbsp {
+
+namespace detail {
+
+Worker*& current_worker_slot() {
+  thread_local Worker* slot = nullptr;
+  return slot;
+}
+
+}  // namespace detail
+
+int Worker::nprocs() const { return rt_->config().nprocs; }
+const Config& Worker::config() const { return rt_->config(); }
+
+void Worker::send_bytes(int dest, const void* data, std::size_t n) {
+  detail::WorkerState& st = *state_;
+  const Config& cfg = rt_->config();
+  if (dest < 0 || dest >= cfg.nprocs) {
+    throw std::out_of_range("gbsp: send to invalid processor " +
+                            std::to_string(dest));
+  }
+  Message m;
+  m.source = static_cast<std::uint32_t>(st.pid);
+  m.seq = st.seq_to[static_cast<std::size_t>(dest)]++;
+  m.payload.resize(n);
+  if (n != 0) std::memcpy(m.payload.data(), data, n);
+
+  const std::uint64_t pkts = packets_for_bytes(n, cfg.packet_unit_bytes);
+  st.sent_packets += pkts;
+  st.sent_bytes += n;
+  st.sent_messages += 1;
+  if (cfg.collect_comm_matrix) {
+    st.sent_to[static_cast<std::size_t>(dest)] += pkts;
+  }
+
+  if (cfg.delivery == DeliveryStrategy::Deferred) {
+    st.outbox[static_cast<std::size_t>(dest)].push_back(std::move(m));
+  } else {
+    auto& pending = st.eager_pending[static_cast<std::size_t>(dest)];
+    pending.push_back(std::move(m));
+    if (pending.size() >= cfg.eager_chunk_messages) {
+      rt_->flush_eager(st, dest);
+    }
+  }
+}
+
+void Worker::sync() { rt_->do_sync(*state_); }
+
+const Message* Worker::get_message() {
+  detail::WorkerState& st = *state_;
+  if (st.inbox_cursor >= st.inbox.size()) return nullptr;
+  return &st.inbox[st.inbox_cursor++];
+}
+
+// ------------------------------------------------------------------- Runtime
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  if (cfg_.nprocs < 1) {
+    throw std::invalid_argument("gbsp: nprocs must be >= 1");
+  }
+  if (cfg_.packet_unit_bytes == 0) {
+    throw std::invalid_argument("gbsp: packet_unit_bytes must be >= 1");
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::begin_work_slice(detail::WorkerState& st) {
+  st.work_start_ns = ThreadCpuTimer::now_ns();
+}
+
+void Runtime::record_step(detail::WorkerState& st) {
+  WorkerStepRecord r;
+  r.work_us =
+      static_cast<double>(ThreadCpuTimer::now_ns() - st.work_start_ns) * 1e-3;
+  r.recv_packets = st.pending_recv_packets;
+  st.pending_recv_packets = 0;
+  r.recv_messages = st.pending_recv_messages;
+  st.pending_recv_messages = 0;
+  r.sent_packets = st.sent_packets;
+  r.sent_bytes = st.sent_bytes;
+  r.sent_messages = st.sent_messages;
+  if (cfg_.collect_comm_matrix) {
+    r.sent_to_packets = st.sent_to;
+    std::fill(st.sent_to.begin(), st.sent_to.end(), 0);
+  }
+  st.trace.push_back(std::move(r));
+  st.sent_packets = 0;
+  st.sent_bytes = 0;
+  st.sent_messages = 0;
+}
+
+void Runtime::flush_eager(detail::WorkerState& st, int dest) {
+  auto& pending = st.eager_pending[static_cast<std::size_t>(dest)];
+  if (pending.empty()) return;
+  detail::WorkerState& dst = *states_[static_cast<std::size_t>(dest)];
+  // Sends during superstep t are destined for the receiver's superstep t+1
+  // buffer. Both alternating buffers exist so that a sender already in
+  // superstep t+1 never races the receiver draining its superstep-t buffer.
+  const std::size_t parity = static_cast<std::size_t>((st.superstep + 1) % 2);
+  {
+    std::lock_guard<std::mutex> lock(dst.eager_mutex[parity]);
+    auto& buf = dst.eager_inbuf[parity];
+    buf.insert(buf.end(), std::make_move_iterator(pending.begin()),
+               std::make_move_iterator(pending.end()));
+  }
+  pending.clear();
+}
+
+void Runtime::deliver_to(detail::WorkerState& dst) {
+  dst.inbox.clear();
+  dst.inbox_cursor = 0;
+  if (cfg_.delivery == DeliveryStrategy::Deferred) {
+    for (auto& src : states_) {
+      auto& box = src->outbox[static_cast<std::size_t>(dst.pid)];
+      dst.inbox.insert(dst.inbox.end(), std::make_move_iterator(box.begin()),
+                       std::make_move_iterator(box.end()));
+      box.clear();
+    }
+  } else {
+    const std::size_t parity = static_cast<std::size_t>((dst.superstep + 1) % 2);
+    // No lock needed: delivery happens strictly between the two superstep
+    // barriers (parallel mode) or single-threaded (serialized mode), when no
+    // sender can be writing this parity.
+    dst.inbox.swap(dst.eager_inbuf[parity]);
+    dst.eager_inbuf[parity].clear();
+  }
+  if (cfg_.deterministic_delivery) {
+    std::sort(dst.inbox.begin(), dst.inbox.end(),
+              [](const Message& a, const Message& b) {
+                return a.source != b.source ? a.source < b.source
+                                            : a.seq < b.seq;
+              });
+  }
+  if (cfg_.collect_stats) {
+    std::uint64_t recv = 0;
+    for (const Message& m : dst.inbox) {
+      recv += packets_for_bytes(m.size(), cfg_.packet_unit_bytes);
+    }
+    // Charged to the upcoming superstep, which reads these messages.
+    dst.pending_recv_packets = recv;
+    dst.pending_recv_messages = dst.inbox.size();
+  }
+}
+
+void Runtime::exchange_all() {
+  // Serialized mode only; runs effectively single-threaded.
+  for (auto& st : states_) {
+    if (st->finished) continue;
+    deliver_to(*st);
+  }
+}
+
+void Runtime::do_sync(detail::WorkerState& st) {
+  if (abort_.load(std::memory_order_acquire)) throw BspAborted{};
+  record_step(st);
+  if (cfg_.delivery == DeliveryStrategy::Eager) {
+    for (int d = 0; d < cfg_.nprocs; ++d) flush_eager(st, d);
+  }
+  if (cfg_.scheduling == Scheduling::Serialized) {
+    scheduler_->yield_at_sync(st.pid);  // exchange_all ran inside
+  } else {
+    barrier_a_->arrive_and_wait(st.pid);
+    deliver_to(st);
+    barrier_b_->arrive_and_wait(st.pid);
+  }
+  st.superstep += 1;
+  begin_work_slice(st);
+}
+
+void Runtime::finalize_worker(detail::WorkerState& st) {
+  if (st.sent_messages != 0 ||
+      (cfg_.delivery == DeliveryStrategy::Eager &&
+       std::any_of(st.eager_pending.begin(), st.eager_pending.end(),
+                   [](const auto& v) { return !v.empty(); }))) {
+    throw std::logic_error(
+        "gbsp: worker " + std::to_string(st.pid) +
+        " sent messages after its final sync(); they can never be delivered");
+  }
+  // The tail slice after the last sync() is the program's final superstep.
+  record_step(st);
+}
+
+void Runtime::report_error(std::exception_ptr e, int pid) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (first_error_ == nullptr || pid < first_error_pid_) {
+      first_error_ = e;
+      first_error_pid_ = pid;
+    }
+  }
+  abort_.store(true, std::memory_order_release);
+  if (scheduler_) scheduler_->abort();
+}
+
+void Runtime::worker_main(int pid, const std::function<void(Worker&)>& fn) {
+  detail::WorkerState& st = *states_[static_cast<std::size_t>(pid)];
+  Worker w(this, &st);
+  detail::current_worker_slot() = &w;
+  bool started = true;
+  try {
+    if (scheduler_) scheduler_->start(pid);
+  } catch (const BspAborted&) {
+    started = false;
+  }
+  if (started) {
+    try {
+      begin_work_slice(st);
+      fn(w);
+      finalize_worker(st);
+    } catch (const BspAborted&) {
+      // Unwound because a peer failed; nothing to report.
+    } catch (...) {
+      report_error(std::current_exception(), pid);
+    }
+  }
+  st.finished = true;
+  if (scheduler_) scheduler_->finish(pid);
+  detail::current_worker_slot() = nullptr;
+}
+
+RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
+  const int p = cfg_.nprocs;
+  abort_.store(false, std::memory_order_release);
+  first_error_ = nullptr;
+  first_error_pid_ = -1;
+
+  states_.clear();
+  states_.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    auto st = std::make_unique<detail::WorkerState>();
+    st->pid = i;
+    st->outbox.resize(static_cast<std::size_t>(p));
+    st->eager_pending.resize(static_cast<std::size_t>(p));
+    st->seq_to.assign(static_cast<std::size_t>(p), 0);
+    if (cfg_.collect_comm_matrix) {
+      st->sent_to.assign(static_cast<std::size_t>(p), 0);
+    }
+    states_.push_back(std::move(st));
+  }
+  barrier_a_ = make_barrier(cfg_.barrier, p, &abort_);
+  barrier_b_ = make_barrier(cfg_.barrier, p, &abort_);
+  scheduler_.reset();
+  if (cfg_.scheduling == Scheduling::Serialized) {
+    scheduler_ =
+        std::make_unique<SerialScheduler>(p, [this] { exchange_all(); });
+  }
+
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    threads.emplace_back([this, i, &fn] { worker_main(i, fn); });
+  }
+  for (auto& t : threads) t.join();
+
+  RunStats stats;
+  stats.nprocs = p;
+  stats.wall_s = wall.elapsed_s();
+
+  if (first_error_ != nullptr) {
+    std::rethrow_exception(first_error_);
+  }
+
+  stats.traces.reserve(states_.size());
+  for (auto& st : states_) stats.traces.push_back(std::move(st->trace));
+  stats.aggregate_from_traces();
+  return stats;
+}
+
+RunStats run_bsp(int nprocs, const std::function<void(Worker&)>& fn) {
+  Config cfg;
+  cfg.nprocs = nprocs;
+  return Runtime(cfg).run(fn);
+}
+
+}  // namespace gbsp

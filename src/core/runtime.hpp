@@ -1,0 +1,192 @@
+// The Green BSP runtime: SPMD execution over P virtual processors with
+// superstep-structured message passing.
+//
+// Usage:
+//   gbsp::Config cfg;
+//   cfg.nprocs = 8;
+//   gbsp::Runtime rt(cfg);
+//   gbsp::RunStats stats = rt.run([](gbsp::Worker& w) {
+//     w.send((w.pid() + 1) % w.nprocs(), some_pod_value);
+//     w.sync();
+//     while (const gbsp::Message* m = w.get_message()) { /* consume */ }
+//   });
+//
+// Semantics (paper Appendix A):
+//  * A message sent in superstep i is available to the receiver at the start
+//    of superstep i+1, i.e. after the receiver's next sync().
+//  * Message arrival order within a superstep is unspecified unless
+//    Config::deterministic_delivery is set.
+//  * All workers must call sync() the same number of times; messages sent
+//    after the final sync() are an error, diagnosed at worker exit.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "core/scheduler.hpp"
+#include "core/stats.hpp"
+
+namespace gbsp {
+
+class Runtime;
+class Worker;
+
+namespace detail {
+
+/// All mutable per-processor state. Owned by the Runtime; a Worker is a
+/// lightweight handle over one WorkerState.
+struct WorkerState {
+  int pid = 0;
+
+  // Deferred delivery: outbox[d] holds messages for destination d, moved to
+  // the receiver at the superstep boundary (no locks).
+  std::vector<std::vector<Message>> outbox;
+
+  // Eager delivery (paper Appendix B.1): two alternating input buffers this
+  // processor owns; remote senders append under chunked locking. Sends during
+  // superstep t land in eager_inbuf[(t + 1) % 2].
+  std::array<std::vector<Message>, 2> eager_inbuf;
+  std::array<std::mutex, 2> eager_mutex;
+  // Sender-side batches (one per destination) flushed under one lock
+  // acquisition per Config::eager_chunk_messages messages.
+  std::vector<std::vector<Message>> eager_pending;
+
+  std::vector<std::uint32_t> seq_to;  // per-destination sequence counters
+
+  std::vector<Message> inbox;
+  std::size_t inbox_cursor = 0;
+
+  std::uint64_t superstep = 0;
+  // Packets delivered at the last boundary, to be charged to the superstep
+  // that reads them (the paper's h accounting: its matmult H counts each
+  // block in both its send and its unpack superstep).
+  std::uint64_t pending_recv_packets = 0;
+  std::uint64_t pending_recv_messages = 0;
+  std::uint64_t sent_packets = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t sent_messages = 0;
+  std::vector<std::uint64_t> sent_to;  // per-dest packets this superstep
+  std::int64_t work_start_ns = 0;
+  std::vector<WorkerStepRecord> trace;
+  bool finished = false;
+};
+
+/// Thread-local handle to the Worker executing on this thread (null outside
+/// a BSP run). Backs the C-compatible API in green_bsp.h.
+Worker*& current_worker_slot();
+
+}  // namespace detail
+
+/// Handle through which SPMD program code interacts with the runtime.
+class Worker {
+ public:
+  [[nodiscard]] int pid() const { return state_->pid; }
+  [[nodiscard]] int nprocs() const;
+  [[nodiscard]] std::uint64_t superstep() const { return state_->superstep; }
+  [[nodiscard]] const Config& config() const;
+
+  /// Sends `n` raw bytes to processor `dest` (self-sends allowed); delivered
+  /// after the next sync().
+  void send_bytes(int dest, const void* data, std::size_t n);
+
+  /// Sends one trivially copyable value.
+  template <typename T>
+  void send(int dest, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "send() requires a trivially copyable payload");
+    send_bytes(dest, &value, sizeof(T));
+  }
+
+  /// Sends a contiguous array of trivially copyable values as one message.
+  template <typename T>
+  void send_array(int dest, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, data, count * sizeof(T));
+  }
+  template <typename T>
+  void send_array(int dest, const std::vector<T>& v) {
+    send_array(dest, v.data(), v.size());
+  }
+
+  /// Superstep boundary: global synchronization; afterwards the messages
+  /// sent to this processor during the ended superstep are available.
+  void sync();
+
+  /// Next undelivered message, or nullptr when drained (paper: bspGetPkt).
+  const Message* get_message();
+
+  /// Messages not yet returned by get_message() (paper: bspNumPkts).
+  [[nodiscard]] std::size_t pending() const {
+    return state_->inbox.size() - state_->inbox_cursor;
+  }
+
+  /// Whole-inbox view for bulk consumption (valid until the next sync()).
+  [[nodiscard]] const std::vector<Message>& inbox() const {
+    return state_->inbox;
+  }
+
+ private:
+  friend class Runtime;
+  Worker(Runtime* rt, detail::WorkerState* state) : rt_(rt), state_(state) {}
+
+  Runtime* rt_;
+  detail::WorkerState* state_;
+};
+
+/// Executes SPMD functions under a fixed Config. Reusable: each run() is an
+/// independent BSP computation.
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs `fn` on nprocs workers; returns the per-superstep statistics.
+  /// If any worker throws, the computation aborts and the first error (by
+  /// pid) is rethrown here.
+  RunStats run(const std::function<void(Worker&)>& fn);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  friend class Worker;
+
+  void worker_main(int pid, const std::function<void(Worker&)>& fn);
+  void do_sync(detail::WorkerState& st);
+  // Delivers pending messages for processor `dest` (both strategies).
+  void deliver_to(detail::WorkerState& dst);
+  // Serialized mode: delivers for everyone (runs single-threaded).
+  void exchange_all();
+  void flush_eager(detail::WorkerState& st, int dest);
+  void record_step(detail::WorkerState& st);
+  void begin_work_slice(detail::WorkerState& st);
+  void finalize_worker(detail::WorkerState& st);
+  void report_error(std::exception_ptr e, int pid);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<detail::WorkerState>> states_;
+  std::unique_ptr<Barrier> barrier_a_;
+  std::unique_ptr<Barrier> barrier_b_;
+  std::unique_ptr<SerialScheduler> scheduler_;
+  std::atomic<bool> abort_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  int first_error_pid_ = -1;
+};
+
+/// Convenience: one-shot run with a default-parallel config.
+RunStats run_bsp(int nprocs, const std::function<void(Worker&)>& fn);
+
+}  // namespace gbsp

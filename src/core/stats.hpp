@@ -1,0 +1,79 @@
+// Per-superstep instrumentation: the quantities of the BSP cost function
+//   T = W + gH + LS            (paper Equation 1)
+// where W = sum_i w_i (w_i = max over processors of local computation in
+// superstep i), H = sum_i h_i (h_i = max over processors of max(packets sent,
+// packets received)), and S = number of supersteps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gbsp {
+
+/// What one processor did during one superstep (recorded lock-free by each
+/// worker into its own trace, merged after the run).
+struct WorkerStepRecord {
+  double work_us = 0.0;             ///< local computation time
+  std::uint64_t sent_packets = 0;   ///< outgoing, in packet units
+  /// Incoming packets, in packet units, charged to the superstep that READS
+  /// them (they were delivered at its opening boundary) — the paper's
+  /// convention, visible in its matmult H figures.
+  std::uint64_t recv_packets = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t sent_messages = 0;
+  /// Messages read in this superstep (same charging rule as recv_packets).
+  std::uint64_t recv_messages = 0;
+  /// Destination-indexed packet counts; empty unless
+  /// Config::collect_comm_matrix is set.
+  std::vector<std::uint64_t> sent_to_packets;
+};
+
+/// Aggregated view of one superstep across all processors.
+struct SuperstepStats {
+  double w_max_us = 0.0;    ///< w_i: max local computation over processors
+  double w_total_us = 0.0;  ///< sum of local computation over processors
+  std::uint64_t h_packets = 0;      ///< h_i: max over procs of max(sent, recv)
+  std::uint64_t total_packets = 0;  ///< total packets sent by all processors
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  /// Message-count analogue of h_i (for message-level models such as LogP).
+  std::uint64_t h_messages = 0;
+  /// Max over processors of (messages sent + messages read): the busiest
+  /// endpoint, which pays LogP's per-message overhead o on both ends.
+  std::uint64_t endpoint_messages = 0;
+};
+
+/// Full accounting for one BSP run.
+struct RunStats {
+  int nprocs = 0;
+  double wall_s = 0.0;  ///< measured wall-clock time of the whole run
+  std::vector<SuperstepStats> supersteps;
+  /// Raw per-worker traces (worker-major), kept for emulation/analysis.
+  std::vector<std::vector<WorkerStepRecord>> traces;
+
+  [[nodiscard]] std::size_t S() const { return supersteps.size(); }
+
+  /// W: the work depth in seconds (sum over supersteps of max work).
+  [[nodiscard]] double W_s() const;
+
+  /// Total work in seconds (sum over supersteps and processors); the paper's
+  /// "Total Work" column, which excludes idle time from load imbalance.
+  [[nodiscard]] double total_work_s() const;
+
+  /// H: sum over supersteps of h_i, in packet units.
+  [[nodiscard]] std::uint64_t H() const;
+
+  /// Total packets sent over the whole run.
+  [[nodiscard]] std::uint64_t total_packets() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Merges per-worker traces into per-superstep aggregates. Called by the
+  /// runtime; public so emulation replays can re-aggregate.
+  void aggregate_from_traces();
+
+  /// One-line human-readable summary: "S=.. W=..s H=.. wall=..s".
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace gbsp

@@ -1,0 +1,84 @@
+#include "core/stats_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gbsp {
+
+namespace {
+
+constexpr char kHeader[] =
+    "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
+    "total_messages,h_messages,endpoint_messages";
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t comma = std::min(line.find(',', pos), line.size());
+    out.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_superstep_csv(std::ostream& os, const RunStats& stats) {
+  os << kHeader << '\n';
+  for (std::size_t i = 0; i < stats.supersteps.size(); ++i) {
+    const SuperstepStats& s = stats.supersteps[i];
+    os << i << ',' << s.w_max_us << ',' << s.w_total_us << ','
+       << s.h_packets << ',' << s.total_packets << ',' << s.total_bytes
+       << ',' << s.total_messages << ',' << s.h_messages << ','
+       << s.endpoint_messages << '\n';
+  }
+}
+
+RunStats read_superstep_csv(std::istream& is, int nprocs) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::invalid_argument("stats_io: missing or unexpected CSV header");
+  }
+  RunStats stats;
+  stats.nprocs = nprocs;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() != 9) {
+      throw std::invalid_argument("stats_io: malformed CSV row: " + line);
+    }
+    SuperstepStats s;
+    try {
+      s.w_max_us = std::stod(cells[1]);
+      s.w_total_us = std::stod(cells[2]);
+      s.h_packets = std::stoull(cells[3]);
+      s.total_packets = std::stoull(cells[4]);
+      s.total_bytes = std::stoull(cells[5]);
+      s.total_messages = std::stoull(cells[6]);
+      s.h_messages = std::stoull(cells[7]);
+      s.endpoint_messages = std::stoull(cells[8]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("stats_io: malformed CSV value: " + line);
+    }
+    stats.supersteps.push_back(s);
+  }
+  return stats;
+}
+
+void save_superstep_csv(const std::string& path, const RunStats& stats) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("stats_io: cannot open " + path);
+  write_superstep_csv(os, stats);
+  if (!os.good()) throw std::runtime_error("stats_io: write failed: " + path);
+}
+
+RunStats load_superstep_csv(const std::string& path, int nprocs) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("stats_io: cannot open " + path);
+  return read_superstep_csv(is, nprocs);
+}
+
+}  // namespace gbsp

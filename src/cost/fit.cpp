@@ -1,0 +1,49 @@
+#include "cost/fit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gbsp {
+
+MachineParams fit_g_L(const std::vector<ProbeSample>& samples) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("fit_g_L: need at least two samples");
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& s : samples) {
+    const double x = static_cast<double>(s.h);
+    sx += x;
+    sy += s.time_us;
+    sxx += x * x;
+    sxy += x * s.time_us;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_g_L: need at least two distinct h values");
+  }
+  MachineParams mp;
+  mp.g_us = (n * sxy - sx * sy) / denom;
+  mp.L_us = (sy - mp.g_us * sx) / n;
+  if (mp.L_us < 0) mp.L_us = 0;
+  if (mp.g_us < 0) mp.g_us = 0;
+  return mp;
+}
+
+MachineParams estimate_g_L_endpoints(const std::vector<ProbeSample>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("estimate_g_L_endpoints: no samples");
+  }
+  const auto [lo, hi] = std::minmax_element(
+      samples.begin(), samples.end(),
+      [](const ProbeSample& a, const ProbeSample& b) { return a.h < b.h; });
+  MachineParams mp;
+  mp.L_us = lo->time_us;
+  if (hi->h > lo->h) {
+    mp.g_us = (hi->time_us - mp.L_us) / static_cast<double>(hi->h);
+    if (mp.g_us < 0) mp.g_us = 0;
+  }
+  return mp;
+}
+
+}  // namespace gbsp

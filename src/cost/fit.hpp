@@ -1,0 +1,31 @@
+// Estimating a machine's (g, L) from probe measurements — the procedure
+// behind paper Figure 2.1: "The value for L corresponds to the time for a
+// superstep in which each processor sends a single packet. The bandwidth
+// parameter g is the time per 16-byte packet for a sufficiently large
+// superstep with a total-exchange communication pattern."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/machine.hpp"
+
+namespace gbsp {
+
+/// One probe observation: a communication-only superstep with h-relation
+/// size `h` (packets) that took `time_us`.
+struct ProbeSample {
+  std::uint64_t h = 0;
+  double time_us = 0.0;
+};
+
+/// Ordinary least squares fit of time = g*h + L over the samples.
+/// Requires at least two distinct h values; throws std::invalid_argument
+/// otherwise. A negative intercept is clamped to L = 0.
+MachineParams fit_g_L(const std::vector<ProbeSample>& samples);
+
+/// The paper's simpler estimator: L from the smallest-h sample's time, g from
+/// the largest-h sample's marginal per-packet time (time - L) / h.
+MachineParams estimate_g_L_endpoints(const std::vector<ProbeSample>& samples);
+
+}  // namespace gbsp

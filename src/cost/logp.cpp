@@ -1,0 +1,66 @@
+#include "cost/logp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/machine.hpp"
+
+namespace gbsp {
+
+namespace {
+
+int ceil_log2(int p) {
+  int r = 0;
+  for (int reach = 1; reach < p; reach *= 2) ++r;
+  return r;
+}
+
+LogPParams derive(const MachineProfile& profile, int nprocs, double o_us) {
+  LogPParams lp;
+  lp.P = nprocs;
+  lp.o_us = o_us;
+  const MachineParams mp = profile.params_for(nprocs);
+  lp.g_us = mp.g_us;  // per 16-byte message at an endpoint
+  // The BSP L folds network latency and synchronization together; attribute
+  // the barrier's share to the tree term and keep the rest as wire latency.
+  const double barrier = ceil_log2(nprocs) * (mp.g_us + 2 * o_us);
+  lp.L_us = std::max(0.5, (mp.L_us - barrier) / std::max(1, 2 * ceil_log2(nprocs)));
+  return lp;
+}
+
+}  // namespace
+
+LogPParams logp_sgi(int nprocs) {
+  return derive(paper_sgi(), nprocs, /*o_us=*/0.5);  // shared-memory buffer
+}
+
+LogPParams logp_cenju(int nprocs) {
+  return derive(paper_cenju(), nprocs, /*o_us=*/25.0);  // MPI stack
+}
+
+LogPParams logp_pc(int nprocs) {
+  return derive(paper_pc(), nprocs, /*o_us=*/60.0);  // TCP stack
+}
+
+double logp_barrier_us(const LogPParams& lp) {
+  return ceil_log2(lp.P) * (lp.L_us + 2 * lp.o_us);
+}
+
+double predict_logp_s(const RunStats& stats, const LogPParams& lp,
+                      double cpu_scale) {
+  double total_us = 0.0;
+  const double barrier = logp_barrier_us(lp);
+  for (const auto& s : stats.supersteps) {
+    const double endpoint_overhead =
+        lp.o_us * static_cast<double>(s.endpoint_messages);
+    // Long messages stream at the per-byte rate (the LogGP refinement),
+    // counted in 16-byte units like the BSP g.
+    const double gap = lp.g_us * static_cast<double>(s.h_packets);
+    double comm = std::max(endpoint_overhead, gap);
+    if (s.total_messages > 0) comm += lp.L_us;
+    total_us += s.w_max_us * cpu_scale + comm + barrier;
+  }
+  return total_us * 1e-6;
+}
+
+}  // namespace gbsp

@@ -1,0 +1,56 @@
+// The LogP model (Culler et al., PPoPP 1993) as a comparison cost model.
+//
+// The paper positions BSP against "asynchronous models such as LogP"
+// (Sections 1 and 1.3) and explicitly wants "a basis for a comparison".
+// LogP describes point-to-point messages with four parameters: network
+// latency L, per-message software overhead o (paid by sender AND receiver),
+// per-message gap g (reciprocal bandwidth at an endpoint), and P.
+//
+// For a superstep-structured program the standard LogP estimate of one
+// superstep is
+//
+//   T_i = w_i + max[ o * endpoint_messages_i,  g * h_i ]
+//         + L + T_barrier,     T_barrier = ceil(log2 P) * (L + 2o)
+//
+// (endpoints pay the per-message overhead o for every send and receive;
+// data streams at the per-unit-volume rate — the LogGP refinement for long
+// messages — whichever is slower dominates; the final message pays one
+// network latency; the barrier is a binary combine/broadcast tree).
+//
+// The point of the comparison (bench_model_comparison): LogP charges per
+// MESSAGE and so rewards bulk transfers explicitly, while BSP's g charges
+// per unit volume and folds everything else into L — yet both models rank
+// machines and predict breakpoints the same way on bulk-synchronous
+// programs, which is the paper's argument for the simpler model.
+#pragma once
+
+#include "core/stats.hpp"
+
+namespace gbsp {
+
+struct LogPParams {
+  double L_us = 0.0;  ///< network latency per message
+  double o_us = 0.0;  ///< send/receive software overhead per message
+  double g_us = 0.0;  ///< gap between consecutive messages at one endpoint
+  int P = 1;
+};
+
+/// Representative LogP parameters for the paper's three platforms, derived
+/// from the measured BSP tables: o from the small-message cost of the
+/// transport (shared-memory buffer, MPI stack, TCP stack), g from the
+/// per-16-byte-packet bandwidth cost, L from the single-packet superstep
+/// latency net of the synchronization estimate.
+LogPParams logp_sgi(int nprocs);
+LogPParams logp_cenju(int nprocs);
+LogPParams logp_pc(int nprocs);
+
+/// LogP running-time estimate for a traced BSP program (message counts are
+/// taken from the per-superstep aggregates; `cpu_scale` rescales work as in
+/// the BSP predictor).
+double predict_logp_s(const RunStats& stats, const LogPParams& lp,
+                      double cpu_scale = 1.0);
+
+/// The barrier term alone (exposed for tests).
+double logp_barrier_us(const LogPParams& lp);
+
+}  // namespace gbsp

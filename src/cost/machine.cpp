@@ -1,0 +1,71 @@
+#include "cost/machine.hpp"
+
+#include <stdexcept>
+
+namespace gbsp {
+
+MachineProfile::MachineProfile(std::string name,
+                               std::map<int, MachineParams> table,
+                               int max_procs)
+    : name_(std::move(name)), table_(std::move(table)), max_procs_(max_procs) {
+  if (table_.empty()) {
+    throw std::invalid_argument("MachineProfile: empty (g, L) table");
+  }
+}
+
+MachineParams MachineProfile::params_for(int nprocs) const {
+  if (nprocs < 1) {
+    throw std::invalid_argument("MachineProfile: nprocs must be >= 1");
+  }
+  auto hi = table_.lower_bound(nprocs);
+  if (hi != table_.end() && hi->first == nprocs) return hi->second;
+  if (hi == table_.begin()) return hi->second;          // below table: clamp
+  if (hi == table_.end()) return std::prev(hi)->second; // above table: clamp
+  auto lo = std::prev(hi);
+  const double t = static_cast<double>(nprocs - lo->first) /
+                   static_cast<double>(hi->first - lo->first);
+  return MachineParams{
+      lo->second.g_us + t * (hi->second.g_us - lo->second.g_us),
+      lo->second.L_us + t * (hi->second.L_us - lo->second.L_us)};
+}
+
+// Figure 2.1 of the paper, verbatim.
+const MachineProfile& paper_sgi() {
+  static const MachineProfile m("SGI",
+                                {{1, {0.77, 3}},
+                                 {2, {0.82, 16}},
+                                 {4, {0.88, 29}},
+                                 {8, {0.97, 52}},
+                                 {9, {1.0, 57}},
+                                 {16, {0.95, 105}}},
+                                16);
+  return m;
+}
+
+const MachineProfile& paper_cenju() {
+  static const MachineProfile m("Cenju",
+                                {{1, {2.2, 130}},
+                                 {2, {2.2, 260}},
+                                 {4, {2.2, 470}},
+                                 {8, {2.5, 1470}},
+                                 {9, {2.7, 1680}},
+                                 {16, {3.6, 2880}}},
+                                16);
+  return m;
+}
+
+const MachineProfile& paper_pc() {
+  static const MachineProfile m("PC",
+                                {{1, {0.92, 2}},
+                                 {2, {3.3, 540}},
+                                 {4, {4.8, 1556}},
+                                 {8, {8.6, 3715}}},
+                                8);
+  return m;
+}
+
+std::vector<const MachineProfile*> paper_machines() {
+  return {&paper_sgi(), &paper_cenju(), &paper_pc()};
+}
+
+}  // namespace gbsp

@@ -1,0 +1,61 @@
+// BSP machine characterization: the (g, L) parameter tables of paper
+// Figure 2.1, and machine profiles for the three platforms of the study.
+//
+// Units follow the paper: g is microseconds per 16-byte packet ("bandwidth
+// cost"), L is microseconds per superstep ("latency cost" — packet latency
+// plus global synchronization overhead), both as functions of the number of
+// processors.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gbsp {
+
+struct MachineParams {
+  double g_us = 0.0;  ///< time per 16-byte packet, microseconds
+  double L_us = 0.0;  ///< minimum superstep duration, microseconds
+};
+
+/// A named machine with measured (g, L) per processor count plus a relative
+/// CPU speed used by the emulator (seconds on this machine per second of
+/// reference work; calibrated per application, see src/emul).
+class MachineProfile {
+ public:
+  MachineProfile(std::string name, std::map<int, MachineParams> table,
+                 int max_procs);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int max_procs() const { return max_procs_; }
+
+  /// (g, L) for `nprocs`: exact table hit, or linear interpolation between
+  /// the bracketing entries (clamped at the table ends).
+  [[nodiscard]] MachineParams params_for(int nprocs) const;
+
+  /// True if the paper ran this machine with `nprocs` processors.
+  [[nodiscard]] bool supports(int nprocs) const {
+    return nprocs >= 1 && nprocs <= max_procs_;
+  }
+
+  [[nodiscard]] const std::map<int, MachineParams>& table() const {
+    return table_;
+  }
+
+ private:
+  std::string name_;
+  std::map<int, MachineParams> table_;
+  int max_procs_;
+};
+
+/// SGI Challenge, 16x MIPS R4400, shared-memory library (paper Fig 2.1).
+const MachineProfile& paper_sgi();
+/// NEC Cenju, 16x MIPS R4400 on a multistage network, MPI library.
+const MachineProfile& paper_cenju();
+/// Eight 166-MHz Pentium PCs on switched 100-Mbit Ethernet, TCP library.
+const MachineProfile& paper_pc();
+
+/// All three, in the paper's presentation order (SGI, Cenju, PC).
+std::vector<const MachineProfile*> paper_machines();
+
+}  // namespace gbsp

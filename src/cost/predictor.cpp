@@ -1,0 +1,29 @@
+#include "cost/predictor.hpp"
+
+namespace gbsp {
+
+CostBreakdown predict_cost(double W_s, std::uint64_t H, std::uint64_t S,
+                           const MachineParams& mp, double cpu_scale) {
+  CostBreakdown c;
+  c.work_s = W_s * cpu_scale;
+  c.bandwidth_s = mp.g_us * static_cast<double>(H) * 1e-6;
+  c.latency_s = mp.L_us * static_cast<double>(S) * 1e-6;
+  return c;
+}
+
+CostBreakdown predict_cost(const RunStats& stats, const MachineParams& mp,
+                           double cpu_scale) {
+  return predict_cost(stats.W_s(), stats.H(), stats.S(), mp, cpu_scale);
+}
+
+double predict_cost_stepwise_s(const RunStats& stats, const MachineParams& mp,
+                               double cpu_scale) {
+  double total_us = 0.0;
+  for (const auto& s : stats.supersteps) {
+    total_us += s.w_max_us * cpu_scale +
+                mp.g_us * static_cast<double>(s.h_packets) + mp.L_us;
+  }
+  return total_us * 1e-6;
+}
+
+}  // namespace gbsp

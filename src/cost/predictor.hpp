@@ -1,0 +1,46 @@
+// The BSP cost function (paper Equation 1):
+//
+//     T = W + g * H + L * S
+//
+// applied to measured run statistics, plus the decomposition used by the
+// paper's Figure 1.1 (total predicted time vs. predicted communication time,
+// the latter "including synchronization").
+#pragma once
+
+#include <cstdint>
+
+#include "core/stats.hpp"
+#include "cost/machine.hpp"
+
+namespace gbsp {
+
+/// The three additive components of Equation 1, in seconds.
+struct CostBreakdown {
+  double work_s = 0.0;       ///< W (optionally rescaled to the target CPU)
+  double bandwidth_s = 0.0;  ///< g * H
+  double latency_s = 0.0;    ///< L * S
+
+  [[nodiscard]] double total_s() const {
+    return work_s + bandwidth_s + latency_s;
+  }
+  /// Communication-plus-synchronization time, the dashed series of Fig 1.1.
+  [[nodiscard]] double comm_s() const { return bandwidth_s + latency_s; }
+};
+
+/// Predicts the run time of a program with the given abstract performance
+/// (W, H, S) on a machine with parameters `mp`. `cpu_scale` converts measured
+/// work seconds into target-machine work seconds (1.0 = same speed).
+CostBreakdown predict_cost(double W_s, std::uint64_t H, std::uint64_t S,
+                           const MachineParams& mp, double cpu_scale = 1.0);
+
+/// Convenience overload reading W/H/S from run statistics.
+CostBreakdown predict_cost(const RunStats& stats, const MachineParams& mp,
+                           double cpu_scale = 1.0);
+
+/// Per-superstep prediction: sum_i (w_i + g*h_i + L). Differs from the
+/// aggregate form only in rounding; exposed for emulation (src/emul), which
+/// charges time superstep by superstep.
+double predict_cost_stepwise_s(const RunStats& stats, const MachineParams& mp,
+                               double cpu_scale = 1.0);
+
+}  // namespace gbsp

@@ -1,0 +1,90 @@
+#include "cost/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+// Least squares y = a + b*x; returns {a, b}.
+std::pair<double, double> linear_fit(const std::vector<double>& xs,
+                                     const std::vector<double>& ys) {
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return {ys.empty() ? 0.0 : ys.back(), 0.0};
+  const double b = (n * sxy - sx * sy) / denom;
+  return {(sy - b * sx) / n, b};
+}
+
+}  // namespace
+
+MachineProfile extrapolate_profile(const MachineProfile& base,
+                                   const std::vector<int>& extra_procs) {
+  std::vector<double> ps, log_ps, gs, ls;
+  for (const auto& [p, mp] : base.table()) {
+    ps.push_back(static_cast<double>(p));
+    log_ps.push_back(std::log2(static_cast<double>(p)) + 1.0);
+    gs.push_back(mp.g_us);
+    ls.push_back(mp.L_us);
+  }
+  const auto [l_a, l_b] = linear_fit(ps, ls);
+  const auto [g_a, g_b] = linear_fit(log_ps, gs);
+
+  std::map<int, MachineParams> table = base.table();
+  int max_procs = base.max_procs();
+  const MachineParams last = base.table().rbegin()->second;
+  for (int p : extra_procs) {
+    if (table.count(p) != 0) continue;
+    MachineParams mp;
+    // Never extrapolate below the last measured point: parameters are
+    // monotone in p on all three platforms.
+    mp.L_us = std::max(last.L_us, l_a + l_b * p);
+    mp.g_us = std::max(last.g_us,
+                       g_a + g_b * (std::log2(static_cast<double>(p)) + 1.0));
+    table.emplace(p, mp);
+    max_procs = std::max(max_procs, p);
+  }
+  return MachineProfile(base.name() + "+", std::move(table), max_procs);
+}
+
+int best_processor_count(const std::vector<SeriesPoint>& series) {
+  if (series.empty()) {
+    throw std::invalid_argument("best_processor_count: empty series");
+  }
+  const auto it = std::min_element(
+      series.begin(), series.end(), [](const SeriesPoint& a,
+                                       const SeriesPoint& b) {
+        return a.time_s != b.time_s ? a.time_s < b.time_s : a.np < b.np;
+      });
+  return it->np;
+}
+
+int degradation_point(const std::vector<SeriesPoint>& series) {
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i].time_s > series[i - 1].time_s) return series[i].np;
+  }
+  return 0;
+}
+
+double efficiency_at(const std::vector<SeriesPoint>& series, int np) {
+  double t1 = -1, tn = -1;
+  for (const auto& sp : series) {
+    if (sp.np == 1) t1 = sp.time_s;
+    if (sp.np == np) tn = sp.time_s;
+  }
+  if (t1 < 0 || tn <= 0) {
+    throw std::invalid_argument("efficiency_at: series lacks np=1 or np");
+  }
+  return t1 / (np * tn);
+}
+
+}  // namespace gbsp

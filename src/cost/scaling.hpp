@@ -1,0 +1,41 @@
+// Scaling analysis beyond the paper's testbed (paper Section 5: "all the
+// experiments in this paper were performed on parallel machines with a
+// fairly small number of processors, and we plan to extend our study to
+// several larger machines").
+//
+// extrapolate_profile extends a measured (g, L) table to larger processor
+// counts by least-squares trend fitting: L grows linearly in p (barrier +
+// per-hop latency), g linearly in log2 p (multistage-network congestion).
+// Series helpers locate the performance breakpoints the paper highlights.
+#pragma once
+
+#include <vector>
+
+#include "cost/machine.hpp"
+
+namespace gbsp {
+
+/// A copy of `base` whose table additionally covers `extra_procs`
+/// (e.g. {32, 64, 128}), with trend-extrapolated parameters; max_procs is
+/// raised accordingly. Entries already in the table are preserved.
+MachineProfile extrapolate_profile(const MachineProfile& base,
+                                   const std::vector<int>& extra_procs);
+
+struct SeriesPoint {
+  int np = 0;
+  double time_s = 0.0;
+};
+
+/// Processor count minimizing time (ties: the smaller count).
+int best_processor_count(const std::vector<SeriesPoint>& series);
+
+/// The paper's "breakpoint": the first processor count at which adding
+/// processors makes the run *slower* than the previous point; 0 if the
+/// series improves monotonically.
+int degradation_point(const std::vector<SeriesPoint>& series);
+
+/// Parallel efficiency time(1) / (np * time(np)) at the given point;
+/// series must contain np == 1.
+double efficiency_at(const std::vector<SeriesPoint>& series, int np);
+
+}  // namespace gbsp

@@ -1,0 +1,254 @@
+#include "expt/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "paperdata/paperdata.hpp"
+#include "util/table.hpp"
+
+namespace gbsp {
+
+const SweepRow* SweepResult::find(int size, int np) const {
+  for (const auto& r : rows) {
+    if (r.size == size && r.np == np) return &r;
+  }
+  return nullptr;
+}
+
+SweepResult run_sweep(AppAdapter& app, const SweepOptions& opts) {
+  SweepResult result;
+  result.app = app.name();
+  const auto machines = emulated_machines();
+
+  for (int size : opts.sizes) {
+    if (opts.verbose) {
+      std::cerr << "[" << result.app << "] preparing size " << size << "\n";
+    }
+    app.prepare(size);
+
+    const std::vector<int> nps =
+        opts.nprocs.empty() ? app.nprocs_list() : opts.nprocs;
+
+    // Trace every processor count once.
+    std::vector<RunStats> traces;
+    for (int np : nps) {
+      if (opts.verbose) {
+        std::cerr << "[" << result.app << "] size " << size << " np " << np
+                  << " ..." << std::flush;
+      }
+      traces.push_back(execute_traced(np, app.program(np)));
+      if (opts.verbose) {
+        std::cerr << " " << traces.back().summary() << "\n";
+      }
+    }
+
+    // Calibrate each machine's cpu_scale so that the one-processor work
+    // matches the paper's one-processor time for this (app, size, machine).
+    const double our_w1 = traces.front().W_s();
+    std::array<double, 3> scale{};
+    for (int m = 0; m < 3; ++m) {
+      const double paper_t1 =
+          paper_calibration_time(result.app, size, m);
+      scale[static_cast<std::size_t>(m)] =
+          std::isfinite(paper_t1) && our_w1 > 0
+              ? calibrate_cpu_scale(paper_t1, our_w1)
+              : 1.0;
+    }
+
+    // Price every trace for every machine.
+    std::array<double, 3> t1{};
+    for (std::size_t i = 0; i < nps.size(); ++i) {
+      SweepRow row;
+      row.size = size;
+      row.np = nps[i];
+      const RunStats& stats = traces[i];
+      const double sgi_scale = scale[0];
+      row.W_sgi_s = stats.W_s() * sgi_scale;
+      row.H = stats.H();
+      row.S = stats.S();
+      row.total_work_sgi_s = stats.total_work_s() * sgi_scale;
+      for (int m = 0; m < 3; ++m) {
+        MachineMeasurement& mm = row.machines[static_cast<std::size_t>(m)];
+        const EmulatedMachine& machine = machines[static_cast<std::size_t>(m)];
+        if (row.np > machine.max_procs()) continue;
+        mm.available = true;
+        mm.time_s = price_trace(stats, machine, scale[static_cast<std::size_t>(m)]);
+        const CostBreakdown pred =
+            predict_cost(stats, machine.profile->params_for(row.np),
+                         scale[static_cast<std::size_t>(m)]);
+        mm.pred_s = pred.total_s();
+        mm.comm_s = pred.comm_s();
+        if (row.np == 1) t1[static_cast<std::size_t>(m)] = mm.time_s;
+        mm.spdp = t1[static_cast<std::size_t>(m)] > 0
+                      ? t1[static_cast<std::size_t>(m)] / mm.time_s
+                      : 0.0;
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+void add_machine_cells(TextTable& t, const MachineMeasurement& mm) {
+  if (!mm.available) {
+    t.add_missing().add_missing().add_missing();
+    return;
+  }
+  t.add(mm.pred_s).add(mm.time_s).add(mm.spdp, 1);
+}
+
+void add_paper_cells(TextTable& t, const PaperRow& pr, int machine) {
+  auto cell = [&](double v, int dec) {
+    if (std::isfinite(v)) {
+      t.add(v, dec);
+    } else {
+      t.add_missing();
+    }
+  };
+  cell(pr.pred(machine), 2);
+  cell(pr.time(machine), 2);
+  cell(pr.spdp(machine), 1);
+}
+
+}  // namespace
+
+void render_appendix_table(std::ostream& os, const SweepResult& result,
+                           bool include_paper, bool csv) {
+  TextTable t({"who", "size", "NP", "SGIpred", "SGItime", "SGIspdp",
+               "CENpred", "CENtime", "CENspdp", "PCpred", "PCtime", "PCspdp",
+               "W", "H", "S", "TWk"});
+  for (const auto& r : result.rows) {
+    t.row().add("ours").add(std::int64_t{r.size}).add(std::int64_t{r.np});
+    for (int m = 0; m < 3; ++m) {
+      add_machine_cells(t, r.machines[static_cast<std::size_t>(m)]);
+    }
+    t.add(r.W_sgi_s)
+        .add(static_cast<std::int64_t>(r.H))
+        .add(static_cast<std::int64_t>(r.S))
+        .add(r.total_work_sgi_s);
+    if (include_paper) {
+      if (auto pr = paper_row(result.app, r.size, r.np)) {
+        t.row().add("paper").add(std::int64_t{r.size}).add(
+            std::int64_t{r.np});
+        for (int m = 0; m < 3; ++m) add_paper_cells(t, *pr, m);
+        t.add(pr->W)
+            .add(static_cast<std::int64_t>(pr->H))
+            .add(std::int64_t{pr->S})
+            .add(pr->total_work16);
+      }
+    }
+  }
+  if (csv) {
+    t.render_csv(os);
+    return;
+  }
+  os << "== " << result.app << ": Appendix-C-style sweep ==\n";
+  t.render(os);
+}
+
+void render_figure11(std::ostream& os, const SweepResult& result, int size) {
+  static const char* kNames[3] = {"SGI", "Cenju", "PC"};
+  os << "== Figure 1.1 style: " << result.app << " (size " << size
+     << ") actual vs predicted vs predicted-comm ==\n";
+  TextTable t({"machine", "NP", "actual", "predicted", "pred-comm",
+               "paper-time", "paper-pred"});
+  for (int m = 0; m < 3; ++m) {
+    for (const auto& r : result.rows) {
+      if (r.size != size) continue;
+      const auto& mm = r.machines[static_cast<std::size_t>(m)];
+      if (!mm.available) continue;
+      t.row().add(kNames[m]).add(std::int64_t{r.np});
+      t.add(mm.time_s).add(mm.pred_s).add(mm.comm_s, 3);
+      if (auto pr = paper_row(result.app, size, r.np)) {
+        if (std::isfinite(pr->time(m))) {
+          t.add(pr->time(m));
+        } else {
+          t.add_missing();
+        }
+        if (std::isfinite(pr->pred(m))) {
+          t.add(pr->pred(m));
+        } else {
+          t.add_missing();
+        }
+      } else {
+        t.add_missing().add_missing();
+      }
+    }
+  }
+  t.render(os);
+}
+
+void render_summary(std::ostream& os, const SweepResult& result, int size) {
+  static const char* kNames[3] = {"SGI(16)", "Cenju(16)", "PC(8)"};
+  const int np_for[3] = {16, 16, 8};
+  os << "== Figure 3.1/3.2 style summary: " << result.app << " (size "
+     << size << ") ==\n";
+  TextTable t({"machine", "time", "spdp", "paper-time", "paper-spdp"});
+  for (int m = 0; m < 3; ++m) {
+    const SweepRow* r = result.find(size, np_for[m]);
+    if (r == nullptr || !r->machines[static_cast<std::size_t>(m)].available) {
+      continue;
+    }
+    const auto& mm = r->machines[static_cast<std::size_t>(m)];
+    t.row().add(kNames[m]).add(mm.time_s).add(mm.spdp, 1);
+    if (auto pr = paper_row(result.app, size, np_for[m])) {
+      if (std::isfinite(pr->time(m))) {
+        t.add(pr->time(m));
+      } else {
+        t.add_missing();
+      }
+      if (std::isfinite(pr->spdp(m))) {
+        t.add(pr->spdp(m), 1);
+      } else {
+        t.add_missing();
+      }
+    } else {
+      t.add_missing().add_missing();
+    }
+  }
+  t.render(os);
+  const SweepRow* r16 = result.find(size, 16);
+  if (r16 != nullptr) {
+    os << "  abstract: W=" << format_number(r16->W_sgi_s) << "s H=" << r16->H
+       << " S=" << r16->S
+       << " total_work(16)=" << format_number(r16->total_work_sgi_s) << "s";
+    if (auto pr = paper_row(result.app, size, 16)) {
+      os << "   [paper: W=" << format_number(pr->W) << " H=" << pr->H
+         << " S=" << pr->S << " TWk=" << format_number(pr->total_work16)
+         << "]";
+    }
+    os << "\n";
+  }
+}
+
+void render_deviation_summary(std::ostream& os, const SweepResult& result) {
+  std::vector<double> time_dev, spdp_dev;
+  for (const auto& r : result.rows) {
+    const auto pr = paper_row(result.app, r.size, r.np);
+    if (!pr) continue;
+    for (int m = 0; m < 3; ++m) {
+      const auto& mm = r.machines[static_cast<std::size_t>(m)];
+      if (!mm.available) continue;
+      if (std::isfinite(pr->time(m)) && pr->time(m) > 0) {
+        time_dev.push_back(std::abs(mm.time_s - pr->time(m)) / pr->time(m));
+      }
+      if (std::isfinite(pr->spdp(m)) && pr->spdp(m) > 0) {
+        spdp_dev.push_back(std::abs(mm.spdp - pr->spdp(m)) / pr->spdp(m));
+      }
+    }
+  }
+  auto median = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  os << "== " << result.app << " deviation vs paper: median |time| dev "
+     << format_number(100 * median(time_dev), 1) << "%, median |speedup| dev "
+     << format_number(100 * median(spdp_dev), 1) << "% over "
+     << time_dev.size() << " cells ==\n";
+}
+
+}  // namespace gbsp

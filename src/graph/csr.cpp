@@ -1,0 +1,66 @@
+#include "graph/csr.hpp"
+
+#include <stdexcept>
+
+namespace gbsp {
+
+Graph::Graph(int n, const std::vector<Edge>& undirected_edges) : n_(n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative node count");
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : undirected_edges) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      throw std::out_of_range("Graph: edge endpoint out of range");
+    }
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  targets_.resize(static_cast<std::size_t>(offsets_.back()));
+  weights_.resize(targets_.size());
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : undirected_edges) {
+    const auto cu = static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++);
+    targets_[cu] = e.v;
+    weights_[cu] = e.w;
+    const auto cv = static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++);
+    targets_[cv] = e.u;
+    weights_[cv] = e.w;
+  }
+}
+
+bool Graph::connected() const {
+  if (n_ <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  int count = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == n_;
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges()));
+  for (int u = 0; u < n_; ++u) {
+    const auto nbrs = neighbors(u);
+    const auto ws = weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) out.push_back({u, nbrs[i], ws[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace gbsp

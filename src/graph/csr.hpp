@@ -1,0 +1,56 @@
+// Weighted undirected graphs in compressed-sparse-row form, plus the edge
+// list they are built from. Node ids are dense ints; every undirected edge
+// appears in both adjacency rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gbsp {
+
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double w = 0.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds the symmetric CSR for `n` nodes from undirected edges
+  /// (each Edge{u,v,w} produces rows in both u and v).
+  Graph(int n, const std::vector<Edge>& undirected_edges);
+
+  [[nodiscard]] int num_nodes() const { return n_; }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(targets_.size()) / 2;
+  }
+  [[nodiscard]] int degree(int u) const {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(u) + 1] -
+                            offsets_[static_cast<std::size_t>(u)]);
+  }
+  [[nodiscard]] std::span<const int> neighbors(int u) const {
+    return {targets_.data() + offsets_[static_cast<std::size_t>(u)],
+            targets_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+  [[nodiscard]] std::span<const double> weights(int u) const {
+    return {weights_.data() + offsets_[static_cast<std::size_t>(u)],
+            weights_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  /// True when every pair of nodes is connected (BFS from node 0).
+  [[nodiscard]] bool connected() const;
+
+  /// All undirected edges with u < v (reconstructed from the CSR).
+  [[nodiscard]] std::vector<Edge> edge_list() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::int64_t> offsets_;  // n + 1
+  std::vector<int> targets_;
+  std::vector<double> weights_;
+};
+
+}  // namespace gbsp

@@ -1,0 +1,63 @@
+#include "graph/dijkstra.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/heap.hpp"
+
+namespace gbsp {
+
+std::vector<double> dijkstra(const Graph& g, int source) {
+  const int n = g.num_nodes();
+  if (source < 0 || source >= n) {
+    throw std::out_of_range("dijkstra: source out of range");
+  }
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  IndexedMinHeap heap(n);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.push_or_decrease(source, 0.0);
+  while (!heap.empty()) {
+    const auto [u, du] = heap.pop_min();
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const int v = nbrs[k];
+      const double cand = du + ws[k];
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        heap.push_or_decrease(v, cand);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> bellman_ford(const Graph& g, int source) {
+  const int n = g.num_nodes();
+  if (source < 0 || source >= n) {
+    throw std::out_of_range("bellman_ford: source out of range");
+  }
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (int u = 0; u < n; ++u) {
+      const double du = dist[static_cast<std::size_t>(u)];
+      if (du == std::numeric_limits<double>::infinity()) continue;
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.weights(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (du + ws[k] < dist[static_cast<std::size_t>(nbrs[k])]) {
+          dist[static_cast<std::size_t>(nbrs[k])] = du + ws[k];
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace gbsp

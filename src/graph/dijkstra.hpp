@@ -1,0 +1,18 @@
+// Sequential single-source shortest paths: Dijkstra with an indexed heap
+// (the baseline of paper Section 3.4) and Bellman–Ford (a slower independent
+// oracle for tests).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gbsp {
+
+/// Distance labels from `source`; unreachable nodes get +infinity.
+std::vector<double> dijkstra(const Graph& g, int source);
+
+/// Bellman–Ford oracle (O(n*m)); use on small graphs only.
+std::vector<double> bellman_ford(const Graph& g, int source);
+
+}  // namespace gbsp

@@ -1,0 +1,149 @@
+#include "graph/geometric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace gbsp {
+
+namespace {
+
+/// Uniform grid over the unit square with cells of size >= `cell`.
+class PointGrid {
+ public:
+  PointGrid(const std::vector<Point2>& pts, double cell)
+      : pts_(pts),
+        dims_(std::max(1, static_cast<int>(1.0 / std::max(cell, 1e-9)))) {
+    if (dims_ > 2048) dims_ = 2048;  // bound memory for tiny radii
+    cells_.resize(static_cast<std::size_t>(dims_) * dims_);
+    for (int i = 0; i < static_cast<int>(pts_.size()); ++i) {
+      cells_[index_of(pts_[static_cast<std::size_t>(i)])].push_back(i);
+    }
+  }
+
+  /// Calls fn(i, j) once for every pair with |p_i - p_j| <= r, i < j.
+  template <typename Fn>
+  void for_each_pair_within(double r, Fn&& fn) const {
+    const double r2 = r * r;
+    const int reach = static_cast<int>(std::ceil(r * dims_)) + 1;
+    for (int cy = 0; cy < dims_; ++cy) {
+      for (int cx = 0; cx < dims_; ++cx) {
+        const auto& cell = cells_[static_cast<std::size_t>(cy) * dims_ + cx];
+        if (cell.empty()) continue;
+        for (int dy = 0; dy <= reach; ++dy) {
+          const int ny = cy + dy;
+          if (ny >= dims_) break;
+          const int dx_lo = (dy == 0) ? 0 : -reach;
+          for (int dx = dx_lo; dx <= reach; ++dx) {
+            const int nx = cx + dx;
+            if (nx < 0 || nx >= dims_) continue;
+            const bool same_cell = (dy == 0 && dx == 0);
+            const auto& other =
+                cells_[static_cast<std::size_t>(ny) * dims_ + nx];
+            for (std::size_t a = 0; a < cell.size(); ++a) {
+              const int i = cell[a];
+              const std::size_t b0 = same_cell ? a + 1 : 0;
+              for (std::size_t b = b0; b < other.size(); ++b) {
+                const int j = other[b];
+                // Visit each unordered pair once: for distinct cells the
+                // (dy, dx) scan already imposes an order; for dy == 0,
+                // dx < 0 duplicates dx > 0 of the mirror cell, hence dx_lo.
+                if (dy == 0 && dx < 0) continue;
+                const double ddx = pts_[static_cast<std::size_t>(i)].x -
+                                   pts_[static_cast<std::size_t>(j)].x;
+                const double ddy = pts_[static_cast<std::size_t>(i)].y -
+                                   pts_[static_cast<std::size_t>(j)].y;
+                const double d2 = ddx * ddx + ddy * ddy;
+                if (d2 <= r2) fn(i, j, std::sqrt(d2));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(const Point2& p) const {
+    int cx = static_cast<int>(p.x * dims_);
+    int cy = static_cast<int>(p.y * dims_);
+    cx = std::clamp(cx, 0, dims_ - 1);
+    cy = std::clamp(cy, 0, dims_ - 1);
+    return static_cast<std::size_t>(cy) * dims_ + cx;
+  }
+
+  const std::vector<Point2>& pts_;
+  int dims_;
+  std::vector<std::vector<int>> cells_;
+};
+
+bool connected_at_radius(const std::vector<Point2>& pts, const PointGrid& grid,
+                         double r) {
+  UnionFind uf(static_cast<int>(pts.size()));
+  grid.for_each_pair_within(r, [&](int i, int j, double) { uf.unite(i, j); });
+  return uf.components() == 1;
+}
+
+}  // namespace
+
+std::vector<Point2> random_points(int n, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("random_points: n must be >= 1");
+  Xoshiro256 rng(seed);
+  std::vector<Point2> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.uniform();
+    p.y = rng.uniform();
+  }
+  return pts;
+}
+
+std::vector<Edge> edges_within_radius(const std::vector<Point2>& pts,
+                                      double r) {
+  PointGrid grid(pts, r);
+  std::vector<Edge> edges;
+  grid.for_each_pair_within(r, [&](int i, int j, double d) {
+    edges.push_back({i, j, d});
+  });
+  return edges;
+}
+
+double minimal_connecting_radius(const std::vector<Point2>& pts,
+                                 double rel_tol) {
+  if (pts.size() <= 1) return 0.0;
+  // Grow an upper bound, then bisect. A fresh grid per radius keeps the
+  // neighbor scan proportional to the tested radius.
+  double hi = 2.0 / std::sqrt(static_cast<double>(pts.size()));
+  for (;;) {
+    PointGrid grid(pts, hi);
+    if (connected_at_radius(pts, grid, hi)) break;
+    hi *= 2.0;
+    if (hi > 2.0) {
+      hi = std::sqrt(2.0) + 1e-9;  // diameter of the unit square
+      break;
+    }
+  }
+  double lo = 0.0;
+  while ((hi - lo) > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    PointGrid grid(pts, mid);
+    if (connected_at_radius(pts, grid, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+GeometricGraph make_geometric_graph(int n, std::uint64_t seed) {
+  GeometricGraph g;
+  g.points = random_points(n, seed);
+  g.delta = minimal_connecting_radius(g.points);
+  g.graph = Graph(n, edges_within_radius(g.points, g.delta));
+  return g;
+}
+
+}  // namespace gbsp

@@ -1,0 +1,47 @@
+// The paper's input model for MST / SP / MSP (Section 3.3):
+//
+//   "Nodes are assigned uniformly at random to points on the unit square.
+//    Now construct a graph G(r) on the nodes by adding an edge between all
+//    nodes within distance r. The graph G is G(delta) where delta is the
+//    minimum value such that G(delta) is a single connected component. The
+//    weight assigned to edge (u, v) is the distance between the points."
+//
+// delta is found by bisection on r with a uniform-grid neighbor search, so
+// generation is O(n log n)-ish rather than O(n^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gbsp {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// `n` points uniform in the unit square, deterministic in `seed`.
+std::vector<Point2> random_points(int n, std::uint64_t seed);
+
+/// All pairs within distance `r` as weighted edges (weight = distance),
+/// found via a uniform grid of cell size r.
+std::vector<Edge> edges_within_radius(const std::vector<Point2>& pts,
+                                      double r);
+
+/// Minimal connecting radius delta, to relative precision `rel_tol`; the
+/// returned value always yields a connected G(delta).
+double minimal_connecting_radius(const std::vector<Point2>& pts,
+                                 double rel_tol = 1e-3);
+
+struct GeometricGraph {
+  std::vector<Point2> points;
+  double delta = 0.0;
+  Graph graph;
+};
+
+/// The paper's G(delta) instance for `n` nodes.
+GeometricGraph make_geometric_graph(int n, std::uint64_t seed);
+
+}  // namespace gbsp

@@ -1,0 +1,102 @@
+// Indexed binary min-heap with decrease-key, keyed by node id — the priority
+// queue inside both the sequential Dijkstra baseline and each processor's
+// local queue in the distributed shortest-paths application (paper 3.4).
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace gbsp {
+
+class IndexedMinHeap {
+ public:
+  /// Capacity for ids in [0, n).
+  explicit IndexedMinHeap(int n)
+      : pos_(static_cast<std::size_t>(n), -1),
+        key_(static_cast<std::size_t>(n), 0.0) {}
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool contains(int id) const {
+    return pos_[static_cast<std::size_t>(id)] >= 0;
+  }
+  /// Key of an id currently in the heap.
+  [[nodiscard]] double key_of(int id) const {
+    return key_[static_cast<std::size_t>(id)];
+  }
+
+  /// Inserts id with key, or lowers its key if already present with a larger
+  /// one. Returns true if the heap changed.
+  bool push_or_decrease(int id, double key) {
+    const int p = pos_[static_cast<std::size_t>(id)];
+    if (p < 0) {
+      key_[static_cast<std::size_t>(id)] = key;
+      pos_[static_cast<std::size_t>(id)] = static_cast<int>(heap_.size());
+      heap_.push_back(id);
+      sift_up(static_cast<int>(heap_.size()) - 1);
+      return true;
+    }
+    if (key < key_[static_cast<std::size_t>(id)]) {
+      key_[static_cast<std::size_t>(id)] = key;
+      sift_up(p);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the (id, key) with the smallest key.
+  std::pair<int, double> pop_min() {
+    if (heap_.empty()) throw std::logic_error("IndexedMinHeap: empty pop");
+    const int id = heap_[0];
+    const double key = key_[static_cast<std::size_t>(id)];
+    swap_nodes(0, static_cast<int>(heap_.size()) - 1);
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(id)] = -1;
+    if (!heap_.empty()) sift_down(0);
+    return {id, key};
+  }
+
+  void clear() {
+    for (int id : heap_) pos_[static_cast<std::size_t>(id)] = -1;
+    heap_.clear();
+  }
+
+ private:
+  [[nodiscard]] double key_at(int heap_index) const {
+    return key_[static_cast<std::size_t>(
+        heap_[static_cast<std::size_t>(heap_index)])];
+  }
+  void swap_nodes(int a, int b) {
+    std::swap(heap_[static_cast<std::size_t>(a)],
+              heap_[static_cast<std::size_t>(b)]);
+    pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(a)])] = a;
+    pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(b)])] = b;
+  }
+  void sift_up(int i) {
+    while (i > 0) {
+      const int parent = (i - 1) / 2;
+      if (key_at(parent) <= key_at(i)) break;
+      swap_nodes(i, parent);
+      i = parent;
+    }
+  }
+  void sift_down(int i) {
+    const int n = static_cast<int>(heap_.size());
+    for (;;) {
+      int smallest = i;
+      const int l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && key_at(l) < key_at(smallest)) smallest = l;
+      if (r < n && key_at(r) < key_at(smallest)) smallest = r;
+      if (smallest == i) break;
+      swap_nodes(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::vector<int> heap_;    // heap of ids
+  std::vector<int> pos_;     // id -> heap index, -1 if absent
+  std::vector<double> key_;  // id -> key (valid while in heap)
+};
+
+}  // namespace gbsp

@@ -1,0 +1,72 @@
+#include "graph/kruskal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/union_find.hpp"
+
+namespace gbsp {
+
+MstResult kruskal_mst(const Graph& g) {
+  std::vector<Edge> edges = g.edge_list();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  UnionFind uf(g.num_nodes());
+  MstResult out;
+  for (const Edge& e : edges) {
+    if (uf.unite(e.u, e.v)) {
+      out.total_weight += e.w;
+      out.edges.push_back(e);
+      if (uf.components() == 1) break;
+    }
+  }
+  return out;
+}
+
+MstResult prim_mst(const Graph& g) {
+  const int n = g.num_nodes();
+  MstResult out;
+  std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
+  std::vector<double> best(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> best_from(static_cast<std::size_t>(n), -1);
+  using Item = std::pair<double, int>;  // (key, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  for (int start = 0; start < n; ++start) {
+    if (in_tree[static_cast<std::size_t>(start)]) continue;
+    best[static_cast<std::size_t>(start)] = 0.0;
+    heap.emplace(0.0, start);
+    while (!heap.empty()) {
+      const auto [key, u] = heap.top();
+      heap.pop();
+      if (in_tree[static_cast<std::size_t>(u)] ||
+          key > best[static_cast<std::size_t>(u)]) {
+        continue;
+      }
+      in_tree[static_cast<std::size_t>(u)] = 1;
+      if (best_from[static_cast<std::size_t>(u)] >= 0) {
+        out.total_weight += key;
+        out.edges.push_back({best_from[static_cast<std::size_t>(u)], u, key});
+      }
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.weights(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const int v = nbrs[k];
+        if (!in_tree[static_cast<std::size_t>(v)] &&
+            ws[k] < best[static_cast<std::size_t>(v)]) {
+          best[static_cast<std::size_t>(v)] = ws[k];
+          best_from[static_cast<std::size_t>(v)] = u;
+          heap.emplace(ws[k], v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gbsp

@@ -1,0 +1,25 @@
+// Sequential minimum spanning tree — the baseline the paper compares its
+// parallel MST against (Section 3.3: "the running time of the
+// single-processor version of our parallel MST code is within 5% of a
+// sequential implementation of Kruskal's algorithm").
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gbsp {
+
+struct MstResult {
+  double total_weight = 0.0;
+  std::vector<Edge> edges;  ///< n - (#components) tree edges
+};
+
+/// Kruskal with sort + union-find. Works on disconnected graphs (returns a
+/// minimum spanning forest).
+MstResult kruskal_mst(const Graph& g);
+
+/// Prim's algorithm with a binary heap — an independent oracle for tests.
+MstResult prim_mst(const Graph& g);
+
+}  // namespace gbsp

@@ -1,0 +1,170 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace gbsp {
+
+GraphPartition partition_by_stripes(const Graph& g,
+                                    const std::vector<Point2>& points,
+                                    int nparts) {
+  const int n = g.num_nodes();
+  if (nparts < 1) throw std::invalid_argument("partition: nparts >= 1");
+  if (static_cast<int>(points.size()) != n) {
+    throw std::invalid_argument("partition: points/graph size mismatch");
+  }
+
+  GraphPartition part;
+  part.nparts = nparts;
+  part.owner.assign(static_cast<std::size_t>(n), 0);
+
+  // Equal-count stripes in x order.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& pa = points[static_cast<std::size_t>(a)];
+    const auto& pb = points[static_cast<std::size_t>(b)];
+    return pa.x != pb.x ? pa.x < pb.x : a < b;
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    const int owner = static_cast<int>(
+        (static_cast<std::int64_t>(rank) * nparts) / n);
+    part.owner[static_cast<std::size_t>(order[static_cast<std::size_t>(rank)])] =
+        owner;
+  }
+
+  part.parts.resize(static_cast<std::size_t>(nparts));
+
+  // Home node lists (global id order keeps local ids deterministic).
+  for (int u = 0; u < n; ++u) {
+    GraphPart& gp = part.parts[static_cast<std::size_t>(part.owner[static_cast<std::size_t>(u)])];
+    gp.global_to_local.emplace(u, gp.num_home);
+    gp.local_to_global.push_back(u);
+    ++gp.num_home;
+  }
+
+  // Border discovery and home adjacency.
+  for (int pi = 0; pi < nparts; ++pi) {
+    GraphPart& gp = part.parts[static_cast<std::size_t>(pi)];
+    gp.num_local = gp.num_home;
+    gp.offsets.assign(static_cast<std::size_t>(gp.num_home) + 1, 0);
+    // Count then fill.
+    for (int h = 0; h < gp.num_home; ++h) {
+      const int gu = gp.local_to_global[static_cast<std::size_t>(h)];
+      gp.offsets[static_cast<std::size_t>(h) + 1] =
+          gp.offsets[static_cast<std::size_t>(h)] + g.degree(gu);
+    }
+    gp.targets.resize(static_cast<std::size_t>(gp.offsets.back()));
+    gp.weights.resize(gp.targets.size());
+    for (int h = 0; h < gp.num_home; ++h) {
+      const int gu = gp.local_to_global[static_cast<std::size_t>(h)];
+      const auto nbrs = g.neighbors(gu);
+      const auto ws = g.weights(gu);
+      std::int64_t at = gp.offsets[static_cast<std::size_t>(h)];
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const int gv = nbrs[k];
+        auto it = gp.global_to_local.find(gv);
+        int lv;
+        if (it != gp.global_to_local.end()) {
+          lv = it->second;
+        } else {
+          lv = gp.num_local++;
+          gp.global_to_local.emplace(gv, lv);
+          gp.local_to_global.push_back(gv);
+          gp.owner_of_border.push_back(
+              part.owner[static_cast<std::size_t>(gv)]);
+        }
+        gp.targets[static_cast<std::size_t>(at)] = lv;
+        gp.weights[static_cast<std::size_t>(at)] = ws[k];
+        ++at;
+      }
+    }
+  }
+
+  // Watcher lists: for each home node, the set of processors holding it as a
+  // border copy (derivable locally on the owner by scanning its neighbors'
+  // owners — a neighbor owned elsewhere means that processor sees me).
+  for (int pi = 0; pi < nparts; ++pi) {
+    GraphPart& gp = part.parts[static_cast<std::size_t>(pi)];
+    gp.watchers.assign(static_cast<std::size_t>(gp.num_home), {});
+    for (int h = 0; h < gp.num_home; ++h) {
+      const int gu = gp.local_to_global[static_cast<std::size_t>(h)];
+      std::set<int> procs;
+      for (int gv : g.neighbors(gu)) {
+        const int o = part.owner[static_cast<std::size_t>(gv)];
+        if (o != pi) procs.insert(o);
+      }
+      gp.watchers[static_cast<std::size_t>(h)].assign(procs.begin(),
+                                                      procs.end());
+    }
+  }
+
+  return part;
+}
+
+void check_partition_invariants(const Graph& g, const GraphPartition& p) {
+  const int n = g.num_nodes();
+  auto fail = [](const char* msg) { throw std::logic_error(msg); };
+
+  if (static_cast<int>(p.owner.size()) != n) fail("owner size mismatch");
+  std::int64_t total_home = 0;
+  for (int pi = 0; pi < p.nparts; ++pi) {
+    const GraphPart& gp = p.parts[static_cast<std::size_t>(pi)];
+    total_home += gp.num_home;
+    if (gp.num_local != static_cast<int>(gp.local_to_global.size())) {
+      fail("num_local mismatch");
+    }
+    if (static_cast<int>(gp.owner_of_border.size()) !=
+        gp.num_local - gp.num_home) {
+      fail("border owner list size mismatch");
+    }
+    for (int l = 0; l < gp.num_local; ++l) {
+      const int gl = gp.local_to_global[static_cast<std::size_t>(l)];
+      auto it = gp.global_to_local.find(gl);
+      if (it == gp.global_to_local.end() || it->second != l) {
+        fail("local/global maps inconsistent");
+      }
+      const int owner = p.owner[static_cast<std::size_t>(gl)];
+      if (l < gp.num_home) {
+        if (owner != pi) fail("home node owned elsewhere");
+      } else {
+        if (owner == pi) fail("border node owned here");
+        if (gp.owner(l) != owner) fail("border owner wrong");
+      }
+    }
+    // Home adjacency must mirror the global graph exactly.
+    for (int h = 0; h < gp.num_home; ++h) {
+      const int gu = gp.local_to_global[static_cast<std::size_t>(h)];
+      const auto global_nbrs = g.neighbors(gu);
+      const auto local_nbrs = gp.neighbors(h);
+      if (global_nbrs.size() != local_nbrs.size()) {
+        fail("home degree mismatch");
+      }
+      for (std::size_t k = 0; k < local_nbrs.size(); ++k) {
+        if (gp.local_to_global[static_cast<std::size_t>(local_nbrs[k])] !=
+            global_nbrs[k]) {
+          fail("home adjacency mismatch");
+        }
+      }
+    }
+    // Watchers: pi's home node h is watched by exactly the owners of its
+    // remote neighbors.
+    for (int h = 0; h < gp.num_home; ++h) {
+      std::set<int> want;
+      for (int gv :
+           g.neighbors(gp.local_to_global[static_cast<std::size_t>(h)])) {
+        const int o = p.owner[static_cast<std::size_t>(gv)];
+        if (o != pi) want.insert(o);
+      }
+      const auto& have = gp.watchers[static_cast<std::size_t>(h)];
+      if (std::set<int>(have.begin(), have.end()) != want) {
+        fail("watcher list wrong");
+      }
+    }
+  }
+  if (total_home != n) fail("home nodes do not partition the graph");
+}
+
+}  // namespace gbsp

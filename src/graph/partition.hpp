@@ -1,0 +1,77 @@
+// Distribution of a graph across BSP processors with home/border nodes —
+// the input layout the paper's MST and shortest-path applications assume
+// (Section 3.3): "Each processor contains a data structure representing the
+// portion of the graph for which it is responsible, and also a copy of each
+// node in the graph that is connected to a node in its portion. The nodes
+// for which a processor is responsible are called home nodes and the other
+// nodes are called border nodes."
+//
+// Partitioning is by spatial stripes over the x-coordinate with equal node
+// counts per stripe; like the paper's, it is "only load-balanced to within
+// about 10%" in edge/work terms.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/geometric.hpp"
+
+namespace gbsp {
+
+/// One processor's share of the graph. Local node ids are dense:
+/// [0, num_home) are home nodes, [num_home, num_local) are border copies.
+/// Adjacency rows exist for home nodes only (border adjacency lives with the
+/// border node's own home processor).
+struct GraphPart {
+  int num_home = 0;
+  int num_local = 0;
+
+  std::vector<int> local_to_global;            // size num_local
+  std::unordered_map<int, int> global_to_local;
+
+  // CSR over home nodes; targets are local ids (home or border).
+  std::vector<std::int64_t> offsets;  // num_home + 1
+  std::vector<int> targets;
+  std::vector<double> weights;
+
+  // owner_of_border[i - num_home]: processor owning border local id i.
+  std::vector<int> owner_of_border;
+
+  // watchers[h]: processors holding home node h as a border copy — the
+  // processors to notify when h's state changes. The paper's "conservative"
+  // bound: messages per processor <= number of its border nodes.
+  std::vector<std::vector<int>> watchers;
+
+  [[nodiscard]] bool is_home(int local) const { return local < num_home; }
+  [[nodiscard]] int owner(int local) const {
+    return owner_of_border[static_cast<std::size_t>(local - num_home)];
+  }
+  [[nodiscard]] std::span<const int> neighbors(int home_local) const {
+    return {targets.data() + offsets[static_cast<std::size_t>(home_local)],
+            targets.data() + offsets[static_cast<std::size_t>(home_local) + 1]};
+  }
+  [[nodiscard]] std::span<const double> edge_weights(int home_local) const {
+    return {weights.data() + offsets[static_cast<std::size_t>(home_local)],
+            weights.data() + offsets[static_cast<std::size_t>(home_local) + 1]};
+  }
+};
+
+struct GraphPartition {
+  int nparts = 0;
+  std::vector<int> owner;  // global node id -> processor
+  std::vector<GraphPart> parts;
+};
+
+/// Splits `g` into `nparts` stripes of equal node count ordered by the
+/// x-coordinate of `points` (must parallel the node ids).
+GraphPartition partition_by_stripes(const Graph& g,
+                                    const std::vector<Point2>& points,
+                                    int nparts);
+
+/// Validates structural invariants (used by tests): ids consistent, every
+/// cross edge has a border copy on both sides, watcher lists symmetric.
+/// Throws std::logic_error on violation.
+void check_partition_invariants(const Graph& g, const GraphPartition& p);
+
+}  // namespace gbsp

@@ -1,0 +1,55 @@
+// Disjoint-set forest with union by rank and path halving.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+namespace gbsp {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n)
+      : parent_(static_cast<std::size_t>(n)),
+        rank_(static_cast<std::size_t>(n), 0),
+        components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[static_cast<std::size_t>(a)] <
+        rank_[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<std::size_t>(b)] = a;
+    if (rank_[static_cast<std::size_t>(a)] ==
+        rank_[static_cast<std::size_t>(b)]) {
+      ++rank_[static_cast<std::size_t>(a)];
+    }
+    --components_;
+    return true;
+  }
+
+  [[nodiscard]] int components() const { return components_; }
+  [[nodiscard]] bool same(int a, int b) { return find(a) == find(b); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int components_;
+};
+
+}  // namespace gbsp

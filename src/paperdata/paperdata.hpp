@@ -1,0 +1,67 @@
+// The paper's published numbers, embedded verbatim: Figure 2.1 lives in
+// src/cost (machine profiles); this module carries Figures 3.1/3.2 and the
+// full Appendix C tables (C.1–C.6), used by the benches to print
+// paper-vs-measured comparisons and by the calibration step of the machine
+// emulator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gbsp {
+
+/// One row of an Appendix C table. Missing cells (printed "-" in the paper)
+/// are NaN. Apps are named "ocean", "mst", "matmult", "nbody", "sp", "msp".
+struct PaperRow {
+  const char* app;
+  int size;  // problem size (nodes, bodies, or matrix/grid dimension)
+  int np;
+
+  double sgi_pred, sgi_time, sgi_spdp;
+  double cenju_pred, cenju_time, cenju_spdp;
+  double pc_pred, pc_time, pc_spdp;
+
+  double W;             // measured work depth on the SGI, seconds
+  std::int64_t H;       // sum of h-relation sizes, 16-byte packets
+  int S;                // supersteps
+  double total_work16;  // total work on 16 SGI processors, seconds
+
+  [[nodiscard]] double pred(int machine) const {
+    return machine == 0 ? sgi_pred : machine == 1 ? cenju_pred : pc_pred;
+  }
+  [[nodiscard]] double time(int machine) const {
+    return machine == 0 ? sgi_time : machine == 1 ? cenju_time : pc_time;
+  }
+  [[nodiscard]] double spdp(int machine) const {
+    return machine == 0 ? sgi_spdp : machine == 1 ? cenju_spdp : pc_spdp;
+  }
+};
+
+/// All Appendix C rows (C.1–C.6), in table order.
+const std::vector<PaperRow>& paper_appendix_c();
+
+/// Rows for one application, in (size, np) order.
+std::vector<PaperRow> paper_rows(const std::string& app);
+
+/// The specific (app, size, np) row, if the paper reports it.
+std::optional<PaperRow> paper_row(const std::string& app, int size, int np);
+
+/// Sizes the paper ran for an app (ascending).
+std::vector<int> paper_sizes(const std::string& app);
+
+/// The "large problem size" of Figures 3.1/3.2 for an app.
+int paper_large_size(const std::string& app);
+
+/// One-processor reference time used for emulator calibration: the measured
+/// single-processor time on `machine` (0=SGI, 1=Cenju, 2=PC), falling back
+/// to the predicted time when the paper could not run it (e.g. ocean-514 on
+/// one Cenju node). NaN only if the paper has no row at all.
+double paper_calibration_time(const std::string& app, int size, int machine);
+
+/// All application names in the paper's presentation order.
+const std::vector<std::string>& paper_apps();
+
+}  // namespace gbsp

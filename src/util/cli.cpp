@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+bool is_option(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!is_option(arg)) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !is_option(argv[i + 1])) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::lookup(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CliArgs::has_flag(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  auto v = lookup(name);
+  return (v && !v->empty()) ? *v : fallback;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& s = *v;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace gbsp

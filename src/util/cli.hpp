@@ -1,0 +1,46 @@
+// Minimal command-line parsing for benches and examples.
+//
+// Supports `--flag`, `--key value`, and `--key=value`. Unknown arguments are
+// collected as positionals. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gbsp {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Comma-separated integer list, e.g. `--procs 1,2,4,8`.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(
+      const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace gbsp

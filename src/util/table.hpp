@@ -1,0 +1,44 @@
+// Column-aligned plain-text tables (the benches print paper-style tables)
+// and CSV output for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gbsp {
+
+/// Builds a table row by row and renders it with aligned columns.
+///
+/// Cells are strings; numeric helpers format with a fixed number of
+/// significant digits to match the paper's presentation (e.g. "2.23", "17.0").
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  TextTable& row();
+  TextTable& add(const std::string& cell);
+  TextTable& add(const char* cell) { return add(std::string(cell)); }
+  TextTable& add(double value, int decimals = 2);
+  TextTable& add(std::int64_t value);
+  TextTable& add_missing();  ///< The paper prints "-" for unavailable cells.
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated dump with the same header/rows (for plotting scripts).
+  void render_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats like the paper's tables: trims trailing zeros ("4.0" stays,
+/// "0.770000" becomes "0.77").
+std::string format_number(double value, int decimals = 2);
+
+}  // namespace gbsp

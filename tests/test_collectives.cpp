@@ -1,0 +1,233 @@
+// Collectives built on the BSP primitives, verified against sequential
+// oracles for both algorithms and a range of processor counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "core/collectives.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+namespace {
+
+struct CollParam {
+  int nprocs;
+  CollectiveAlgorithm alg;
+};
+
+std::string coll_name(const testing::TestParamInfo<CollParam>& info) {
+  return std::string(info.param.alg == CollectiveAlgorithm::Direct ? "Direct"
+                                                                   : "Tree") +
+         "P" + std::to_string(info.param.nprocs);
+}
+
+class Collectives : public testing::TestWithParam<CollParam> {
+ protected:
+  RunStats run(const std::function<void(Worker&)>& fn) {
+    Config cfg;
+    cfg.nprocs = GetParam().nprocs;
+    return Runtime(cfg).run(fn);
+  }
+  [[nodiscard]] CollectiveAlgorithm alg() const { return GetParam().alg; }
+  [[nodiscard]] int p() const { return GetParam().nprocs; }
+};
+
+TEST_P(Collectives, BroadcastFromEveryRoot) {
+  for (int root = 0; root < p(); ++root) {
+    run([&, root](Worker& w) {
+      const std::int64_t value =
+          (w.pid() == root) ? 4242 + root : -1;
+      const std::int64_t got = broadcast(w, root, value, alg());
+      EXPECT_EQ(got, 4242 + root);
+    });
+  }
+}
+
+TEST_P(Collectives, ReduceSumToEveryRoot) {
+  const std::int64_t expect =
+      static_cast<std::int64_t>(p()) * (p() - 1) / 2;  // sum of pids
+  for (int root = 0; root < p(); ++root) {
+    run([&, root](Worker& w) {
+      const std::int64_t got =
+          reduce(w, root, static_cast<std::int64_t>(w.pid()),
+                 std::plus<std::int64_t>{}, alg());
+      if (w.pid() == root) EXPECT_EQ(got, expect);
+    });
+  }
+}
+
+TEST_P(Collectives, ReduceMax) {
+  run([&](Worker& w) {
+    // Value pattern with the max at an interior pid.
+    const int v = 100 - std::abs(2 * w.pid() - (p() - 1));
+    const int got = reduce(
+        w, 0, v, [](int a, int b) { return a > b ? a : b; }, alg());
+    if (w.pid() == 0) EXPECT_EQ(got, 100 - ((p() - 1) % 2));
+  });
+}
+
+TEST_P(Collectives, AllreduceSumEverywhere) {
+  const std::int64_t expect =
+      static_cast<std::int64_t>(p()) * (p() - 1) / 2;
+  run([&](Worker& w) {
+    const std::int64_t got = allreduce(
+        w, static_cast<std::int64_t>(w.pid()), std::plus<std::int64_t>{},
+        alg());
+    EXPECT_EQ(got, expect);
+  });
+}
+
+TEST_P(Collectives, GatherCollectsPidIndexed) {
+  run([&](Worker& w) {
+    const auto got = gather(w, 0, w.pid() * 7);
+    if (w.pid() == 0) {
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(p()));
+      for (int i = 0; i < p(); ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i * 7);
+      }
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST_P(Collectives, AllgatherEverywhere) {
+  run([&](Worker& w) {
+    const auto got = allgather(w, w.pid() + 1000);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(p()));
+    for (int i = 0; i < p(); ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(i)], i + 1000);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Collectives,
+    testing::ValuesIn(std::vector<CollParam>{
+        {1, CollectiveAlgorithm::Direct},
+        {2, CollectiveAlgorithm::Direct},
+        {5, CollectiveAlgorithm::Direct},
+        {8, CollectiveAlgorithm::Direct},
+        {1, CollectiveAlgorithm::Tree},
+        {2, CollectiveAlgorithm::Tree},
+        {3, CollectiveAlgorithm::Tree},
+        {5, CollectiveAlgorithm::Tree},
+        {8, CollectiveAlgorithm::Tree},
+    }),
+    coll_name);
+
+// --------------------------------------------------------------- unparamed
+
+TEST(CollectivesExtra, InclusiveScanMatchesPrefixSums) {
+  for (int p : {1, 2, 3, 6, 8}) {
+    Config cfg;
+    cfg.nprocs = p;
+    Runtime rt(cfg);
+    rt.run([](Worker& w) {
+      const std::int64_t mine = (w.pid() + 1) * (w.pid() + 1);
+      const std::int64_t got =
+          inclusive_scan(w, mine, std::plus<std::int64_t>{});
+      std::int64_t want = 0;
+      for (int i = 0; i <= w.pid(); ++i) {
+        want += static_cast<std::int64_t>(i + 1) * (i + 1);
+      }
+      EXPECT_EQ(got, want);
+    });
+  }
+}
+
+TEST(CollectivesExtra, ScanWithNonCommutativeOp) {
+  // Affine-map composition is associative but not commutative; the scan must
+  // compose f_0, f_1, ... in pid order. op(f, g) = "f then g".
+  struct Affine {
+    std::int64_t m, c;
+  };
+  auto compose = [](Affine f, Affine g) {
+    return Affine{g.m * f.m, g.m * f.c + g.c};
+  };
+  Config cfg;
+  cfg.nprocs = 5;
+  Runtime rt(cfg);
+  rt.run([&](Worker& w) {
+    // f_i(x) = (i + 2) * x + i.
+    const Affine mine{w.pid() + 2, w.pid()};
+    const Affine got = inclusive_scan(w, mine, compose);
+    Affine want{1, 0};
+    for (int i = 0; i <= w.pid(); ++i) {
+      want = compose(want, Affine{i + 2, i});
+    }
+    EXPECT_EQ(got.m, want.m);
+    EXPECT_EQ(got.c, want.c);
+  });
+}
+
+TEST(CollectivesExtra, AlltoallvMovesPersonalizedArrays) {
+  Config cfg;
+  cfg.nprocs = 4;
+  Runtime rt(cfg);
+  rt.run([](Worker& w) {
+    const int p = w.nprocs();
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      // w.pid() sends d+1 copies of (pid*10 + d) to d; empty to self+1.
+      if (d == (w.pid() + 1) % p) continue;
+      out[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(d) + 1, w.pid() * 10 + d);
+    }
+    auto in = alltoallv(w, std::move(out));
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      const auto& v = in[static_cast<std::size_t>(s)];
+      if (w.pid() == (s + 1) % p) {
+        EXPECT_TRUE(v.empty());
+        continue;
+      }
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(w.pid()) + 1);
+      for (int x : v) EXPECT_EQ(x, s * 10 + w.pid());
+    }
+  });
+}
+
+TEST(CollectivesExtra, DirtyInboxIsDiagnosed) {
+  Config cfg;
+  cfg.nprocs = 2;
+  Runtime rt(cfg);
+  EXPECT_THROW(rt.run([](Worker& w) {
+                 w.send(1 - w.pid(), 1);
+                 w.sync();
+                 // inbox not drained
+                 broadcast(w, 0, 5);
+               }),
+               std::logic_error);
+}
+
+TEST(CollectivesExtra, SuperstepCostsMatchTheAdvertisedTradeoff) {
+  // Direct broadcast: 1 superstep, h = p-1. Tree: ceil(log2 p) supersteps,
+  // h = 1 per step. This is the BSP h-vs-S trade-off the paper discusses.
+  Config cfg;
+  cfg.nprocs = 8;
+  {
+    Runtime rt(cfg);
+    RunStats s = rt.run([](Worker& w) {
+      broadcast(w, 0, 1.25, CollectiveAlgorithm::Direct);
+    });
+    EXPECT_EQ(s.S(), 2u);  // one sync + tail
+    EXPECT_EQ(s.supersteps[0].h_packets, 7u);
+  }
+  {
+    Runtime rt(cfg);
+    RunStats s = rt.run([](Worker& w) {
+      broadcast(w, 0, 1.25, CollectiveAlgorithm::Tree);
+    });
+    EXPECT_EQ(s.S(), 4u);  // log2(8) syncs + tail
+    for (std::size_t i = 0; i + 1 < s.S(); ++i) {
+      EXPECT_LE(s.supersteps[i].h_packets, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbsp

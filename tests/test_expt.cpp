@@ -1,0 +1,120 @@
+// Experiment-harness tests: adapters, sweep mechanics, calibration, and
+// rendering, on small paper sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "expt/experiment.hpp"
+#include "paperdata/paperdata.hpp"
+
+namespace gbsp {
+namespace {
+
+TEST(Expt, AdapterFactoryKnowsAllApps) {
+  for (const auto& app : paper_apps()) {
+    auto adapter = make_app_adapter(app);
+    ASSERT_NE(adapter, nullptr);
+    EXPECT_EQ(adapter->name(), app);
+  }
+  EXPECT_THROW(make_app_adapter("fft"), std::invalid_argument);
+}
+
+TEST(Expt, MatmultUsesPerfectSquareGrid) {
+  EXPECT_EQ(make_app_adapter("matmult")->nprocs_list(),
+            (std::vector<int>{1, 4, 9, 16}));
+  EXPECT_EQ(make_app_adapter("mst")->nprocs_list(),
+            (std::vector<int>{1, 2, 4, 8, 16}));
+}
+
+TEST(Expt, SweepProducesCalibratedRows) {
+  auto adapter = make_app_adapter("matmult");
+  SweepOptions opts;
+  opts.sizes = {144};
+  const SweepResult result = run_sweep(*adapter, opts);
+  ASSERT_EQ(result.rows.size(), 4u);  // 1, 4, 9, 16
+
+  const SweepRow* one = result.find(144, 1);
+  ASSERT_NE(one, nullptr);
+  // Calibration: the one-processor SGI work equals the paper's measured
+  // one-processor time by construction.
+  EXPECT_NEAR(one->W_sgi_s, 0.42, 1e-9);
+  EXPECT_TRUE(one->machines[0].available);
+  EXPECT_NEAR(one->machines[0].spdp, 1.0, 1e-9);
+  // Cenju calibrated to its own column.
+  const auto pr = paper_row("matmult", 144, 1);
+  EXPECT_NEAR(one->machines[1].time_s, pr->cenju_time,
+              0.1 * pr->cenju_time);
+
+  const SweepRow* sixteen = result.find(144, 16);
+  ASSERT_NE(sixteen, nullptr);
+  EXPECT_EQ(sixteen->S, 7u);  // 2*sqrt(16)-1, as the paper reports
+  EXPECT_FALSE(sixteen->machines[2].available);  // PC-LAN had 8 procs
+  EXPECT_GT(sixteen->machines[0].spdp, 1.5);
+  // h accounting matches the paper's H for Cannon within the packet math:
+  // the paper reports H = 7776 for 144 @ 16 procs.
+  EXPECT_NEAR(static_cast<double>(sixteen->H), 7776.0, 7776.0 * 0.1);
+}
+
+TEST(Expt, SpeedupsDegradeOnHighLatencyMachines) {
+  // MST at 2500 nodes: the paper's Figure C.2 shows SGI >= Cenju >= PC at
+  // 8 processors; the emulation must preserve the ordering.
+  auto adapter = make_app_adapter("mst");
+  SweepOptions opts;
+  opts.sizes = {2500};
+  const SweepResult result = run_sweep(*adapter, opts);
+  const SweepRow* r8 = result.find(2500, 8);
+  ASSERT_NE(r8, nullptr);
+  EXPECT_GT(r8->machines[0].spdp, r8->machines[1].spdp);
+  EXPECT_GT(r8->machines[1].spdp, r8->machines[2].spdp);
+}
+
+TEST(Expt, RenderersProduceTables) {
+  auto adapter = make_app_adapter("matmult");
+  SweepOptions opts;
+  opts.sizes = {144};
+  const SweepResult result = run_sweep(*adapter, opts);
+
+  std::ostringstream os;
+  render_appendix_table(os, result);
+  render_figure11(os, result, 144);
+  render_summary(os, result, 144);
+  render_deviation_summary(os, result);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("matmult"), std::string::npos);
+  EXPECT_NE(s.find("paper"), std::string::npos);
+  EXPECT_NE(s.find("deviation"), std::string::npos);
+  EXPECT_NE(s.find("Figure 1.1"), std::string::npos);
+}
+
+TEST(Expt, NprocsOverrideRestrictsRows) {
+  auto adapter = make_app_adapter("sp");
+  SweepOptions opts;
+  opts.sizes = {2500};
+  opts.nprocs = {1, 4};
+  const SweepResult result = run_sweep(*adapter, opts);
+  EXPECT_EQ(result.rows.size(), 2u);
+  EXPECT_NE(result.find(2500, 4), nullptr);
+  EXPECT_EQ(result.find(2500, 8), nullptr);
+}
+
+TEST(Expt, PredictionTracksEmulationForWellBehavedApps) {
+  // Equation 1 vs the detailed emulation: within ~tens of percent for
+  // Cannon (the paper's most regular application).
+  auto adapter = make_app_adapter("matmult");
+  SweepOptions opts;
+  opts.sizes = {144};
+  const SweepResult result = run_sweep(*adapter, opts);
+  for (const auto& r : result.rows) {
+    for (int m = 0; m < 3; ++m) {
+      const auto& mm = r.machines[static_cast<std::size_t>(m)];
+      if (!mm.available) continue;
+      EXPECT_NEAR(mm.time_s, mm.pred_s, 0.4 * mm.pred_s + 1e-3)
+          << "np " << r.np << " machine " << m;
+      EXPECT_LE(mm.comm_s, mm.pred_s + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -1,0 +1,372 @@
+// Graph substrate tests: CSR construction, geometric generator, partitioner
+// invariants, union-find, heap, and the sequential MST / SSSP baselines
+// cross-checked against independent oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graph/csr.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/geometric.hpp"
+#include "graph/heap.hpp"
+#include "graph/kruskal.hpp"
+#include "graph/partition.hpp"
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace gbsp {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 2-3 tail.
+  return Graph(4, {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 2.5}, {2, 3, 0.5}});
+}
+
+// ---------------------------------------------------------------------- csr
+
+TEST(Csr, DegreesAndNeighbors) {
+  Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.neighbors(3)[0], 2);
+  EXPECT_DOUBLE_EQ(g.weights(3)[0], 0.5);
+}
+
+TEST(Csr, EdgeListRoundTrips) {
+  Graph g = triangle_plus_tail();
+  const auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), 4u);
+  double total = 0;
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    total += e.w;
+  }
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(Csr, ConnectivityDetection) {
+  EXPECT_TRUE(triangle_plus_tail().connected());
+  Graph disconnected(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_FALSE(disconnected.connected());
+  EXPECT_TRUE(Graph(1, {}).connected());
+  EXPECT_TRUE(Graph(0, {}).connected());
+}
+
+TEST(Csr, RejectsBadEdges) {
+  EXPECT_THROW(Graph(2, {{0, 2, 1.0}}), std::out_of_range);
+  EXPECT_THROW(Graph(2, {{-1, 0, 1.0}}), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- geometric
+
+TEST(Geometric, PointsAreInUnitSquareAndDeterministic) {
+  const auto a = random_points(500, 7);
+  const auto b = random_points(500, 7);
+  const auto c = random_points(500, 8);
+  ASSERT_EQ(a.size(), 500u);
+  bool same_as_c = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].x, 0.0);
+    EXPECT_LT(a[i].x, 1.0);
+    EXPECT_GE(a[i].y, 0.0);
+    EXPECT_LT(a[i].y, 1.0);
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    if (a[i].x != c[i].x) same_as_c = false;
+  }
+  EXPECT_FALSE(same_as_c);
+}
+
+TEST(Geometric, EdgesWithinRadiusMatchBruteForce) {
+  const auto pts = random_points(300, 99);
+  const double r = 0.1;
+  auto edges = edges_within_radius(pts, r);
+  // Brute force count.
+  std::size_t want = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double dx = pts[i].x - pts[j].x, dy = pts[i].y - pts[j].y;
+      if (dx * dx + dy * dy <= r * r) ++want;
+    }
+  }
+  EXPECT_EQ(edges.size(), want);
+  for (const auto& e : edges) {
+    const double dx = pts[static_cast<std::size_t>(e.u)].x -
+                      pts[static_cast<std::size_t>(e.v)].x;
+    const double dy = pts[static_cast<std::size_t>(e.u)].y -
+                      pts[static_cast<std::size_t>(e.v)].y;
+    EXPECT_NEAR(e.w, std::sqrt(dx * dx + dy * dy), 1e-12);
+    EXPECT_LE(e.w, r);
+  }
+}
+
+TEST(Geometric, MinimalRadiusIsMinimalAndConnects) {
+  const auto pts = random_points(400, 3);
+  const double delta = minimal_connecting_radius(pts, 1e-3);
+  EXPECT_TRUE(Graph(400, edges_within_radius(pts, delta)).connected());
+  // 1% below delta must disconnect (delta is tight to 0.1%).
+  EXPECT_FALSE(
+      Graph(400, edges_within_radius(pts, delta * 0.99)).connected());
+}
+
+TEST(Geometric, MakeGeometricGraphIsConnectedAndWeighted) {
+  const GeometricGraph gg = make_geometric_graph(1000, 42);
+  EXPECT_EQ(gg.graph.num_nodes(), 1000);
+  EXPECT_TRUE(gg.graph.connected());
+  EXPECT_GT(gg.delta, 0.0);
+  EXPECT_LT(gg.delta, 0.5);
+  // Average degree in G(delta) at the connectivity threshold is Theta(log n).
+  const double avg_degree =
+      2.0 * static_cast<double>(gg.graph.num_edges()) / 1000.0;
+  EXPECT_GT(avg_degree, 2.0);
+  EXPECT_LT(avg_degree, 60.0);
+}
+
+TEST(Geometric, TinyInputs) {
+  EXPECT_DOUBLE_EQ(minimal_connecting_radius(random_points(1, 5)), 0.0);
+  const GeometricGraph g2 = make_geometric_graph(2, 5);
+  EXPECT_TRUE(g2.graph.connected());
+  EXPECT_THROW(random_points(0, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- unionfind
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.components(), 5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.components(), 2);
+  EXPECT_TRUE(uf.same(1, 2));
+  EXPECT_FALSE(uf.same(0, 4));
+}
+
+TEST(UnionFind, LargeRandomMergesMatchLabelOracle) {
+  const int n = 2000;
+  UnionFind uf(n);
+  std::vector<int> label(n);
+  for (int i = 0; i < n; ++i) label[static_cast<std::size_t>(i)] = i;
+  Xoshiro256 rng(11);
+  for (int it = 0; it < 3000; ++it) {
+    const int a = static_cast<int>(rng.uniform_int(n));
+    const int b = static_cast<int>(rng.uniform_int(n));
+    uf.unite(a, b);
+    const int la = label[static_cast<std::size_t>(a)];
+    const int lb = label[static_cast<std::size_t>(b)];
+    if (la != lb) {
+      for (auto& l : label) {
+        if (l == lb) l = la;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j : {0, n / 3, n - 1}) {
+      EXPECT_EQ(uf.same(i, j), label[static_cast<std::size_t>(i)] ==
+                                   label[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+// --------------------------------------------------------------------- heap
+
+TEST(Heap, PopsInKeyOrder) {
+  IndexedMinHeap h(10);
+  h.push_or_decrease(3, 5.0);
+  h.push_or_decrease(1, 2.0);
+  h.push_or_decrease(7, 9.0);
+  h.push_or_decrease(2, 1.0);
+  EXPECT_EQ(h.pop_min(), (std::pair<int, double>{2, 1.0}));
+  EXPECT_EQ(h.pop_min(), (std::pair<int, double>{1, 2.0}));
+  EXPECT_EQ(h.pop_min(), (std::pair<int, double>{3, 5.0}));
+  EXPECT_EQ(h.pop_min(), (std::pair<int, double>{7, 9.0}));
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.pop_min(), std::logic_error);
+}
+
+TEST(Heap, DecreaseKeyReorders) {
+  IndexedMinHeap h(4);
+  h.push_or_decrease(0, 10.0);
+  h.push_or_decrease(1, 20.0);
+  EXPECT_TRUE(h.push_or_decrease(1, 1.0));   // decrease
+  EXPECT_FALSE(h.push_or_decrease(0, 50.0)); // increase attempt ignored
+  EXPECT_EQ(h.pop_min().first, 1);
+  EXPECT_EQ(h.pop_min().first, 0);
+}
+
+TEST(Heap, RandomizedAgainstSortedOracle) {
+  const int n = 500;
+  IndexedMinHeap h(n);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  Xoshiro256 rng(77);
+  for (int it = 0; it < 5000; ++it) {
+    const int id = static_cast<int>(rng.uniform_int(n));
+    const double key = rng.uniform();
+    if (key < best[static_cast<std::size_t>(id)]) {
+      best[static_cast<std::size_t>(id)] = key;
+    }
+    h.push_or_decrease(id, key);
+    ASSERT_LE(h.key_of(id), best[static_cast<std::size_t>(id)] + 1e-15);
+  }
+  double last = -1.0;
+  std::size_t count = 0;
+  while (!h.empty()) {
+    const auto [id, key] = h.pop_min();
+    ASSERT_GE(key, last);
+    ASSERT_DOUBLE_EQ(key, best[static_cast<std::size_t>(id)]);
+    last = key;
+    ++count;
+  }
+  std::size_t want = 0;
+  for (double b : best) {
+    if (b < std::numeric_limits<double>::infinity()) ++want;
+  }
+  EXPECT_EQ(count, want);
+}
+
+TEST(Heap, ContainsAndClear) {
+  IndexedMinHeap h(3);
+  h.push_or_decrease(2, 1.0);
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_FALSE(h.contains(0));
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+  h.push_or_decrease(2, 5.0);  // reusable after clear
+  EXPECT_DOUBLE_EQ(h.key_of(2), 5.0);
+}
+
+// ---------------------------------------------------------------------- mst
+
+TEST(Mst, KruskalOnKnownGraph) {
+  const MstResult r = kruskal_mst(triangle_plus_tail());
+  EXPECT_DOUBLE_EQ(r.total_weight, 3.5);  // 1.0 + 2.0 + 0.5
+  EXPECT_EQ(r.edges.size(), 3u);
+}
+
+TEST(Mst, KruskalEqualsPrimOnRandomGeometricGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const GeometricGraph gg = make_geometric_graph(600, seed);
+    const MstResult k = kruskal_mst(gg.graph);
+    const MstResult p = prim_mst(gg.graph);
+    EXPECT_NEAR(k.total_weight, p.total_weight, 1e-9) << "seed " << seed;
+    EXPECT_EQ(k.edges.size(), 599u);
+    EXPECT_EQ(p.edges.size(), 599u);
+  }
+}
+
+TEST(Mst, SpanningForestOnDisconnectedGraph) {
+  Graph g(5, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 2.0}});
+  const MstResult r = kruskal_mst(g);
+  EXPECT_EQ(r.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 4.0);
+}
+
+TEST(Mst, TreeEdgesFormSpanningTree) {
+  const GeometricGraph gg = make_geometric_graph(300, 17);
+  const MstResult r = kruskal_mst(gg.graph);
+  UnionFind uf(300);
+  for (const auto& e : r.edges) EXPECT_TRUE(uf.unite(e.u, e.v));
+  EXPECT_EQ(uf.components(), 1);
+}
+
+// --------------------------------------------------------------------- sssp
+
+TEST(Sssp, DijkstraMatchesBellmanFord) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const GeometricGraph gg = make_geometric_graph(250, seed);
+    const auto d1 = dijkstra(gg.graph, 0);
+    const auto d2 = bellman_ford(gg.graph, 0);
+    for (std::size_t i = 0; i < d1.size(); ++i) {
+      EXPECT_NEAR(d1[i], d2[i], 1e-9) << "node " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(Sssp, UnreachableNodesAreInfinite) {
+  Graph g(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  const auto d = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_TRUE(std::isinf(d[2]));
+  EXPECT_TRUE(std::isinf(d[3]));
+}
+
+TEST(Sssp, TriangleInequalityHoldsOnLabels) {
+  const GeometricGraph gg = make_geometric_graph(400, 21);
+  const auto d = dijkstra(gg.graph, 5);
+  for (int u = 0; u < 400; ++u) {
+    const auto nbrs = gg.graph.neighbors(u);
+    const auto ws = gg.graph.weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_LE(d[static_cast<std::size_t>(nbrs[k])],
+                d[static_cast<std::size_t>(u)] + ws[k] + 1e-12);
+    }
+  }
+  EXPECT_THROW(dijkstra(gg.graph, -1), std::out_of_range);
+  EXPECT_THROW(dijkstra(gg.graph, 400), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- partition
+
+TEST(Partition, InvariantsHoldAcrossSizesAndParts) {
+  for (int n : {50, 300}) {
+    const GeometricGraph gg =
+        make_geometric_graph(n, static_cast<std::uint64_t>(n));
+    for (int p : {1, 2, 3, 8}) {
+      const GraphPartition part =
+          partition_by_stripes(gg.graph, gg.points, p);
+      EXPECT_NO_THROW(check_partition_invariants(gg.graph, part))
+          << "n=" << n << " p=" << p;
+      EXPECT_EQ(part.nparts, p);
+    }
+  }
+}
+
+TEST(Partition, StripesBalanceHomeNodes) {
+  const GeometricGraph gg = make_geometric_graph(1000, 4);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 8);
+  for (const auto& gp : part.parts) {
+    EXPECT_EQ(gp.num_home, 125);
+  }
+}
+
+TEST(Partition, SinglePartHasNoBorders) {
+  const GeometricGraph gg = make_geometric_graph(100, 9);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 1);
+  EXPECT_EQ(part.parts[0].num_home, 100);
+  EXPECT_EQ(part.parts[0].num_local, 100);
+  for (const auto& ws : part.parts[0].watchers) EXPECT_TRUE(ws.empty());
+}
+
+TEST(Partition, BordersAreExactlyCrossEdgeEndpoints) {
+  const GeometricGraph gg = make_geometric_graph(200, 13);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 4);
+  for (int pi = 0; pi < 4; ++pi) {
+    const GraphPart& gp = part.parts[static_cast<std::size_t>(pi)];
+    // Every border node is adjacent to some home node.
+    std::vector<char> touched(static_cast<std::size_t>(gp.num_local), 0);
+    for (int h = 0; h < gp.num_home; ++h) {
+      for (int v : gp.neighbors(h)) touched[static_cast<std::size_t>(v)] = 1;
+    }
+    for (int b = gp.num_home; b < gp.num_local; ++b) {
+      EXPECT_TRUE(touched[static_cast<std::size_t>(b)])
+          << "border " << b << " unused on part " << pi;
+    }
+  }
+}
+
+TEST(Partition, RejectsBadArguments) {
+  const GeometricGraph gg = make_geometric_graph(10, 1);
+  EXPECT_THROW(partition_by_stripes(gg.graph, gg.points, 0),
+               std::invalid_argument);
+  std::vector<Point2> wrong(5);
+  EXPECT_THROW(partition_by_stripes(gg.graph, wrong, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -1,0 +1,120 @@
+// LogP comparison-model tests: parameter derivation, the per-superstep
+// estimate, and qualitative agreement with the BSP model on
+// bulk-synchronous traces (the paper's Section 1.3 comparison).
+#include <gtest/gtest.h>
+
+#include "cost/logp.hpp"
+#include "cost/predictor.hpp"
+#include "emul/emulator.hpp"
+
+namespace gbsp {
+namespace {
+
+RunStats ring_trace(int np, int rounds, int msgs) {
+  return execute_traced(np, [rounds, msgs](Worker& w) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int k = 0; k < msgs; ++k) {
+        w.send((w.pid() + 1) % w.nprocs(), k);
+      }
+      w.sync();
+      while (w.get_message() != nullptr) {
+      }
+    }
+  });
+}
+
+TEST(LogP, DerivedParametersAreOrdered) {
+  for (int np : {2, 4, 8}) {
+    const LogPParams sgi = logp_sgi(np);
+    const LogPParams cenju = logp_cenju(np);
+    EXPECT_GT(sgi.o_us, 0);
+    EXPECT_GT(sgi.g_us, 0);
+    EXPECT_GT(sgi.L_us, 0);
+    // The message-passing stacks carry far larger per-message overheads
+    // than shared memory — the LogP-side reason the paper's high-latency
+    // machines suffer on fine-grained programs.
+    EXPECT_GT(cenju.o_us, 10 * sgi.o_us);
+    EXPECT_GT(logp_pc(np).o_us, cenju.o_us);
+    EXPECT_EQ(sgi.P, np);
+  }
+}
+
+TEST(LogP, BarrierDepthGrowsLogarithmically) {
+  // The tree depth is ceil(log2 p); per-round cost also grows because the
+  // derived L(p) grows with the machine table, so compare round counts.
+  for (int np : {2, 4, 16}) {
+    const LogPParams lp = logp_cenju(np);
+    const double rounds = logp_barrier_us(lp) / (lp.L_us + 2 * lp.o_us);
+    int want = 0;
+    for (int reach = 1; reach < np; reach *= 2) ++want;
+    EXPECT_NEAR(rounds, want, 1e-9) << "np=" << np;
+  }
+  // p = 1: no barrier rounds at all.
+  EXPECT_DOUBLE_EQ(logp_barrier_us(logp_sgi(1)), 0.0);
+}
+
+TEST(LogP, EstimateArithmeticOnAHandMadeTrace) {
+  RunStats stats;
+  stats.nprocs = 4;
+  SuperstepStats s;
+  s.w_max_us = 100.0;
+  s.endpoint_messages = 10;
+  s.h_packets = 4;
+  s.total_messages = 20;
+  stats.supersteps.push_back(s);
+  LogPParams lp{/*L*/ 5.0, /*o*/ 2.0, /*g*/ 1.0, /*P*/ 4};
+  // comm = max(o*10, g*4) + L = 20 + 5; barrier = 2 rounds * (5 + 4) = 18.
+  const double want_us = 100.0 + 25.0 + 18.0;
+  EXPECT_NEAR(predict_logp_s(stats, lp, 1.0), want_us * 1e-6, 1e-12);
+  // cpu_scale rescales work only.
+  EXPECT_NEAR(predict_logp_s(stats, lp, 2.0), (want_us + 100.0) * 1e-6,
+              1e-12);
+}
+
+TEST(LogP, CommunicationFreeSuperstepsPayOnlyBarriers) {
+  RunStats stats;
+  stats.nprocs = 8;
+  stats.supersteps.resize(10);  // all-zero supersteps
+  const LogPParams lp = logp_cenju(8);
+  EXPECT_NEAR(predict_logp_s(stats, lp, 1.0),
+              10 * logp_barrier_us(lp) * 1e-6, 1e-12);
+}
+
+TEST(LogP, TracksBspPredictionOnBulkSynchronousTraces) {
+  // On superstep-structured programs the two models should agree on the
+  // ordering of machines and be within a small factor of each other — the
+  // basis of the paper's "BSP suffices" argument.
+  const RunStats stats = ring_trace(4, 20, 8);
+  struct M {
+    MachineParams bsp;
+    LogPParams logp;
+  };
+  const M machines[3] = {{paper_sgi().params_for(4), logp_sgi(4)},
+                         {paper_cenju().params_for(4), logp_cenju(4)},
+                         {paper_pc().params_for(4), logp_pc(4)}};
+  double prev_bsp = 0, prev_logp = 0;
+  for (const auto& m : machines) {
+    const double bsp = predict_cost(stats, m.bsp).total_s();
+    const double logp = predict_logp_s(stats, m.logp);
+    EXPECT_GT(bsp, 0);
+    EXPECT_GT(logp, 0);
+    EXPECT_LT(std::max(bsp, logp) / std::min(bsp, logp), 3.0);
+    // Same machine ranking under both models (SGI < Cenju < PC here).
+    EXPECT_GT(bsp, prev_bsp);
+    EXPECT_GT(logp, prev_logp);
+    prev_bsp = bsp;
+    prev_logp = logp;
+  }
+}
+
+TEST(LogP, MessageCountsAreTracked) {
+  const RunStats stats = ring_trace(3, 2, 5);
+  // Each worker sends 5 and reads 5 per steady superstep.
+  ASSERT_GE(stats.S(), 3u);
+  EXPECT_EQ(stats.supersteps[1].h_messages, 5u);
+  EXPECT_EQ(stats.supersteps[1].endpoint_messages, 10u);
+  EXPECT_EQ(stats.supersteps[0].endpoint_messages, 5u);  // sends only
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -1,0 +1,151 @@
+// Matrix multiplication: kernel and blocked baseline against the naive
+// oracle, and Cannon's algorithm against both, across processor grids.
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+namespace {
+
+TEST(MatmulSeq, NaiveKnownProduct) {
+  Matrix A(2), B(2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 3;
+  A.at(1, 1) = 4;
+  B.at(0, 0) = 5;
+  B.at(0, 1) = 6;
+  B.at(1, 0) = 7;
+  B.at(1, 1) = 8;
+  Matrix C = matmul_naive(A, B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(MatmulSeq, BlockedMatchesNaive) {
+  for (int n : {1, 7, 48, 96, 130}) {
+    Matrix A = random_matrix(n, 1), B = random_matrix(n, 2);
+    Matrix ref = matmul_naive(A, B);
+    Matrix got = matmul_blocked(A, B);
+    EXPECT_LT(got.max_abs_diff(ref), 1e-10 * n) << "n=" << n;
+  }
+}
+
+TEST(MatmulSeq, KernelAccumulates) {
+  const int bn = 5;
+  Matrix A = random_matrix(bn, 3), B = random_matrix(bn, 4);
+  std::vector<double> C(static_cast<std::size_t>(bn) * bn, 1.0);
+  block_multiply_add(A.data(), B.data(), C.data(), bn);
+  Matrix ref = matmul_naive(A, B);
+  for (int i = 0; i < bn; ++i) {
+    for (int j = 0; j < bn; ++j) {
+      EXPECT_NEAR(C[static_cast<std::size_t>(i) * bn + j],
+                  1.0 + ref.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatmulSeq, RandomMatrixDeterministicSeeded) {
+  Matrix a = random_matrix(10, 5), b = random_matrix(10, 5),
+         c = random_matrix(10, 6);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+  EXPECT_GT(a.max_abs_diff(c), 0.0);
+}
+
+TEST(MatmulSeq, SizeMismatchThrows) {
+  Matrix A(3), B(4);
+  EXPECT_THROW(matmul_naive(A, B), std::invalid_argument);
+  EXPECT_THROW((void)A.max_abs_diff(B), std::invalid_argument);
+}
+
+TEST(Cannon, GridDimValidation) {
+  EXPECT_EQ(cannon_grid_dim(1, 12), 1);
+  EXPECT_EQ(cannon_grid_dim(4, 12), 2);
+  EXPECT_EQ(cannon_grid_dim(9, 12), 3);
+  EXPECT_EQ(cannon_grid_dim(16, 12), 4);
+  EXPECT_THROW(cannon_grid_dim(8, 12), std::invalid_argument);
+  EXPECT_THROW(cannon_grid_dim(4, 13), std::invalid_argument);
+}
+
+struct CannonParam {
+  int nprocs;
+  int n;
+  Scheduling scheduling;
+};
+
+class CannonCorrectness : public testing::TestWithParam<CannonParam> {};
+
+TEST_P(CannonCorrectness, MatchesNaiveProduct) {
+  const auto& cp = GetParam();
+  Matrix A = random_matrix(cp.n, 11), B = random_matrix(cp.n, 22);
+  Matrix C(cp.n);
+  Config cfg;
+  cfg.nprocs = cp.nprocs;
+  cfg.scheduling = cp.scheduling;
+  Runtime rt(cfg);
+  rt.run(make_cannon_program(A, B, &C));
+  Matrix ref = matmul_naive(A, B);
+  EXPECT_LT(C.max_abs_diff(ref), 1e-10 * cp.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, CannonCorrectness,
+    testing::ValuesIn(std::vector<CannonParam>{
+        {1, 12, Scheduling::Parallel},
+        {4, 12, Scheduling::Parallel},
+        {9, 12, Scheduling::Parallel},
+        {16, 16, Scheduling::Parallel},
+        {4, 48, Scheduling::Parallel},
+        {9, 36, Scheduling::Parallel},
+        {4, 12, Scheduling::Serialized},
+        {16, 32, Scheduling::Serialized},
+    }),
+    [](const testing::TestParamInfo<CannonParam>& info) {
+      return "P" + std::to_string(info.param.nprocs) + "N" +
+             std::to_string(info.param.n) +
+             (info.param.scheduling == Scheduling::Serialized ? "Ser" : "Par");
+    });
+
+TEST(Cannon, SuperstepCountMatchesThePaper) {
+  // Paper Figure C.3 reports S = 1, 3, 5, 7 for p = 1, 4, 9, 16: 2*sqrt(p)-1.
+  for (int p : {1, 4, 9, 16}) {
+    const int n = 24;
+    Matrix A = random_matrix(n, 1), B = random_matrix(n, 2), C(n);
+    Config cfg;
+    cfg.nprocs = p;
+    Runtime rt(cfg);
+    RunStats stats = rt.run(make_cannon_program(A, B, &C));
+    const int q = cannon_grid_dim(p, n);
+    EXPECT_EQ(stats.S(), static_cast<std::size_t>(2 * q - 1)) << "p=" << p;
+  }
+}
+
+TEST(Cannon, HRelationIsTwoBlocksPerShiftStep) {
+  const int n = 24, p = 4;
+  Matrix A = random_matrix(n, 1), B = random_matrix(n, 2), C(n);
+  Config cfg;
+  cfg.nprocs = p;
+  Runtime rt(cfg);
+  RunStats stats = rt.run(make_cannon_program(A, B, &C));
+  // Block = (n/2)^2 doubles = 144 * 8 / 16 = 72 packets; each processor
+  // sends A and B blocks (two messages, 144 packets) in the shift superstep.
+  EXPECT_EQ(stats.supersteps[0].h_packets, 144u);
+  // The unpack superstep sends nothing.
+  EXPECT_EQ(stats.supersteps[1].total_packets, 0u);
+}
+
+TEST(Cannon, WorksUnderEagerDelivery) {
+  Matrix A = random_matrix(24, 7), B = random_matrix(24, 8), C(24);
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.delivery = DeliveryStrategy::Eager;
+  Runtime rt(cfg);
+  rt.run(make_cannon_program(A, B, &C));
+  EXPECT_LT(C.max_abs_diff(matmul_naive(A, B)), 1e-10 * 24);
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -1,0 +1,328 @@
+// N-body: Plummer generator statistics, tree vs direct-sum accuracy,
+// essential-tree completeness, ORB balance, and parallel-vs-sequential
+// agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/nbody/bhtree.hpp"
+#include "apps/nbody/nbody.hpp"
+#include "apps/nbody/orb.hpp"
+#include "apps/nbody/plummer.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+namespace {
+
+double median_rel_error(const std::vector<Vec3>& got,
+                        const std::vector<Vec3>& want) {
+  std::vector<double> errs;
+  errs.reserve(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double denom = std::max(want[i].norm(), 1e-12);
+    errs.push_back((got[i] - want[i]).norm() / denom);
+  }
+  std::nth_element(errs.begin(), errs.begin() + errs.size() / 2, errs.end());
+  return errs[errs.size() / 2];
+}
+
+// ------------------------------------------------------------------ plummer
+
+TEST(Plummer, TotalMassAndComFrame) {
+  const auto bodies = plummer_model(2000, 1);
+  double mass = 0;
+  Vec3 com, mom;
+  for (const auto& b : bodies) {
+    mass += b.mass;
+    com += b.pos * b.mass;
+    mom += b.vel * b.mass;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_LT(com.norm(), 1e-9);
+  EXPECT_LT(mom.norm(), 1e-9);
+}
+
+TEST(Plummer, HalfMassRadiusNearTheory) {
+  // Plummer half-mass radius ~ 1.3 a; in virial units a = 3*pi/16, so
+  // r_h ~ 0.77. Allow generous statistical slack.
+  const auto bodies = plummer_model(5000, 2);
+  std::vector<double> radii;
+  for (const auto& b : bodies) radii.push_back(b.pos.norm());
+  std::nth_element(radii.begin(), radii.begin() + radii.size() / 2,
+                   radii.end());
+  const double rh = radii[radii.size() / 2];
+  EXPECT_GT(rh, 0.5);
+  EXPECT_LT(rh, 1.1);
+}
+
+TEST(Plummer, VirialEquilibriumRough) {
+  // 2K/|U| ~ 1 for an equilibrium model (within sampling noise).
+  const auto bodies = plummer_model(3000, 3);
+  double kinetic = 0;
+  for (const auto& b : bodies) kinetic += 0.5 * b.mass * b.vel.norm2();
+  const double total = total_energy(bodies, 0.0);
+  const double potential = total - kinetic;
+  const double virial = 2.0 * kinetic / std::abs(potential);
+  EXPECT_GT(virial, 0.7);
+  EXPECT_LT(virial, 1.3);
+}
+
+TEST(Plummer, DeterministicAndSeedSensitive) {
+  const auto a = plummer_model(100, 7);
+  const auto b = plummer_model(100, 7);
+  const auto c = plummer_model(100, 8);
+  EXPECT_DOUBLE_EQ(a[50].pos.x, b[50].pos.x);
+  EXPECT_NE(a[50].pos.x, c[50].pos.x);
+  EXPECT_THROW(plummer_model(0, 1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- tree
+
+TEST(BhTree, MatchesDirectSumAtTinyTheta) {
+  const auto bodies = plummer_model(500, 11);
+  const auto direct = direct_accels(bodies, 0.05);
+  const auto tree = bh_accels(bodies, 1e-9, 0.05);
+  EXPECT_LT(median_rel_error(tree, direct), 1e-12);
+}
+
+TEST(BhTree, ApproximatesDirectSumAtStandardTheta) {
+  const auto bodies = plummer_model(2000, 12);
+  const auto direct = direct_accels(bodies, 0.05);
+  const auto tree = bh_accels(bodies, 0.7, 0.05);
+  EXPECT_LT(median_rel_error(tree, direct), 0.02);
+}
+
+TEST(BhTree, ErrorShrinksWithTheta) {
+  const auto bodies = plummer_model(1500, 13);
+  const auto direct = direct_accels(bodies, 0.05);
+  const double e_loose = median_rel_error(bh_accels(bodies, 1.0, 0.05), direct);
+  const double e_tight = median_rel_error(bh_accels(bodies, 0.3, 0.05), direct);
+  EXPECT_LT(e_tight, e_loose);
+  EXPECT_LT(e_tight, 0.005);
+}
+
+TEST(BhTree, MassConservedInTree) {
+  const auto bodies = plummer_model(777, 14);
+  std::vector<PointMass> pts;
+  for (const auto& b : bodies) pts.push_back({b.pos, b.mass});
+  BarnesHutTree tree(pts);
+  EXPECT_NEAR(tree.total_mass(), 1.0, 1e-12);
+  EXPECT_EQ(tree.num_points(), 777u);
+  EXPECT_GT(tree.num_cells(), 1u);
+}
+
+TEST(BhTree, HandlesEmptyAndCoincidentPoints) {
+  BarnesHutTree empty({});
+  EXPECT_DOUBLE_EQ(empty.total_mass(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.accel_at({0, 0, 0}, 0.5, 0.1).norm(), 0.0);
+
+  // All points at the same location: tree must not recurse forever, and
+  // softened self-force must be zero at that location.
+  std::vector<PointMass> same(20, PointMass{{1, 2, 3}, 0.05});
+  BarnesHutTree tree(same, 2);
+  EXPECT_LT(tree.accel_at({1, 2, 3}, 0.5, 0.1).norm(), 1e-12);
+  EXPECT_GT(tree.accel_at({2, 2, 3}, 0.5, 0.1).norm(), 0.0);
+}
+
+TEST(BhTree, EssentialSetConservesMassAndSuffices) {
+  const auto bodies = plummer_model(1200, 15);
+  std::vector<PointMass> pts;
+  for (const auto& b : bodies) pts.push_back({b.pos, b.mass});
+  BarnesHutTree tree(pts);
+
+  // A far-away box needs only a handful of summaries; a box overlapping the
+  // cluster needs many more, but both conserve total mass.
+  Box3 far;
+  far.expand({15, 15, 15});
+  far.expand({16, 16, 16});
+  Box3 near;
+  near.expand({-0.2, -0.2, -0.2});
+  near.expand({0.2, 0.2, 0.2});
+
+  std::vector<PointMass> ess_far, ess_near;
+  tree.extract_essential(far, 0.7, ess_far);
+  tree.extract_essential(near, 0.7, ess_near);
+
+  auto mass_of = [](const std::vector<PointMass>& v) {
+    double m = 0;
+    for (const auto& p : v) m += p.mass;
+    return m;
+  };
+  EXPECT_NEAR(mass_of(ess_far), 1.0, 1e-12);
+  EXPECT_NEAR(mass_of(ess_near), 1.0, 1e-12);
+  EXPECT_LT(ess_far.size(), ess_near.size());
+  EXPECT_LT(ess_far.size(), 64u);
+
+  // Force computed from the essential set at a point inside the far box
+  // must match the full-tree force there within BH accuracy.
+  const Vec3 target{15.5, 15.5, 15.5};
+  BarnesHutTree ess_tree(ess_far);
+  const Vec3 a_full = tree.accel_at(target, 1e-9, 0.05);  // ~exact
+  const Vec3 a_ess = ess_tree.accel_at(target, 1e-9, 0.05);
+  EXPECT_LT((a_full - a_ess).norm() / a_full.norm(), 0.01);
+}
+
+// ---------------------------------------------------------------------- orb
+
+TEST(Orb, BalancesCounts) {
+  const auto bodies = plummer_model(1000, 21);
+  for (int p : {1, 2, 3, 4, 7, 16}) {
+    const auto assign = orb_assign(bodies, p);
+    const auto counts = assignment_counts(assign, p);
+    const int lo = *std::min_element(counts.begin(), counts.end());
+    const int hi = *std::max_element(counts.begin(), counts.end());
+    EXPECT_LE(hi - lo, p) << "p=" << p;  // near-perfect balance
+    int total = 0;
+    for (int c : counts) total += c;
+    EXPECT_EQ(total, 1000);
+  }
+  EXPECT_THROW(orb_assign(bodies, 0), std::invalid_argument);
+}
+
+TEST(Orb, PartsAreSpatiallyCompactForStripes) {
+  // With p = 2 the split must be a single plane along the widest axis:
+  // every body in part 0 lies on one side of every body in part 1 along
+  // that axis.
+  const auto bodies = plummer_model(400, 22);
+  const auto assign = orb_assign(bodies, 2);
+  Box3 box0, box1;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    (assign[i] == 0 ? box0 : box1).expand(bodies[i].pos);
+  }
+  const bool separated_x = box0.hi.x <= box1.lo.x || box1.hi.x <= box0.lo.x;
+  const bool separated_y = box0.hi.y <= box1.lo.y || box1.hi.y <= box0.lo.y;
+  const bool separated_z = box0.hi.z <= box1.lo.z || box1.hi.z <= box0.lo.z;
+  EXPECT_TRUE(separated_x || separated_y || separated_z);
+}
+
+// ----------------------------------------------------------------- parallel
+
+struct NbodyParam {
+  int n;
+  int nprocs;
+  int iterations;
+};
+
+class NbodyParallel : public testing::TestWithParam<NbodyParam> {};
+
+TEST_P(NbodyParallel, TracksSequentialBarnesHut) {
+  const auto& np = GetParam();
+  NbodyConfig cfg;
+  cfg.iterations = np.iterations;
+  const auto initial = plummer_model(np.n, 33);
+
+  std::vector<Body> seq = initial;
+  sequential_nbody_steps(seq, cfg);
+  const std::vector<Body> par = bsp_nbody(initial, np.nprocs, cfg);
+
+  // Both are theta-approximations with different tree shapes; positions
+  // diverge only within the BH error times dt^2 per step.
+  double max_dev = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    max_dev = std::max(max_dev, (seq[i].pos - par[i].pos).norm());
+  }
+  EXPECT_LT(max_dev, 5e-3 * np.iterations);
+  // Masses and identities preserved.
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_DOUBLE_EQ(par[i].mass, initial[i].mass);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NbodyParallel,
+    testing::ValuesIn(std::vector<NbodyParam>{
+        {300, 1, 2},
+        {300, 2, 2},
+        {300, 4, 2},
+        {800, 8, 1},
+        {800, 5, 3},
+    }),
+    [](const testing::TestParamInfo<NbodyParam>& info) {
+      return "N" + std::to_string(info.param.n) + "P" +
+             std::to_string(info.param.nprocs) + "I" +
+             std::to_string(info.param.iterations);
+    });
+
+TEST(Nbody, ParallelMatchesDirectSumWithinBhError) {
+  const auto initial = plummer_model(600, 44);
+  NbodyConfig cfg;
+  cfg.iterations = 1;
+  // One step from identical state: compare the implied accelerations.
+  std::vector<Body> direct_state = initial;
+  const auto acc = direct_accels(initial, cfg.eps);
+  for (std::size_t i = 0; i < direct_state.size(); ++i) {
+    direct_state[i].vel += acc[i] * cfg.dt;
+    direct_state[i].pos += direct_state[i].vel * cfg.dt;
+  }
+  const auto par = bsp_nbody(initial, 4, cfg);
+  std::vector<double> errs;
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    errs.push_back((par[i].pos - direct_state[i].pos).norm());
+  }
+  std::nth_element(errs.begin(), errs.begin() + errs.size() / 2, errs.end());
+  EXPECT_LT(errs[errs.size() / 2], 1e-5);
+}
+
+TEST(Nbody, SuperstepCountIsConstantInProblemSize) {
+  // Paper: S = 6 per iteration regardless of n (4 on one processor); the
+  // essential ingredient is that S does not grow with n.
+  auto steps_for = [](int n, int p) {
+    const auto initial = plummer_model(n, 9);
+    const auto assign = orb_assign(initial, p);
+    std::vector<Body> out(initial.size());
+    NbodyConfig cfg;
+    cfg.iterations = 1;
+    Config rc;
+    rc.nprocs = p;
+    Runtime rt(rc);
+    return rt.run(make_nbody_program(initial, assign, cfg, &out)).S();
+  };
+  EXPECT_EQ(steps_for(200, 4), steps_for(1000, 4));
+  // Two supersteps per iteration plus the tail (the paper's implementation
+  // used six per iteration; constancy in n is the property that matters).
+  EXPECT_EQ(steps_for(200, 1), 3u);
+  EXPECT_EQ(steps_for(200, 4), 3u);
+}
+
+TEST(Nbody, EnergyRoughlyConservedOverSteps) {
+  auto bodies = plummer_model(400, 55);
+  NbodyConfig cfg;
+  cfg.iterations = 10;
+  cfg.dt = 0.005;
+  const double e0 = total_energy(bodies, cfg.eps);
+  const auto evolved = bsp_nbody(bodies, 4, cfg);
+  const double e1 = total_energy(evolved, cfg.eps);
+  EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 0.05);
+}
+
+TEST(Nbody, RebalanceTriggersAndPreservesBodies) {
+  // Force rebalancing with a hair-trigger threshold over several steps;
+  // every body must survive with its identity.
+  const auto initial = plummer_model(500, 66);
+  NbodyConfig cfg;
+  cfg.iterations = 4;
+  cfg.imbalance_threshold = 1.0001;
+  const auto par = bsp_nbody(initial, 4, cfg);
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    ASSERT_DOUBLE_EQ(par[i].mass, initial[i].mass);
+    ASSERT_TRUE(std::isfinite(par[i].pos.x));
+  }
+}
+
+TEST(Nbody, InputValidation) {
+  const auto initial = plummer_model(10, 1);
+  std::vector<int> bad_assign(5, 0);
+  std::vector<Body> out(initial.size());
+  EXPECT_THROW(
+      make_nbody_program(initial, bad_assign, NbodyConfig{}, &out),
+      std::invalid_argument);
+  std::vector<Body> bad_out(3);
+  const auto assign = orb_assign(initial, 2);
+  EXPECT_THROW(
+      make_nbody_program(initial, assign, NbodyConfig{}, &bad_out),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbsp

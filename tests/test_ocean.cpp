@@ -1,0 +1,273 @@
+// Ocean: multigrid convergence against an analytic Poisson solution,
+// exact parallel/sequential agreement (identical row kernels), stability,
+// and the superstep structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/ocean/ocean_bsp.hpp"
+#include "apps/ocean/ocean_seq.hpp"
+
+namespace gbsp {
+namespace {
+
+OceanConfig small_cfg(int n) {
+  OceanConfig cfg;
+  cfg.n = n;
+  cfg.timesteps = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- multigrid
+
+TEST(OceanMultigrid, SolvesAnalyticPoissonProblem) {
+  // Lap(psi*) = f with psi* = sin(pi x) sin(2 pi y):
+  // f = -(pi^2 + 4 pi^2) psi*.
+  OceanConfig cfg = small_cfg(66);
+  cfg.solve_tol = 1e-8;
+  cfg.max_vcycles = 40;
+  const int m = cfg.interior();
+  const double h = 1.0 / m;  // cell-centered: centers at (j - 1/2) h
+  std::vector<double> f(static_cast<std::size_t>(m + 2) * (m + 2), 0.0);
+  std::vector<double> exact(f.size(), 0.0);
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const double x = (j - 0.5) * h, y = (i - 0.5) * h;
+      const double star = std::sin(M_PI * x) * std::sin(2 * M_PI * y);
+      exact[static_cast<std::size_t>(i) * (m + 2) + j] = star;
+      f[static_cast<std::size_t>(i) * (m + 2) + j] =
+          -(M_PI * M_PI + 4 * M_PI * M_PI) * star;
+    }
+  }
+  OceanSequential sim(cfg);
+  std::vector<double> u;
+  const int cycles = sim.solve_poisson(f, u);
+  EXPECT_LE(cycles, 15);  // multigrid converges fast
+  // Discretization error is O(h^2) over the interior (the ghost ring holds
+  // wall reflections, not field values).
+  double max_err = 0.0;
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const std::size_t k = static_cast<std::size_t>(i) * (m + 2) + j;
+      max_err = std::max(max_err, std::abs(u[k] - exact[k]));
+    }
+  }
+  EXPECT_LT(max_err, 20.0 * h * h);
+}
+
+TEST(OceanMultigrid, ResidualDropsFastPerVCycle) {
+  OceanConfig cfg = small_cfg(34);
+  cfg.solve_tol = 1e-10;
+  cfg.max_vcycles = 1;
+  const int m = cfg.interior();
+  std::vector<double> f(static_cast<std::size_t>(m + 2) * (m + 2), 0.0);
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      f[static_cast<std::size_t>(i) * (m + 2) + j] =
+          ((i * 13 + j * 7) % 5) - 2.0;
+    }
+  }
+  std::vector<double> u;
+  OceanSequential one(cfg);
+  one.solve_poisson(f, u);
+  const double r1 = one.last_residual();
+  cfg.max_vcycles = 2;
+  OceanSequential two(cfg);
+  two.solve_poisson(f, u);
+  const double r2 = two.last_residual();
+  EXPECT_LT(r2, r1 / 4.0);  // convergence factor comfortably < 0.25
+}
+
+TEST(OceanMultigrid, LevelsHalveDownToCoarsest) {
+  OceanConfig cfg = small_cfg(66);
+  const auto ms = ocean_levels(cfg);
+  ASSERT_EQ(ms.size(), 5u);  // 64, 32, 16, 8, 4
+  EXPECT_EQ(ms.front(), 64);
+  EXPECT_EQ(ms.back(), 4);
+  for (std::size_t i = 1; i < ms.size(); ++i) {
+    EXPECT_EQ(ms[i], ms[i - 1] / 2);
+  }
+}
+
+TEST(OceanConfigValidation, RejectsBadGrids) {
+  OceanConfig cfg;
+  cfg.n = 67;  // interior 65 not a power of two
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.n = 4;  // interior 2 < 4
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cfg(34);
+  cfg.timesteps = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- simulation
+
+TEST(OceanSeq, StepsStayFiniteAndForced) {
+  OceanConfig cfg = small_cfg(34);
+  cfg.timesteps = 5;
+  OceanSequential sim(cfg);
+  sim.run();
+  EXPECT_LT(sim.last_residual(), cfg.solve_tol);
+  double psi_max = 0;
+  for (double v : sim.psi()) {
+    ASSERT_TRUE(std::isfinite(v));
+    psi_max = std::max(psi_max, std::abs(v));
+  }
+  EXPECT_GT(psi_max, 0.0);  // the wind did something
+}
+
+struct OceanParam {
+  int n;
+  int nprocs;
+  Scheduling scheduling;
+};
+
+class OceanParallel : public testing::TestWithParam<OceanParam> {};
+
+TEST_P(OceanParallel, MatchesSequentialExactly) {
+  const auto& op = GetParam();
+  OceanConfig cfg = small_cfg(op.n);
+  OceanSequential seq(cfg);
+  const int seq_cycles = seq.run();
+
+  std::vector<double> psi(static_cast<std::size_t>(cfg.n) * cfg.n, 0.0);
+  std::vector<double> zeta(psi.size(), 0.0);
+  OceanRunInfo info;
+  Config rc;
+  rc.nprocs = op.nprocs;
+  rc.scheduling = op.scheduling;
+  Runtime rt(rc);
+  rt.run(make_ocean_program(cfg, &psi, &zeta, &info));
+
+  EXPECT_EQ(info.total_vcycles, seq_cycles);
+  // Same kernels, same sweep structure: bitwise identical interior fields
+  // (the ghost ring is scratch and not published by the BSP version).
+  const int m = cfg.interior();
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const std::size_t k = static_cast<std::size_t>(i) * (m + 2) + j;
+      ASSERT_EQ(psi[k], seq.psi()[k]) << "psi mismatch at " << i << "," << j;
+      ASSERT_EQ(zeta[k], seq.zeta()[k])
+          << "zeta mismatch at " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OceanParallel,
+    testing::ValuesIn(std::vector<OceanParam>{
+        {34, 1, Scheduling::Parallel},
+        {34, 2, Scheduling::Parallel},
+        {34, 4, Scheduling::Parallel},
+        {34, 7, Scheduling::Parallel},
+        {66, 8, Scheduling::Parallel},
+        {66, 16, Scheduling::Parallel},
+        {34, 3, Scheduling::Serialized},
+        {66, 5, Scheduling::Serialized},
+    }),
+    [](const testing::TestParamInfo<OceanParam>& info) {
+      return "N" + std::to_string(info.param.n) + "P" +
+             std::to_string(info.param.nprocs) +
+             (info.param.scheduling == Scheduling::Serialized ? "Ser" : "Par");
+    });
+
+TEST(OceanParallelExtra, MoreProcsThanCoarseRows) {
+  // Coarsest level has 4 interior rows; with 16 processors most are idle at
+  // depth but the computation must still be exact.
+  OceanConfig cfg = small_cfg(34);
+  cfg.timesteps = 1;
+  OceanSequential seq(cfg);
+  seq.run();
+  std::vector<double> psi(static_cast<std::size_t>(cfg.n) * cfg.n, 0.0);
+  std::vector<double> zeta(psi.size(), 0.0);
+  bsp_ocean(cfg, 16, &psi, &zeta);
+  const int m = cfg.interior();
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const std::size_t k = static_cast<std::size_t>(i) * (m + 2) + j;
+      ASSERT_EQ(psi[k], seq.psi()[k]);
+    }
+  }
+}
+
+TEST(OceanParallelExtra, SuperstepCountIndependentOfNprocs) {
+  // S is fixed by the multigrid structure and cycle counts, not by p.
+  OceanConfig cfg = small_cfg(34);
+  cfg.timesteps = 1;
+  auto steps = [&](int p) {
+    std::vector<double> psi(static_cast<std::size_t>(cfg.n) * cfg.n, 0.0);
+    std::vector<double> zeta(psi.size(), 0.0);
+    OceanRunInfo info;
+    Config rc;
+    rc.nprocs = p;
+    Runtime rt(rc);
+    return rt.run(make_ocean_program(cfg, &psi, &zeta, &info)).S();
+  };
+  const auto s2 = steps(2);
+  EXPECT_EQ(s2, steps(4));
+  EXPECT_EQ(s2, steps(8));
+  EXPECT_GT(s2, 50u);  // many small supersteps: the paper's ocean signature
+}
+
+TEST(OceanParallelExtra, GhostTrafficIsNearestNeighborSized) {
+  OceanConfig cfg = small_cfg(66);
+  cfg.timesteps = 1;
+  std::vector<double> psi(static_cast<std::size_t>(cfg.n) * cfg.n, 0.0);
+  std::vector<double> zeta(psi.size(), 0.0);
+  OceanRunInfo info;
+  Config rc;
+  rc.nprocs = 4;
+  Runtime rt(rc);
+  const RunStats stats = rt.run(make_ocean_program(cfg, &psi, &zeta, &info));
+  // A ghost row at the top level is 66 doubles (+8-byte header) = 34
+  // packets; h per superstep stays within a few rows.
+  for (const auto& s : stats.supersteps) {
+    EXPECT_LE(s.h_packets, 3u * 34u);
+  }
+  EXPECT_GT(stats.H(), 0u);
+}
+
+TEST(OceanParallelExtra, DrmaExchangeMatchesMessagesExactly) {
+  // The Oxford-style ghost transport must be a pure transport swap: same
+  // superstep count, bit-identical fields (paper 1.3's two library designs
+  // computing the same thing).
+  OceanConfig msg_cfg = small_cfg(34);
+  msg_cfg.timesteps = 2;
+  OceanConfig drma_cfg = msg_cfg;
+  drma_cfg.exchange = OceanExchange::Drma;
+  for (int np : {1, 3, 8}) {
+    std::vector<double> psi_m(static_cast<std::size_t>(34) * 34, 0.0);
+    std::vector<double> zeta_m(psi_m.size(), 0.0);
+    std::vector<double> psi_d(psi_m.size(), 0.0);
+    std::vector<double> zeta_d(psi_m.size(), 0.0);
+    OceanRunInfo info_m, info_d;
+    Config rc;
+    rc.nprocs = np;
+    const RunStats sm = Runtime(rc).run(
+        make_ocean_program(msg_cfg, &psi_m, &zeta_m, &info_m));
+    const RunStats sd = Runtime(rc).run(
+        make_ocean_program(drma_cfg, &psi_d, &zeta_d, &info_d));
+    EXPECT_EQ(sm.S(), sd.S()) << "np=" << np;
+    EXPECT_EQ(info_m.total_vcycles, info_d.total_vcycles);
+    const int m = msg_cfg.interior();
+    for (int i = 1; i <= m; ++i) {
+      for (int j = 1; j <= m; ++j) {
+        const std::size_t k = static_cast<std::size_t>(i) * (m + 2) + j;
+        ASSERT_EQ(psi_m[k], psi_d[k]) << "np=" << np;
+        ASSERT_EQ(zeta_m[k], zeta_d[k]) << "np=" << np;
+      }
+    }
+  }
+}
+
+TEST(OceanParallelExtra, RejectsBadOutputSizes) {
+  OceanConfig cfg = small_cfg(34);
+  std::vector<double> too_small(10, 0.0);
+  std::vector<double> ok(static_cast<std::size_t>(cfg.n) * cfg.n, 0.0);
+  OceanRunInfo info;
+  EXPECT_THROW(make_ocean_program(cfg, &too_small, &ok, &info),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbsp

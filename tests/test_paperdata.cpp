@@ -1,0 +1,114 @@
+// Consistency checks over the embedded paper tables: completeness against
+// the appendix structure, internal consistency (speedups vs times), and
+// accessor behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "paperdata/paperdata.hpp"
+
+namespace gbsp {
+namespace {
+
+TEST(PaperData, RowCountsMatchTheAppendix) {
+  // C.1 ocean: 4 sizes x 5 procs; C.2 mst: 3 x 5; C.3 matmult: 4 x 4;
+  // C.4 nbody: 5 x 5; C.5 sp: 3 x 5; C.6 msp: 3 x 5 — 99 rows total.
+  EXPECT_EQ(paper_rows("ocean").size(), 20u);
+  EXPECT_EQ(paper_rows("mst").size(), 15u);
+  EXPECT_EQ(paper_rows("matmult").size(), 16u);
+  EXPECT_EQ(paper_rows("nbody").size(), 25u);
+  EXPECT_EQ(paper_rows("sp").size(), 15u);
+  EXPECT_EQ(paper_rows("msp").size(), 15u);
+  EXPECT_EQ(paper_appendix_c().size(), 106u);
+}
+
+TEST(PaperData, SizesPerApp) {
+  EXPECT_EQ(paper_sizes("ocean"), (std::vector<int>{66, 130, 258, 514}));
+  EXPECT_EQ(paper_sizes("mst"), (std::vector<int>{2500, 10000, 40000}));
+  EXPECT_EQ(paper_sizes("matmult"), (std::vector<int>{144, 288, 432, 576}));
+  EXPECT_EQ(paper_sizes("nbody"),
+            (std::vector<int>{1024, 4096, 16384, 65536, 262144}));
+  EXPECT_EQ(paper_large_size("nbody"), 65536);  // Figure 3.1 uses 64K
+  EXPECT_EQ(paper_large_size("ocean"), 514);
+}
+
+TEST(PaperData, SpotChecksAgainstThePaper) {
+  // Figure 3.2 row for ocean 514 on the 16-processor SGI.
+  const auto r = paper_row("ocean", 514, 16);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->sgi_pred, 2.48);
+  EXPECT_DOUBLE_EQ(r->sgi_time, 2.23);
+  EXPECT_DOUBLE_EQ(r->sgi_spdp, 17.0);
+  EXPECT_DOUBLE_EQ(r->W, 2.38);
+  EXPECT_EQ(r->H, 69946);
+  EXPECT_EQ(r->S, 312);
+  EXPECT_DOUBLE_EQ(r->total_work16, 35.43);
+  // Figure 3.1 nbody row.
+  const auto nb = paper_row("nbody", 65536, 16);
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_DOUBLE_EQ(nb->sgi_time, 5.04);
+  EXPECT_DOUBLE_EQ(nb->cenju_spdp, 15.6);
+  // A missing PC cell (the PC-LAN had only 8 processors).
+  EXPECT_TRUE(std::isnan(nb->pc_time));
+}
+
+TEST(PaperData, SpeedupsAreConsistentWithTimes) {
+  // spdp ~ time(1) / time(np), within the paper's 2-significant-digit
+  // rounding. Verify for every row where both times exist.
+  int checked = 0;
+  for (const auto& r : paper_appendix_c()) {
+    const auto one = paper_row(r.app, r.size, 1);
+    ASSERT_TRUE(one.has_value());
+    for (int m = 0; m < 3; ++m) {
+      if (!std::isfinite(r.time(m)) || !std::isfinite(one->time(m)) ||
+          !std::isfinite(r.spdp(m)) || r.time(m) <= 0) {
+        continue;
+      }
+      const double implied = one->time(m) / r.time(m);
+      // Tolerate the paper's rounding (values printed to 2-3 digits).
+      EXPECT_NEAR(r.spdp(m), implied, 0.1 + 0.1 * implied)
+          << r.app << " size " << r.size << " np " << r.np << " machine "
+          << m;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 200);
+}
+
+TEST(PaperData, WorkDepthBoundedByTotalWorkTimesProcs) {
+  for (const auto& r : paper_appendix_c()) {
+    // W <= total work (1-proc rows: equality), and both positive.
+    EXPECT_GT(r.W, 0.0) << r.app << r.size << r.np;
+    EXPECT_GT(r.total_work16, 0.0);
+    EXPECT_GE(r.S, 1);
+    EXPECT_GE(r.H, 0);
+  }
+}
+
+TEST(PaperData, CalibrationFallsBackToPrediction) {
+  // Ocean 514 could not run on one Cenju node: calibration uses pred 53.85.
+  EXPECT_DOUBLE_EQ(paper_calibration_time("ocean", 514, 1), 53.85);
+  // Normal case uses the measured time.
+  EXPECT_DOUBLE_EQ(paper_calibration_time("ocean", 514, 0), 37.87);
+  // Unknown size: NaN.
+  EXPECT_TRUE(std::isnan(paper_calibration_time("ocean", 999, 0)));
+}
+
+TEST(PaperData, UnknownAppIsEmpty) {
+  EXPECT_TRUE(paper_rows("fft").empty());
+  EXPECT_FALSE(paper_row("fft", 10, 1).has_value());
+  EXPECT_TRUE(paper_sizes("fft").empty());
+}
+
+TEST(PaperData, AppListMatchesPresentationOrder) {
+  const auto& apps = paper_apps();
+  ASSERT_EQ(apps.size(), 6u);
+  EXPECT_EQ(apps[0], "ocean");
+  EXPECT_EQ(apps[5], "matmult");
+  for (const auto& a : apps) {
+    EXPECT_FALSE(paper_rows(a).empty()) << a;
+  }
+}
+
+}  // namespace
+}  // namespace gbsp

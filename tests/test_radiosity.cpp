@@ -1,0 +1,244 @@
+// Hierarchical radiosity: geometry/visibility primitives, form-factor
+// sanity (analytic parallel-plates value, reciprocity), the white-furnace
+// exact solution, Cornell-scene shadowing, and parallel/sequential
+// equality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/radiosity/radiosity.hpp"
+#include "apps/radiosity/radiosity_bsp.hpp"
+#include "apps/radiosity/scene.hpp"
+
+namespace gbsp {
+namespace {
+
+// -------------------------------------------------------------- geometry
+
+TEST(RadScene, PatchBasics) {
+  Patch p{{0, 0, 0}, {2, 0, 0}, {0, 3, 0}, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(p.area(), 6.0);
+  EXPECT_DOUBLE_EQ(p.normal().z, 1.0);
+  const Vec3 c = p.center();
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.5);
+}
+
+TEST(RadScene, RayRectangleIntersection) {
+  Patch p{{0, 0, 1}, {1, 0, 0}, {0, 1, 0}, 0, 0};
+  // Straight up through the middle.
+  EXPECT_GT(intersect_rectangle(p, {0.5, 0.5, 0}, {0, 0, 2}, 0, 1), 0.0);
+  // Misses to the side.
+  EXPECT_LT(intersect_rectangle(p, {2.5, 0.5, 0}, {0, 0, 2}, 0, 1), 0.0);
+  // Parallel ray never hits.
+  EXPECT_LT(intersect_rectangle(p, {0.5, 0.5, 0}, {1, 0, 0}, 0, 1), 0.0);
+  // Behind the segment range.
+  EXPECT_LT(intersect_rectangle(p, {0.5, 0.5, 2}, {0, 0, 1}, 0, 1), 0.0);
+}
+
+TEST(RadScene, OcclusionDetectsBlocker) {
+  Scene s = make_parallel_squares(2.0, 1.0, 0.0);
+  const Vec3 a = s.patches[0].center();
+  const Vec3 b = s.patches[1].center();
+  EXPECT_FALSE(s.occluded(a, b, 0, 1));
+  // Insert a blocking slab between them.
+  s.patches.push_back({{0.2, 0.2, 1.0}, {0.6, 0, 0}, {0, 0.6, 0}, 0, 0});
+  EXPECT_TRUE(s.occluded(a, b, 0, 1));
+  // An off-axis slab does not block the center ray.
+  s.patches.back().origin = {5, 5, 1};
+  EXPECT_FALSE(s.occluded(a, b, 0, 1));
+}
+
+TEST(RadScene, FurnaceBoxFacesInward) {
+  const Scene s = make_furnace_box(2.0, 1.0, 0.5);
+  ASSERT_EQ(s.patches.size(), 6u);
+  const Vec3 middle{1, 1, 1};
+  for (const auto& p : s.patches) {
+    const Vec3 to_center = middle - p.center();
+    EXPECT_GT(p.normal().x * to_center.x + p.normal().y * to_center.y +
+                  p.normal().z * to_center.z,
+              0.0);
+    EXPECT_DOUBLE_EQ(p.area(), 4.0);
+  }
+  EXPECT_DOUBLE_EQ(s.total_emitted_power(), 24.0);
+}
+
+// ----------------------------------------------------------- form factors
+
+TEST(RadFF, ParallelUnitSquaresNearAnalytic) {
+  // Unit squares facing at distance 1: analytic F ~ 0.1998. Hierarchical
+  // refinement of the point-to-disk estimate should land in range.
+  const Scene s = make_parallel_squares(1.0, 1.0, 0.0);
+  RadiosityConfig cfg;
+  cfg.ff_eps = 0.005;
+  cfg.max_depth = 5;
+  HierarchicalRadiosity hr(s, cfg);
+  hr.build([](int) { return true; });
+  // Total flux fraction from patch 0 to 1: sum over links, weighted by
+  // receiver area fraction.
+  double F = 0.0;
+  const double a0 =
+      hr.elements()[static_cast<std::size_t>(hr.root_of(0))].area;
+  for (const auto& l : hr.links()) {
+    if (hr.elements()[static_cast<std::size_t>(l.receiver)].patch == 0) {
+      F += l.F * hr.elements()[static_cast<std::size_t>(l.receiver)].area /
+           a0;
+    }
+  }
+  EXPECT_NEAR(F, 0.1998, 0.04);
+}
+
+TEST(RadFF, ReciprocityOfEstimates) {
+  const Scene s = make_parallel_squares(1.3, 1.0, 0.0);
+  HierarchicalRadiosity hr(s, {});
+  const int r0 = hr.root_of(0), r1 = hr.root_of(1);
+  const double f01 = hr.estimate_ff(r0, r1);
+  const double f10 = hr.estimate_ff(r1, r0);
+  // Equal areas: the center-point estimate is exactly reciprocal.
+  EXPECT_NEAR(f01, f10, 1e-12);
+  EXPECT_GT(f01, 0.0);
+}
+
+TEST(RadFF, BackFacingAndSelfAreZero) {
+  Scene s;
+  // Two squares facing AWAY from each other.
+  s.patches.push_back({{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, 0, 0});  // -z
+  s.patches.push_back({{0, 0, 1}, {1, 0, 0}, {0, 1, 0}, 0, 0});  // +z
+  HierarchicalRadiosity hr(s, {});
+  EXPECT_DOUBLE_EQ(hr.estimate_ff(hr.root_of(0), hr.root_of(1)), 0.0);
+  EXPECT_DOUBLE_EQ(hr.estimate_ff(hr.root_of(0), hr.root_of(0)), 0.0);
+}
+
+// ---------------------------------------------------------------- solving
+
+TEST(RadSolve, WhiteFurnaceReachesAnalyticFixedPoint) {
+  // Closed box, uniform emission E and reflectance rho: the exact radiosity
+  // is B = E / (1 - rho) everywhere.
+  const double E = 1.0, rho = 0.5;
+  const Scene s = make_furnace_box(1.0, E, rho);
+  RadiosityConfig cfg;
+  cfg.ff_eps = 0.01;
+  cfg.max_depth = 4;
+  cfg.max_iterations = 64;
+  HierarchicalRadiosity hr(s, cfg);
+  hr.build([](int) { return true; });
+  const int sweeps = hr.solve();
+  EXPECT_GT(sweeps, 3);
+  const double exact = E / (1 - rho);
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_NEAR(hr.patch_radiosity(p), exact, 0.12 * exact) << "patch " << p;
+  }
+}
+
+TEST(RadSolve, NoReflectanceMeansPureEmission) {
+  const Scene s = make_furnace_box(1.0, 2.5, 0.0);
+  HierarchicalRadiosity hr(s, {});
+  hr.build([](int) { return true; });
+  hr.solve();
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_DOUBLE_EQ(hr.patch_radiosity(p), 2.5);
+  }
+}
+
+TEST(RadSolve, RadiosityIsNonNegativeAndBounded) {
+  const Scene s = make_cornell_scene();
+  RadiosityConfig cfg;
+  cfg.max_iterations = 32;
+  HierarchicalRadiosity hr(s, cfg);
+  hr.build([](int) { return true; });
+  hr.solve();
+  double emax = 0, rmax = 0;
+  for (const auto& p : s.patches) {
+    emax = std::max(emax, p.emission);
+    rmax = std::max(rmax, p.reflectance);
+  }
+  const double bound = emax / (1 - rmax);
+  for (const auto& e : hr.elements()) {
+    EXPECT_GE(e.radiosity, 0.0);
+    EXPECT_LE(e.radiosity, bound);
+  }
+}
+
+TEST(RadSolve, CornellShadowing) {
+  const Scene s = make_cornell_scene();
+  RadiosityConfig cfg;
+  cfg.ff_eps = 0.02;
+  cfg.max_iterations = 32;
+  HierarchicalRadiosity hr(s, cfg);
+  hr.build([](int) { return true; });
+  hr.solve();
+  // Floor is patch 0. The center is shadowed by the slab; the corners see
+  // the light directly.
+  const double center = hr.radiosity_at(0, 0.5, 0.5);
+  const double corner = hr.radiosity_at(0, 0.05, 0.05);
+  EXPECT_GT(corner, center * 1.2);
+  // But indirect light still reaches the shadowed center.
+  EXPECT_GT(center, 0.0);
+  // The slab's lit top is brighter than its dark underside.
+  const int slab_top = 7, slab_bottom = 8;
+  EXPECT_GT(hr.patch_radiosity(slab_top),
+            hr.patch_radiosity(slab_bottom));
+}
+
+TEST(RadSolve, RefinementProducesHierarchy) {
+  const Scene s = make_cornell_scene();
+  RadiosityConfig coarse;
+  coarse.ff_eps = 0.5;
+  RadiosityConfig fine;
+  fine.ff_eps = 0.01;
+  HierarchicalRadiosity a(s, coarse), b(s, fine);
+  a.build([](int) { return true; });
+  b.build([](int) { return true; });
+  EXPECT_GT(b.elements().size(), a.elements().size());
+  EXPECT_GT(b.links().size(), a.links().size());
+  // Hierarchical, not quadratic: links far below (leaf count)^2.
+  std::size_t leaves = 0;
+  for (const auto& e : b.elements()) leaves += e.leaf() ? 1 : 0;
+  EXPECT_LT(b.links().size(), leaves * leaves / 4);
+}
+
+// --------------------------------------------------------------- parallel
+
+TEST(RadBsp, MatchesSequentialExactly) {
+  const Scene s = make_cornell_scene();
+  RadiosityConfig cfg;
+  cfg.max_iterations = 16;
+  HierarchicalRadiosity seq(s, cfg);
+  seq.build([](int) { return true; });
+  seq.solve();
+  for (int np : {1, 2, 3, 4}) {
+    RadiosityRunInfo info;
+    const auto par = bsp_radiosity(s, cfg, np, &info);
+    ASSERT_EQ(par.size(), s.patches.size());
+    for (std::size_t p = 0; p < par.size(); ++p) {
+      ASSERT_EQ(par[p], seq.patch_radiosity(static_cast<int>(p)))
+          << "np=" << np << " patch " << p;
+    }
+    EXPECT_GT(info.sweeps, 0);
+  }
+}
+
+TEST(RadBsp, OneSuperstepPerSweep) {
+  const Scene s = make_furnace_box(1.0, 1.0, 0.4);
+  RadiosityConfig cfg;
+  cfg.max_iterations = 10;
+  std::vector<double> out(s.patches.size(), 0.0);
+  RadiosityRunInfo info;
+  Config rc;
+  rc.nprocs = 3;
+  Runtime rt(rc);
+  const RunStats stats =
+      rt.run(make_radiosity_program(s, cfg, &out, &info));
+  EXPECT_EQ(stats.S(), static_cast<std::size_t>(info.sweeps) + 1);
+}
+
+TEST(RadBsp, RejectsBadOutputSize) {
+  const Scene s = make_furnace_box(1.0, 1.0, 0.4);
+  std::vector<double> wrong(2, 0.0);
+  RadiosityRunInfo info;
+  EXPECT_THROW(make_radiosity_program(s, {}, &wrong, &info),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -1,0 +1,131 @@
+// BSP sample sort against std::sort across sizes, processor counts,
+// distributions, and schedulers; plus structural checks on the constant
+// superstep profile.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/sort/sample_sort.hpp"
+#include "util/rng.hpp"
+
+namespace gbsp {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+struct SortParam {
+  std::size_t n;
+  int nprocs;
+  std::uint64_t seed;
+};
+
+class SampleSort : public testing::TestWithParam<SortParam> {};
+
+TEST_P(SampleSort, MatchesStdSort) {
+  const auto& sp = GetParam();
+  const auto input = random_keys(sp.n, sp.seed);
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  const auto got = bsp_sample_sort(input, sp.nprocs);
+  ASSERT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SampleSort,
+    testing::ValuesIn(std::vector<SortParam>{
+        {0, 3, 1},      // empty input
+        {1, 4, 2},      // single key
+        {5, 8, 3},      // fewer keys than processors
+        {1000, 1, 4},
+        {1000, 2, 5},
+        {1000, 7, 6},
+        {50000, 4, 7},
+        {50000, 16, 8},
+    }),
+    [](const testing::TestParamInfo<SortParam>& info) {
+      return "N" + std::to_string(info.param.n) + "P" +
+             std::to_string(info.param.nprocs);
+    });
+
+TEST(SampleSortExtra, HandlesHeavyDuplicates) {
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> input(20000);
+  for (auto& k : input) k = rng.uniform_int(5);  // only 5 distinct keys
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  for (int p : {2, 8}) {
+    EXPECT_EQ(bsp_sample_sort(input, p), expect) << "p=" << p;
+  }
+}
+
+TEST(SampleSortExtra, HandlesPresortedAndReversed) {
+  std::vector<std::uint64_t> asc(10000), desc(10000);
+  for (std::size_t i = 0; i < asc.size(); ++i) {
+    asc[i] = i;
+    desc[i] = asc.size() - i;
+  }
+  auto expect_desc = desc;
+  std::sort(expect_desc.begin(), expect_desc.end());
+  EXPECT_EQ(bsp_sample_sort(asc, 6), asc);
+  EXPECT_EQ(bsp_sample_sort(desc, 6), expect_desc);
+}
+
+TEST(SampleSortExtra, ConstantSuperstepProfile) {
+  // S must not depend on n — the paper's "simple subroutine" profile.
+  auto steps = [](std::size_t n) {
+    const auto input = random_keys(n, 11);
+    std::vector<std::uint64_t> out(input.size(), 0);
+    Config cfg;
+    cfg.nprocs = 4;
+    Runtime rt(cfg);
+    return rt.run(make_sample_sort_program(input, &out)).S();
+  };
+  const auto s1 = steps(2000);
+  EXPECT_EQ(s1, steps(64000));
+  EXPECT_EQ(s1, 5u);  // samples, splitters, buckets, offsets, merge-tail
+}
+
+TEST(SampleSortExtra, SerializedSchedulerSameResult) {
+  const auto input = random_keys(5000, 13);
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::uint64_t> out(input.size(), 0);
+  Config cfg;
+  cfg.nprocs = 5;
+  cfg.scheduling = Scheduling::Serialized;
+  Runtime rt(cfg);
+  rt.run(make_sample_sort_program(input, &out));
+  EXPECT_EQ(out, expect);
+}
+
+TEST(SampleSortExtra, BalancedCommunication) {
+  // Regular sampling keeps bucket traffic near n/p per processor: h stays
+  // within a small factor of the ideal.
+  const std::size_t n = 40000;
+  const int p = 8;
+  const auto input = random_keys(n, 17);
+  std::vector<std::uint64_t> out(n, 0);
+  Config cfg;
+  cfg.nprocs = p;
+  Runtime rt(cfg);
+  const RunStats stats = rt.run(make_sample_sort_program(input, &out));
+  // Superstep 2 carries the buckets (~ (p-1)/p of n/p keys per processor,
+  // in 16-byte packet units: 8 bytes per key => n/p/2 packets).
+  const double ideal = static_cast<double>(n) / p / 2.0;
+  EXPECT_LT(static_cast<double>(stats.supersteps[2].h_packets), 3.0 * ideal);
+}
+
+TEST(SampleSortExtra, RejectsWrongOutputSize) {
+  const auto input = random_keys(100, 19);
+  std::vector<std::uint64_t> wrong(10, 0);
+  EXPECT_THROW(make_sample_sort_program(input, &wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbsp

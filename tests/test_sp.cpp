@@ -1,0 +1,177 @@
+// Distributed shortest paths (SP and MSP) against the sequential Dijkstra
+// oracle, across processor counts, work factors, and schedulers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/sp/shortest_paths.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/geometric.hpp"
+#include "util/rng.hpp"
+
+namespace gbsp {
+namespace {
+
+struct SpParam {
+  int n;
+  int nprocs;
+  int work_factor;
+  std::uint64_t seed;
+};
+
+class SpCorrectness : public testing::TestWithParam<SpParam> {};
+
+TEST_P(SpCorrectness, DistancesMatchSequentialDijkstra) {
+  const auto& sp = GetParam();
+  const GeometricGraph gg = make_geometric_graph(sp.n, sp.seed);
+  const auto ref = dijkstra(gg.graph, 0);
+  SpConfig cfg;
+  cfg.work_factor = sp.work_factor;
+  const auto got =
+      bsp_shortest_paths(gg.graph, gg.points, sp.nprocs, 0, cfg);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(got[i], ref[i], 1e-9) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpCorrectness,
+    testing::ValuesIn(std::vector<SpParam>{
+        {200, 1, 4000, 1},
+        {200, 2, 4000, 2},
+        {200, 4, 4000, 3},
+        {500, 3, 50, 4},    // tiny work factor: many supersteps
+        {500, 8, 200, 5},
+        {1000, 4, 4000, 6},
+        {1000, 5, 13, 7},   // pathological work factor still converges
+    }),
+    [](const testing::TestParamInfo<SpParam>& info) {
+      return "N" + std::to_string(info.param.n) + "P" +
+             std::to_string(info.param.nprocs) + "W" +
+             std::to_string(info.param.work_factor);
+    });
+
+TEST(Sp, DifferentSourcesAgainstOracle) {
+  const GeometricGraph gg = make_geometric_graph(400, 9);
+  for (int source : {0, 57, 399}) {
+    const auto ref = dijkstra(gg.graph, source);
+    const auto got = bsp_shortest_paths(gg.graph, gg.points, 4, source);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(got[i], ref[i], 1e-9) << "source " << source;
+    }
+  }
+}
+
+TEST(Sp, WorkFactorControlsSuperstepCount) {
+  // Smaller work factor => processors yield more often => more supersteps.
+  // This is the paper's Section 3.4 trade-off (work factor should grow
+  // with L).
+  const GeometricGraph gg = make_geometric_graph(800, 12);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 4);
+  auto run_with = [&](int wf) {
+    std::vector<std::vector<double>> out(
+        1, std::vector<double>(800, 0.0));
+    SpConfig cfg;
+    cfg.work_factor = wf;
+    Config rc;
+    rc.nprocs = 4;
+    Runtime rt(rc);
+    return rt.run(make_sp_program(part, {0}, cfg, &out));
+  };
+  const RunStats fine = run_with(25);
+  const RunStats coarse = run_with(100000);
+  EXPECT_GT(fine.S(), coarse.S());
+  EXPECT_GE(fine.S(), 10u);
+}
+
+TEST(Sp, SerializedSchedulerSameAnswers) {
+  const GeometricGraph gg = make_geometric_graph(300, 31);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 5);
+  std::vector<std::vector<double>> out(1, std::vector<double>(300, 0.0));
+  Config rc;
+  rc.nprocs = 5;
+  rc.scheduling = Scheduling::Serialized;
+  Runtime rt(rc);
+  rt.run(make_sp_program(part, {7}, SpConfig{}, &out));
+  const auto ref = dijkstra(gg.graph, 7);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(out[0][i], ref[i], 1e-9);
+  }
+}
+
+TEST(Sp, RejectsBadConfig) {
+  const GeometricGraph gg = make_geometric_graph(50, 1);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 2);
+  std::vector<std::vector<double>> out(1, std::vector<double>(50, 0.0));
+  SpConfig bad;
+  bad.work_factor = 0;
+  EXPECT_THROW(make_sp_program(part, {0}, bad, &out), std::invalid_argument);
+  std::vector<std::vector<double>> wrong_rows;
+  EXPECT_THROW(make_sp_program(part, {0}, SpConfig{}, &wrong_rows),
+               std::invalid_argument);
+  // nprocs mismatch diagnosed at run time.
+  Config rc;
+  rc.nprocs = 3;
+  Runtime rt(rc);
+  EXPECT_THROW(rt.run(make_sp_program(part, {0}, SpConfig{}, &out)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- MSP
+
+TEST(Msp, TwentyFiveSourcesMatchRepeatedDijkstra) {
+  // The paper's Section 3.5 configuration: 25 simultaneous computations.
+  const int n = 600, K = 25;
+  const GeometricGraph gg = make_geometric_graph(n, 77);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 4);
+  std::vector<int> sources;
+  Xoshiro256 rng(123);
+  while (static_cast<int>(sources.size()) < K) {
+    const int s = static_cast<int>(rng.uniform_int(n));
+    if (std::find(sources.begin(), sources.end(), s) == sources.end()) {
+      sources.push_back(s);
+    }
+  }
+  std::vector<std::vector<double>> out(
+      static_cast<std::size_t>(K), std::vector<double>(n, 0.0));
+  Config rc;
+  rc.nprocs = 4;
+  Runtime rt(rc);
+  SpConfig cfg;
+  cfg.work_factor = 300;
+  rt.run(make_sp_program(part, sources, cfg, &out));
+  for (int k = 0; k < K; ++k) {
+    const auto ref = dijkstra(gg.graph, sources[static_cast<std::size_t>(k)]);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(out[static_cast<std::size_t>(k)][i], ref[i], 1e-9)
+          << "k=" << k << " node " << i;
+    }
+  }
+}
+
+TEST(Msp, SharesSuperstepsAcrossSources) {
+  // K sources run in the same supersteps, so S grows far slower than K.
+  const GeometricGraph gg = make_geometric_graph(400, 5);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 4);
+  SpConfig cfg;
+  cfg.work_factor = 200;
+  auto run_k = [&](int K) {
+    std::vector<int> sources;
+    for (int k = 0; k < K; ++k) sources.push_back(k * 7);
+    std::vector<std::vector<double>> out(
+        static_cast<std::size_t>(K), std::vector<double>(400, 0.0));
+    Config rc;
+    rc.nprocs = 4;
+    Runtime rt(rc);
+    return rt.run(make_sp_program(part, sources, cfg, &out));
+  };
+  const RunStats one = run_k(1);
+  const RunStats ten = run_k(10);
+  EXPECT_LT(ten.S(), one.S() * 4);
+  // But the 10-source run moves roughly 10x the update traffic.
+  EXPECT_GT(ten.total_packets(), one.total_packets() * 4);
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -1,0 +1,99 @@
+// Trace persistence: CSV round-trip, re-pricing equality, and error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/stats_io.hpp"
+#include "emul/emulator.hpp"
+
+namespace gbsp {
+namespace {
+
+RunStats sample_trace() {
+  return execute_traced(4, [](Worker& w) {
+    for (int r = 0; r < 6; ++r) {
+      volatile double sink = 0;
+      for (int i = 0; i < 20000 * (w.pid() + 1); ++i) sink = sink + 1;
+      for (int k = 0; k <= r; ++k) {
+        w.send((w.pid() + 1) % w.nprocs(), k);
+      }
+      w.sync();
+      while (w.get_message() != nullptr) {
+      }
+    }
+  });
+}
+
+TEST(StatsIo, CsvRoundTripsAggregatesExactly) {
+  const RunStats original = sample_trace();
+  std::stringstream buf;
+  write_superstep_csv(buf, original);
+  const RunStats loaded = read_superstep_csv(buf, original.nprocs);
+
+  ASSERT_EQ(loaded.S(), original.S());
+  EXPECT_EQ(loaded.H(), original.H());
+  EXPECT_EQ(loaded.total_packets(), original.total_packets());
+  EXPECT_EQ(loaded.total_bytes(), original.total_bytes());
+  for (std::size_t i = 0; i < original.supersteps.size(); ++i) {
+    const auto& a = original.supersteps[i];
+    const auto& b = loaded.supersteps[i];
+    EXPECT_DOUBLE_EQ(a.w_max_us, b.w_max_us) << i;
+    EXPECT_DOUBLE_EQ(a.w_total_us, b.w_total_us) << i;
+    EXPECT_EQ(a.h_messages, b.h_messages) << i;
+    EXPECT_EQ(a.endpoint_messages, b.endpoint_messages) << i;
+  }
+}
+
+TEST(StatsIo, ReloadedTracePricesIdentically) {
+  // The whole point: capture once, re-price later (e.g. under a new machine
+  // model) without re-running the application. The SGI and Cenju transports
+  // price from the aggregates, so the reload must price identically.
+  const RunStats original = sample_trace();
+  std::stringstream buf;
+  write_superstep_csv(buf, original);
+  const RunStats loaded = read_superstep_csv(buf, original.nprocs);
+  for (const auto& machine : {emulated_sgi(), emulated_cenju()}) {
+    EXPECT_DOUBLE_EQ(price_trace(original, machine, 2.0),
+                     price_trace(loaded, machine, 2.0))
+        << machine.name();
+  }
+}
+
+TEST(StatsIo, FileHelpersWork) {
+  const RunStats original = sample_trace();
+  const std::string path = testing::TempDir() + "/gbsp_trace.csv";
+  save_superstep_csv(path, original);
+  const RunStats loaded = load_superstep_csv(path, 4);
+  EXPECT_EQ(loaded.S(), original.S());
+  EXPECT_EQ(loaded.H(), original.H());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_superstep_csv(path, 4), std::runtime_error);
+}
+
+TEST(StatsIo, MalformedInputIsDiagnosed) {
+  std::stringstream no_header("1,2,3\n");
+  EXPECT_THROW((void)read_superstep_csv(no_header, 2), std::invalid_argument);
+
+  std::stringstream short_row(
+      "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
+      "total_messages,h_messages,endpoint_messages\n1,2,3\n");
+  EXPECT_THROW((void)read_superstep_csv(short_row, 2), std::invalid_argument);
+
+  std::stringstream bad_value(
+      "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
+      "total_messages,h_messages,endpoint_messages\n0,x,0,0,0,0,0,0,0\n");
+  EXPECT_THROW((void)read_superstep_csv(bad_value, 2), std::invalid_argument);
+}
+
+TEST(StatsIo, EmptyTraceIsJustTheHeader) {
+  RunStats empty;
+  empty.nprocs = 1;
+  std::stringstream buf;
+  write_superstep_csv(buf, empty);
+  const RunStats loaded = read_superstep_csv(buf, 1);
+  EXPECT_EQ(loaded.S(), 0u);
+}
+
+}  // namespace
+}  // namespace gbsp
