@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_delivery.dir/bench_ablation_delivery.cpp.o"
+  "CMakeFiles/bench_ablation_delivery.dir/bench_ablation_delivery.cpp.o.d"
+  "bench_ablation_delivery"
+  "bench_ablation_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

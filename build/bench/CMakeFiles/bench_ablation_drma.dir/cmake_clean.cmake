@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drma.dir/bench_ablation_drma.cpp.o"
+  "CMakeFiles/bench_ablation_drma.dir/bench_ablation_drma.cpp.o.d"
+  "bench_ablation_drma"
+  "bench_ablation_drma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

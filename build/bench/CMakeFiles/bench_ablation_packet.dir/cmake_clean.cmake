@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_packet.dir/bench_ablation_packet.cpp.o"
+  "CMakeFiles/bench_ablation_packet.dir/bench_ablation_packet.cpp.o.d"
+  "bench_ablation_packet"
+  "bench_ablation_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

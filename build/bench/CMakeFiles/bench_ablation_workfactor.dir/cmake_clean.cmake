@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workfactor.dir/bench_ablation_workfactor.cpp.o"
+  "CMakeFiles/bench_ablation_workfactor.dir/bench_ablation_workfactor.cpp.o.d"
+  "bench_ablation_workfactor"
+  "bench_ablation_workfactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

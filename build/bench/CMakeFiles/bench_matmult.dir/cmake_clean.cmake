@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matmult.dir/bench_matmult.cpp.o"
+  "CMakeFiles/bench_matmult.dir/bench_matmult.cpp.o.d"
+  "bench_matmult"
+  "bench_matmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

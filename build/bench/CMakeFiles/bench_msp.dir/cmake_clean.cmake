@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msp.dir/bench_msp.cpp.o"
+  "CMakeFiles/bench_msp.dir/bench_msp.cpp.o.d"
+  "bench_msp"
+  "bench_msp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ocean.dir/bench_ocean.cpp.o"
+  "CMakeFiles/bench_ocean.dir/bench_ocean.cpp.o.d"
+  "bench_ocean"
+  "bench_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radiosity.dir/bench_radiosity.cpp.o"
+  "CMakeFiles/bench_radiosity.dir/bench_radiosity.cpp.o.d"
+  "bench_radiosity"
+  "bench_radiosity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radiosity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

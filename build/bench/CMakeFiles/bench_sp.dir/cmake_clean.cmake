@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sp.dir/bench_sp.cpp.o"
+  "CMakeFiles/bench_sp.dir/bench_sp.cpp.o.d"
+  "bench_sp"
+  "bench_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

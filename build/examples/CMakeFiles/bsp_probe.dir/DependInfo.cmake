@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bsp_probe.cpp" "examples/CMakeFiles/bsp_probe.dir/bsp_probe.cpp.o" "gcc" "examples/CMakeFiles/bsp_probe.dir/bsp_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/gbsp_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

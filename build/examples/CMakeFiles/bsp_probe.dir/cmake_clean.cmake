@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_probe.dir/bsp_probe.cpp.o"
+  "CMakeFiles/bsp_probe.dir/bsp_probe.cpp.o.d"
+  "bsp_probe"
+  "bsp_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_demo.cpp" "examples/CMakeFiles/graph_demo.dir/graph_demo.cpp.o" "gcc" "examples/CMakeFiles/graph_demo.dir/graph_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/mst/CMakeFiles/gbsp_mst.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/sp/CMakeFiles/gbsp_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gbsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

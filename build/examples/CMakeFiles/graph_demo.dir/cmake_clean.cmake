@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_demo.dir/graph_demo.cpp.o"
+  "CMakeFiles/graph_demo.dir/graph_demo.cpp.o.d"
+  "graph_demo"
+  "graph_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

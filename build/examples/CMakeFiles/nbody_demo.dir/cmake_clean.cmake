@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_demo.dir/nbody_demo.cpp.o"
+  "CMakeFiles/nbody_demo.dir/nbody_demo.cpp.o.d"
+  "nbody_demo"
+  "nbody_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_demo.dir/ocean_demo.cpp.o"
+  "CMakeFiles/ocean_demo.dir/ocean_demo.cpp.o.d"
+  "ocean_demo"
+  "ocean_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiosity_demo.dir/radiosity_demo.cpp.o"
+  "CMakeFiles/radiosity_demo.dir/radiosity_demo.cpp.o.d"
+  "radiosity_demo"
+  "radiosity_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiosity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

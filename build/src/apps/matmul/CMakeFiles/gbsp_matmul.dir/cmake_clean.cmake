@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_matmul.dir/matmul.cpp.o"
+  "CMakeFiles/gbsp_matmul.dir/matmul.cpp.o.d"
+  "libgbsp_matmul.a"
+  "libgbsp_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_mst.dir/mst.cpp.o"
+  "CMakeFiles/gbsp_mst.dir/mst.cpp.o.d"
+  "libgbsp_mst.a"
+  "libgbsp_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

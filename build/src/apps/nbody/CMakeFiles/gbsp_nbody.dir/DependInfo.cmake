@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/nbody/bhtree.cpp" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/bhtree.cpp.o" "gcc" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/bhtree.cpp.o.d"
+  "/root/repo/src/apps/nbody/fmm.cpp" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/fmm.cpp.o" "gcc" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/fmm.cpp.o.d"
+  "/root/repo/src/apps/nbody/nbody.cpp" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/nbody.cpp.o" "gcc" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/nbody.cpp.o.d"
+  "/root/repo/src/apps/nbody/orb.cpp" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/orb.cpp.o" "gcc" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/orb.cpp.o.d"
+  "/root/repo/src/apps/nbody/plummer.cpp" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/plummer.cpp.o" "gcc" "src/apps/nbody/CMakeFiles/gbsp_nbody.dir/plummer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_nbody.dir/bhtree.cpp.o"
+  "CMakeFiles/gbsp_nbody.dir/bhtree.cpp.o.d"
+  "CMakeFiles/gbsp_nbody.dir/fmm.cpp.o"
+  "CMakeFiles/gbsp_nbody.dir/fmm.cpp.o.d"
+  "CMakeFiles/gbsp_nbody.dir/nbody.cpp.o"
+  "CMakeFiles/gbsp_nbody.dir/nbody.cpp.o.d"
+  "CMakeFiles/gbsp_nbody.dir/orb.cpp.o"
+  "CMakeFiles/gbsp_nbody.dir/orb.cpp.o.d"
+  "CMakeFiles/gbsp_nbody.dir/plummer.cpp.o"
+  "CMakeFiles/gbsp_nbody.dir/plummer.cpp.o.d"
+  "libgbsp_nbody.a"
+  "libgbsp_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

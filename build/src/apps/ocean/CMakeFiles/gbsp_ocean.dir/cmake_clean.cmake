@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_ocean.dir/ocean_bsp.cpp.o"
+  "CMakeFiles/gbsp_ocean.dir/ocean_bsp.cpp.o.d"
+  "CMakeFiles/gbsp_ocean.dir/ocean_seq.cpp.o"
+  "CMakeFiles/gbsp_ocean.dir/ocean_seq.cpp.o.d"
+  "libgbsp_ocean.a"
+  "libgbsp_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_radiosity.dir/radiosity.cpp.o"
+  "CMakeFiles/gbsp_radiosity.dir/radiosity.cpp.o.d"
+  "CMakeFiles/gbsp_radiosity.dir/radiosity_bsp.cpp.o"
+  "CMakeFiles/gbsp_radiosity.dir/radiosity_bsp.cpp.o.d"
+  "CMakeFiles/gbsp_radiosity.dir/scene.cpp.o"
+  "CMakeFiles/gbsp_radiosity.dir/scene.cpp.o.d"
+  "libgbsp_radiosity.a"
+  "libgbsp_radiosity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_radiosity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_sort.dir/sample_sort.cpp.o"
+  "CMakeFiles/gbsp_sort.dir/sample_sort.cpp.o.d"
+  "libgbsp_sort.a"
+  "libgbsp_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

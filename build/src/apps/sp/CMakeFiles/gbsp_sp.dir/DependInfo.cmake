@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/sp/shortest_paths.cpp" "src/apps/sp/CMakeFiles/gbsp_sp.dir/shortest_paths.cpp.o" "gcc" "src/apps/sp/CMakeFiles/gbsp_sp.dir/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gbsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_sp.dir/shortest_paths.cpp.o"
+  "CMakeFiles/gbsp_sp.dir/shortest_paths.cpp.o.d"
+  "libgbsp_sp.a"
+  "libgbsp_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

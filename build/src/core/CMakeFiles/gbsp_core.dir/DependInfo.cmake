@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barrier.cpp" "src/core/CMakeFiles/gbsp_core.dir/barrier.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/barrier.cpp.o.d"
+  "/root/repo/src/core/drma.cpp" "src/core/CMakeFiles/gbsp_core.dir/drma.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/drma.cpp.o.d"
+  "/root/repo/src/core/green_bsp.cpp" "src/core/CMakeFiles/gbsp_core.dir/green_bsp.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/green_bsp.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/gbsp_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/gbsp_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/gbsp_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/stats_io.cpp" "src/core/CMakeFiles/gbsp_core.dir/stats_io.cpp.o" "gcc" "src/core/CMakeFiles/gbsp_core.dir/stats_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

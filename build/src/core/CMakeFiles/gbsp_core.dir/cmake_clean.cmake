@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_core.dir/barrier.cpp.o"
+  "CMakeFiles/gbsp_core.dir/barrier.cpp.o.d"
+  "CMakeFiles/gbsp_core.dir/drma.cpp.o"
+  "CMakeFiles/gbsp_core.dir/drma.cpp.o.d"
+  "CMakeFiles/gbsp_core.dir/green_bsp.cpp.o"
+  "CMakeFiles/gbsp_core.dir/green_bsp.cpp.o.d"
+  "CMakeFiles/gbsp_core.dir/runtime.cpp.o"
+  "CMakeFiles/gbsp_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/gbsp_core.dir/scheduler.cpp.o"
+  "CMakeFiles/gbsp_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gbsp_core.dir/stats.cpp.o"
+  "CMakeFiles/gbsp_core.dir/stats.cpp.o.d"
+  "CMakeFiles/gbsp_core.dir/stats_io.cpp.o"
+  "CMakeFiles/gbsp_core.dir/stats_io.cpp.o.d"
+  "libgbsp_core.a"
+  "libgbsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

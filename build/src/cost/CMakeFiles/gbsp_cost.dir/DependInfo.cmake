@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/fit.cpp" "src/cost/CMakeFiles/gbsp_cost.dir/fit.cpp.o" "gcc" "src/cost/CMakeFiles/gbsp_cost.dir/fit.cpp.o.d"
+  "/root/repo/src/cost/logp.cpp" "src/cost/CMakeFiles/gbsp_cost.dir/logp.cpp.o" "gcc" "src/cost/CMakeFiles/gbsp_cost.dir/logp.cpp.o.d"
+  "/root/repo/src/cost/machine.cpp" "src/cost/CMakeFiles/gbsp_cost.dir/machine.cpp.o" "gcc" "src/cost/CMakeFiles/gbsp_cost.dir/machine.cpp.o.d"
+  "/root/repo/src/cost/predictor.cpp" "src/cost/CMakeFiles/gbsp_cost.dir/predictor.cpp.o" "gcc" "src/cost/CMakeFiles/gbsp_cost.dir/predictor.cpp.o.d"
+  "/root/repo/src/cost/scaling.cpp" "src/cost/CMakeFiles/gbsp_cost.dir/scaling.cpp.o" "gcc" "src/cost/CMakeFiles/gbsp_cost.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_cost.dir/fit.cpp.o"
+  "CMakeFiles/gbsp_cost.dir/fit.cpp.o.d"
+  "CMakeFiles/gbsp_cost.dir/logp.cpp.o"
+  "CMakeFiles/gbsp_cost.dir/logp.cpp.o.d"
+  "CMakeFiles/gbsp_cost.dir/machine.cpp.o"
+  "CMakeFiles/gbsp_cost.dir/machine.cpp.o.d"
+  "CMakeFiles/gbsp_cost.dir/predictor.cpp.o"
+  "CMakeFiles/gbsp_cost.dir/predictor.cpp.o.d"
+  "CMakeFiles/gbsp_cost.dir/scaling.cpp.o"
+  "CMakeFiles/gbsp_cost.dir/scaling.cpp.o.d"
+  "libgbsp_cost.a"
+  "libgbsp_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

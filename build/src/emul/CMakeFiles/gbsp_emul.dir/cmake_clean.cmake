@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_emul.dir/emulator.cpp.o"
+  "CMakeFiles/gbsp_emul.dir/emulator.cpp.o.d"
+  "libgbsp_emul.a"
+  "libgbsp_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

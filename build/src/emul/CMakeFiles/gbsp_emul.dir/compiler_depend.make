@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gbsp_emul.
+# This may be replaced when dependencies are built.

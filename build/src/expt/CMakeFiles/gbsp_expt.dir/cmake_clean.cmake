@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_expt.dir/adapters.cpp.o"
+  "CMakeFiles/gbsp_expt.dir/adapters.cpp.o.d"
+  "CMakeFiles/gbsp_expt.dir/experiment.cpp.o"
+  "CMakeFiles/gbsp_expt.dir/experiment.cpp.o.d"
+  "libgbsp_expt.a"
+  "libgbsp_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/gbsp_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/gbsp_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/gbsp_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/gbsp_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/geometric.cpp" "src/graph/CMakeFiles/gbsp_graph.dir/geometric.cpp.o" "gcc" "src/graph/CMakeFiles/gbsp_graph.dir/geometric.cpp.o.d"
+  "/root/repo/src/graph/kruskal.cpp" "src/graph/CMakeFiles/gbsp_graph.dir/kruskal.cpp.o" "gcc" "src/graph/CMakeFiles/gbsp_graph.dir/kruskal.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/gbsp_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/gbsp_graph.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

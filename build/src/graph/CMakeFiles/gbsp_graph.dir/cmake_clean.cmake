@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_graph.dir/csr.cpp.o"
+  "CMakeFiles/gbsp_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/gbsp_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/gbsp_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/gbsp_graph.dir/geometric.cpp.o"
+  "CMakeFiles/gbsp_graph.dir/geometric.cpp.o.d"
+  "CMakeFiles/gbsp_graph.dir/kruskal.cpp.o"
+  "CMakeFiles/gbsp_graph.dir/kruskal.cpp.o.d"
+  "CMakeFiles/gbsp_graph.dir/partition.cpp.o"
+  "CMakeFiles/gbsp_graph.dir/partition.cpp.o.d"
+  "libgbsp_graph.a"
+  "libgbsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

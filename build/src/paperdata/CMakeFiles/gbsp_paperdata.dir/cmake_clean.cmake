@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_paperdata.dir/paperdata.cpp.o"
+  "CMakeFiles/gbsp_paperdata.dir/paperdata.cpp.o.d"
+  "libgbsp_paperdata.a"
+  "libgbsp_paperdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_paperdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsp_util.dir/cli.cpp.o"
+  "CMakeFiles/gbsp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gbsp_util.dir/table.cpp.o"
+  "CMakeFiles/gbsp_util.dir/table.cpp.o.d"
+  "CMakeFiles/gbsp_util.dir/timer.cpp.o"
+  "CMakeFiles/gbsp_util.dir/timer.cpp.o.d"
+  "libgbsp_util.a"
+  "libgbsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

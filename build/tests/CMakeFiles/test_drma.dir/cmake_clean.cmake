@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drma.dir/test_drma.cpp.o"
+  "CMakeFiles/test_drma.dir/test_drma.cpp.o.d"
+  "test_drma"
+  "test_drma.pdb"
+  "test_drma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

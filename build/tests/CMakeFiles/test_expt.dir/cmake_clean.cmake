@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expt.dir/test_expt.cpp.o"
+  "CMakeFiles/test_expt.dir/test_expt.cpp.o.d"
+  "test_expt"
+  "test_expt.pdb"
+  "test_expt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_green_capi.dir/test_green_capi.cpp.o"
+  "CMakeFiles/test_green_capi.dir/test_green_capi.cpp.o.d"
+  "test_green_capi"
+  "test_green_capi.pdb"
+  "test_green_capi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_green_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocean.dir/test_ocean.cpp.o"
+  "CMakeFiles/test_ocean.dir/test_ocean.cpp.o.d"
+  "test_ocean"
+  "test_ocean.pdb"
+  "test_ocean[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

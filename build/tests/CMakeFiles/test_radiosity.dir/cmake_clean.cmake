@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radiosity.dir/test_radiosity.cpp.o"
+  "CMakeFiles/test_radiosity.dir/test_radiosity.cpp.o.d"
+  "test_radiosity"
+  "test_radiosity.pdb"
+  "test_radiosity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radiosity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort.dir/test_sort.cpp.o"
+  "CMakeFiles/test_sort.dir/test_sort.cpp.o.d"
+  "test_sort"
+  "test_sort.pdb"
+  "test_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

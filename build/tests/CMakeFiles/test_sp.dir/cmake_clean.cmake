@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp.dir/test_sp.cpp.o"
+  "CMakeFiles/test_sp.dir/test_sp.cpp.o.d"
+  "test_sp"
+  "test_sp.pdb"
+  "test_sp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_io.dir/test_stats_io.cpp.o"
+  "CMakeFiles/test_stats_io.dir/test_stats_io.cpp.o.d"
+  "test_stats_io"
+  "test_stats_io.pdb"
+  "test_stats_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_green_capi[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_emul[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_matmul[1]_include.cmake")
+include("/root/repo/build/tests/test_sp[1]_include.cmake")
+include("/root/repo/build/tests/test_mst[1]_include.cmake")
+include("/root/repo/build/tests/test_nbody[1]_include.cmake")
+include("/root/repo/build/tests/test_ocean[1]_include.cmake")
+include("/root/repo/build/tests/test_paperdata[1]_include.cmake")
+include("/root/repo/build/tests/test_expt[1]_include.cmake")
+include("/root/repo/build/tests/test_drma[1]_include.cmake")
+include("/root/repo/build/tests/test_fmm[1]_include.cmake")
+include("/root/repo/build/tests/test_radiosity[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_io[1]_include.cmake")
+include("/root/repo/build/tests/test_logp[1]_include.cmake")
+include("/root/repo/build/tests/test_sort[1]_include.cmake")
