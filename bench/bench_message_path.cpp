@@ -1,0 +1,197 @@
+// Microbenchmark of the runtime's message path: send -> sync -> drain
+// throughput (messages/s and bytes/s) at a range of payload sizes, for both
+// delivery strategies.
+//
+// This is the perf gate for the zero-allocation arena message path: the
+// numbers it emits (BENCH_message_path.json) form the trajectory future PRs
+// regress against. It deliberately uses only the stable public Worker API
+// (send_bytes / sync / get_message) so the same source measures any runtime
+// implementation.
+//
+// Usage:
+//   bench_message_path [--procs N] [--steps N] [--reps N] [--label STR]
+//                      [--json PATH] [--sizes a,b,c] [--quiet]
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct CaseResult {
+  std::string delivery;
+  std::size_t payload_bytes = 0;
+  int msgs_per_proc_per_step = 0;
+  int nprocs = 0;
+  int steps = 0;
+  double best_wall_s = 0;
+  double mean_wall_s = 0;
+  double msgs_per_s = 0;   // from the best rep
+  double bytes_per_s = 0;  // from the best rep
+  std::uint64_t messages_total = 0;
+  std::uint64_t payload_bytes_total = 0;
+};
+
+// Messages per processor per superstep, scaled down as payloads grow so every
+// case moves a comparable (bounded) volume per boundary.
+int default_burst(std::size_t payload) {
+  if (payload <= 16) return 20000;
+  if (payload <= 64) return 10000;
+  if (payload <= 1024) return 2000;
+  return 64;
+}
+
+CaseResult run_case(gbsp::DeliveryStrategy delivery, std::size_t payload,
+                    int nprocs, int steps, int reps, bool quiet) {
+  CaseResult r;
+  r.delivery =
+      delivery == gbsp::DeliveryStrategy::Deferred ? "Deferred" : "Eager";
+  r.payload_bytes = payload;
+  r.msgs_per_proc_per_step = default_burst(payload);
+  r.nprocs = nprocs;
+  r.steps = steps;
+
+  const int burst = r.msgs_per_proc_per_step;
+  const int warmup = 2;
+
+  gbsp::Config cfg;
+  cfg.nprocs = nprocs;
+  cfg.delivery = delivery;
+  cfg.collect_stats = false;  // measure the message path, not the tracer
+
+  double sum_wall = 0;
+  double best_wall = 0;
+  // One Runtime reused across reps: steady-state behaviour (buffer recycling
+  // across run() calls) is exactly what we want to measure.
+  gbsp::Runtime rt(cfg);
+  for (int rep = 0; rep < reps; ++rep) {
+    double wall_s = 0;
+    std::uint64_t delivered = 0;
+    rt.run([&](gbsp::Worker& w) {
+      const int p = w.nprocs();
+      std::vector<std::byte> buf(payload);
+      for (std::size_t i = 0; i < payload; ++i) {
+        buf[i] = static_cast<std::byte>(i * 131 + w.pid());
+      }
+      std::uint64_t sink = 0;
+      std::uint64_t my_recv = 0;
+      gbsp::WallTimer timer;
+      for (int s = 0; s < warmup + steps; ++s) {
+        if (s == warmup) {
+          w.sync();  // align everyone before the measured window opens
+          timer.restart();
+        }
+        for (int k = 0; k < burst; ++k) {
+          w.send_bytes(k % p, buf.data(), payload);
+        }
+        w.sync();
+        while (const gbsp::Message* m = w.get_message()) {
+          sink += m->size();
+          if (m->size() != 0) {
+            sink += static_cast<std::uint64_t>(m->payload.data()[0]);
+          }
+          if (s >= warmup) ++my_recv;
+        }
+      }
+      const double local_wall = timer.elapsed_s();
+      if (sink == 0xdeadbeef) std::fprintf(stderr, "impossible\n");
+      if (w.pid() == 0) wall_s = local_wall;
+      static std::mutex mu;
+      std::lock_guard<std::mutex> lock(mu);
+      delivered += my_recv;
+    });
+    const std::uint64_t want = static_cast<std::uint64_t>(burst) *
+                               static_cast<std::uint64_t>(nprocs) *
+                               static_cast<std::uint64_t>(steps);
+    if (delivered != want) {
+      std::fprintf(stderr, "bench_message_path: lost messages (%llu != %llu)\n",
+                   static_cast<unsigned long long>(delivered),
+                   static_cast<unsigned long long>(want));
+      std::exit(1);
+    }
+    sum_wall += wall_s;
+    if (rep == 0 || wall_s < best_wall) best_wall = wall_s;
+    if (!quiet) {
+      std::fprintf(stderr, "  %-8s %7zu B rep %d: %.3f s\n", r.delivery.c_str(),
+                   payload, rep, wall_s);
+    }
+  }
+
+  r.best_wall_s = best_wall;
+  r.mean_wall_s = sum_wall / reps;
+  r.messages_total = static_cast<std::uint64_t>(burst) *
+                     static_cast<std::uint64_t>(nprocs) *
+                     static_cast<std::uint64_t>(steps);
+  r.payload_bytes_total = r.messages_total * payload;
+  r.msgs_per_s = static_cast<double>(r.messages_total) / best_wall;
+  r.bytes_per_s = static_cast<double>(r.payload_bytes_total) / best_wall;
+  return r;
+}
+
+void write_json(const std::string& path, const std::string& label,
+                const std::vector<CaseResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_message_path: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"message_path\",\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"unit\": {\"throughput\": \"messages/s\", \"bandwidth\": "
+                  "\"payload bytes/s\", \"wall\": \"s\"},\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"delivery\": \"%s\", \"payload_bytes\": %zu, "
+        "\"nprocs\": %d, \"steps\": %d, \"msgs_per_proc_per_step\": %d, "
+        "\"messages_total\": %llu, \"best_wall_s\": %.6f, "
+        "\"mean_wall_s\": %.6f, \"msgs_per_s\": %.0f, \"bytes_per_s\": %.0f}%s\n",
+        r.delivery.c_str(), r.payload_bytes, r.nprocs, r.steps,
+        r.msgs_per_proc_per_step,
+        static_cast<unsigned long long>(r.messages_total), r.best_wall_s,
+        r.mean_wall_s, r.msgs_per_s, r.bytes_per_s,
+        i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gbsp::CliArgs args(argc, argv);
+  const int nprocs = static_cast<int>(args.get_int("procs", 4));
+  const int steps = static_cast<int>(args.get_int("steps", 8));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const bool quiet = args.has_flag("quiet");
+  const std::string label = args.get_string("label", "dev");
+  const std::string json = args.get_string("json", "");
+  const auto sizes = args.get_int_list("sizes", {16, 64, 1024, 65536});
+
+  std::vector<CaseResult> results;
+  for (auto delivery :
+       {gbsp::DeliveryStrategy::Deferred, gbsp::DeliveryStrategy::Eager}) {
+    for (auto sz : sizes) {
+      results.push_back(run_case(delivery, static_cast<std::size_t>(sz),
+                                 nprocs, steps, reps, quiet));
+    }
+  }
+
+  std::printf("%-9s %10s %8s %12s %14s %10s\n", "delivery", "payload_B",
+              "msgs/ss", "msgs/s", "bytes/s", "wall_s");
+  for (const CaseResult& r : results) {
+    std::printf("%-9s %10zu %8d %12.0f %14.0f %10.4f\n", r.delivery.c_str(),
+                r.payload_bytes, r.msgs_per_proc_per_step, r.msgs_per_s,
+                r.bytes_per_s, r.best_wall_s);
+  }
+  if (!json.empty()) write_json(json, label, results);
+  return 0;
+}

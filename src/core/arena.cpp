@@ -1,0 +1,170 @@
+#include "core/arena.hpp"
+
+#include <new>
+
+namespace gbsp {
+
+namespace {
+
+constexpr std::size_t kMaxSlabBytes = std::size_t{1} << 20;  // growth cap
+
+std::size_t round_up(std::size_t n, std::size_t unit) {
+  return (n + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ SlabPool
+
+ArenaSlab SlabPool::acquire(std::size_t min_bytes) {
+  min_bytes = round_up(min_bytes < kMinSlabBytes ? kMinSlabBytes : min_bytes,
+                       kMinSlabBytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Best fit, newest-first on ties: an oversized slab handed to a small
+    // request would starve a later large request into a fresh allocation,
+    // defeating cross-run recycling. The list stays short (slabs are large),
+    // so the full scan is cheap, and newest slabs are cache-warm.
+    std::size_t best = free_.size();
+    for (std::size_t i = free_.size(); i-- > 0;) {
+      if (free_[i].capacity < min_bytes) continue;
+      if (best == free_.size() || free_[i].capacity < free_[best].capacity) {
+        best = i;
+        if (free_[i].capacity == min_bytes) break;  // exact fit
+      }
+    }
+    if (best != free_.size()) {
+      ArenaSlab s = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      ++reused_;
+      s.used = 0;
+      return s;
+    }
+    ++fresh_;
+  }
+  ArenaSlab s;
+  s.data = std::make_unique<std::byte[]>(min_bytes);
+  s.capacity = min_bytes;
+  s.used = 0;
+  return s;
+}
+
+void SlabPool::release(ArenaSlab&& slab) {
+  if (slab.data == nullptr) return;
+  slab.used = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(slab));
+}
+
+std::uint64_t SlabPool::fresh_allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fresh_;
+}
+
+std::uint64_t SlabPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
+std::size_t SlabPool::free_slabs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+std::size_t SlabPool::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const ArenaSlab& s : free_) total += s.capacity;
+  return total;
+}
+
+// -------------------------------------------------------------- MessageArena
+
+ArenaSlab MessageArena::acquire(std::size_t min_bytes) {
+  if (min_bytes < next_slab_bytes_) min_bytes = next_slab_bytes_;
+  if (next_slab_bytes_ < kMaxSlabBytes) next_slab_bytes_ *= 2;
+  if (pool_ != nullptr) return pool_->acquire(min_bytes);
+  ArenaSlab s;
+  min_bytes = round_up(min_bytes, SlabPool::kMinSlabBytes);
+  s.data = std::make_unique<std::byte[]>(min_bytes);
+  s.capacity = min_bytes;
+  return s;
+}
+
+// Slow path of append(): the active slab (if any) is full. Advance into a
+// retained (cleared) slab when one exists, else grow. Every slab is
+// >= kMinSlabBytes, so a retained slab always fits a frame.
+MessageArena::Frame* MessageArena::grow_frame() {
+  if (frame_slabs_.empty()) {
+    frame_slabs_.push_back(acquire(sizeof(Frame)));
+  } else {
+    ++frame_active_;
+    if (frame_active_ == frame_slabs_.size()) {
+      frame_slabs_.push_back(acquire(sizeof(Frame)));
+    }
+  }
+  ArenaSlab& s = frame_slabs_[frame_active_];
+  Frame* f = new (s.data.get() + s.used) Frame;
+  s.used += sizeof(Frame);
+  return f;
+}
+
+std::byte* MessageArena::out_of_line(std::size_t len) {
+  // 16-byte-align every slot so applications may overlay aligned PODs.
+  const std::size_t need = round_up(len, 16);
+  if (byte_slabs_.empty()) {
+    byte_slabs_.push_back(acquire(need));
+  }
+  ArenaSlab* s = &byte_slabs_[byte_active_];
+  while (s->capacity - s->used < need) {
+    // A retained slab that is too small for this payload is skipped for the
+    // rest of this fill cycle (its frames-worth of capacity is reclaimed at
+    // the next clear()).
+    ++byte_active_;
+    if (byte_active_ == byte_slabs_.size()) {
+      byte_slabs_.push_back(acquire(need));
+    }
+    s = &byte_slabs_[byte_active_];
+  }
+  std::byte* slot = s->data.get() + s->used;
+  s->used += need;
+  return slot;
+}
+
+void MessageArena::clear() {
+  for (ArenaSlab& s : frame_slabs_) s.used = 0;
+  for (ArenaSlab& s : byte_slabs_) s.used = 0;
+  const std::size_t next = next_slab_bytes_;
+  reset_counters();
+  next_slab_bytes_ = next;  // growth schedule survives recycling
+}
+
+void MessageArena::release_slabs() {
+  if (pool_ != nullptr) {
+    for (ArenaSlab& s : frame_slabs_) pool_->release(std::move(s));
+    for (ArenaSlab& s : byte_slabs_) pool_->release(std::move(s));
+  }
+  frame_slabs_.clear();
+  byte_slabs_.clear();
+  reset_counters();
+}
+
+void MessageArena::splice_from(MessageArena& other) {
+  if (other.frame_slabs_.empty() && other.byte_slabs_.empty()) return;
+  frame_slabs_.reserve(frame_slabs_.size() + other.frame_slabs_.size());
+  for (ArenaSlab& s : other.frame_slabs_) {
+    frame_slabs_.push_back(std::move(s));
+  }
+  byte_slabs_.reserve(byte_slabs_.size() + other.byte_slabs_.size());
+  for (ArenaSlab& s : other.byte_slabs_) byte_slabs_.push_back(std::move(s));
+  frames_ += other.frames_;
+  payload_bytes_ += other.payload_bytes_;
+  if (!frame_slabs_.empty()) frame_active_ = frame_slabs_.size() - 1;
+  if (!byte_slabs_.empty()) byte_active_ = byte_slabs_.size() - 1;
+  other.frame_slabs_.clear();
+  other.byte_slabs_.clear();
+  other.reset_counters();
+}
+
+}  // namespace gbsp

@@ -69,8 +69,10 @@ bspPkt* bspGetPkt(void) {
         "green_bsp: bspGetPkt() saw a message that is not a 16-byte packet; "
         "mixing the C API with variable-length sends is not supported");
   }
-  // The payload buffer lives until the worker's next sync(), matching the
-  // lifetime contract in the header. The caller may scribble on its copy.
+  // The payload bytes live in the worker's inbox arena, which is recycled at
+  // the next sync() — exactly the returned-pointer-valid-until-next-sync
+  // contract in the header. The caller may scribble on the packet: a 16-byte
+  // payload sits in the frame's private 32-byte inline slot, aliasing nothing.
   return reinterpret_cast<bspPkt*>(
       const_cast<std::byte*>(m->payload.data()));
 }

@@ -6,6 +6,11 @@
 // arbitrary length" — the core runtime carries arbitrary-length payloads and
 // accounts h-relations in 16-byte packet units so the cost model matches the
 // paper. A fixed-size compatibility layer lives in green_bsp.h.
+//
+// A Message is a lightweight *view*: the payload bytes live in an arena owned
+// by the runtime (core/arena.hpp) and stay valid until the receiving worker's
+// next sync(). Messages are cheap to copy; copying one copies the view, not
+// the payload.
 #pragma once
 
 #include <cstddef>
@@ -16,10 +21,25 @@
 
 namespace gbsp {
 
+/// Non-owning view of a payload byte range. Mimics the read-side surface of
+/// the std::vector<std::byte> payload this runtime historically used, so
+/// application code (`m->payload.data()`, `m->payload.size()`) is unchanged.
+struct ByteView {
+  const std::byte* ptr = nullptr;
+  std::size_t len = 0;
+
+  [[nodiscard]] const std::byte* data() const { return ptr; }
+  [[nodiscard]] std::size_t size() const { return len; }
+  [[nodiscard]] bool empty() const { return len == 0; }
+  [[nodiscard]] const std::byte* begin() const { return ptr; }
+  [[nodiscard]] const std::byte* end() const { return ptr + len; }
+  std::byte operator[](std::size_t i) const { return ptr[i]; }
+};
+
 struct Message {
   std::uint32_t source = 0;  ///< pid of the sender
   std::uint32_t seq = 0;     ///< per (source,dest) sequence number
-  std::vector<std::byte> payload;
+  ByteView payload;          ///< borrowed from the runtime's message arena
 
   [[nodiscard]] std::size_t size() const { return payload.size(); }
 
@@ -58,7 +78,10 @@ struct Message {
 inline std::uint64_t packets_for_bytes(std::size_t bytes,
                                        std::size_t packet_unit) {
   if (packet_unit == 0) return 1;
-  return bytes == 0 ? 1 : (bytes + packet_unit - 1) / packet_unit;
+  // Fast path: the paper's fine-grained applications send single-packet
+  // messages, which must not pay a hardware division on every send.
+  if (bytes <= packet_unit) return 1;
+  return (bytes + packet_unit - 1) / packet_unit;
 }
 
 }  // namespace gbsp

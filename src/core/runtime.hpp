@@ -30,6 +30,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/barrier.hpp"
 #include "core/config.hpp"
 #include "core/message.hpp"
@@ -48,22 +49,32 @@ namespace detail {
 struct WorkerState {
   int pid = 0;
 
-  // Deferred delivery: outbox[d] holds messages for destination d, moved to
-  // the receiver at the superstep boundary (no locks).
-  std::vector<std::vector<Message>> outbox;
+  // Deferred delivery: outbox[d] is the arena this processor fills for
+  // destination d during the superstep. At the boundary the receiver swaps it
+  // against the drained arena it holds in inbox_from[src] — whole-arena
+  // exchange, no locks, and steady-state supersteps allocate nothing.
+  std::vector<MessageArena> outbox;
+  std::vector<MessageArena> inbox_from;
 
-  // Eager delivery (paper Appendix B.1): two alternating input buffers this
-  // processor owns; remote senders append under chunked locking. Sends during
-  // superstep t land in eager_inbuf[(t + 1) % 2].
-  std::array<std::vector<Message>, 2> eager_inbuf;
+  // Eager delivery (paper Appendix B.1): two alternating input arenas this
+  // processor owns; remote senders splice whole slab chains under chunked
+  // locking. Sends during superstep t land in eager_inbuf[(t + 1) % 2].
+  std::array<MessageArena, 2> eager_inbuf;
   std::array<std::mutex, 2> eager_mutex;
-  // Sender-side batches (one per destination) flushed under one lock
+  // Sender-side staging arenas (one per destination) spliced under one lock
   // acquisition per Config::eager_chunk_messages messages.
-  std::vector<std::vector<Message>> eager_pending;
+  std::vector<MessageArena> eager_pending;
+  // Destinations with staged messages, so sync() flushes only what was
+  // touched instead of walking all p staging arenas.
+  std::vector<char> eager_dirty_flag;
+  std::vector<int> eager_dirty;
+  // Arena backing this superstep's inbox views; its slabs return to the pool
+  // at the next boundary (Message/bspGetPkt pointers die at the next sync).
+  MessageArena eager_inbox;
 
   std::vector<std::uint32_t> seq_to;  // per-destination sequence counters
 
-  std::vector<Message> inbox;
+  std::vector<Message> inbox;  // views into the inbox arenas
   std::size_t inbox_cursor = 0;
 
   std::uint64_t superstep = 0;
@@ -160,6 +171,11 @@ class Runtime {
 
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// The slab free-list backing every message arena of this runtime.
+  /// Exposed for observability: steady-state supersteps must not grow
+  /// fresh_allocations().
+  [[nodiscard]] const SlabPool& slab_pool() const { return pool_; }
+
  private:
   friend class Worker;
 
@@ -176,6 +192,10 @@ class Runtime {
   void report_error(std::exception_ptr e, int pid);
 
   Config cfg_;
+  // Declared before states_ so arenas (which release their slabs into the
+  // pool on destruction) die first. The pool persists across run() calls:
+  // that is what recycles buffers from one BSP computation to the next.
+  SlabPool pool_;
   std::vector<std::unique_ptr<detail::WorkerState>> states_;
   std::unique_ptr<Barrier> barrier_a_;
   std::unique_ptr<Barrier> barrier_b_;

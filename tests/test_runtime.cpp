@@ -376,6 +376,116 @@ TEST_P(RuntimeSemantics, WorkIsMeasuredPerSuperstep) {
             stats.W_s() * rt.config().nprocs + 1e-9);
 }
 
+TEST_P(RuntimeSemantics, InlineThresholdStraddlePayloadsSurviveTransit) {
+  // Payload sizes straddling the arena's 32-byte inline threshold, plus
+  // slab-boundary-crossing large ones. Contents must survive transit intact
+  // and payload pointers must be at least 8-byte aligned (apps overlay
+  // doubles directly on the received bytes).
+  Runtime rt(make_config(/*deterministic=*/true));
+  const int p = rt.config().nprocs;
+  const std::vector<std::size_t> lens = {0, 1, 16, 31, 32, 33,
+                                         64, 4096, 65536};
+  rt.run([p, &lens](Worker& w) {
+    for (std::size_t k = 0; k < lens.size(); ++k) {
+      std::vector<std::uint8_t> buf(lens[k]);
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<std::uint8_t>(i * 13 + w.pid() + k);
+      }
+      w.send_bytes((w.pid() + 1) % p, buf.data(), buf.size());
+    }
+    w.sync();
+    const int src = (w.pid() + p - 1) % p;
+    for (std::size_t k = 0; k < lens.size(); ++k) {
+      const Message* m = w.get_message();
+      ASSERT_NE(m, nullptr) << "message " << k;
+      EXPECT_EQ(static_cast<int>(m->source), src);
+      ASSERT_EQ(m->size(), lens[k]);
+      EXPECT_EQ(
+          reinterpret_cast<std::uintptr_t>(m->payload.data()) % 8, 0u)
+          << "len " << lens[k];
+      const std::uint8_t* got =
+          reinterpret_cast<const std::uint8_t*>(m->payload.data());
+      for (std::size_t i = 0; i < lens[k]; ++i) {
+        ASSERT_EQ(got[i], static_cast<std::uint8_t>(i * 13 + src + k))
+            << "len " << lens[k] << " byte " << i;
+      }
+    }
+    EXPECT_EQ(w.get_message(), nullptr);
+  });
+}
+
+TEST_P(RuntimeSemantics, SteadyStateSuperstepsMakeZeroAllocations) {
+  // After a few warm-up supersteps every arena in the send/deliver cycle has
+  // its slabs, so identical later supersteps must be served entirely by
+  // recycling — the pool's fresh-allocation counter freezes.
+  Runtime rt(make_config());
+  const int p = rt.config().nprocs;
+  std::atomic<std::uint64_t> fresh_after_warmup{0};
+  auto step = [p](Worker& w) {
+    for (int d = 0; d < p; ++d) {
+      std::uint64_t v = static_cast<std::uint64_t>(w.pid());
+      w.send(d, v);
+    }
+    w.sync();
+    while (w.get_message() != nullptr) {
+    }
+  };
+  rt.run([&](Worker& w) {
+    for (int s = 0; s < 4; ++s) step(w);  // warm up both eager parities
+    if (w.pid() == 0) {
+      fresh_after_warmup = rt.slab_pool().fresh_allocations();
+    }
+    for (int s = 0; s < 20; ++s) step(w);
+  });
+  EXPECT_EQ(rt.slab_pool().fresh_allocations(), fresh_after_warmup.load());
+}
+
+TEST_P(RuntimeSemantics, ArenasAreRecycledAcrossRunCalls) {
+  // The pool outlives worker state, so a second identical run() reuses the
+  // first run's slabs instead of allocating fresh ones.
+  Runtime rt(make_config());
+  const int p = rt.config().nprocs;
+  auto program = [p](Worker& w) {
+    for (int s = 0; s < 6; ++s) {
+      std::vector<double> data(100, 1.0 * w.pid());
+      w.send_array((w.pid() + 1) % p, data);
+      w.sync();
+      while (w.get_message() != nullptr) {
+      }
+    }
+  };
+  rt.run(program);
+  const std::uint64_t fresh_after_first = rt.slab_pool().fresh_allocations();
+  rt.run(program);
+  EXPECT_EQ(rt.slab_pool().fresh_allocations(), fresh_after_first);
+  EXPECT_GT(rt.slab_pool().reuses(), 0u);
+}
+
+TEST_P(RuntimeSemantics, DeterministicOrderSurvivesChunkedEagerFlushes) {
+  // A tiny eager chunk size forces many interleaved mid-superstep splices
+  // into the receiver's parity buffer; deterministic delivery must still
+  // present (source, seq) order.
+  Config cfg = make_config(/*deterministic=*/true);
+  cfg.eager_chunk_messages = 2;
+  Runtime rt(cfg);
+  const int p = rt.config().nprocs;
+  rt.run([p](Worker& w) {
+    for (int k = 0; k < 9; ++k) w.send(0, w.pid() * 100 + k);
+    w.sync();
+    if (w.pid() != 0) return;
+    int expect_src = 0, expect_k = 0;
+    while (const Message* m = w.get_message()) {
+      EXPECT_EQ(static_cast<int>(m->source), expect_src);
+      EXPECT_EQ(m->as<int>(), expect_src * 100 + expect_k);
+      if (++expect_k == 9) {
+        expect_k = 0;
+        ++expect_src;
+      }
+    }
+    EXPECT_EQ(expect_src, p);
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(AllModes, RuntimeSemantics,
                          testing::ValuesIn(all_params()), param_name);
 

@@ -189,6 +189,54 @@ TEST(Stress, LargePayloadsMoveIntact) {
   });
 }
 
+TEST(Stress, RandomSizedPayloadsStraddleInlineThreshold) {
+  // Random payload lengths in 0..120 — hammering both sides of the arena's
+  // 32-byte inline threshold within single supersteps — with every byte
+  // verified against a deterministic oracle. Runs both delivery strategies
+  // (eager with tiny chunks, so splices interleave mid-superstep).
+  for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager}) {
+    Config cfg;
+    cfg.nprocs = 4;
+    cfg.delivery = del;
+    cfg.eager_chunk_messages = 3;
+    Runtime rt(cfg);
+    rt.run([](Worker& w) {
+      const int p = w.nprocs();
+      for (int r = 0; r < 40; ++r) {
+        for (int d = 0; d < p; ++d) {
+          SplitMix64 sm(mix(static_cast<std::uint64_t>(r),
+                            static_cast<std::uint64_t>(w.pid()),
+                            static_cast<std::uint64_t>(d), 5));
+          const std::size_t len = sm.next() % 121;
+          std::vector<std::uint8_t> buf(len);
+          for (std::size_t i = 0; i < len; ++i) {
+            buf[i] = static_cast<std::uint8_t>(sm.next());
+          }
+          w.send_bytes(d, buf.data(), buf.size());
+        }
+        w.sync();
+        int received = 0;
+        while (const Message* m = w.get_message()) {
+          const int src = static_cast<int>(m->source);
+          SplitMix64 sm(mix(static_cast<std::uint64_t>(r),
+                            static_cast<std::uint64_t>(src),
+                            static_cast<std::uint64_t>(w.pid()), 5));
+          const std::size_t len = sm.next() % 121;
+          ASSERT_EQ(m->size(), len) << "round " << r << " src " << src;
+          const std::uint8_t* got =
+              reinterpret_cast<const std::uint8_t*>(m->payload.data());
+          for (std::size_t i = 0; i < len; ++i) {
+            ASSERT_EQ(got[i], static_cast<std::uint8_t>(sm.next()))
+                << "round " << r << " src " << src << " byte " << i;
+          }
+          ++received;
+        }
+        ASSERT_EQ(received, p) << "round " << r;
+      }
+    });
+  }
+}
+
 TEST(Stress, EagerChunkBoundaryExactMultiples) {
   // Message counts exactly at, below, and above the chunk size.
   for (std::size_t chunk : {1u, 2u, 7u}) {
