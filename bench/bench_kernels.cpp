@@ -1,6 +1,13 @@
 // Micro-benchmarks (google-benchmark) of the computational kernels
 // underneath the applications and the runtime hot paths.
+//
+// The kernel-layer pairs (scalar reference vs vectorized production kernel)
+// all report items_per_second; run with --benchmark_format=json for the
+// machine-readable output behind BENCH_kernels.json.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
 
 #include "apps/matmul/matmul.hpp"
 #include "apps/nbody/bhtree.hpp"
@@ -9,11 +16,14 @@
 #include "core/runtime.hpp"
 #include "graph/geometric.hpp"
 #include "graph/heap.hpp"
+#include "util/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace gbsp {
 namespace {
 
+// Scalar i-k-j reference ("before"): items_per_second = FLOP/s (2 n^3 per
+// product).
 void BM_BlockMultiply(benchmark::State& state) {
   const int bn = static_cast<int>(state.range(0));
   Matrix A = random_matrix(bn, 1), B = random_matrix(bn, 2);
@@ -24,7 +34,160 @@ void BM_BlockMultiply(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * bn * bn * bn);
 }
-BENCHMARK(BM_BlockMultiply)->Arg(36)->Arg(72)->Arg(144);
+BENCHMARK(BM_BlockMultiply)->Arg(36)->Arg(72)->Arg(144)->Arg(145);
+
+// Packed register-blocked dgemm ("after"), same FLOP accounting.
+void BM_PackedDgemm(benchmark::State& state) {
+  const int bn = static_cast<int>(state.range(0));
+  Matrix A = random_matrix(bn, 1), B = random_matrix(bn, 2);
+  std::vector<double> C(static_cast<std::size_t>(bn) * bn, 0.0);
+  for (auto _ : state) {
+    kernels::dgemm_add(A.data(), B.data(), C.data(), bn);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * bn * bn * bn);
+}
+BENCHMARK(BM_PackedDgemm)->Arg(36)->Arg(72)->Arg(144)->Arg(145);
+
+// Ocean row kernels, scalar reference vs vectorized: items_per_second =
+// interior cells per second.
+template <typename F>
+void ocean_row_bench(benchmark::State& state, F&& row_fn) {
+  const int m = static_cast<int>(state.range(0));
+  const std::size_t w = static_cast<std::size_t>(m) + 2;
+  std::vector<double> u(w * 3, 1.0), f(w, 0.5), r(w, 0.0);
+  double* mid = u.data() + w;
+  for (auto _ : state) {
+    row_fn(r.data(), mid, u.data(), u.data() + 2 * w, f.data(), m,
+           static_cast<double>(m) * m);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+
+void BM_OceanResidualRowScalar(benchmark::State& state) {
+  ocean_row_bench(state, ocean_kernels::scalar::residual_row);
+}
+BENCHMARK(BM_OceanResidualRowScalar)->Arg(64)->Arg(512);
+
+void BM_OceanResidualRow(benchmark::State& state) {
+  ocean_row_bench(state, ocean_kernels::residual_row);
+}
+BENCHMARK(BM_OceanResidualRow)->Arg(64)->Arg(512);
+
+template <typename F>
+void ocean_restrict_bench(benchmark::State& state, F&& fn) {
+  const int mc = static_cast<int>(state.range(0));
+  const std::size_t wf = 2 * static_cast<std::size_t>(mc) + 2;
+  std::vector<double> f0(wf, 1.0), f1(wf, 2.0);
+  std::vector<double> coarse(static_cast<std::size_t>(mc) + 2, 0.0);
+  for (auto _ : state) {
+    fn(coarse.data(), f0.data(), f1.data(), mc);
+    benchmark::DoNotOptimize(coarse.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mc);
+}
+
+void BM_OceanRestrictRowScalar(benchmark::State& state) {
+  ocean_restrict_bench(state, ocean_kernels::scalar::cc_restrict_row);
+}
+BENCHMARK(BM_OceanRestrictRowScalar)->Arg(64)->Arg(512);
+
+void BM_OceanRestrictRow(benchmark::State& state) {
+  ocean_restrict_bench(state, ocean_kernels::cc_restrict_row);
+}
+BENCHMARK(BM_OceanRestrictRow)->Arg(64)->Arg(512);
+
+template <typename F>
+void ocean_prolong_bench(benchmark::State& state, F&& fn) {
+  const int mf = static_cast<int>(state.range(0));
+  const std::size_t wc = static_cast<std::size_t>(mf) / 2 + 2;
+  std::vector<double> cnear(wc, 1.0), cfar(wc, 2.0);
+  std::vector<double> fine(static_cast<std::size_t>(mf) + 2, 0.0);
+  for (auto _ : state) {
+    fn(fine.data(), cnear.data(), cfar.data(), 1.0, mf);
+    benchmark::DoNotOptimize(fine.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mf);
+}
+
+void BM_OceanProlongRowScalar(benchmark::State& state) {
+  ocean_prolong_bench(state, ocean_kernels::scalar::cc_prolong_row);
+}
+BENCHMARK(BM_OceanProlongRowScalar)->Arg(64)->Arg(512);
+
+void BM_OceanProlongRow(benchmark::State& state) {
+  ocean_prolong_bench(state, ocean_kernels::cc_prolong_row);
+}
+BENCHMARK(BM_OceanProlongRow)->Arg(64)->Arg(512);
+
+template <typename F>
+void ocean_absmax_bench(benchmark::State& state, F&& fn) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<double> r(static_cast<std::size_t>(m) + 2, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(r.data(), m));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+
+void BM_OceanAbsmaxRowScalar(benchmark::State& state) {
+  ocean_absmax_bench(state, ocean_kernels::scalar::absmax_row);
+}
+BENCHMARK(BM_OceanAbsmaxRowScalar)->Arg(64)->Arg(512);
+
+void BM_OceanAbsmaxRow(benchmark::State& state) {
+  ocean_absmax_bench(state, ocean_kernels::absmax_row);
+}
+BENCHMARK(BM_OceanAbsmaxRow)->Arg(64)->Arg(512);
+
+// N-body interaction kernel: scalar Vec3 loop vs batched SoA.
+// items_per_second = source interactions per second.
+kernels::InteractionSoA interaction_sources(std::size_t ns) {
+  kernels::InteractionSoA s;
+  s.reserve(ns);
+  Xoshiro256 rng(77);
+  for (std::size_t i = 0; i < ns; ++i) {
+    s.push_back(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                rng.uniform(-1.0, 1.0), rng.uniform(0.1, 2.0));
+  }
+  return s;
+}
+
+void BM_InteractionScalar(benchmark::State& state) {
+  const std::size_t ns = static_cast<std::size_t>(state.range(0));
+  const kernels::InteractionSoA s = interaction_sources(ns);
+  const double eps2 = 0.05 * 0.05;
+  for (auto _ : state) {
+    double ax = 0, ay = 0, az = 0;
+    for (std::size_t i = 0; i < ns; ++i) {
+      const double dx = s.x[i] - 0.1, dy = s.y[i] - 0.2, dz = s.z[i] - 0.3;
+      const double denom = dx * dx + dy * dy + dz * dz + eps2;
+      if (denom == 0.0) continue;
+      const double inv = 1.0 / (denom * std::sqrt(denom));
+      ax += s.m[i] * inv * dx;
+      ay += s.m[i] * inv * dy;
+      az += s.m[i] * inv * dz;
+    }
+    benchmark::DoNotOptimize(ax + ay + az);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(ns));
+}
+BENCHMARK(BM_InteractionScalar)->Arg(256)->Arg(4096);
+
+void BM_InteractionBatch(benchmark::State& state) {
+  const std::size_t ns = static_cast<std::size_t>(state.range(0));
+  const kernels::InteractionSoA s = interaction_sources(ns);
+  const double eps2 = 0.05 * 0.05;
+  for (auto _ : state) {
+    double ax = 0, ay = 0, az = 0;
+    kernels::accumulate_accel(s.x.data(), s.y.data(), s.z.data(), s.m.data(),
+                              ns, 0.1, 0.2, 0.3, eps2, &ax, &ay, &az);
+    benchmark::DoNotOptimize(ax + ay + az);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(ns));
+}
+BENCHMARK(BM_InteractionBatch)->Arg(256)->Arg(4096);
 
 void BM_OceanSweepRow(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace gbsp {
@@ -45,6 +46,8 @@ Matrix matmul_naive(const Matrix& A, const Matrix& B) {
 void block_multiply_add(const double* Ablk, const double* Bblk, double* Cblk,
                         int bn) {
   // i-k-j: streams B and C rows, the standard cache-friendly order.
+  // Retained as the scalar reference kernel (tests and the before/after
+  // rows of bench_kernels); production paths call kernels::dgemm_add.
   for (int i = 0; i < bn; ++i) {
     double* crow = Cblk + static_cast<std::size_t>(i) * bn;
     for (int k = 0; k < bn; ++k) {
@@ -59,24 +62,7 @@ Matrix matmul_blocked(const Matrix& A, const Matrix& B) {
   const int n = A.n();
   if (B.n() != n) throw std::invalid_argument("matmul: size mismatch");
   Matrix C(n);
-  constexpr int kTile = 48;
-  for (int ii = 0; ii < n; ii += kTile) {
-    const int ilim = std::min(ii + kTile, n);
-    for (int kk = 0; kk < n; kk += kTile) {
-      const int klim = std::min(kk + kTile, n);
-      for (int jj = 0; jj < n; jj += kTile) {
-        const int jlim = std::min(jj + kTile, n);
-        for (int i = ii; i < ilim; ++i) {
-          for (int k = kk; k < klim; ++k) {
-            const double aik = A.at(i, k);
-            for (int j = jj; j < jlim; ++j) {
-              C.at(i, j) += aik * B.at(k, j);
-            }
-          }
-        }
-      }
-    }
-  }
+  kernels::dgemm_add(A.data(), n, B.data(), n, C.data(), n, n, n, n);
   return C;
 }
 
@@ -87,6 +73,17 @@ int cannon_grid_dim(int nprocs, int n) {
   }
   if (n % q != 0) {
     throw std::invalid_argument("cannon: sqrt(p) must divide n");
+  }
+  return q;
+}
+
+int cannon_active_grid_dim(int nprocs, int n) {
+  if (nprocs < 1) throw std::invalid_argument("cannon: nprocs must be >= 1");
+  int q = static_cast<int>(std::floor(std::sqrt(static_cast<double>(nprocs))));
+  while (q * q > nprocs) --q;       // guard against sqrt rounding up
+  while ((q + 1) * (q + 1) <= nprocs) ++q;
+  if (n % q != 0) {
+    throw std::invalid_argument("cannon: grid dimension must divide n");
   }
   return q;
 }
@@ -121,7 +118,17 @@ std::function<void(Worker&)> make_cannon_program(const Matrix& A,
     throw std::invalid_argument("cannon: size mismatch");
   }
   return [&A, &B, C, n](Worker& w) {
-    const int q = cannon_grid_dim(w.nprocs(), n);
+    const int q = cannon_active_grid_dim(w.nprocs(), n);
+    if (w.pid() >= q * q) {
+      // Processor outside the q x q compute grid (non-perfect-square p):
+      // idle through the grid's superstep structure — two sync()s per shift
+      // iteration — so the global barriers stay matched.
+      for (int t = 1; t < q; ++t) {
+        w.sync();
+        w.sync();
+      }
+      return;
+    }
     const int bn = n / q;
     const std::size_t bsz = static_cast<std::size_t>(bn) * bn;
     const int x = w.pid() / q;
@@ -136,7 +143,7 @@ std::function<void(Worker&)> make_cannon_program(const Matrix& A,
     const int below = ((x + 1) % q) * q + y;    // B travels down
 
     for (int t = 0; t < q; ++t) {
-      block_multiply_add(a.data(), b.data(), c.data(), bn);
+      kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
       if (t + 1 == q) break;
       // Superstep boundary 1: ship the blocks onward.
       w.send_array(right, a);

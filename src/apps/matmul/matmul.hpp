@@ -49,24 +49,34 @@ Matrix random_matrix(int n, std::uint64_t seed);
 /// Unblocked i-j-k product (test oracle).
 Matrix matmul_naive(const Matrix& A, const Matrix& B);
 
-/// The sequential baseline: cache-blocked i-k-j product — the "sequential
-/// blocked matrix multiplication algorithm" each processor also uses on its
-/// local blocks.
+/// The sequential baseline — the "sequential blocked matrix multiplication
+/// algorithm" each processor also uses on its local blocks.  Since the
+/// kernel-layer rework this is the packed, register-blocked
+/// kernels::dgemm_add over the whole matrix.
 Matrix matmul_blocked(const Matrix& A, const Matrix& B);
 
-/// C[0..bn,0..bn] += Ablk * Bblk for row-major bn x bn blocks (the local
-/// kernel of Cannon's algorithm).
+/// C[0..bn,0..bn] += Ablk * Bblk for row-major bn x bn blocks: the scalar
+/// i-k-j reference kernel.  Production paths (Cannon's per-superstep
+/// multiply, matmul_blocked) use kernels::dgemm_add; this stays as the
+/// equivalence/benchmark baseline.
 void block_multiply_add(const double* Ablk, const double* Bblk, double* Cblk,
                         int bn);
 
 /// Number of Cannon iterations = sqrt(p); throws unless p is a perfect
-/// square and sqrt(p) divides n.
+/// square and sqrt(p) divides n (the paper's stated precondition).
 int cannon_grid_dim(int nprocs, int n);
 
-/// SPMD program computing C = A * B on a q x q processor grid. A and B are
-/// shared read-only inputs; each worker writes its C block into the shared
-/// output (disjoint regions, so no synchronization is needed). The output
-/// matrix must be pre-sized to n x n.
+/// Side length of the active compute grid actually used by
+/// make_cannon_program: the largest q with q*q <= nprocs.  Throws if q does
+/// not divide n.  Equal to cannon_grid_dim when nprocs is a perfect square.
+int cannon_active_grid_dim(int nprocs, int n);
+
+/// SPMD program computing C = A * B on a q x q processor grid
+/// (q = cannon_active_grid_dim).  A and B are shared read-only inputs; each
+/// worker writes its C block into the shared output (disjoint regions, so
+/// no synchronization is needed). The output matrix must be pre-sized to
+/// n x n.  When nprocs is not a perfect square, the processors beyond the
+/// q x q grid idle through the same 2*(q-1) sync()s as the active ones.
 std::function<void(Worker&)> make_cannon_program(const Matrix& A,
                                                  const Matrix& B, Matrix* C);
 

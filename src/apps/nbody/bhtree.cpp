@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/kernels.hpp"
+
 namespace gbsp {
 
 Box3 bounding_box(std::span<const Body> bodies) {
@@ -102,38 +104,40 @@ int BarnesHutTree::build(Vec3 center, double half, int begin, int end,
 }
 
 void BarnesHutTree::accel_rec(int node, const Vec3& p, double theta2,
-                              double eps2, Vec3& acc) const {
+                              kernels::InteractionSoA& batch) const {
   const Node& n = nodes_[static_cast<std::size_t>(node)];
   const Vec3 d = n.com - p;
   const double r2 = d.norm2();
   const double side = 2.0 * n.half;
   if (!n.leaf && side * side < theta2 * r2) {
-    const double denom = r2 + eps2;
-    const double inv = 1.0 / (denom * std::sqrt(denom));
-    acc += d * (n.mass * inv);
+    // Unopenable cell: its (com, mass) summary joins the batch.
+    batch.push_back(n.com.x, n.com.y, n.com.z, n.mass);
     return;
   }
   if (n.leaf) {
     for (int i = n.begin; i < n.end; ++i) {
       const PointMass& b = points_[static_cast<std::size_t>(i)];
-      const Vec3 db = b.pos - p;
-      const double rb2 = db.norm2();
-      if (rb2 == 0.0) continue;  // self
-      const double denom = rb2 + eps2;
-      const double inv = 1.0 / (denom * std::sqrt(denom));
-      acc += db * (b.mass * inv);
+      batch.push_back(b.pos.x, b.pos.y, b.pos.z, b.mass);
     }
     return;
   }
   for (int c : n.child) {
-    if (c >= 0) accel_rec(c, p, theta2, eps2, acc);
+    if (c >= 0) accel_rec(c, p, theta2, batch);
   }
 }
 
 Vec3 BarnesHutTree::accel_at(const Vec3& p, double theta,
                              double eps) const {
+  // The traversal only gathers the interaction set (cell summaries and leaf
+  // bodies); all arithmetic happens in one SoA batch through the shared
+  // interaction kernel, which also handles the self-interaction skip.
+  thread_local kernels::InteractionSoA batch;
+  batch.clear();
+  if (root_ >= 0) accel_rec(root_, p, theta * theta, batch);
   Vec3 acc;
-  if (root_ >= 0) accel_rec(root_, p, theta * theta, eps * eps, acc);
+  kernels::accumulate_accel(batch.x.data(), batch.y.data(), batch.z.data(),
+                            batch.m.data(), batch.size(), p.x, p.y, p.z,
+                            eps * eps, &acc.x, &acc.y, &acc.z);
   return acc;
 }
 
@@ -183,16 +187,22 @@ std::vector<Vec3> bh_accels(const std::vector<Body>& bodies, double theta,
 }
 
 std::vector<Vec3> direct_accels(const std::vector<Body>& bodies, double eps) {
+  // O(n^2) over the SoA interaction kernel.  Self-pairs contribute zero
+  // (d = 0 under softening; masked lane when eps == 0), so no i == j skip
+  // is needed.  Distinct coincident bodies with eps == 0 are likewise
+  // masked where the scalar loop produced NaN.
   const double eps2 = eps * eps;
+  kernels::InteractionSoA src;
+  src.reserve(bodies.size());
+  for (const Body& b : bodies) {
+    src.push_back(b.pos.x, b.pos.y, b.pos.z, b.mass);
+  }
   std::vector<Vec3> acc(bodies.size());
   for (std::size_t i = 0; i < bodies.size(); ++i) {
-    for (std::size_t j = 0; j < bodies.size(); ++j) {
-      if (i == j) continue;
-      const Vec3 d = bodies[j].pos - bodies[i].pos;
-      const double denom = d.norm2() + eps2;
-      const double inv = 1.0 / (denom * std::sqrt(denom));
-      acc[i] += d * (bodies[j].mass * inv);
-    }
+    kernels::accumulate_accel(src.x.data(), src.y.data(), src.z.data(),
+                              src.m.data(), src.size(), bodies[i].pos.x,
+                              bodies[i].pos.y, bodies[i].pos.z, eps2,
+                              &acc[i].x, &acc[i].y, &acc[i].z);
   }
   return acc;
 }

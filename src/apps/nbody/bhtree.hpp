@@ -24,6 +24,10 @@
 
 namespace gbsp {
 
+namespace kernels {
+struct InteractionSoA;
+}  // namespace kernels
+
 class BarnesHutTree {
  public:
   /// Builds over the given point masses. `leaf_capacity` bodies per leaf.
@@ -55,8 +59,8 @@ class BarnesHutTree {
   };
 
   int build(Vec3 center, double half, int begin, int end, int depth);
-  void accel_rec(int node, const Vec3& p, double theta2, double eps2,
-                 Vec3& acc) const;
+  void accel_rec(int node, const Vec3& p, double theta2,
+                 kernels::InteractionSoA& batch) const;
   void essential_rec(int node, const Box3& box, double theta,
                      std::vector<PointMass>& out) const;
 

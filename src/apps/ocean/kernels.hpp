@@ -11,9 +11,21 @@
 // Both implementations call exactly these functions on rows of width m + 2,
 // so their arithmetic is bit-identical — the test suite exploits this by
 // requiring exact agreement between the parallel and sequential fields.
+//
+// SIMD policy (DESIGN.md section 7): the residual, restriction,
+// prolongation, and norm rows are vectorized on util/simd.hpp.  Each keeps
+// its scalar reference alive in the nested `scalar` namespace, and the
+// vector form mirrors the reference expression shape operation for
+// operation, lane by lane — IEEE arithmetic is deterministic per lane, so
+// the vectorized rows stay byte-identical to the references
+// (tests/test_kernels.cpp enforces this).  relax_row is NOT vectorized: its
+// red-black update order is the contract behind the seq/BSP exact-agreement
+// tests and the stride-2 gather/scatter would cost most of the win anyway.
 #pragma once
 
 #include <cmath>
+
+#include "util/simd.hpp"
 
 namespace gbsp::ocean_kernels {
 
@@ -33,6 +45,7 @@ inline void reflect_columns(double* row, int m) {
 /// only, cells with (global_row + j) % 2 == color) for Lap(u) = f.
 /// Within one color, reads touch only the opposite color, so sweep order —
 /// and hence the parallel row decomposition — cannot change the result.
+/// Deliberately scalar; see the SIMD policy note above.
 inline void relax_row(double* u, const double* up, const double* dn,
                       const double* f, int m, double h2, int global_row,
                       int color) {
@@ -41,7 +54,11 @@ inline void relax_row(double* u, const double* up, const double* dn,
   }
 }
 
-/// Residual row: r = f - Lap(u).
+/// Bit-exact scalar references for the vectorized rows below.  These are
+/// the seed implementations, retained verbatim: the equivalence tests run
+/// the vector kernels against them on every size and alignment.
+namespace scalar {
+
 inline void residual_row(double* r, const double* u, const double* up,
                          const double* dn, const double* f, int m,
                          double inv_h2) {
@@ -53,8 +70,6 @@ inline void residual_row(double* r, const double* u, const double* up,
   r[m + 1] = 0.0;
 }
 
-/// Cell-centered restriction: coarse cell (I, J) is the average of its four
-/// fine children; coarse row I comes from fine rows 2I-1 and 2I.
 inline void cc_restrict_row(double* coarse, const double* fine0,
                             const double* fine1, int mc) {
   for (int J = 1; J <= mc; ++J) {
@@ -65,11 +80,6 @@ inline void cc_restrict_row(double* coarse, const double* fine0,
   coarse[mc + 1] = 0.0;
 }
 
-/// Cell-centered bilinear prolongation of one fine row (interior size mf):
-/// fine[j] += interpolation of the coarse correction. `cnear` is the coarse
-/// row containing the fine row's parent, `cfar` the next coarse row toward
-/// the fine row's off-center side; `far_scale` is +1 normally and -1 when
-/// the far row is the wall reflection of `cnear` itself.
 inline void cc_prolong_row(double* fine, const double* cnear,
                            const double* cfar, double far_scale, int mf) {
   const int mc = mf / 2;
@@ -91,6 +101,160 @@ inline void cc_prolong_row(double* fine, const double* cnear,
                 far_scale * (3.0 * cval(cfar, Jn) + cval(cfar, Jf))) /
                16.0;
   }
+}
+
+inline double absmax_row(const double* r, int m) {
+  double mx = 0.0;
+  for (int j = 1; j <= m; ++j) mx = std::max(mx, std::abs(r[j]));
+  return mx;
+}
+
+}  // namespace scalar
+
+/// Residual row: r = f - Lap(u).  Vectorized; every lane evaluates the
+/// same expression tree as scalar::residual_row.  `r` never aliases the
+/// input rows at any call site (distinct fields, or the amplification
+/// scratch row), which the restrict qualifier passes on to the compiler so
+/// it can pipeline across iterations.
+inline void residual_row(double* __restrict r, const double* u,
+                         const double* up, const double* dn, const double* f,
+                         int m, double inv_h2) {
+  constexpr int W = simd::kWidth;
+  const simd::vd vfour = simd::broadcast(4.0);
+  const simd::vd vinv = simd::broadcast(inv_h2);
+  auto stencil = [&](int j) {
+    const simd::vd vup = simd::load(up + j);
+    const simd::vd vdn = simd::load(dn + j);
+    const simd::vd vul = simd::load(u + j - 1);
+    const simd::vd vur = simd::load(u + j + 1);
+    const simd::vd vu = simd::load(u + j);
+    const simd::vd vf = simd::load(f + j);
+    simd::store(r + j, vf - (vup + vdn + vul + vur - vfour * vu) * vinv);
+  };
+  int j = 1;
+  // Two independent vectors per iteration: the stencil's add chain is
+  // latency-bound, and the stores are to disjoint lanes, so unrolling only
+  // adds ILP — lane arithmetic is unchanged.
+  for (; j + 2 * W <= m + 1; j += 2 * W) {
+    stencil(j);
+    stencil(j + W);
+  }
+  for (; j + W <= m + 1; j += W) stencil(j);
+  for (; j <= m; ++j) {
+    r[j] = f[j] -
+           (up[j] + dn[j] + u[j - 1] + u[j + 1] - 4.0 * u[j]) * inv_h2;
+  }
+  r[0] = 0.0;
+  r[m + 1] = 0.0;
+}
+
+/// Cell-centered restriction: coarse cell (I, J) is the average of its four
+/// fine children; coarse row I comes from fine rows 2I-1 and 2I.
+/// Vectorized with an even/odd deinterleave of the fine streams; lane
+/// arithmetic mirrors scalar::cc_restrict_row.
+inline void cc_restrict_row(double* __restrict coarse, const double* fine0,
+                            const double* fine1, int mc) {
+  constexpr int W = simd::kWidth;
+  const simd::vd vq = simd::broadcast(0.25);
+  int J = 1;
+  for (; J + W <= mc + 1; J += W) {
+    // Fine columns 2J-1 .. 2(J+W-1): stream position 0 is column 2J-1.
+    simd::vd o0, e0, o1, e1;
+    simd::deinterleave(simd::load(fine0 + 2 * J - 1),
+                       simd::load(fine0 + 2 * J - 1 + W), &o0, &e0);
+    simd::deinterleave(simd::load(fine1 + 2 * J - 1),
+                       simd::load(fine1 + 2 * J - 1 + W), &o1, &e1);
+    simd::store(coarse + J, vq * (o0 + e0 + o1 + e1));
+  }
+  for (; J <= mc; ++J) {
+    const int j = 2 * J;
+    coarse[J] = 0.25 * (fine0[j - 1] + fine0[j] + fine1[j - 1] + fine1[j]);
+  }
+  coarse[0] = 0.0;
+  coarse[mc + 1] = 0.0;
+}
+
+/// Cell-centered bilinear prolongation of one fine row (interior size mf):
+/// fine[j] += interpolation of the coarse correction. `cnear` is the coarse
+/// row containing the fine row's parent, `cfar` the next coarse row toward
+/// the fine row's off-center side; `far_scale` is +1 normally and -1 when
+/// the far row is the wall reflection of `cnear` itself.
+///
+/// The interior (no column-reflection) span is vectorized pairwise — one
+/// vector of odd fine columns and one of even per step, interleaved back
+/// into the contiguous fine row; the reflecting edge columns use the scalar
+/// reference.
+inline void cc_prolong_row(double* __restrict fine, const double* cnear,
+                           const double* cfar, double far_scale, int mf) {
+  // `fine` aliases neither coarse row; cnear and cfar may alias each other
+  // (the wall-reflection call), but both are read-only here, so only the
+  // store target carries restrict.
+  constexpr int W = simd::kWidth;
+  const int mc = mf / 2;
+  const simd::vd v9 = simd::broadcast(9.0);
+  const simd::vd v3 = simd::broadcast(3.0);
+  const simd::vd v16 = simd::broadcast(16.0);
+  const simd::vd vfs = simd::broadcast(far_scale);
+  // Odd fine column 2J-1 reads coarse J and J-1; even column 2J reads J and
+  // J+1.  Both stay inside [1, mc] for J in [2, mc-1], so the vector loop
+  // covers J = 2 .. Jv (fine columns 3 .. 2*Jv), edges go scalar.
+  int Jv_end = 2;  // one past the last vector-covered J
+  if (mc - 1 >= 2 + W - 1) {
+    for (int J = 2; J + W - 1 <= mc - 1; J += W) {
+      const simd::vd cnJ = simd::load(cnear + J);
+      const simd::vd cnJm = simd::load(cnear + J - 1);
+      const simd::vd cnJp = simd::load(cnear + J + 1);
+      const simd::vd cfJ = simd::load(cfar + J);
+      const simd::vd cfJm = simd::load(cfar + J - 1);
+      const simd::vd cfJp = simd::load(cfar + J + 1);
+      // fine[2J-1]: Jn = J, Jf = J-1;  fine[2J]: Jn = J, Jf = J+1.
+      const simd::vd vodd =
+          (v9 * cnJ + v3 * cnJm + vfs * (v3 * cfJ + cfJm)) / v16;
+      const simd::vd veven =
+          (v9 * cnJ + v3 * cnJp + vfs * (v3 * cfJ + cfJp)) / v16;
+      simd::vd lo, hi;
+      simd::interleave(vodd, veven, &lo, &hi);
+      double* dst = fine + 2 * J - 1;
+      simd::store(dst, simd::load(dst) + lo);
+      simd::store(dst + W, simd::load(dst + W) + hi);
+      Jv_end = J + W;
+    }
+  }
+  auto cval = [mc](const double* c, int J) {
+    if (J < 1) return -c[1];
+    if (J > mc) return -c[mc];
+    return c[J];
+  };
+  auto scalar_at = [&](int j) {
+    int Jn, Jf;
+    if (j % 2 == 1) {
+      Jn = (j + 1) / 2;
+      Jf = Jn - 1;
+    } else {
+      Jn = j / 2;
+      Jf = Jn + 1;
+    }
+    fine[j] += (9.0 * cval(cnear, Jn) + 3.0 * cval(cnear, Jf) +
+                far_scale * (3.0 * cval(cfar, Jn) + cval(cfar, Jf))) /
+               16.0;
+  };
+  for (int j = 1; j <= std::min(2, mf); ++j) scalar_at(j);
+  for (int j = 2 * Jv_end - 1; j <= mf; ++j) scalar_at(j);
+}
+
+/// max_{j in 1..m} |r[j]| — the norm/reduction row under the multigrid
+/// stopping tests.  max is associative and commutative, so the lane-split
+/// reduction returns the same double as scalar::absmax_row.
+inline double absmax_row(const double* r, int m) {
+  constexpr int W = simd::kWidth;
+  simd::vd vmx = simd::zero();
+  int j = 1;
+  for (; j + W <= m + 1; j += W) {
+    vmx = simd::max(vmx, simd::abs(simd::load(r + j)));
+  }
+  double mx = simd::hmax(vmx);
+  for (; j <= m; ++j) mx = std::max(mx, std::abs(r[j]));
+  return mx;
 }
 
 /// Vorticity tendency for one interior row:

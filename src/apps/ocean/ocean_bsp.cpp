@@ -347,8 +347,7 @@ class OceanWorker {
                                           const std::vector<double>& a) const {
     double mx = 0.0;
     for (int i = L.first(); i <= L.last(); ++i) {
-      const double* r = L.row(a, i);
-      for (int j = 1; j <= L.m(); ++j) mx = std::max(mx, std::abs(r[j]));
+      mx = std::max(mx, ocean_kernels::absmax_row(L.row(a, i), L.m()));
     }
     return mx;
   }

@@ -143,8 +143,7 @@ double OceanSequential::residual_inf(Level& lv) {
   compute_residual(lv);
   double mx = 0.0;
   for (int i = 1; i <= lv.m; ++i) {
-    const double* r = row(lv.r, lv.m, i);
-    for (int j = 1; j <= lv.m; ++j) mx = std::max(mx, std::abs(r[j]));
+    mx = std::max(mx, ocean_kernels::absmax_row(row(lv.r, lv.m, i), lv.m));
   }
   return mx;
 }
@@ -152,8 +151,8 @@ double OceanSequential::residual_inf(Level& lv) {
 int OceanSequential::solve(Level& top) {
   double fnorm = 0.0;
   for (int i = 1; i <= top.m; ++i) {
-    const double* f = row(top.f, top.m, i);
-    for (int j = 1; j <= top.m; ++j) fnorm = std::max(fnorm, std::abs(f[j]));
+    fnorm =
+        std::max(fnorm, ocean_kernels::absmax_row(row(top.f, top.m, i), top.m));
   }
   if (fnorm == 0.0) fnorm = 1.0;
   int cycles = 0;

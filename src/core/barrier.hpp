@@ -3,7 +3,7 @@
 // All barriers here are abort-aware: a worker that fails sets a shared abort
 // flag and the remaining workers, instead of waiting forever for a peer that
 // will never arrive, throw BspAborted out of the barrier. This is what makes
-// failure injection testable (DESIGN.md section 8).
+// failure injection testable (DESIGN.md section 9).
 #pragma once
 
 #include <atomic>

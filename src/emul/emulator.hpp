@@ -81,6 +81,12 @@ EmulationResult emulate(int nprocs, const EmulatedMachine& machine,
 
 /// cpu_scale such that the emulated 1-processor time of a program with
 /// measured work `our_w1_s` matches the paper's reported 1-processor time.
+///
+/// Because the scale is re-derived from measured host work on every run,
+/// emulated results are invariant under uniform host-kernel speedups (the
+/// DESIGN.md section 7 kernel layer): k-times-faster kernels shrink
+/// our_w1_s and grow cpu_scale by the same factor.  Only the relative
+/// spread of work across supersteps enters the priced trace.
 double calibrate_cpu_scale(double paper_t1_s, double our_w1_s);
 
 }  // namespace gbsp

@@ -1,0 +1,179 @@
+#include "util/kernels.hpp"
+
+#include <algorithm>
+
+#include "util/simd.hpp"
+
+namespace gbsp::kernels {
+
+namespace {
+
+using simd::vd;
+
+constexpr int kW = simd::kWidth;
+constexpr int kMR = 4;        // register-tile rows
+constexpr int kNR = 2 * kW;   // register-tile columns (two vectors)
+constexpr int kKC = 256;      // k-dimension cache block (packed panels)
+
+/// Packs the kc x n panel starting at B (row stride ldb) into column strips
+/// of width kNR, k-major within each strip: for strip j0,
+/// Bp[(j0/kNR)*kc*kNR + k*kNR + jj] = B[k][j0+jj], zero-padded past n.
+void pack_b(const double* B, int ldb, int kc, int n, double* Bp) {
+  for (int j0 = 0; j0 < n; j0 += kNR) {
+    const int jw = std::min(kNR, n - j0);
+    for (int k = 0; k < kc; ++k) {
+      const double* brow = B + static_cast<std::size_t>(k) * ldb + j0;
+      double* dst = Bp + static_cast<std::size_t>(k) * kNR;
+      for (int jj = 0; jj < jw; ++jj) dst[jj] = brow[jj];
+      for (int jj = jw; jj < kNR; ++jj) dst[jj] = 0.0;
+    }
+    Bp += static_cast<std::size_t>(kc) * kNR;
+  }
+}
+
+/// Packs the m_eff x kc strip starting at A (row stride lda) k-major:
+/// Ap[k*kMR + ii] = A[ii][k], rows past m_eff zero-padded.
+void pack_a(const double* A, int lda, int m_eff, int kc, double* Ap) {
+  for (int k = 0; k < kc; ++k) {
+    double* dst = Ap + static_cast<std::size_t>(k) * kMR;
+    for (int ii = 0; ii < m_eff; ++ii) {
+      dst[ii] = A[static_cast<std::size_t>(ii) * lda + k];
+    }
+    for (int ii = m_eff; ii < kMR; ++ii) dst[ii] = 0.0;
+  }
+}
+
+/// The register-tile micro-kernel: C(m_eff x n_eff) += Ap * Bp over kc
+/// rank-1 updates, with the full kMR x kNR accumulator tile held in
+/// registers (8 vectors + 2 B loads + 1 A broadcast = the whole SSE2
+/// register file at width 2; proportionally roomier on AVX/AVX-512).
+void micro_kernel(int kc, const double* Ap, const double* Bp, double* C,
+                  int ldc, int m_eff, int n_eff) {
+  vd c00 = simd::zero(), c01 = simd::zero();
+  vd c10 = simd::zero(), c11 = simd::zero();
+  vd c20 = simd::zero(), c21 = simd::zero();
+  vd c30 = simd::zero(), c31 = simd::zero();
+  for (int k = 0; k < kc; ++k) {
+    const vd b0 = simd::load(Bp);
+    const vd b1 = simd::load(Bp + kW);
+    vd a = simd::broadcast(Ap[0]);
+    c00 = simd::mul_add(a, b0, c00);
+    c01 = simd::mul_add(a, b1, c01);
+    a = simd::broadcast(Ap[1]);
+    c10 = simd::mul_add(a, b0, c10);
+    c11 = simd::mul_add(a, b1, c11);
+    a = simd::broadcast(Ap[2]);
+    c20 = simd::mul_add(a, b0, c20);
+    c21 = simd::mul_add(a, b1, c21);
+    a = simd::broadcast(Ap[3]);
+    c30 = simd::mul_add(a, b0, c30);
+    c31 = simd::mul_add(a, b1, c31);
+    Ap += kMR;
+    Bp += kNR;
+  }
+  if (m_eff == kMR && n_eff == kNR) {
+    double* r0 = C;
+    double* r1 = C + ldc;
+    double* r2 = C + 2 * static_cast<std::size_t>(ldc);
+    double* r3 = C + 3 * static_cast<std::size_t>(ldc);
+    simd::store(r0, simd::load(r0) + c00);
+    simd::store(r0 + kW, simd::load(r0 + kW) + c01);
+    simd::store(r1, simd::load(r1) + c10);
+    simd::store(r1 + kW, simd::load(r1 + kW) + c11);
+    simd::store(r2, simd::load(r2) + c20);
+    simd::store(r2 + kW, simd::load(r2 + kW) + c21);
+    simd::store(r3, simd::load(r3) + c30);
+    simd::store(r3 + kW, simd::load(r3 + kW) + c31);
+    return;
+  }
+  // Edge tile: spill the accumulators and add the live part element-wise.
+  double buf[kMR * kNR];
+  simd::store(buf + 0 * kNR, c00);
+  simd::store(buf + 0 * kNR + kW, c01);
+  simd::store(buf + 1 * kNR, c10);
+  simd::store(buf + 1 * kNR + kW, c11);
+  simd::store(buf + 2 * kNR, c20);
+  simd::store(buf + 2 * kNR + kW, c21);
+  simd::store(buf + 3 * kNR, c30);
+  simd::store(buf + 3 * kNR + kW, c31);
+  for (int ii = 0; ii < m_eff; ++ii) {
+    double* crow = C + static_cast<std::size_t>(ii) * ldc;
+    for (int jj = 0; jj < n_eff; ++jj) crow[jj] += buf[ii * kNR + jj];
+  }
+}
+
+}  // namespace
+
+void dgemm_add(const double* A, int lda, const double* B, int ldb, double* C,
+               int ldc, int M, int N, int K) {
+  if (M <= 0 || N <= 0 || K <= 0) return;
+  // Recycled per-thread packing scratch: sized for the largest panels seen,
+  // reused across calls (and across supersteps — Cannon calls this once per
+  // superstep), released at thread exit.
+  thread_local std::vector<double> a_scratch;
+  thread_local std::vector<double> b_scratch;
+  const int n_strips = (N + kNR - 1) / kNR;
+  b_scratch.resize(static_cast<std::size_t>(n_strips) * kNR *
+                   std::min(K, kKC));
+  a_scratch.resize(static_cast<std::size_t>(kMR) * std::min(K, kKC));
+
+  for (int kk = 0; kk < K; kk += kKC) {
+    const int kc = std::min(kKC, K - kk);
+    pack_b(B + static_cast<std::size_t>(kk) * ldb, ldb, kc, N,
+           b_scratch.data());
+    for (int i0 = 0; i0 < M; i0 += kMR) {
+      const int m_eff = std::min(kMR, M - i0);
+      pack_a(A + static_cast<std::size_t>(i0) * lda + kk, lda, m_eff, kc,
+             a_scratch.data());
+      const double* bp = b_scratch.data();
+      for (int j0 = 0; j0 < N; j0 += kNR) {
+        micro_kernel(kc, a_scratch.data(), bp,
+                     C + static_cast<std::size_t>(i0) * ldc + j0, ldc, m_eff,
+                     std::min(kNR, N - j0));
+        bp += static_cast<std::size_t>(kc) * kNR;
+      }
+    }
+  }
+}
+
+void accumulate_accel(const double* sx, const double* sy, const double* sz,
+                      const double* sm, std::size_t ns, double tx, double ty,
+                      double tz, double eps2, double* ax, double* ay,
+                      double* az) {
+  const vd vtx = simd::broadcast(tx);
+  const vd vty = simd::broadcast(ty);
+  const vd vtz = simd::broadcast(tz);
+  const vd veps2 = simd::broadcast(eps2);
+  const vd vzero = simd::zero();
+  vd acx = simd::zero(), acy = simd::zero(), acz = simd::zero();
+  std::size_t s = 0;
+  for (; s + kW <= ns; s += kW) {
+    const vd dx = simd::load(sx + s) - vtx;
+    const vd dy = simd::load(sy + s) - vty;
+    const vd dz = simd::load(sz + s) - vtz;
+    const vd r2 = dx * dx + dy * dy + dz * dz;
+    const vd denom = r2 + veps2;
+    // inv is +inf (or NaN for massless sources) on denom == 0 lanes; the
+    // mask zeroes exactly those, preserving the scalar loops' self-skip.
+    vd inv = simd::load(sm + s) / (denom * simd::sqrt(denom));
+    inv = simd::mask(inv, denom > vzero);
+    acx = simd::mul_add(dx, inv, acx);
+    acy = simd::mul_add(dy, inv, acy);
+    acz = simd::mul_add(dz, inv, acz);
+  }
+  double x = simd::hsum(acx), y = simd::hsum(acy), z = simd::hsum(acz);
+  for (; s < ns; ++s) {
+    const double dx = sx[s] - tx, dy = sy[s] - ty, dz = sz[s] - tz;
+    const double denom = dx * dx + dy * dy + dz * dz + eps2;
+    if (denom == 0.0) continue;
+    const double inv = sm[s] / (denom * std::sqrt(denom));
+    x += dx * inv;
+    y += dy * inv;
+    z += dz * inv;
+  }
+  *ax += x;
+  *ay += y;
+  *az += z;
+}
+
+}  // namespace gbsp::kernels

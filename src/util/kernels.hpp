@@ -1,0 +1,91 @@
+// Shared compute-kernel layer (DESIGN.md section 7).
+//
+// The runtime's message path was made cheap in the previous round of work,
+// which leaves the local-computation term W of the paper's cost model
+// T = W + g*H + L*S as the bottleneck in every application benchmark.  This
+// layer holds the tuned kernels the applications share:
+//
+//   * a packed, register-blocked dgemm micro-kernel (the W term of Cannon's
+//     algorithm and the sequential blocked baseline);
+//   * a batched structure-of-arrays interaction kernel (the W term of the
+//     N-body force phase, both direct-sum and Barnes–Hut evaluation).
+//
+// The vectorized ocean row kernels live with their scalar references in
+// apps/ocean/kernels.hpp (they are bound to the ocean ghost-row layout);
+// they are built on the same simd.hpp vector abstraction.
+//
+// Reassociation contract: both kernels here MAY reassociate and contract
+// (their consumers compare against oracles with n-scaled tolerances, never
+// bitwise).  Kernels that must stay bit-exact live in apps/ocean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gbsp::kernels {
+
+// ---------------------------------------------------------------------------
+// Packed, register-blocked dgemm.
+
+/// C(M x N, row stride ldc) += A(M x K, lda) * B(K x N, ldb), row-major.
+///
+/// A and B are packed into register-tile-friendly panels in recycled
+/// per-thread scratch (zero-padded at edges, so any M, N, K is legal), then
+/// multiplied with an MR x NR register-tile micro-kernel (MR = 4 rows,
+/// NR = 2 SIMD vectors of columns).  The packing scratch is thread_local
+/// and grows monotonically; it is recycled across calls and freed at thread
+/// exit (DESIGN.md section 7, "packing scratch lifetime").
+void dgemm_add(const double* A, int lda, const double* B, int ldb, double* C,
+               int ldc, int M, int N, int K);
+
+/// Square drop-in for the scalar block_multiply_add: C += A * B for
+/// contiguous row-major n x n blocks.
+inline void dgemm_add(const double* A, const double* B, double* C, int n) {
+  dgemm_add(A, n, B, n, C, n, n, n, n);
+}
+
+// ---------------------------------------------------------------------------
+// Batched SoA interaction kernel (softened inverse-square gravity).
+
+/// Accumulates onto (*ax, *ay, *az) the acceleration at target (tx, ty, tz)
+/// from `ns` point-mass sources in structure-of-arrays form:
+///
+///     acc += sum_s  m[s] * d_s / (|d_s|^2 + eps2)^(3/2),   d_s = s - t.
+///
+/// Sources exactly at the target contribute zero: for eps2 > 0 that falls
+/// out of d_s = 0, and for eps2 == 0 the kernel masks the lane instead of
+/// producing inf * 0 — i.e. self-interactions are always skipped, matching
+/// the scalar loops this replaces.
+void accumulate_accel(const double* sx, const double* sy, const double* sz,
+                      const double* sm, std::size_t ns, double tx, double ty,
+                      double tz, double eps2, double* ax, double* ay,
+                      double* az);
+
+/// Reusable SoA batch of interaction sources (positions + masses), the
+/// staging buffer between tree traversal / body lists and
+/// accumulate_accel.
+struct InteractionSoA {
+  std::vector<double> x, y, z, m;
+
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+    m.clear();
+  }
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    m.reserve(n);
+  }
+  void push_back(double px, double py, double pz, double pm) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    m.push_back(pm);
+  }
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+};
+
+}  // namespace gbsp::kernels

@@ -1,0 +1,294 @@
+// Portable fixed-width SIMD vector abstraction for the compute-kernel layer
+// (DESIGN.md section 7).
+//
+// The paper's cost model T = W + g*H + L*S only exposes its predicted
+// behavior when the local-computation term W runs at hardware speed
+// (Gerbessiotis & Siniolakis; Buurlage et al.).  This header gives the
+// kernels in util/kernels.{hpp,cpp} and apps/ocean/kernels.hpp one vector
+// type to write against:
+//
+//   * On GCC/Clang: the compilers' generic vector extensions.  The width is
+//     chosen at compile time from the target ISA (AVX-512 -> 8 doubles,
+//     AVX -> 4, otherwise 2 = one SSE2 register) and can be overridden with
+//     -DGBSP_SIMD_WIDTH=N.  The vector typedef carries alignment 8, so
+//     loads/stores through any double* are legal (the compiler emits
+//     unaligned moves); no kernel requires over-aligned buffers.
+//   * Elsewhere (-DGBSP_SIMD_SCALAR=1 forces it): a plain struct-of-lanes
+//     fallback with identical semantics, so every kernel compiles and gives
+//     bit-identical answers on any C++20 compiler.
+//
+// FP contract (see DESIGN.md section 7 for the full policy):
+//   * `mul_add(a, b, c)` is written `a * b + c` — the compiler may contract
+//     it to a single-rounding FMA when the target has one.  Kernels that are
+//     allowed to reassociate (dgemm, interaction batches) use this.
+//   * `fmadd(a, b, c)` is an explicit lane-wise std::fma — always one
+//     rounding, on every target, at whatever speed the target gives it.
+//   * Bit-exact kernels (the ocean rows) use neither helper: they mirror the
+//     retained scalar reference expression shape operation for operation, so
+//     scalar and vector forms contract identically under any one set of
+//     compiler flags.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if !defined(GBSP_SIMD_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define GBSP_SIMD_VECTOR_EXT 1
+#else
+#define GBSP_SIMD_VECTOR_EXT 0
+#endif
+
+#ifndef GBSP_SIMD_WIDTH
+#if !GBSP_SIMD_VECTOR_EXT
+#define GBSP_SIMD_WIDTH 4
+#elif defined(__AVX512F__)
+#define GBSP_SIMD_WIDTH 8
+#elif defined(__AVX__)
+#define GBSP_SIMD_WIDTH 4
+#else
+// One hardware register on plain SSE2 x86-64.  Wider emulated vectors cost
+// register pressure in the dgemm micro-kernel, which is tuned so its
+// accumulator tile fits the 16-register baseline file exactly.
+#define GBSP_SIMD_WIDTH 2
+#endif
+#endif
+
+namespace gbsp::simd {
+
+inline constexpr int kWidth = GBSP_SIMD_WIDTH;
+
+#if GBSP_SIMD_VECTOR_EXT
+
+typedef double vd
+    __attribute__((vector_size(sizeof(double) * GBSP_SIMD_WIDTH),
+                   aligned(8)));
+typedef long long vmask
+    __attribute__((vector_size(sizeof(long long) * GBSP_SIMD_WIDTH),
+                   aligned(8)));
+
+inline vd load(const double* p) { return *reinterpret_cast<const vd*>(p); }
+inline void store(double* p, vd v) { *reinterpret_cast<vd*>(p) = v; }
+
+inline vd broadcast(double x) { return x - vd{}; }
+inline vd zero() { return vd{}; }
+
+#else  // scalar fallback
+
+struct vd {
+  double lane[kWidth];
+  friend vd operator+(vd a, vd b) {
+    for (int i = 0; i < kWidth; ++i) a.lane[i] += b.lane[i];
+    return a;
+  }
+  friend vd operator-(vd a, vd b) {
+    for (int i = 0; i < kWidth; ++i) a.lane[i] -= b.lane[i];
+    return a;
+  }
+  friend vd operator*(vd a, vd b) {
+    for (int i = 0; i < kWidth; ++i) a.lane[i] *= b.lane[i];
+    return a;
+  }
+  friend vd operator/(vd a, vd b) {
+    for (int i = 0; i < kWidth; ++i) a.lane[i] /= b.lane[i];
+    return a;
+  }
+  double operator[](int i) const { return lane[i]; }
+  double& operator[](int i) { return lane[i]; }
+};
+
+struct vmask {
+  long long lane[kWidth];
+};
+
+inline vd load(const double* p) {
+  vd v;
+  for (int i = 0; i < kWidth; ++i) v.lane[i] = p[i];
+  return v;
+}
+inline void store(double* p, vd v) {
+  for (int i = 0; i < kWidth; ++i) p[i] = v.lane[i];
+}
+inline vd broadcast(double x) {
+  vd v;
+  for (int i = 0; i < kWidth; ++i) v.lane[i] = x;
+  return v;
+}
+inline vd zero() { return broadcast(0.0); }
+
+#endif  // GBSP_SIMD_VECTOR_EXT
+
+/// a*b + c, contraction allowed: the compiler may emit a single-rounding
+/// FMA when the target ISA has one.  Only reassociation-tolerant kernels
+/// may use this (DESIGN.md section 7).
+inline vd mul_add(vd a, vd b, vd c) { return a * b + c; }
+
+/// a*b + c with exactly one rounding on every target (lane-wise std::fma;
+/// a libm call where the hardware lacks FMA — correct first, fast second).
+inline vd fmadd(vd a, vd b, vd c) {
+  vd r = c;
+  for (int i = 0; i < kWidth; ++i) r[i] = std::fma(a[i], b[i], c[i]);
+  return r;
+}
+
+#if GBSP_SIMD_VECTOR_EXT
+
+/// Lane-wise max.  (GCC/Clang support the ternary operator on vector
+/// conditions; this compiles to maxpd and friends.)
+inline vd max(vd a, vd b) { return a > b ? a : b; }
+
+/// Lane-wise |v| via sign-bit clearing — byte-identical to std::abs
+/// (max(v, -v) would map +0.0 to -0.0).
+inline vd abs(vd v) {
+  const vmask sign = (vmask)broadcast(-0.0);
+  return (vd)((vmask)v & ~sign);
+}
+
+/// Lanes of `a` where `m` is all-ones, 0.0 elsewhere.
+inline vd mask(vd a, vmask m) { return (vd)((vmask)a & m); }
+
+#else
+
+inline vd max(vd a, vd b) {
+  for (int i = 0; i < kWidth; ++i) a.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+  return a;
+}
+inline vd abs(vd v) {
+  for (int i = 0; i < kWidth; ++i) v.lane[i] = std::abs(v.lane[i]);
+  return v;
+}
+inline vmask operator>(vd a, vd b) {
+  vmask m;
+  for (int i = 0; i < kWidth; ++i) m.lane[i] = a.lane[i] > b.lane[i] ? -1 : 0;
+  return m;
+}
+inline vd mask(vd a, vmask m) {
+  for (int i = 0; i < kWidth; ++i) {
+    if (m.lane[i] == 0) a.lane[i] = 0.0;
+  }
+  return a;
+}
+
+#endif  // GBSP_SIMD_VECTOR_EXT
+
+/// Lane-wise IEEE sqrt (exact, so vectorizing it is always legal).
+inline vd sqrt(vd v) {
+  vd r = v;
+  for (int i = 0; i < kWidth; ++i) r[i] = std::sqrt(v[i]);
+  return r;
+}
+
+/// Horizontal max over lanes.
+inline double hmax(vd v) {
+  double m = v[0];
+  for (int i = 1; i < kWidth; ++i) m = m > v[i] ? m : v[i];
+  return m;
+}
+
+/// Horizontal sum over lanes (left-to-right).
+inline double hsum(vd v) {
+  double s = v[0];
+  for (int i = 1; i < kWidth; ++i) s += v[i];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Stride-2 lane rearrangement, used by the ocean restriction/prolongation
+// rows whose natural access pattern pairs fine columns (2J-1, 2J).
+
+#if GBSP_SIMD_VECTOR_EXT
+
+namespace detail {
+#if GBSP_SIMD_WIDTH == 2
+inline constexpr vmask kEven = {0, 2};
+inline constexpr vmask kOdd = {1, 3};
+inline constexpr vmask kILo = {0, 2};
+inline constexpr vmask kIHi = {1, 3};
+#elif GBSP_SIMD_WIDTH == 4
+inline constexpr vmask kEven = {0, 2, 4, 6};
+inline constexpr vmask kOdd = {1, 3, 5, 7};
+inline constexpr vmask kILo = {0, 4, 1, 5};
+inline constexpr vmask kIHi = {2, 6, 3, 7};
+#elif GBSP_SIMD_WIDTH == 8
+inline constexpr vmask kEven = {0, 2, 4, 6, 8, 10, 12, 14};
+inline constexpr vmask kOdd = {1, 3, 5, 7, 9, 11, 13, 15};
+inline constexpr vmask kILo = {0, 8, 1, 9, 2, 10, 3, 11};
+inline constexpr vmask kIHi = {4, 12, 5, 13, 6, 14, 7, 15};
+#else
+#error "GBSP_SIMD_WIDTH must be 2, 4, or 8 with vector extensions"
+#endif
+}  // namespace detail
+
+#if defined(__clang__)
+namespace detail {
+template <int... I>
+inline vd shuffle2(vd a, vd b) {
+  return __builtin_shufflevector(a, b, I...);
+}
+}  // namespace detail
+#endif
+
+/// Splits the contiguous 2W-lane stream [a | b] into its even-position and
+/// odd-position lanes: even = stream[0,2,...], odd = stream[1,3,...].
+inline void deinterleave(vd a, vd b, vd* even, vd* odd) {
+#if defined(__clang__)
+#if GBSP_SIMD_WIDTH == 2
+  *even = detail::shuffle2<0, 2>(a, b);
+  *odd = detail::shuffle2<1, 3>(a, b);
+#elif GBSP_SIMD_WIDTH == 4
+  *even = detail::shuffle2<0, 2, 4, 6>(a, b);
+  *odd = detail::shuffle2<1, 3, 5, 7>(a, b);
+#else
+  *even = detail::shuffle2<0, 2, 4, 6, 8, 10, 12, 14>(a, b);
+  *odd = detail::shuffle2<1, 3, 5, 7, 9, 11, 13, 15>(a, b);
+#endif
+#else
+  *even = __builtin_shuffle(a, b, detail::kEven);
+  *odd = __builtin_shuffle(a, b, detail::kOdd);
+#endif
+}
+
+/// Inverse of deinterleave: merges even/odd lane vectors back into the
+/// contiguous stream [lo | hi] with lo = {e0, o0, e1, o1, ...}.
+inline void interleave(vd even, vd odd, vd* lo, vd* hi) {
+#if defined(__clang__)
+#if GBSP_SIMD_WIDTH == 2
+  *lo = detail::shuffle2<0, 2>(even, odd);
+  *hi = detail::shuffle2<1, 3>(even, odd);
+#elif GBSP_SIMD_WIDTH == 4
+  *lo = detail::shuffle2<0, 4, 1, 5>(even, odd);
+  *hi = detail::shuffle2<2, 6, 3, 7>(even, odd);
+#else
+  *lo = detail::shuffle2<0, 8, 1, 9, 2, 10, 3, 11>(even, odd);
+  *hi = detail::shuffle2<4, 12, 5, 13, 6, 14, 7, 15>(even, odd);
+#endif
+#else
+  *lo = __builtin_shuffle(even, odd, detail::kILo);
+  *hi = __builtin_shuffle(even, odd, detail::kIHi);
+#endif
+}
+
+#else  // scalar fallback
+
+inline void deinterleave(vd a, vd b, vd* even, vd* odd) {
+  double s[2 * kWidth];
+  store(s, a);
+  store(s + kWidth, b);
+  for (int i = 0; i < kWidth; ++i) {
+    (*even)[i] = s[2 * i];
+    (*odd)[i] = s[2 * i + 1];
+  }
+}
+
+inline void interleave(vd even, vd odd, vd* lo, vd* hi) {
+  double s[2 * kWidth];
+  for (int i = 0; i < kWidth; ++i) {
+    s[2 * i] = even[i];
+    s[2 * i + 1] = odd[i];
+  }
+  *lo = load(s);
+  *hi = load(s + kWidth);
+}
+
+#endif  // GBSP_SIMD_VECTOR_EXT
+
+}  // namespace gbsp::simd

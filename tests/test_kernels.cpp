@@ -1,0 +1,339 @@
+// Shared compute-kernel layer (util/simd.hpp + util/kernels.*, and the
+// vectorized ocean rows): packed dgemm against the naive oracle, the SoA
+// interaction kernel against the scalar loop it replaced, and the
+// vectorized ocean row kernels byte-identical to their retained scalar
+// references across sizes, parities, and edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/matmul/matmul.hpp"
+#include "apps/ocean/kernels.hpp"
+#include "util/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace gbsp {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed,
+                               double lo = -1.0, double hi = 1.0) {
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+// Byte-level row comparison: EXPECT_EQ on doubles would accept -0.0 == +0.0,
+// but the ocean contract is bit-identity.
+void expect_rows_identical(const std::vector<double>& a,
+                           const std::vector<double>& b, int m,
+                           const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << what << " differs from scalar reference at m=" << m;
+}
+
+// ---------------------------------------------------------------------------
+// Packed dgemm.
+
+TEST(PackedDgemm, MatchesNaiveAcrossSizes) {
+  // 1 and 7 exercise sub-tile edges, 36 the seed Cannon block, 144 the
+  // acceptance-benchmark block (divisible by every tile dimension), 145 the
+  // everything-has-a-remainder case.
+  for (int n : {1, 7, 36, 144, 145}) {
+    Matrix A = random_matrix(n, 101), B = random_matrix(n, 202);
+    Matrix ref = matmul_naive(A, B);
+    Matrix C(n);
+    kernels::dgemm_add(A.data(), B.data(), C.data(), n);
+    EXPECT_LT(C.max_abs_diff(ref), 1e-10 * n) << "n=" << n;
+  }
+}
+
+TEST(PackedDgemm, AccumulatesIntoC) {
+  const int n = 37;
+  Matrix A = random_matrix(n, 5), B = random_matrix(n, 6);
+  Matrix ref = matmul_naive(A, B);
+  std::vector<double> C(static_cast<std::size_t>(n) * n, 2.5);
+  kernels::dgemm_add(A.data(), B.data(), C.data(), n);
+  double err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      err = std::max(err, std::abs(C[static_cast<std::size_t>(i) * n + j] -
+                                   (2.5 + ref.at(i, j))));
+    }
+  }
+  EXPECT_LT(err, 1e-10 * n);
+}
+
+TEST(PackedDgemm, RectangularWithStrides) {
+  // C(M x N) += A(M x K) * B(K x N) where the operands live inside larger
+  // row-major parents (lda/ldb/ldc > logical width).
+  const int M = 13, N = 21, K = 9;
+  const int lda = K + 3, ldb = N + 5, ldc = N + 2;
+  std::vector<double> A = random_vec(static_cast<std::size_t>(M) * lda, 7);
+  std::vector<double> B = random_vec(static_cast<std::size_t>(K) * ldb, 8);
+  std::vector<double> C(static_cast<std::size_t>(M) * ldc, 0.0);
+  kernels::dgemm_add(A.data(), lda, B.data(), ldb, C.data(), ldc, M, N, K);
+  for (int i = 0; i < M; ++i) {
+    for (int j = 0; j < N; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < K; ++k) {
+        acc += A[static_cast<std::size_t>(i) * lda + k] *
+               B[static_cast<std::size_t>(k) * ldb + j];
+      }
+      EXPECT_NEAR(C[static_cast<std::size_t>(i) * ldc + j], acc, 1e-11)
+          << "i=" << i << " j=" << j;
+    }
+    // The slack columns beyond N must be untouched.
+    for (int j = N; j < ldc; ++j) {
+      EXPECT_EQ(C[static_cast<std::size_t>(i) * ldc + j], 0.0);
+    }
+  }
+}
+
+TEST(PackedDgemm, ZeroDimensionsAreNoOps) {
+  double c = 42.0;
+  double a = 1.0, b = 1.0;
+  kernels::dgemm_add(&a, 1, &b, 1, &c, 1, 0, 1, 1);
+  kernels::dgemm_add(&a, 1, &b, 1, &c, 1, 1, 0, 1);
+  kernels::dgemm_add(&a, 1, &b, 1, &c, 1, 1, 1, 0);
+  EXPECT_EQ(c, 42.0);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized ocean rows: byte-identical to the scalar references.
+
+TEST(OceanKernels, ResidualRowIdenticalToScalar) {
+  for (int m : {1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 64, 130}) {
+    const std::size_t w = static_cast<std::size_t>(m) + 2;
+    const auto u = random_vec(w, 11 + static_cast<std::uint64_t>(m));
+    const auto up = random_vec(w, 12 + static_cast<std::uint64_t>(m));
+    const auto dn = random_vec(w, 13 + static_cast<std::uint64_t>(m));
+    const auto f = random_vec(w, 14 + static_cast<std::uint64_t>(m));
+    const double inv_h2 = static_cast<double>(m) * m;
+    std::vector<double> r_vec(w, -7.0), r_ref(w, -7.0);
+    ocean_kernels::residual_row(r_vec.data(), u.data(), up.data(), dn.data(),
+                                f.data(), m, inv_h2);
+    ocean_kernels::scalar::residual_row(r_ref.data(), u.data(), up.data(),
+                                        dn.data(), f.data(), m, inv_h2);
+    expect_rows_identical(r_vec, r_ref, m, "residual_row");
+  }
+}
+
+TEST(OceanKernels, RestrictRowIdenticalToScalar) {
+  for (int mc : {1, 2, 3, 4, 5, 7, 8, 16, 31, 65}) {
+    const int mf = 2 * mc;
+    const std::size_t wf = static_cast<std::size_t>(mf) + 2;
+    const std::size_t wc = static_cast<std::size_t>(mc) + 2;
+    const auto f0 = random_vec(wf, 21 + static_cast<std::uint64_t>(mc));
+    const auto f1 = random_vec(wf, 22 + static_cast<std::uint64_t>(mc));
+    std::vector<double> c_vec(wc, 3.0), c_ref(wc, 3.0);
+    ocean_kernels::cc_restrict_row(c_vec.data(), f0.data(), f1.data(), mc);
+    ocean_kernels::scalar::cc_restrict_row(c_ref.data(), f0.data(), f1.data(),
+                                           mc);
+    expect_rows_identical(c_vec, c_ref, mc, "cc_restrict_row");
+  }
+}
+
+TEST(OceanKernels, ProlongRowIdenticalToScalar) {
+  for (int mf : {2, 4, 6, 8, 10, 16, 32, 62, 64, 130}) {
+    const int mc = mf / 2;
+    const std::size_t wf = static_cast<std::size_t>(mf) + 2;
+    const std::size_t wc = static_cast<std::size_t>(mc) + 2;
+    for (double far_scale : {1.0, -1.0}) {
+      const auto cnear = random_vec(wc, 31 + static_cast<std::uint64_t>(mf));
+      const auto cfar = random_vec(wc, 32 + static_cast<std::uint64_t>(mf));
+      // Prolongation accumulates (fine += ...), so start from a nonzero row.
+      auto fine_vec = random_vec(wf, 33 + static_cast<std::uint64_t>(mf));
+      auto fine_ref = fine_vec;
+      ocean_kernels::cc_prolong_row(fine_vec.data(), cnear.data(),
+                                    cfar.data(), far_scale, mf);
+      ocean_kernels::scalar::cc_prolong_row(fine_ref.data(), cnear.data(),
+                                            cfar.data(), far_scale, mf);
+      expect_rows_identical(fine_vec, fine_ref, mf, "cc_prolong_row");
+    }
+    // The far row can also alias the near row (wall reflection case used by
+    // prolong_from at the basin edge).
+    const auto cnear = random_vec(wc, 34 + static_cast<std::uint64_t>(mf));
+    auto fine_vec = random_vec(wf, 35 + static_cast<std::uint64_t>(mf));
+    auto fine_ref = fine_vec;
+    ocean_kernels::cc_prolong_row(fine_vec.data(), cnear.data(), cnear.data(),
+                                  -1.0, mf);
+    ocean_kernels::scalar::cc_prolong_row(fine_ref.data(), cnear.data(),
+                                          cnear.data(), -1.0, mf);
+    expect_rows_identical(fine_vec, fine_ref, mf, "cc_prolong_row(alias)");
+  }
+}
+
+TEST(OceanKernels, AbsmaxRowIdenticalToScalar) {
+  for (int m : {1, 2, 3, 4, 5, 7, 8, 16, 31, 64, 130}) {
+    const std::size_t w = static_cast<std::size_t>(m) + 2;
+    auto r = random_vec(w, 41 + static_cast<std::uint64_t>(m));
+    const double got = ocean_kernels::absmax_row(r.data(), m);
+    const double ref = ocean_kernels::scalar::absmax_row(r.data(), m);
+    EXPECT_EQ(std::memcmp(&got, &ref, sizeof(double)), 0) << "m=" << m;
+    // Ghost cells (j = 0, m+1) must not influence the norm.
+    r[0] = 1e9;
+    r[w - 1] = -1e9;
+    EXPECT_EQ(ocean_kernels::absmax_row(r.data(), m), ref);
+  }
+}
+
+TEST(OceanKernels, AbsmaxRowSignedZeros) {
+  // abs must clear the sign bit, not compute max(v, -v): a row of -0.0 has
+  // norm +0.0 with a clear sign bit, same as the scalar std::abs path.
+  std::vector<double> r(10, -0.0);
+  const double got = ocean_kernels::absmax_row(r.data(), 8);
+  EXPECT_EQ(got, 0.0);
+  EXPECT_FALSE(std::signbit(got));
+}
+
+TEST(OceanKernels, RelaxRowUnchangedScalarSemantics) {
+  // relax_row is deliberately scalar (red-black order contract); pin its
+  // behavior: color selects the parity of updated columns and the update
+  // reads neighbors of the opposite color.
+  const int m = 8;
+  const std::size_t w = m + 2;
+  auto u = random_vec(w, 51);
+  const auto up = random_vec(w, 52);
+  const auto dn = random_vec(w, 53);
+  const auto f = random_vec(w, 54);
+  const double h2 = 1.0 / 64.0;
+  auto u2 = u;
+  ocean_kernels::relax_row(u2.data(), up.data(), dn.data(), f.data(), m, h2,
+                           /*global_row=*/3, /*color=*/0);
+  for (int j = 1; j <= m; ++j) {
+    if ((3 + j) % 2 == 0) {
+      EXPECT_EQ(u2[static_cast<std::size_t>(j)],
+                0.25 * (up[static_cast<std::size_t>(j)] +
+                        dn[static_cast<std::size_t>(j)] +
+                        u2[static_cast<std::size_t>(j) - 1] +
+                        u2[static_cast<std::size_t>(j) + 1] -
+                        h2 * f[static_cast<std::size_t>(j)]))
+          << "j=" << j;
+    } else {
+      EXPECT_EQ(u2[static_cast<std::size_t>(j)],
+                u[static_cast<std::size_t>(j)])
+          << "j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SoA interaction kernel.
+
+void scalar_accel(const kernels::InteractionSoA& s, double tx, double ty,
+                  double tz, double eps2, double* ax, double* ay, double* az) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double dx = s.x[i] - tx, dy = s.y[i] - ty, dz = s.z[i] - tz;
+    const double denom = dx * dx + dy * dy + dz * dz + eps2;
+    if (denom == 0.0) continue;  // self-interaction (seed semantics)
+    const double inv = 1.0 / (denom * std::sqrt(denom));
+    *ax += s.m[i] * inv * dx;
+    *ay += s.m[i] * inv * dy;
+    *az += s.m[i] * inv * dz;
+  }
+}
+
+TEST(InteractionKernel, MatchesScalarLoop) {
+  for (std::size_t ns : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                         std::size_t{8}, std::size_t{33}, std::size_t{257}}) {
+    kernels::InteractionSoA s;
+    s.reserve(ns);
+    Xoshiro256 rng(60 + ns);
+    for (std::size_t i = 0; i < ns; ++i) {
+      s.push_back(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                  rng.uniform(-1.0, 1.0), rng.uniform(0.1, 2.0));
+    }
+    for (double eps2 : {0.0, 1e-4}) {
+      double ax = 0, ay = 0, az = 0, rx = 0, ry = 0, rz = 0;
+      kernels::accumulate_accel(s.x.data(), s.y.data(), s.z.data(),
+                                s.m.data(), s.size(), 0.25, -0.5, 0.125, eps2,
+                                &ax, &ay, &az);
+      scalar_accel(s, 0.25, -0.5, 0.125, eps2, &rx, &ry, &rz);
+      const double tol = 1e-12 * (1.0 + static_cast<double>(ns));
+      EXPECT_NEAR(ax, rx, tol) << "ns=" << ns << " eps2=" << eps2;
+      EXPECT_NEAR(ay, ry, tol) << "ns=" << ns << " eps2=" << eps2;
+      EXPECT_NEAR(az, rz, tol) << "ns=" << ns << " eps2=" << eps2;
+    }
+  }
+}
+
+TEST(InteractionKernel, SelfSourceSkippedAtZeroSoftening) {
+  // A source exactly at the target with eps2 == 0 must contribute zero (the
+  // scalar loops skipped i == j); a naive vectorization would produce NaN.
+  kernels::InteractionSoA s;
+  s.push_back(1.0, 2.0, 3.0, 5.0);   // the target itself
+  s.push_back(2.0, 2.0, 3.0, 1.0);   // a unit mass at distance 1 in +x
+  for (std::size_t pad = 0; pad < 9; ++pad) {
+    s.push_back(1.0, 2.0, 3.0, 7.0);  // more coincident sources
+  }
+  double ax = 0, ay = 0, az = 0;
+  kernels::accumulate_accel(s.x.data(), s.y.data(), s.z.data(), s.m.data(),
+                            s.size(), 1.0, 2.0, 3.0, 0.0, &ax, &ay, &az);
+  EXPECT_DOUBLE_EQ(ax, 1.0);
+  EXPECT_DOUBLE_EQ(ay, 0.0);
+  EXPECT_DOUBLE_EQ(az, 0.0);
+}
+
+TEST(InteractionKernel, AccumulatesOntoExistingValues) {
+  kernels::InteractionSoA s;
+  s.push_back(1.0, 0.0, 0.0, 4.0);
+  double ax = 10.0, ay = 20.0, az = 30.0;
+  kernels::accumulate_accel(s.x.data(), s.y.data(), s.z.data(), s.m.data(),
+                            s.size(), 0.0, 0.0, 0.0, 0.0, &ax, &ay, &az);
+  EXPECT_DOUBLE_EQ(ax, 14.0);
+  EXPECT_DOUBLE_EQ(ay, 20.0);
+  EXPECT_DOUBLE_EQ(az, 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// simd.hpp primitives used by the bit-exactness arguments above.
+
+TEST(Simd, AbsClearsSignBitOnly) {
+  alignas(64) double in[simd::kWidth];
+  alignas(64) double out[simd::kWidth];
+  for (int i = 0; i < simd::kWidth; ++i) in[i] = (i % 2 ? -0.0 : -3.5);
+  simd::store(out, simd::abs(simd::load(in)));
+  for (int i = 0; i < simd::kWidth; ++i) {
+    EXPECT_EQ(out[i], i % 2 ? 0.0 : 3.5);
+    EXPECT_FALSE(std::signbit(out[i]));
+  }
+}
+
+TEST(Simd, DeinterleaveInterleaveRoundTrip) {
+  constexpr int W = simd::kWidth;
+  double in[2 * W];
+  for (int i = 0; i < 2 * W; ++i) in[i] = 100.0 + i;
+  simd::vd odd, even;
+  simd::deinterleave(simd::load(in), simd::load(in + W), &odd, &even);
+  double o[W], e[W];
+  simd::store(o, odd);
+  simd::store(e, even);
+  for (int i = 0; i < W; ++i) {
+    EXPECT_EQ(o[i], in[2 * i]);      // stream positions 0, 2, 4, ...
+    EXPECT_EQ(e[i], in[2 * i + 1]);  // stream positions 1, 3, 5, ...
+  }
+  simd::vd lo, hi;
+  simd::interleave(odd, even, &lo, &hi);
+  double back[2 * W];
+  simd::store(back, lo);
+  simd::store(back + W, hi);
+  for (int i = 0; i < 2 * W; ++i) EXPECT_EQ(back[i], in[i]);
+}
+
+TEST(Simd, HorizontalReductions) {
+  constexpr int W = simd::kWidth;
+  double in[W];
+  for (int i = 0; i < W; ++i) in[i] = (i == W / 2) ? 9.0 : -1.0 * i;
+  EXPECT_EQ(simd::hmax(simd::load(in)), 9.0);
+  double sum = 0.0;
+  for (int i = 0; i < W; ++i) sum += in[i];
+  EXPECT_DOUBLE_EQ(simd::hsum(simd::load(in)), sum);
+}
+
+}  // namespace
+}  // namespace gbsp

@@ -70,6 +70,36 @@ TEST(Cannon, GridDimValidation) {
   EXPECT_THROW(cannon_grid_dim(4, 13), std::invalid_argument);
 }
 
+TEST(Cannon, ActiveGridDim) {
+  EXPECT_EQ(cannon_active_grid_dim(1, 12), 1);
+  EXPECT_EQ(cannon_active_grid_dim(3, 12), 1);
+  EXPECT_EQ(cannon_active_grid_dim(4, 12), 2);
+  EXPECT_EQ(cannon_active_grid_dim(5, 12), 2);
+  EXPECT_EQ(cannon_active_grid_dim(8, 12), 2);
+  EXPECT_EQ(cannon_active_grid_dim(9, 12), 3);
+  EXPECT_EQ(cannon_active_grid_dim(15, 12), 3);
+  EXPECT_EQ(cannon_active_grid_dim(16, 12), 4);
+  EXPECT_THROW(cannon_active_grid_dim(0, 12), std::invalid_argument);
+  EXPECT_THROW(cannon_active_grid_dim(9, 13), std::invalid_argument);
+}
+
+// Regression: non-perfect-square processor counts used to deadlock/throw —
+// the processors beyond the q x q grid never reached the matching sync()s.
+// They must now idle through the same superstep structure and the active
+// q x q sub-grid must still produce the full product.
+TEST(Cannon, NonSquareProcessorCounts) {
+  const int n = 12;
+  for (int p : {3, 5, 6, 8}) {
+    Matrix A = random_matrix(n, 31), B = random_matrix(n, 32);
+    Matrix C(n);
+    Config cfg;
+    cfg.nprocs = p;
+    Runtime rt(cfg);
+    rt.run(make_cannon_program(A, B, &C));
+    EXPECT_LT(C.max_abs_diff(matmul_naive(A, B)), 1e-10 * n) << "p=" << p;
+  }
+}
+
 struct CannonParam {
   int nprocs;
   int n;
