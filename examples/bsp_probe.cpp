@@ -2,15 +2,19 @@
 // Figure 2.1 recipe, using the native thread backend.
 //
 //   $ bsp_probe [--procs 1,2,4,8] [--steps 200]
+//               [--transport deferred|eager|socket]
 //
 // L is estimated from supersteps where each processor sends a single
 // 16-byte packet; g from the marginal per-packet cost of large
 // total-exchange supersteps; both via a least-squares fit across h sizes.
+// --transport probes a specific Transport: the socket transport's g and L
+// are this machine's loopback analogue of the paper's PC-LAN column.
 #include <cstdio>
 #include <iostream>
 #include <thread>
 
 #include "core/runtime.hpp"
+#include "core/transport.hpp"
 #include "cost/fit.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -21,15 +25,25 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int steps = static_cast<int>(args.get_int("steps", 200));
   const auto procs = args.get_int_list("procs", {1, 2, 4, 8});
+  DeliveryStrategy delivery;
+  try {
+    delivery = delivery_from_string(args.get_string("transport", "deferred"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
-  std::printf("probing the native thread backend (%u hardware threads)\n",
-              std::thread::hardware_concurrency());
+  std::printf(
+      "probing the native thread backend (%u hardware threads), "
+      "transport=%s\n",
+      std::thread::hardware_concurrency(), to_string(delivery));
   TextTable t({"nprocs", "g (us / 16B packet)", "L (us)"});
   for (auto np64 : procs) {
     const int np = static_cast<int>(np64);
     std::vector<ProbeSample> samples;
     Config cfg;
     cfg.nprocs = np;
+    cfg.delivery = delivery;
     cfg.collect_stats = false;
     Runtime rt(cfg);
     for (int per_peer : {1, 4, 16, 64, 256}) {

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 
 namespace gbsp {
 
@@ -17,7 +19,9 @@ enum class Scheduling {
   Serialized,
 };
 
-/// How messages travel from sender to receiver.
+/// How messages travel from sender to receiver. Each value selects a
+/// Transport implementation (core/transport.hpp); the enum is configuration
+/// sugar over the transport factory.
 enum class DeliveryStrategy {
   /// Senders buffer locally per destination; the exchange happens at the
   /// superstep boundary with no locks. The natural BSP realisation.
@@ -27,6 +31,13 @@ enum class DeliveryStrategy {
   /// superstep, with chunk-granularity locking so "the locking cost is small
   /// per packet".
   Eager,
+  /// The paper's Appendix B.3 PC-LAN scheme over real loopback sockets: each
+  /// worker owns a stream socket to every peer, and the superstep boundary
+  /// runs the rigid (p-1)-stage total exchange (stage k: pid i sends to
+  /// (i+k) mod p and receives from (i-k) mod p, length-prefixed frames).
+  /// No boundary barriers: the exchange itself is the synchronisation, as on
+  /// the real PC-LAN. See core/transport_socket.hpp.
+  Socket,
 };
 
 /// Barrier algorithm used at superstep boundaries.
@@ -68,6 +79,55 @@ struct Config {
   /// before taking the destination's inbox lock (paper: space for 1000
   /// packets per lock acquisition).
   std::size_t eager_chunk_messages = 1000;
+
+  /// Socket transport: a staged-exchange stage that makes no progress (no
+  /// byte sent or received) for this long aborts the run with
+  /// BspTransportError instead of hanging on a dead or wedged peer.
+  std::size_t socket_stage_timeout_ms = 10'000;
+
+  /// Socket transport: idle-wait backoff inside a stage. When neither
+  /// direction can make progress the worker polls its two stage sockets,
+  /// starting at the initial wait and doubling up to the cap (bounded
+  /// exponential backoff). Shorter waits detect aborts faster; longer waits
+  /// burn less CPU while a slow peer computes.
+  std::size_t socket_backoff_initial_ms = 1;
+  std::size_t socket_backoff_max_ms = 50;
 };
+
+/// Validates a Config at Runtime construction, so bad values fail loudly
+/// with std::invalid_argument instead of surfacing as deadlocks or UB deep
+/// inside delivery.
+inline void validate_config(const Config& cfg) {
+  if (cfg.nprocs < 1) {
+    throw std::invalid_argument("gbsp: nprocs must be >= 1, got " +
+                                std::to_string(cfg.nprocs));
+  }
+  if (cfg.packet_unit_bytes == 0) {
+    throw std::invalid_argument("gbsp: packet_unit_bytes must be >= 1");
+  }
+  if (cfg.eager_chunk_messages == 0) {
+    throw std::invalid_argument(
+        "gbsp: eager_chunk_messages must be >= 1 (a zero chunk would never "
+        "flush)");
+  }
+  constexpr std::size_t kMaxStageTimeoutMs = 3'600'000;  // one hour
+  if (cfg.socket_stage_timeout_ms == 0 ||
+      cfg.socket_stage_timeout_ms > kMaxStageTimeoutMs) {
+    throw std::invalid_argument(
+        "gbsp: socket_stage_timeout_ms must be in [1, 3600000], got " +
+        std::to_string(cfg.socket_stage_timeout_ms));
+  }
+  if (cfg.socket_backoff_initial_ms == 0 ||
+      cfg.socket_backoff_initial_ms > cfg.socket_backoff_max_ms) {
+    throw std::invalid_argument(
+        "gbsp: socket_backoff_initial_ms must be in [1, "
+        "socket_backoff_max_ms]");
+  }
+  if (cfg.socket_backoff_max_ms > cfg.socket_stage_timeout_ms) {
+    throw std::invalid_argument(
+        "gbsp: socket_backoff_max_ms must not exceed socket_stage_timeout_ms "
+        "(an idle wait longer than the timeout could overshoot it)");
+  }
+}
 
 }  // namespace gbsp

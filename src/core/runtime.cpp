@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/transport.hpp"
 #include "util/timer.hpp"
 
 namespace gbsp {
@@ -26,31 +27,14 @@ void Worker::send_bytes(int dest, const void* data, std::size_t n) {
     throw std::out_of_range("gbsp: send to invalid processor " +
                             std::to_string(dest));
   }
-  const std::size_t d = static_cast<std::size_t>(dest);
-  const bool deferred = cfg.delivery == DeliveryStrategy::Deferred;
-  // The zero-allocation send path: bump-append a frame into the recycled
-  // per-destination arena and copy the payload once.
-  MessageArena& arena = deferred ? st.outbox[d] : st.eager_pending[d];
-  std::byte* slot = arena.append(static_cast<std::uint32_t>(st.pid),
-                                 st.seq_to[d]++, n);
-  if (n != 0) std::memcpy(slot, data, n);
+  rt_->transport_->stage_send(st, dest, data, n);
 
   const std::uint64_t pkts = packets_for_bytes(n, cfg.packet_unit_bytes);
   st.sent_packets += pkts;
   st.sent_bytes += n;
   st.sent_messages += 1;
   if (cfg.collect_comm_matrix) {
-    st.sent_to[d] += pkts;
-  }
-
-  if (!deferred) {
-    if (st.eager_dirty_flag[d] == 0) {
-      st.eager_dirty_flag[d] = 1;
-      st.eager_dirty.push_back(dest);
-    }
-    if (arena.message_count() >= cfg.eager_chunk_messages) {
-      rt_->flush_eager(st, dest);
-    }
+    st.sent_to[static_cast<std::size_t>(dest)] += pkts;
   }
 }
 
@@ -65,12 +49,8 @@ const Message* Worker::get_message() {
 // ------------------------------------------------------------------- Runtime
 
 Runtime::Runtime(Config cfg) : cfg_(cfg) {
-  if (cfg_.nprocs < 1) {
-    throw std::invalid_argument("gbsp: nprocs must be >= 1");
-  }
-  if (cfg_.packet_unit_bytes == 0) {
-    throw std::invalid_argument("gbsp: packet_unit_bytes must be >= 1");
-  }
+  validate_config(cfg_);
+  transport_ = make_transport(cfg_, pool_, &abort_);
 }
 
 Runtime::~Runtime() = default;
@@ -87,6 +67,10 @@ void Runtime::record_step(detail::WorkerState& st) {
   st.pending_recv_packets = 0;
   r.recv_messages = st.pending_recv_messages;
   st.pending_recv_messages = 0;
+  // Wire bytes accrue during the exchange that opened this superstep, so
+  // they are charged — like recv_packets — to the superstep being recorded.
+  r.wire_bytes = st.wire_bytes;
+  st.wire_bytes = 0;
   r.sent_packets = st.sent_packets;
   r.sent_bytes = st.sent_bytes;
   r.sent_messages = st.sent_messages;
@@ -100,115 +84,27 @@ void Runtime::record_step(detail::WorkerState& st) {
   st.sent_messages = 0;
 }
 
-void Runtime::flush_eager(detail::WorkerState& st, int dest) {
-  MessageArena& pending = st.eager_pending[static_cast<std::size_t>(dest)];
-  if (pending.empty()) return;
-  detail::WorkerState& dst = *states_[static_cast<std::size_t>(dest)];
-  // Sends during superstep t are destined for the receiver's superstep t+1
-  // buffer. Both alternating buffers exist so that a sender already in
-  // superstep t+1 never races the receiver draining its superstep-t buffer.
-  const std::size_t parity = static_cast<std::size_t>((st.superstep + 1) % 2);
-  // Splicing moves slab ownership — one lock acquisition per chunk, zero
-  // per-message work. The staging arena reacquires slabs from the shared
-  // pool, which the receiver refills when it consumes this chunk.
-  std::lock_guard<std::mutex> lock(dst.eager_mutex[parity]);
-  dst.eager_inbuf[parity].splice_from(pending);
-}
-
-void Runtime::deliver_to(detail::WorkerState& dst) {
-  dst.inbox.clear();
-  dst.inbox_cursor = 0;
-  std::uint64_t recv_packets = 0;
-  const bool count = cfg_.collect_stats;
-  auto add_views = [&](const MessageArena& arena) {
-    arena.for_each_frame([&](const MessageArena::Frame& f) {
-      Message m;
-      m.source = f.source;
-      m.seq = f.seq;
-      m.payload = ByteView{f.payload(), static_cast<std::size_t>(f.len)};
-      dst.inbox.push_back(m);
-      if (count) {
-        recv_packets += packets_for_bytes(static_cast<std::size_t>(f.len),
-                                          cfg_.packet_unit_bytes);
-      }
-    });
-  };
-  if (cfg_.delivery == DeliveryStrategy::Deferred) {
-    // Swap each source's filled outbox arena against the drained arena this
-    // receiver holds from two boundaries ago: the pair ping-pongs forever, so
-    // steady-state supersteps never touch the allocator. Walking sources in
-    // pid order yields views already (source, seq)-sorted — deterministic
-    // delivery needs no sort here.
-    std::size_t total = 0;
-    for (std::size_t s = 0; s < states_.size(); ++s) {
-      MessageArena& mine = dst.inbox_from[s];
-      mine.clear();
-      std::swap(mine, states_[s]->outbox[static_cast<std::size_t>(dst.pid)]);
-      total += mine.message_count();
-    }
-    dst.inbox.reserve(total);
-    for (const MessageArena& mine : dst.inbox_from) add_views(mine);
-  } else {
-    const std::size_t parity = static_cast<std::size_t>((dst.superstep + 1) % 2);
-    // No lock needed: delivery happens strictly between the two superstep
-    // barriers (parallel mode) or single-threaded (serialized mode), when no
-    // sender can be writing this parity.
-    dst.eager_inbox.release_slabs();  // last superstep's views are dead now
-    std::swap(dst.eager_inbox, dst.eager_inbuf[parity]);
-    dst.inbox.reserve(dst.eager_inbox.message_count());
-    add_views(dst.eager_inbox);
-    if (cfg_.deterministic_delivery) {
-      std::sort(dst.inbox.begin(), dst.inbox.end(),
-                [](const Message& a, const Message& b) {
-                  return a.source != b.source ? a.source < b.source
-                                              : a.seq < b.seq;
-                });
-    }
-  }
-  if (count) {
-    // Charged to the upcoming superstep, which reads these messages.
-    dst.pending_recv_packets = recv_packets;
-    dst.pending_recv_messages = dst.inbox.size();
-  }
-}
-
-void Runtime::exchange_all() {
-  // Serialized mode only; runs effectively single-threaded.
-  for (auto& st : states_) {
-    if (st->finished) continue;
-    deliver_to(*st);
-  }
-}
-
 void Runtime::do_sync(detail::WorkerState& st) {
   if (abort_.load(std::memory_order_acquire)) throw BspAborted{};
   record_step(st);
-  if (cfg_.delivery == DeliveryStrategy::Eager) {
-    // Only destinations actually sent to this superstep need flushing — a
-    // chunk-boundary flush may already have emptied some of them, which
-    // flush_eager short-circuits.
-    for (int d : st.eager_dirty) {
-      flush_eager(st, d);
-      st.eager_dirty_flag[static_cast<std::size_t>(d)] = 0;
-    }
-    st.eager_dirty.clear();
-  }
+  transport_->flush(st);
   if (cfg_.scheduling == Scheduling::Serialized) {
-    scheduler_->yield_at_sync(st.pid);  // exchange_all ran inside
-  } else {
+    scheduler_->yield_at_sync(st.pid);  // transport exchange ran inside
+  } else if (transport_->needs_boundary_barriers()) {
     barrier_a_->arrive_and_wait(st.pid);
-    deliver_to(st);
+    transport_->deliver_to(st);
     barrier_b_->arrive_and_wait(st.pid);
+  } else {
+    // Self-synchronising transport: deliver_to blocks until every peer's
+    // data for this boundary has arrived — the exchange is the barrier.
+    transport_->deliver_to(st);
   }
   st.superstep += 1;
   begin_work_slice(st);
 }
 
 void Runtime::finalize_worker(detail::WorkerState& st) {
-  if (st.sent_messages != 0 ||
-      (cfg_.delivery == DeliveryStrategy::Eager &&
-       std::any_of(st.eager_pending.begin(), st.eager_pending.end(),
-                   [](const MessageArena& a) { return !a.empty(); }))) {
+  if (st.sent_messages != 0 || transport_->has_unflushed(st)) {
     throw std::logic_error(
         "gbsp: worker " + std::to_string(st.pid) +
         " sent messages after its final sync(); they can never be delivered");
@@ -261,39 +157,28 @@ RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
   first_error_ = nullptr;
   first_error_pid_ = -1;
 
-  // Destroying the previous run's states releases every arena slab into
-  // pool_, where the fresh states below reacquire them: message buffers are
-  // recycled across run() calls, not just across supersteps.
   states_.clear();
   states_.reserve(static_cast<std::size_t>(p));
   for (int i = 0; i < p; ++i) {
     auto st = std::make_unique<detail::WorkerState>();
     st->pid = i;
-    st->outbox.reserve(static_cast<std::size_t>(p));
-    st->inbox_from.reserve(static_cast<std::size_t>(p));
-    st->eager_pending.reserve(static_cast<std::size_t>(p));
-    for (int d = 0; d < p; ++d) {
-      st->outbox.emplace_back(&pool_);
-      st->inbox_from.emplace_back(&pool_);
-      st->eager_pending.emplace_back(&pool_);
-    }
-    st->eager_inbuf[0].bind(&pool_);
-    st->eager_inbuf[1].bind(&pool_);
-    st->eager_inbox.bind(&pool_);
-    st->eager_dirty_flag.assign(static_cast<std::size_t>(p), 0);
-    st->eager_dirty.reserve(static_cast<std::size_t>(p));
     st->seq_to.assign(static_cast<std::size_t>(p), 0);
     if (cfg_.collect_comm_matrix) {
       st->sent_to.assign(static_cast<std::size_t>(p), 0);
     }
     states_.push_back(std::move(st));
   }
+  // The transport rebuilds its per-run arenas (and, for sockets, endpoints)
+  // here; destroying the previous run's arenas releases every slab into
+  // pool_ for the new ones to reacquire — buffers recycle across run()
+  // calls, not just across supersteps.
+  transport_->reset_run(states_);
   barrier_a_ = make_barrier(cfg_.barrier, p, &abort_);
   barrier_b_ = make_barrier(cfg_.barrier, p, &abort_);
   scheduler_.reset();
   if (cfg_.scheduling == Scheduling::Serialized) {
-    scheduler_ =
-        std::make_unique<SerialScheduler>(p, [this] { exchange_all(); });
+    scheduler_ = std::make_unique<SerialScheduler>(
+        p, [this] { transport_->exchange(states_); });
   }
 
   WallTimer wall;

@@ -18,9 +18,13 @@
 //    Config::deterministic_delivery is set.
 //  * All workers must call sync() the same number of times; messages sent
 //    after the final sync() are an error, diagnosed at worker exit.
+//
+// Layering: the Runtime owns worker lifecycle, scheduling, barriers, and
+// instrumentation. All message movement — staging, flushing, boundary
+// exchange — goes through the Transport selected by Config::delivery
+// (core/transport.hpp), which owns every message arena.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -36,61 +40,15 @@
 #include "core/message.hpp"
 #include "core/scheduler.hpp"
 #include "core/stats.hpp"
+#include "core/worker_state.hpp"
 
 namespace gbsp {
 
 class Runtime;
 class Worker;
+class Transport;
 
 namespace detail {
-
-/// All mutable per-processor state. Owned by the Runtime; a Worker is a
-/// lightweight handle over one WorkerState.
-struct WorkerState {
-  int pid = 0;
-
-  // Deferred delivery: outbox[d] is the arena this processor fills for
-  // destination d during the superstep. At the boundary the receiver swaps it
-  // against the drained arena it holds in inbox_from[src] — whole-arena
-  // exchange, no locks, and steady-state supersteps allocate nothing.
-  std::vector<MessageArena> outbox;
-  std::vector<MessageArena> inbox_from;
-
-  // Eager delivery (paper Appendix B.1): two alternating input arenas this
-  // processor owns; remote senders splice whole slab chains under chunked
-  // locking. Sends during superstep t land in eager_inbuf[(t + 1) % 2].
-  std::array<MessageArena, 2> eager_inbuf;
-  std::array<std::mutex, 2> eager_mutex;
-  // Sender-side staging arenas (one per destination) spliced under one lock
-  // acquisition per Config::eager_chunk_messages messages.
-  std::vector<MessageArena> eager_pending;
-  // Destinations with staged messages, so sync() flushes only what was
-  // touched instead of walking all p staging arenas.
-  std::vector<char> eager_dirty_flag;
-  std::vector<int> eager_dirty;
-  // Arena backing this superstep's inbox views; its slabs return to the pool
-  // at the next boundary (Message/bspGetPkt pointers die at the next sync).
-  MessageArena eager_inbox;
-
-  std::vector<std::uint32_t> seq_to;  // per-destination sequence counters
-
-  std::vector<Message> inbox;  // views into the inbox arenas
-  std::size_t inbox_cursor = 0;
-
-  std::uint64_t superstep = 0;
-  // Packets delivered at the last boundary, to be charged to the superstep
-  // that reads them (the paper's h accounting: its matmult H counts each
-  // block in both its send and its unpack superstep).
-  std::uint64_t pending_recv_packets = 0;
-  std::uint64_t pending_recv_messages = 0;
-  std::uint64_t sent_packets = 0;
-  std::uint64_t sent_bytes = 0;
-  std::uint64_t sent_messages = 0;
-  std::vector<std::uint64_t> sent_to;  // per-dest packets this superstep
-  std::int64_t work_start_ns = 0;
-  std::vector<WorkerStepRecord> trace;
-  bool finished = false;
-};
 
 /// Thread-local handle to the Worker executing on this thread (null outside
 /// a BSP run). Backs the C-compatible API in green_bsp.h.
@@ -158,6 +116,8 @@ class Worker {
 /// independent BSP computation.
 class Runtime {
  public:
+  /// Validates cfg (validate_config) and builds the Transport for
+  /// cfg.delivery; throws std::invalid_argument on bad parameters.
   explicit Runtime(Config cfg);
   ~Runtime();
 
@@ -176,26 +136,27 @@ class Runtime {
   /// fresh_allocations().
   [[nodiscard]] const SlabPool& slab_pool() const { return pool_; }
 
+  /// The message-movement strategy serving this runtime. Exposed for
+  /// observability and fault-injection tests.
+  [[nodiscard]] Transport& transport() { return *transport_; }
+
  private:
   friend class Worker;
 
   void worker_main(int pid, const std::function<void(Worker&)>& fn);
   void do_sync(detail::WorkerState& st);
-  // Delivers pending messages for processor `dest` (both strategies).
-  void deliver_to(detail::WorkerState& dst);
-  // Serialized mode: delivers for everyone (runs single-threaded).
-  void exchange_all();
-  void flush_eager(detail::WorkerState& st, int dest);
   void record_step(detail::WorkerState& st);
   void begin_work_slice(detail::WorkerState& st);
   void finalize_worker(detail::WorkerState& st);
   void report_error(std::exception_ptr e, int pid);
 
   Config cfg_;
-  // Declared before states_ so arenas (which release their slabs into the
-  // pool on destruction) die first. The pool persists across run() calls:
-  // that is what recycles buffers from one BSP computation to the next.
+  // Declared before transport_ and states_ so arenas (which release their
+  // slabs into the pool on destruction) die first. The pool persists across
+  // run() calls: that is what recycles buffers from one BSP computation to
+  // the next.
   SlabPool pool_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<detail::WorkerState>> states_;
   std::unique_ptr<Barrier> barrier_a_;
   std::unique_ptr<Barrier> barrier_b_;

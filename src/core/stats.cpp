@@ -35,6 +35,12 @@ std::uint64_t RunStats::total_bytes() const {
   return n;
 }
 
+std::uint64_t RunStats::total_wire_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : supersteps) n += s.total_wire_bytes;
+  return n;
+}
+
 void RunStats::aggregate_from_traces() {
   supersteps.clear();
   std::size_t steps = 0;
@@ -57,6 +63,7 @@ void RunStats::aggregate_from_traces() {
           std::max({agg.h_messages, r.sent_messages, r.recv_messages});
       agg.endpoint_messages = std::max(agg.endpoint_messages,
                                        r.sent_messages + r.recv_messages);
+      agg.total_wire_bytes += r.wire_bytes;
       total_recv += r.recv_packets;
     }
     supersteps[i] = agg;

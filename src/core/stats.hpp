@@ -24,6 +24,11 @@ struct WorkerStepRecord {
   std::uint64_t sent_messages = 0;
   /// Messages read in this superstep (same charging rule as recv_packets).
   std::uint64_t recv_messages = 0;
+  /// Bytes this worker actually pushed onto the wire (frames + headers +
+  /// stage counts) at the boundary that opened this superstep — same charging
+  /// rule as recv_packets. Zero for in-memory transports, which move arenas
+  /// instead of bytes; the socket transport reports real socket writes here.
+  std::uint64_t wire_bytes = 0;
   /// Destination-indexed packet counts; empty unless
   /// Config::collect_comm_matrix is set.
   std::vector<std::uint64_t> sent_to_packets;
@@ -42,6 +47,10 @@ struct SuperstepStats {
   /// Max over processors of (messages sent + messages read): the busiest
   /// endpoint, which pays LogP's per-message overhead o on both ends.
   std::uint64_t endpoint_messages = 0;
+  /// Total bytes written to real sockets for this superstep's exchange
+  /// (0 for in-memory transports). Framing overhead included, so this is the
+  /// wire analogue of gH rather than a payload count.
+  std::uint64_t total_wire_bytes = 0;
 };
 
 /// Full accounting for one BSP run.
@@ -67,6 +76,10 @@ struct RunStats {
   /// Total packets sent over the whole run.
   [[nodiscard]] std::uint64_t total_packets() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Total bytes on the wire over the whole run (0 unless the socket
+  /// transport ran the exchanges).
+  [[nodiscard]] std::uint64_t total_wire_bytes() const;
 
   /// Merges per-worker traces into per-superstep aggregates. Called by the
   /// runtime; public so emulation replays can re-aggregate.

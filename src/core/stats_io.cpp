@@ -11,7 +11,7 @@ namespace {
 
 constexpr char kHeader[] =
     "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
-    "total_messages,h_messages,endpoint_messages";
+    "total_messages,h_messages,endpoint_messages,total_wire_bytes";
 
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> out;
@@ -33,7 +33,7 @@ void write_superstep_csv(std::ostream& os, const RunStats& stats) {
     os << i << ',' << s.w_max_us << ',' << s.w_total_us << ','
        << s.h_packets << ',' << s.total_packets << ',' << s.total_bytes
        << ',' << s.total_messages << ',' << s.h_messages << ','
-       << s.endpoint_messages << '\n';
+       << s.endpoint_messages << ',' << s.total_wire_bytes << '\n';
   }
 }
 
@@ -47,7 +47,7 @@ RunStats read_superstep_csv(std::istream& is, int nprocs) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    if (cells.size() != 9) {
+    if (cells.size() != 10) {
       throw std::invalid_argument("stats_io: malformed CSV row: " + line);
     }
     SuperstepStats s;
@@ -60,6 +60,7 @@ RunStats read_superstep_csv(std::istream& is, int nprocs) {
       s.total_messages = std::stoull(cells[6]);
       s.h_messages = std::stoull(cells[7]);
       s.endpoint_messages = std::stoull(cells[8]);
+      s.total_wire_bytes = std::stoull(cells[9]);
     } catch (const std::exception&) {
       throw std::invalid_argument("stats_io: malformed CSV value: " + line);
     }

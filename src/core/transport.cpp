@@ -1,0 +1,78 @@
+#include "core/transport.hpp"
+
+#include <algorithm>
+
+#include "core/transport_deferred.hpp"
+#include "core/transport_eager.hpp"
+#include "core/transport_socket.hpp"
+
+namespace gbsp {
+
+const char* to_string(DeliveryStrategy d) {
+  switch (d) {
+    case DeliveryStrategy::Deferred: return "deferred";
+    case DeliveryStrategy::Eager: return "eager";
+    case DeliveryStrategy::Socket: return "socket";
+  }
+  return "unknown";
+}
+
+DeliveryStrategy delivery_from_string(const std::string& s) {
+  if (s == "deferred") return DeliveryStrategy::Deferred;
+  if (s == "eager") return DeliveryStrategy::Eager;
+  if (s == "socket") return DeliveryStrategy::Socket;
+  throw std::invalid_argument(
+      "gbsp: unknown transport \"" + s +
+      "\" (expected deferred, eager, or socket)");
+}
+
+std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
+                                          const std::atomic<bool>* abort_flag) {
+  switch (cfg.delivery) {
+    case DeliveryStrategy::Deferred:
+      return std::make_unique<DeferredTransport>(cfg, pool, abort_flag);
+    case DeliveryStrategy::Eager:
+      return std::make_unique<EagerTransport>(cfg, pool, abort_flag);
+    case DeliveryStrategy::Socket:
+      return std::make_unique<SocketTransport>(cfg, pool, abort_flag);
+  }
+  throw std::invalid_argument("gbsp: unknown DeliveryStrategy");
+}
+
+namespace detail {
+
+void TransportBase::append_views(WorkerState& dst, const MessageArena& arena,
+                                 std::uint64_t& recv_packets) const {
+  const bool count = cfg_.collect_stats;
+  arena.for_each_frame([&](const MessageArena::Frame& f) {
+    Message m;
+    m.source = f.source;
+    m.seq = f.seq;
+    m.payload = ByteView{f.payload(), static_cast<std::size_t>(f.len)};
+    dst.inbox.push_back(m);
+    if (count) {
+      recv_packets += packets_for_bytes(static_cast<std::size_t>(f.len),
+                                        cfg_.packet_unit_bytes);
+    }
+  });
+}
+
+void TransportBase::finish_delivery(WorkerState& dst,
+                                    std::uint64_t recv_packets,
+                                    bool sort_deterministic) const {
+  if (sort_deterministic) {
+    std::sort(dst.inbox.begin(), dst.inbox.end(),
+              [](const Message& a, const Message& b) {
+                return a.source != b.source ? a.source < b.source
+                                            : a.seq < b.seq;
+              });
+  }
+  if (cfg_.collect_stats) {
+    // Charged to the upcoming superstep, which reads these messages.
+    dst.pending_recv_packets = recv_packets;
+    dst.pending_recv_messages = dst.inbox.size();
+  }
+}
+
+}  // namespace detail
+}  // namespace gbsp

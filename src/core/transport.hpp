@@ -1,0 +1,171 @@
+// The Transport seam: how BSP messages travel from sender to receiver.
+//
+// The paper's central claim is portability — one SPMD program runs unchanged
+// over SGI shared buffers, Cenju MPI all-to-all, and a PC-LAN staged TCP
+// exchange (Appendix B). This interface is that seam in code: the Runtime
+// owns worker lifecycle, scheduling, and instrumentation, and dispatches all
+// message movement through one Transport selected from Config::delivery:
+//
+//   * DeferredTransport (core/transport_deferred.hpp): lock-free whole-arena
+//     swap at the boundary — the shared-memory realisation.
+//   * EagerTransport (core/transport_eager.hpp): the paper's Appendix B.1
+//     alternating input buffers with chunk-granularity locking.
+//   * SocketTransport (core/transport_socket.hpp): the paper's Appendix B.3
+//     rigid (p-1)-stage total exchange over real loopback sockets.
+//
+// Arena ownership: transports own every message arena. WorkerState carries
+// only the inbox *views*; the bytes behind them live in a transport-owned
+// arena for the destination worker and stay valid until that worker's next
+// sync(). Slabs recycle through the Runtime's SlabPool, which outlives the
+// per-run transport state — that is what keeps the deferred/eager steady
+// state allocation-free across supersteps and across run() calls.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/config.hpp"
+#include "core/worker_state.hpp"
+
+namespace gbsp {
+
+/// A peer failed at the transport level (closed connection, stage timeout).
+/// Like BspAborted it unwinds the worker, but unlike BspAborted it carries a
+/// diagnosis and is reported as the run's error rather than swallowed.
+struct BspTransportError : std::runtime_error {
+  explicit BspTransportError(const std::string& what)
+      : std::runtime_error("gbsp transport: " + what) {}
+};
+
+/// Message-movement strategy. One Transport instance serves one Runtime for
+/// its whole lifetime; per-run state is rebuilt by reset_run().
+///
+/// Concurrency contract (the seam's locking rules):
+///  * stage_send() and flush() are called by the owning worker's thread only,
+///    with `st` being that worker's own state.
+///  * deliver_to() in Parallel mode is called concurrently, one call per
+///    worker. For barrier transports (needs_boundary_barriers() == true) the
+///    calls run strictly between the two boundary barriers, when no worker
+///    is sending — implementations may therefore read *any* worker's
+///    sender-side arenas without locks, but may mutate only state belonging
+///    to `dst`. For self-synchronising transports (socket) there is no
+///    global quiescent point: deliver_to() may touch only dst's own state
+///    and dst's endpoints, and must tolerate peers that are still computing.
+///  * exchange() replaces deliver_to() in Serialized mode. It is invoked by
+///    the SerialScheduler from whichever worker thread completes the round,
+///    with the scheduler lock held — effectively single-threaded, never
+///    concurrent with stage_send()/flush()/deliver_to(). (This documents the
+///    contract that Runtime::exchange_all() used to claim imprecisely as
+///    "runs single-threaded".)
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// True when superstep boundaries must bracket delivery with two global
+  /// barriers (delivery reads sender-side state that must be quiescent).
+  /// Self-synchronising transports return false: their exchange blocks until
+  /// every peer's data for this boundary has arrived, which is exactly the
+  /// synchronisation a barrier would provide.
+  [[nodiscard]] virtual bool needs_boundary_barriers() const = 0;
+
+  /// True when steady-state supersteps are served entirely by slab recycling
+  /// (SlabPool::fresh_allocations() freezes after warm-up). The conformance
+  /// suite asserts this for transports that promise it.
+  [[nodiscard]] virtual bool steady_state_zero_alloc() const = 0;
+
+  /// Rebuilds per-run state. Called once per Runtime::run(), after the
+  /// worker states are rebuilt and before any worker thread starts.
+  /// Destroying the previous run's arenas here releases their slabs into
+  /// the pool for the new run to reacquire.
+  virtual void reset_run(
+      const std::vector<std::unique_ptr<detail::WorkerState>>& states) = 0;
+
+  /// Stages `n` bytes from `st` (the sending worker) to `dest`: appends a
+  /// frame to the transport's staging arena and copies the payload once.
+  /// Bumps st.seq_to[dest]. Delivered after the receiver's next sync().
+  virtual void stage_send(detail::WorkerState& st, int dest, const void* data,
+                          std::size_t n) = 0;
+
+  /// Sender-side boundary hook, called at the top of sync() before delivery
+  /// (and before the first barrier, for barrier transports).
+  virtual void flush(detail::WorkerState& st) = 0;
+
+  /// Delivers everything sent to `dst` during the ended superstep: rebuilds
+  /// dst.inbox with views, valid until dst's next sync(), and charges
+  /// dst.pending_recv_* (Config::collect_stats). See the class comment for
+  /// the concurrency contract.
+  virtual void deliver_to(detail::WorkerState& dst) = 0;
+
+  /// Serialized-mode global exchange: delivers for every worker in one call
+  /// (single-threaded; see the class comment). Finished workers still
+  /// participate as empty senders where the wire protocol requires it.
+  virtual void exchange(
+      const std::vector<std::unique_ptr<detail::WorkerState>>& states) = 0;
+
+  /// True when `st` holds staged-but-undeliverable messages — used by the
+  /// runtime to diagnose sends after a worker's final sync().
+  [[nodiscard]] virtual bool has_unflushed(
+      const detail::WorkerState& st) const = 0;
+};
+
+/// Human-readable transport name for a strategy ("deferred", "eager",
+/// "socket").
+[[nodiscard]] const char* to_string(DeliveryStrategy d);
+
+/// Parses a --transport flag value; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] DeliveryStrategy delivery_from_string(const std::string& s);
+
+/// Builds the Transport for cfg.delivery. `pool` must outlive the transport
+/// (it backs every arena); `abort_flag` is the runtime's shared abort flag,
+/// polled by blocking transports so peer failure unwinds instead of hanging.
+std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
+                                          const std::atomic<bool>* abort_flag);
+
+namespace detail {
+
+/// Shared plumbing for the concrete transports: config/pool/abort handles
+/// and the inbox-view publication helpers every strategy ends with.
+class TransportBase : public Transport {
+ public:
+  TransportBase(const Config& cfg, SlabPool& pool,
+                const std::atomic<bool>* abort_flag)
+      : cfg_(cfg), pool_(&pool), abort_(abort_flag) {}
+
+  /// Default Serialized-mode exchange: deliver to each unfinished worker in
+  /// pid order. Transports whose wire protocol involves finished workers
+  /// (socket) override this.
+  void exchange(
+      const std::vector<std::unique_ptr<WorkerState>>& states) override {
+    for (const auto& st : states) {
+      if (st->finished) continue;
+      deliver_to(*st);
+    }
+  }
+
+ protected:
+  /// Appends one view per frame of `arena` onto dst.inbox, accumulating the
+  /// h-relation packet count into `recv_packets` when stats are collected.
+  void append_views(WorkerState& dst, const MessageArena& arena,
+                    std::uint64_t& recv_packets) const;
+
+  /// Final delivery accounting: sorts dst.inbox by (source, seq) when
+  /// `sort_deterministic` (Config::deterministic_delivery) and charges the
+  /// received packets/messages to the superstep that will read them.
+  void finish_delivery(WorkerState& dst, std::uint64_t recv_packets,
+                       bool sort_deterministic) const;
+
+  const Config cfg_;
+  SlabPool* const pool_;
+  const std::atomic<bool>* const abort_;
+};
+
+}  // namespace detail
+}  // namespace gbsp

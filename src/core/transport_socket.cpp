@@ -1,0 +1,427 @@
+#include "core/transport_socket.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "core/barrier.hpp"  // BspAborted
+
+namespace gbsp {
+
+namespace {
+
+void append_bytes(std::vector<std::byte>& buf, const void* data,
+                  std::size_t n) {
+  const std::byte* p = static_cast<const std::byte*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw BspTransportError(std::string("fcntl(O_NONBLOCK): ") +
+                            std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+SocketTransport::~SocketTransport() { close_all_sockets(); }
+
+void SocketTransport::close_all_sockets() {
+  for (PerWorker& pw : per_) {
+    for (int& fd : pw.fd_to) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void SocketTransport::reset_run(
+    const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
+  // Fresh sockets every run: an aborted exchange may leave half-written
+  // stage data in kernel buffers, which must not leak into the next run.
+  close_all_sockets();
+  const std::size_t p = states.size();
+  per_.clear();
+  per_.resize(p);
+  for (PerWorker& pw : per_) {
+    pw.outbox.reserve(p);
+    for (std::size_t d = 0; d < p; ++d) pw.outbox.emplace_back(pool_);
+    pw.inbox_arena.bind(pool_);
+    pw.fd_to.assign(p, -1);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        throw BspTransportError(std::string("socketpair: ") +
+                                std::strerror(errno));
+      }
+      set_nonblocking(sv[0]);
+      set_nonblocking(sv[1]);
+      per_[i].fd_to[j] = sv[0];
+      per_[j].fd_to[i] = sv[1];
+    }
+  }
+}
+
+void SocketTransport::stage_send(detail::WorkerState& st, int dest,
+                                 const void* data, std::size_t n) {
+  const std::size_t d = static_cast<std::size_t>(dest);
+  // Same bump-append staging as the deferred transport; the bytes hit the
+  // wire at the boundary, in the rigid stage for this destination.
+  MessageArena& arena = per_[static_cast<std::size_t>(st.pid)].outbox[d];
+  std::byte* slot = arena.append(static_cast<std::uint32_t>(st.pid),
+                                 st.seq_to[d]++, n);
+  if (n != 0) std::memcpy(slot, data, n);
+}
+
+void SocketTransport::begin_stage(PerWorker& pw, StageState& ss, int pid,
+                                  int k) {
+  const int p = static_cast<int>(per_.size());
+  const std::size_t sp = static_cast<std::size_t>((pid + k) % p);
+  MessageArena& ob = pw.outbox[sp];
+  // Serialize the whole stage once into the reusable buffer; the pump then
+  // only moves bytes. (The copy is deliberate: a socket stage already pays
+  // syscalls per chunk, and one contiguous buffer keeps the partial-write
+  // bookkeeping to a single offset.)
+  pw.send_buf.clear();
+  pw.send_buf.reserve(sizeof(std::uint64_t) +
+                      ob.message_count() * sizeof(WireFrameHeader) +
+                      ob.payload_bytes());
+  const std::uint64_t count = ob.message_count();
+  append_bytes(pw.send_buf, &count, sizeof(count));
+  ob.for_each_frame([&](const MessageArena::Frame& f) {
+    WireFrameHeader h;
+    h.seq = f.seq;
+    h.pad = 0;
+    h.len = f.len;
+    append_bytes(pw.send_buf, &h, sizeof(h));
+    if (f.len != 0) {
+      append_bytes(pw.send_buf, f.payload(),
+                   static_cast<std::size_t>(f.len));
+    }
+  });
+  ob.clear();  // keeps its slabs for the next superstep's staging
+  ss = StageState{};
+  ss.k = k;
+}
+
+std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
+                                       StageState& ss, int fd) {
+  std::size_t moved = 0;
+  while (!ss.send_done) {
+    const std::size_t remaining = pw.send_buf.size() - ss.send_off;
+    if (remaining == 0) {
+      ss.send_done = true;
+      break;
+    }
+    const ssize_t n =
+        ::send(fd, pw.send_buf.data() + ss.send_off, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      ss.send_off += static_cast<std::size_t>(n);
+      moved += static_cast<std::size_t>(n);
+      st.wire_bytes += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    throw BspTransportError(
+        "stage " + std::to_string(ss.k) + " send from pid " +
+        std::to_string(st.pid) + " failed: " + std::strerror(errno) +
+        " (peer dead?)");
+  }
+  return moved;
+}
+
+std::size_t SocketTransport::pump_recv(PerWorker& pw, StageState& ss, int fd,
+                                       int src) {
+  std::size_t moved = 0;
+  while (!ss.recv_done) {
+    std::byte* dst = nullptr;
+    std::size_t want = 0;
+    switch (ss.phase) {
+      case StageState::Phase::Count:
+        dst = ss.hdr + ss.hdr_off;
+        want = sizeof(std::uint64_t) - ss.hdr_off;
+        break;
+      case StageState::Phase::Header:
+        dst = ss.hdr + ss.hdr_off;
+        want = sizeof(WireFrameHeader) - ss.hdr_off;
+        break;
+      case StageState::Phase::Payload:
+        dst = ss.payload_dst;
+        want = ss.payload_left;
+        break;
+      case StageState::Phase::Done:
+        ss.recv_done = true;
+        return moved;
+    }
+    const ssize_t n = ::recv(fd, dst, want, 0);
+    if (n == 0) {
+      throw BspTransportError("peer " + std::to_string(src) +
+                              " closed its endpoint mid-stage " +
+                              std::to_string(ss.k) + " (peer death)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      throw BspTransportError("stage " + std::to_string(ss.k) +
+                              " recv from peer " + std::to_string(src) +
+                              " failed: " + std::strerror(errno));
+    }
+    moved += static_cast<std::size_t>(n);
+    switch (ss.phase) {
+      case StageState::Phase::Count:
+        ss.hdr_off += static_cast<std::size_t>(n);
+        if (ss.hdr_off == sizeof(std::uint64_t)) {
+          std::memcpy(&ss.frames_left, ss.hdr, sizeof(std::uint64_t));
+          ss.hdr_off = 0;
+          ss.phase = ss.frames_left == 0 ? StageState::Phase::Done
+                                         : StageState::Phase::Header;
+        }
+        break;
+      case StageState::Phase::Header:
+        ss.hdr_off += static_cast<std::size_t>(n);
+        if (ss.hdr_off == sizeof(WireFrameHeader)) {
+          WireFrameHeader h;
+          std::memcpy(&h, ss.hdr, sizeof(h));
+          ss.hdr_off = 0;
+          // Arena-backed receive: the payload streams straight into the
+          // frame slot the receiver's views will point at.
+          ss.payload_dst = pw.inbox_arena.append(
+              static_cast<std::uint32_t>(src), h.seq,
+              static_cast<std::size_t>(h.len));
+          ss.payload_left = static_cast<std::size_t>(h.len);
+          if (ss.payload_left == 0) {
+            ss.phase = --ss.frames_left == 0 ? StageState::Phase::Done
+                                             : StageState::Phase::Header;
+          } else {
+            ss.phase = StageState::Phase::Payload;
+          }
+        }
+        break;
+      case StageState::Phase::Payload:
+        ss.payload_dst += n;
+        ss.payload_left -= static_cast<std::size_t>(n);
+        if (ss.payload_left == 0) {
+          ss.phase = --ss.frames_left == 0 ? StageState::Phase::Done
+                                           : StageState::Phase::Header;
+        }
+        break;
+      case StageState::Phase::Done:
+        break;
+    }
+    if (ss.phase == StageState::Phase::Done) ss.recv_done = true;
+  }
+  return moved;
+}
+
+void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
+                                StageState& ss) {
+  using Clock = std::chrono::steady_clock;
+  const int p = static_cast<int>(per_.size());
+  const int sp = (st.pid + ss.k) % p;
+  const int rp = (st.pid + p - ss.k) % p;
+  const int sfd = pw.fd_to[static_cast<std::size_t>(sp)];
+  const int rfd = pw.fd_to[static_cast<std::size_t>(rp)];
+  auto last_progress = Clock::now();
+  std::size_t backoff_ms = cfg_.socket_backoff_initial_ms;
+  for (;;) {
+    // Pump both directions each round: interleaving is what makes the
+    // full-duplex stage deadlock-free when transfers exceed kernel buffers
+    // (everyone drains the stream they are the stage-k reader of).
+    std::size_t moved = 0;
+    if (!ss.send_done) moved += pump_send(st, pw, ss, sfd);
+    if (!ss.recv_done) moved += pump_recv(pw, ss, rfd, rp);
+    if (ss.send_done && ss.recv_done) return;
+    if (moved != 0) {
+      last_progress = Clock::now();
+      backoff_ms = cfg_.socket_backoff_initial_ms;
+      continue;
+    }
+    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
+      throw BspAborted{};
+    }
+    if (Clock::now() - last_progress >
+        std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
+      throw BspTransportError(
+          "stage " + std::to_string(ss.k) + " of pid " +
+          std::to_string(st.pid) + " made no progress for " +
+          std::to_string(cfg_.socket_stage_timeout_ms) +
+          " ms (waiting on peer " + std::to_string(rp) + "/" +
+          std::to_string(sp) + "; peer dead or wedged)");
+    }
+    // Idle: wait for either direction to open up, bounded so aborts and
+    // timeouts are noticed (bounded exponential backoff).
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    if (!ss.send_done) {
+      fds[nfds].fd = sfd;
+      fds[nfds].events = POLLOUT;
+      fds[nfds].revents = 0;
+      ++nfds;
+    }
+    if (!ss.recv_done) {
+      if (nfds == 1 && fds[0].fd == rfd) {
+        fds[0].events |= POLLIN;
+      } else {
+        fds[nfds].fd = rfd;
+        fds[nfds].events = POLLIN;
+        fds[nfds].revents = 0;
+        ++nfds;
+      }
+    }
+    (void)::poll(fds, nfds, static_cast<int>(backoff_ms));  // EINTR: re-loop
+    backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
+  }
+}
+
+void SocketTransport::open_boundary(detail::WorkerState& dst, PerWorker& pw) {
+  dst.inbox.clear();
+  dst.inbox_cursor = 0;
+  pw.inbox_arena.release_slabs();  // last superstep's views are dead now
+  // Stage 0 of the schedule: self-delivery moves whole slabs, no wire.
+  pw.inbox_arena.splice_from(pw.outbox[static_cast<std::size_t>(dst.pid)]);
+}
+
+void SocketTransport::publish(detail::WorkerState& dst, PerWorker& pw) {
+  dst.inbox.reserve(pw.inbox_arena.message_count());
+  std::uint64_t recv_packets = 0;
+  append_views(dst, pw.inbox_arena, recv_packets);
+  finish_delivery(dst, recv_packets, cfg_.deterministic_delivery);
+}
+
+void SocketTransport::deliver_to(detail::WorkerState& dst) {
+  PerWorker& pw = per_[static_cast<std::size_t>(dst.pid)];
+  open_boundary(dst, pw);
+  const int p = static_cast<int>(per_.size());
+  StageState ss;
+  for (int k = 1; k < p; ++k) {
+    begin_stage(pw, ss, dst.pid, k);
+    run_stage(dst, pw, ss);
+  }
+  publish(dst, pw);
+}
+
+void SocketTransport::exchange(
+    const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
+  using Clock = std::chrono::steady_clock;
+  const int p = static_cast<int>(per_.size());
+  if (p == 1) {
+    if (!states[0]->finished) deliver_to(*states[0]);
+    return;
+  }
+  // Single-threaded driver: one thread advances every worker's staged
+  // exchange, so the same wire protocol runs under the Serialized scheduler.
+  // Finished workers still participate — their peers' schedule expects a
+  // (possibly empty) stage from them on the shared stream.
+  struct Task {
+    detail::WorkerState* st = nullptr;
+    StageState ss;
+    bool done = false;
+  };
+  std::vector<Task> tasks(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    Task& t = tasks[static_cast<std::size_t>(i)];
+    t.st = states[static_cast<std::size_t>(i)].get();
+    open_boundary(*t.st, per_[static_cast<std::size_t>(i)]);
+    begin_stage(per_[static_cast<std::size_t>(i)], t.ss, i, 1);
+  }
+  int done_count = 0;
+  auto last_progress = Clock::now();
+  std::size_t backoff_ms = cfg_.socket_backoff_initial_ms;
+  while (done_count < p) {
+    bool progressed = false;
+    for (int i = 0; i < p; ++i) {
+      Task& t = tasks[static_cast<std::size_t>(i)];
+      if (t.done) continue;
+      PerWorker& pw = per_[static_cast<std::size_t>(i)];
+      const int sp = (i + t.ss.k) % p;
+      const int rp = (i + p - t.ss.k) % p;
+      std::size_t moved = 0;
+      if (!t.ss.send_done) {
+        moved += pump_send(*t.st, pw, t.ss,
+                           pw.fd_to[static_cast<std::size_t>(sp)]);
+      }
+      if (!t.ss.recv_done) {
+        moved += pump_recv(pw, t.ss, pw.fd_to[static_cast<std::size_t>(rp)],
+                           rp);
+      }
+      if (t.ss.send_done && t.ss.recv_done) {
+        if (t.ss.k + 1 < p) {
+          begin_stage(pw, t.ss, i, t.ss.k + 1);
+        } else {
+          t.done = true;
+          ++done_count;
+        }
+        progressed = true;
+      }
+      progressed = progressed || moved != 0;
+    }
+    if (progressed) {
+      last_progress = Clock::now();
+      backoff_ms = cfg_.socket_backoff_initial_ms;
+      continue;
+    }
+    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
+      throw BspAborted{};
+    }
+    if (Clock::now() - last_progress >
+        std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
+      throw BspTransportError(
+          "serialized staged exchange made no progress for " +
+          std::to_string(cfg_.socket_stage_timeout_ms) + " ms");
+    }
+    // All tasks hit EAGAIN in both directions (kernel buffers momentarily
+    // full on one side, empty on the other): wait for any endpoint.
+    std::vector<struct pollfd> fds;
+    fds.reserve(static_cast<std::size_t>(2 * p));
+    for (int i = 0; i < p; ++i) {
+      const Task& t = tasks[static_cast<std::size_t>(i)];
+      if (t.done) continue;
+      const PerWorker& pw = per_[static_cast<std::size_t>(i)];
+      if (!t.ss.send_done) {
+        const int sp = (i + t.ss.k) % p;
+        fds.push_back({pw.fd_to[static_cast<std::size_t>(sp)], POLLOUT, 0});
+      }
+      if (!t.ss.recv_done) {
+        const int rp = (i + p - t.ss.k) % p;
+        fds.push_back({pw.fd_to[static_cast<std::size_t>(rp)], POLLIN, 0});
+      }
+    }
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 static_cast<int>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
+  }
+  for (int i = 0; i < p; ++i) {
+    publish(*tasks[static_cast<std::size_t>(i)].st,
+            per_[static_cast<std::size_t>(i)]);
+  }
+}
+
+bool SocketTransport::has_unflushed(const detail::WorkerState& st) const {
+  const PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
+  for (const MessageArena& a : pw.outbox) {
+    if (!a.empty()) return true;
+  }
+  return false;
+}
+
+void SocketTransport::debug_kill_endpoints(int pid) {
+  PerWorker& pw = per_[static_cast<std::size_t>(pid)];
+  for (int fd : pw.fd_to) {
+    // shutdown, not close: peers polling the other end must observe EOF,
+    // and the fd number must stay reserved until reset_run.
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+}  // namespace gbsp

@@ -1,0 +1,121 @@
+// Socket transport: the paper's Appendix B.3 PC-LAN total exchange, over
+// real loopback sockets.
+//
+// Every worker owns one full-duplex stream socket per peer (an AF_UNIX
+// socketpair — "loopback TCP" without the port bookkeeping; same syscalls,
+// same partial-I/O behaviour). A superstep boundary runs the rigid
+// (p-1)-stage schedule: in stage k, pid i sends its staged traffic for
+// (i + k) mod p and receives from (i - k) mod p. Stage data is framed as
+//
+//   stage  := count:u64  frame*count
+//   frame  := seq:u32 pad:u32 len:u64  payload:len bytes
+//
+// and received payloads land directly in a recycled per-worker arena (no
+// bounce buffer), so inbox views have the same lifetime contract as the
+// in-memory transports: valid until the receiving worker's next sync().
+//
+// There are no boundary barriers. The exchange is the synchronisation — a
+// worker finishes its last stage only after every peer has reached the
+// matching send, exactly as on the paper's PC-LAN, where the staged schedule
+// itself kept the machines in step. Stream framing keeps consecutive
+// supersteps unambiguous even when one worker runs ahead.
+//
+// Robustness: both directions of a stage are pumped through non-blocking
+// partial read/write loops (EINTR retried, EAGAIN polled with bounded
+// exponential backoff), so a full-duplex stage never deadlocks on kernel
+// buffer limits. A stage that makes no progress for
+// Config::socket_stage_timeout_ms, or that observes a closed peer, throws
+// BspTransportError; the runtime's abort flag is polled on every idle wait,
+// so a peer that dies mid-superstep unwinds the survivors within one backoff
+// period instead of hanging them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/transport.hpp"
+
+namespace gbsp {
+
+class SocketTransport final : public detail::TransportBase {
+ public:
+  SocketTransport(const Config& cfg, SlabPool& pool,
+                  const std::atomic<bool>* abort_flag)
+      : TransportBase(cfg, pool, abort_flag) {}
+  ~SocketTransport() override;
+
+  [[nodiscard]] const char* name() const override { return "socket"; }
+  [[nodiscard]] bool needs_boundary_barriers() const override { return false; }
+  [[nodiscard]] bool steady_state_zero_alloc() const override { return false; }
+
+  void reset_run(const std::vector<std::unique_ptr<detail::WorkerState>>&
+                     states) override;
+  void stage_send(detail::WorkerState& st, int dest, const void* data,
+                  std::size_t n) override;
+  void flush(detail::WorkerState& st) override { (void)st; }
+  void deliver_to(detail::WorkerState& dst) override;
+  void exchange(const std::vector<std::unique_ptr<detail::WorkerState>>&
+                    states) override;
+  [[nodiscard]] bool has_unflushed(
+      const detail::WorkerState& st) const override;
+
+  /// Fault-injection hook (tests/ops): hard-closes every endpoint worker
+  /// `pid` owns, as if its process died mid-superstep. Peers observe EOF on
+  /// their next read of the shared stream and abort with BspTransportError.
+  void debug_kill_endpoints(int pid);
+
+ private:
+  /// On-wire frame header (everything little-endian host order: both ends
+  /// are this process; a multi-host transport would add byte-order here).
+  struct WireFrameHeader {
+    std::uint32_t seq;
+    std::uint32_t pad;
+    std::uint64_t len;
+  };
+  static_assert(sizeof(WireFrameHeader) == 16, "wire header layout drifted");
+
+  /// Progress state of one stage of the schedule for one worker: a send
+  /// cursor over the serialized stage bytes and a streaming parse of the
+  /// incoming stage directly into the inbox arena.
+  struct StageState {
+    int k = 0;  // schedule stage, 1 .. p-1
+    // Send side.
+    std::size_t send_off = 0;
+    bool send_done = false;
+    // Receive side.
+    enum class Phase { Count, Header, Payload, Done };
+    Phase phase = Phase::Count;
+    std::byte hdr[sizeof(WireFrameHeader)];
+    std::size_t hdr_off = 0;
+    std::uint64_t frames_left = 0;
+    std::byte* payload_dst = nullptr;
+    std::size_t payload_left = 0;
+    bool recv_done = false;
+  };
+
+  struct PerWorker {
+    std::vector<MessageArena> outbox;  // per-destination staging
+    MessageArena inbox_arena;          // received frames; views live here
+    std::vector<std::byte> send_buf;   // serialized current stage (reused)
+    std::vector<int> fd_to;            // fd_to[j]: my end of the pair with j
+  };
+
+  void close_all_sockets();
+  /// Serializes outbox[(pid + k) % p] into send_buf, resets `ss` for stage k.
+  void begin_stage(PerWorker& pw, StageState& ss, int pid, int k);
+  /// Pumps one direction; returns bytes moved (0 on EAGAIN). Throws
+  /// BspTransportError on EOF or socket error.
+  std::size_t pump_send(detail::WorkerState& st, PerWorker& pw,
+                        StageState& ss, int fd);
+  std::size_t pump_recv(PerWorker& pw, StageState& ss, int fd, int src);
+  /// Blocking driver of one stage for one worker (Parallel mode).
+  void run_stage(detail::WorkerState& st, PerWorker& pw, StageState& ss);
+  /// Self-delivery + inbox reset at the top of a boundary.
+  void open_boundary(detail::WorkerState& dst, PerWorker& pw);
+  /// Builds dst.inbox views from the filled inbox arena.
+  void publish(detail::WorkerState& dst, PerWorker& pw);
+
+  std::vector<PerWorker> per_;
+};
+
+}  // namespace gbsp

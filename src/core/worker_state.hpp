@@ -1,0 +1,55 @@
+// Per-processor runtime state shared between the Runtime (worker lifecycle,
+// barriers, instrumentation) and the Transport (message delivery).
+//
+// WorkerState deliberately carries only transport-agnostic fields: identity,
+// sequence counters, the inbox *views* handed to application code, and the
+// statistics counters. Everything strategy-specific — per-destination outbox
+// arenas, eager parity buffers, socket staging state — lives inside the
+// Transport implementation that needs it (core/transport_*.hpp), keyed by
+// pid. That separation is what lets one Runtime run unchanged over shared
+// buffers, chunk-locked eager splicing, or real sockets (the paper's SGI /
+// Cenju / PC-LAN portability claim, Appendix B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/stats.hpp"
+
+namespace gbsp {
+namespace detail {
+
+/// All transport-agnostic mutable per-processor state. Owned by the Runtime;
+/// a Worker is a lightweight handle over one WorkerState.
+struct WorkerState {
+  int pid = 0;
+
+  std::vector<std::uint32_t> seq_to;  // per-destination sequence counters
+
+  std::vector<Message> inbox;  // views into transport-owned arenas
+  std::size_t inbox_cursor = 0;
+
+  std::uint64_t superstep = 0;
+  // Packets delivered at the last boundary, to be charged to the superstep
+  // that reads them (the paper's h accounting: its matmult H counts each
+  // block in both its send and its unpack superstep).
+  std::uint64_t pending_recv_packets = 0;
+  std::uint64_t pending_recv_messages = 0;
+  std::uint64_t sent_packets = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t sent_messages = 0;
+  // Bytes this worker actually pushed onto the wire (frame headers plus
+  // payloads), maintained by transports that move real bytes; zero for the
+  // in-memory transports. Charged like recv_packets: the exchange runs at
+  // the boundary that opens a superstep, so the bytes land in that
+  // superstep's record.
+  std::uint64_t wire_bytes = 0;
+  std::vector<std::uint64_t> sent_to;  // per-dest packets this superstep
+  std::int64_t work_start_ns = 0;
+  std::vector<WorkerStepRecord> trace;
+  bool finished = false;
+};
+
+}  // namespace detail
+}  // namespace gbsp

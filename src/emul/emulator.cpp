@@ -82,10 +82,12 @@ std::vector<EmulatedMachine> emulated_machines() {
 }
 
 RunStats execute_traced(int nprocs, const std::function<void(Worker&)>& fn,
-                        bool deterministic_delivery) {
+                        bool deterministic_delivery,
+                        DeliveryStrategy delivery) {
   Config cfg;
   cfg.nprocs = nprocs;
   cfg.scheduling = Scheduling::Serialized;
+  cfg.delivery = delivery;
   cfg.collect_stats = true;
   cfg.collect_comm_matrix = true;
   cfg.deterministic_delivery = deterministic_delivery;

@@ -1,0 +1,116 @@
+// Config validation: bad knob values must fail loudly at Runtime
+// construction (std::invalid_argument), never surface as deadlocks or UB
+// deep inside delivery. Also covers the --transport flag parsing helpers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/runtime.hpp"
+#include "core/transport.hpp"
+
+namespace gbsp {
+namespace {
+
+Config valid_base() {
+  Config cfg;
+  cfg.nprocs = 2;
+  return cfg;
+}
+
+TEST(ConfigValidation, AcceptsDefaults) {
+  EXPECT_NO_THROW(validate_config(Config{}));
+  EXPECT_NO_THROW(Runtime rt(valid_base()));
+}
+
+TEST(ConfigValidation, RejectsNonPositiveNprocs) {
+  for (int n : {0, -1, -100}) {
+    Config cfg = valid_base();
+    cfg.nprocs = n;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << n;
+  }
+}
+
+TEST(ConfigValidation, RejectsZeroPacketUnit) {
+  Config cfg = valid_base();
+  cfg.packet_unit_bytes = 0;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsZeroEagerChunk) {
+  // A zero chunk would never trigger a chunk-boundary flush.
+  Config cfg = valid_base();
+  cfg.delivery = DeliveryStrategy::Eager;
+  cfg.eager_chunk_messages = 0;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  // The knob is validated regardless of the selected transport: a config is
+  // either valid or it is not.
+  cfg.delivery = DeliveryStrategy::Deferred;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsOutOfRangeSocketTimeout) {
+  Config cfg = valid_base();
+  cfg.delivery = DeliveryStrategy::Socket;
+  cfg.socket_stage_timeout_ms = 0;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.socket_stage_timeout_ms = 3'600'001;  // > one hour
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.socket_stage_timeout_ms = 3'600'000;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
+TEST(ConfigValidation, RejectsDegenerateSocketBackoff) {
+  Config cfg = valid_base();
+  cfg.delivery = DeliveryStrategy::Socket;
+  cfg.socket_backoff_initial_ms = 0;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+
+  cfg = valid_base();
+  cfg.socket_backoff_initial_ms = 100;
+  cfg.socket_backoff_max_ms = 50;  // initial > max
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+
+  cfg = valid_base();
+  cfg.socket_stage_timeout_ms = 100;
+  cfg.socket_backoff_max_ms = 200;  // idle wait could overshoot the timeout
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, ValidSocketKnobsConstructAndRun) {
+  Config cfg = valid_base();
+  cfg.delivery = DeliveryStrategy::Socket;
+  cfg.socket_stage_timeout_ms = 5'000;
+  cfg.socket_backoff_initial_ms = 2;
+  cfg.socket_backoff_max_ms = 20;
+  Runtime rt(cfg);
+  EXPECT_STREQ(rt.transport().name(), "socket");
+  rt.run([](Worker& w) {
+    w.send(1 - w.pid(), w.pid());
+    w.sync();
+    EXPECT_NE(w.get_message(), nullptr);
+  });
+}
+
+TEST(TransportNames, RoundTripThroughStrings) {
+  for (auto d : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
+                 DeliveryStrategy::Socket}) {
+    EXPECT_EQ(delivery_from_string(to_string(d)), d);
+  }
+  EXPECT_THROW((void)delivery_from_string("tcp"), std::invalid_argument);
+  EXPECT_THROW((void)delivery_from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)delivery_from_string("Deferred"), std::invalid_argument);
+}
+
+TEST(TransportNames, FactoryMatchesEnum) {
+  SlabPool pool;
+  for (auto d : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
+                 DeliveryStrategy::Socket}) {
+    Config cfg;
+    cfg.delivery = d;
+    auto t = make_transport(cfg, pool, nullptr);
+    EXPECT_STREQ(t->name(), to_string(d));
+  }
+}
+
+}  // namespace
+}  // namespace gbsp

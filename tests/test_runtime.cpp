@@ -13,6 +13,7 @@
 
 #include "core/collectives.hpp"
 #include "core/runtime.hpp"
+#include "core/transport.hpp"
 
 namespace gbsp {
 namespace {
@@ -28,7 +29,11 @@ std::string param_name(const testing::TestParamInfo<RuntimeParam>& info) {
   const RuntimeParam& p = info.param;
   std::string s;
   s += p.scheduling == Scheduling::Parallel ? "Par" : "Ser";
-  s += p.delivery == DeliveryStrategy::Deferred ? "Def" : "Eag";
+  switch (p.delivery) {
+    case DeliveryStrategy::Deferred: s += "Def"; break;
+    case DeliveryStrategy::Eager: s += "Eag"; break;
+    case DeliveryStrategy::Socket: s += "Sock"; break;
+  }
   switch (p.barrier) {
     case BarrierKind::CentralSpin: s += "Spin"; break;
     case BarrierKind::CentralBlocking: s += "Block"; break;
@@ -41,12 +46,14 @@ std::string param_name(const testing::TestParamInfo<RuntimeParam>& info) {
 std::vector<RuntimeParam> all_params() {
   std::vector<RuntimeParam> out;
   for (auto sched : {Scheduling::Parallel, Scheduling::Serialized}) {
-    for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager}) {
+    for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
+                     DeliveryStrategy::Socket}) {
       for (auto bar : {BarrierKind::CentralSpin, BarrierKind::CentralBlocking,
                        BarrierKind::Dissemination}) {
-        // Barriers are unused by the serialized scheduler; testing one kind
-        // there suffices.
-        if (sched == Scheduling::Serialized &&
+        // Barriers are unused by the serialized scheduler and by the
+        // self-synchronising socket transport; testing one kind suffices.
+        if ((sched == Scheduling::Serialized ||
+             del == DeliveryStrategy::Socket) &&
             bar != BarrierKind::CentralBlocking) {
           continue;
         }
@@ -419,6 +426,10 @@ TEST_P(RuntimeSemantics, SteadyStateSuperstepsMakeZeroAllocations) {
   // its slabs, so identical later supersteps must be served entirely by
   // recycling — the pool's fresh-allocation counter freezes.
   Runtime rt(make_config());
+  if (!rt.transport().steady_state_zero_alloc()) {
+    GTEST_SKIP() << "transport " << rt.transport().name()
+                 << " does not promise a zero-allocation steady state";
+  }
   const int p = rt.config().nprocs;
   std::atomic<std::uint64_t> fresh_after_warmup{0};
   auto step = [p](Worker& w) {

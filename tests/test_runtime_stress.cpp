@@ -122,7 +122,8 @@ std::vector<StressParam> stress_params() {
   std::vector<StressParam> out;
   int which = 0;
   for (auto sched : {Scheduling::Parallel, Scheduling::Serialized}) {
-    for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager}) {
+    for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
+                     DeliveryStrategy::Socket}) {
       for (int p : {2, 4, 6, 8}) {
         out.push_back({sched, del, p, 25,
                        0xabcdef00ull + static_cast<std::uint64_t>(which++)});
@@ -136,7 +137,11 @@ std::string stress_name(const testing::TestParamInfo<StressParam>& info) {
   const StressParam& p = info.param;
   std::string s;
   s += p.scheduling == Scheduling::Parallel ? "Par" : "Ser";
-  s += p.delivery == DeliveryStrategy::Deferred ? "Def" : "Eag";
+  switch (p.delivery) {
+    case DeliveryStrategy::Deferred: s += "Def"; break;
+    case DeliveryStrategy::Eager: s += "Eag"; break;
+    case DeliveryStrategy::Socket: s += "Sock"; break;
+  }
   s += "P" + std::to_string(p.nprocs);
   return s;
 }
@@ -192,9 +197,11 @@ TEST(Stress, LargePayloadsMoveIntact) {
 TEST(Stress, RandomSizedPayloadsStraddleInlineThreshold) {
   // Random payload lengths in 0..120 — hammering both sides of the arena's
   // 32-byte inline threshold within single supersteps — with every byte
-  // verified against a deterministic oracle. Runs both delivery strategies
-  // (eager with tiny chunks, so splices interleave mid-superstep).
-  for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager}) {
+  // verified against a deterministic oracle. Runs every delivery strategy
+  // (eager with tiny chunks, so splices interleave mid-superstep; socket
+  // with real staged wire exchanges).
+  for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
+                   DeliveryStrategy::Socket}) {
     Config cfg;
     cfg.nprocs = 4;
     cfg.delivery = del;

@@ -1,0 +1,227 @@
+// Socket transport specifics: wire-byte accounting, the staged-exchange
+// framing, kernel-buffer-exceeding transfers, and fault injection (peer
+// death, endpoint EOF, stage timeout). Conformance with BSP semantics is
+// covered by the parameterized suites in test_runtime*.cpp; this file tests
+// what only the socket transport does.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/transport.hpp"
+#include "core/transport_socket.hpp"
+
+namespace gbsp {
+namespace {
+
+Config socket_config(int nprocs,
+                     Scheduling sched = Scheduling::Parallel) {
+  Config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scheduling = sched;
+  cfg.delivery = DeliveryStrategy::Socket;
+  return cfg;
+}
+
+// Wire framing per stage: count:u64, then per frame {seq:u32 pad:u32
+// len:u64} + payload. These constants pin the grammar; if the framing
+// changes, the expected byte counts below change with it.
+constexpr std::uint64_t kCountBytes = 8;
+constexpr std::uint64_t kHeaderBytes = 16;
+
+TEST(SocketWireBytes, ExactAccountingForPairExchange) {
+  // p = 2: each boundary runs one stage per worker, carrying exactly one
+  // 100-byte message — 8 (count) + 16 (header) + 100 (payload) bytes on the
+  // wire per worker per boundary.
+  Runtime rt(socket_config(2));
+  RunStats stats = rt.run([](Worker& w) {
+    for (int r = 0; r < 2; ++r) {
+      std::vector<std::uint8_t> buf(100,
+                                    static_cast<std::uint8_t>(w.pid() + r));
+      w.send_bytes(1 - w.pid(), buf.data(), buf.size());
+      w.sync();
+      const Message* m = w.get_message();
+      ASSERT_NE(m, nullptr);
+      ASSERT_EQ(m->size(), 100u);
+    }
+  });
+  const std::uint64_t per_boundary = 2 * (kCountBytes + kHeaderBytes + 100);
+  EXPECT_EQ(stats.total_wire_bytes(), 2 * per_boundary);
+  // Charged like recv_packets, to the superstep the boundary opened.
+  ASSERT_EQ(stats.S(), 3u);
+  EXPECT_EQ(stats.supersteps[0].total_wire_bytes, 0u);
+  EXPECT_EQ(stats.supersteps[1].total_wire_bytes, per_boundary);
+  EXPECT_EQ(stats.supersteps[2].total_wire_bytes, per_boundary);
+}
+
+TEST(SocketWireBytes, InMemoryTransportsReportZero) {
+  for (auto del : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager}) {
+    Config cfg;
+    cfg.nprocs = 2;
+    cfg.delivery = del;
+    RunStats stats = Runtime(cfg).run([](Worker& w) {
+      std::vector<std::uint8_t> buf(100, 7);
+      w.send_bytes(1 - w.pid(), buf.data(), buf.size());
+      w.sync();
+      while (w.get_message() != nullptr) {
+      }
+    });
+    EXPECT_EQ(stats.total_wire_bytes(), 0u) << to_string(del);
+  }
+}
+
+TEST(SocketWireBytes, SelfSendsBypassTheWire) {
+  // Self-delivery is stage 0 of the schedule: whole-arena splice, no socket.
+  // Peers still exchange their (empty) stage counts.
+  const int p = 3;
+  Runtime rt(socket_config(p));
+  RunStats stats = rt.run([](Worker& w) {
+    w.send(w.pid(), std::uint64_t{42});
+    w.sync();
+    const Message* m = w.get_message();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->as<std::uint64_t>(), 42u);
+  });
+  // One boundary: every worker sends one empty stage per peer.
+  EXPECT_EQ(stats.total_wire_bytes(),
+            static_cast<std::uint64_t>(p) * (p - 1) * kCountBytes);
+}
+
+TEST(SocketWireBytes, SerializedDriverReportsTheSameWireTraffic) {
+  // The single-threaded serialized driver speaks the identical wire
+  // protocol, so byte-for-byte accounting must match the parallel run.
+  auto program = [](Worker& w) {
+    const int p = w.nprocs();
+    for (int d = 0; d < p; ++d) {
+      std::vector<std::uint8_t> buf(static_cast<std::size_t>(40 + d), 1);
+      w.send_bytes(d, buf.data(), buf.size());
+    }
+    w.sync();
+    while (w.get_message() != nullptr) {
+    }
+  };
+  RunStats par = Runtime(socket_config(4, Scheduling::Parallel)).run(program);
+  RunStats ser =
+      Runtime(socket_config(4, Scheduling::Serialized)).run(program);
+  EXPECT_GT(par.total_wire_bytes(), 0u);
+  EXPECT_EQ(par.total_wire_bytes(), ser.total_wire_bytes());
+}
+
+TEST(SocketLargeTransfers, ExceedKernelBuffersWithoutDeadlock) {
+  // 2 MiB per direction dwarfs an AF_UNIX socket buffer, forcing many
+  // partial writes interleaved with reads — the full-duplex pump must never
+  // deadlock on a full send buffer. Run both scheduling modes.
+  for (auto sched : {Scheduling::Parallel, Scheduling::Serialized}) {
+    Runtime rt(socket_config(2, sched));
+    rt.run([](Worker& w) {
+      std::vector<std::uint64_t> big((2u << 20) / sizeof(std::uint64_t));
+      for (std::size_t i = 0; i < big.size(); ++i) {
+        big[i] = i * 2654435761u + static_cast<std::uint64_t>(w.pid());
+      }
+      w.send_array(1 - w.pid(), big);
+      w.sync();
+      const Message* m = w.get_message();
+      ASSERT_NE(m, nullptr);
+      ASSERT_EQ(m->size(), big.size() * sizeof(std::uint64_t));
+      const std::uint64_t* got =
+          reinterpret_cast<const std::uint64_t*>(m->payload.data());
+      const std::uint64_t other = static_cast<std::uint64_t>(1 - w.pid());
+      for (std::size_t i = 0; i < big.size(); i += 1009) {
+        ASSERT_EQ(got[i], i * 2654435761u + other) << i;
+      }
+    });
+  }
+}
+
+TEST(SocketFaultInjection, PeerDeathMidSuperstepUnblocksSurvivors) {
+  // Worker 3 dies after the survivors are already blocked inside the staged
+  // exchange. They must unwind via the abort flag well before the 10 s stage
+  // timeout, and the injected error must surface from run().
+  Runtime rt(socket_config(4));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(rt.run([](Worker& w) {
+                 if (w.pid() == 3) {
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(100));
+                   throw std::runtime_error("injected peer death");
+                 }
+                 w.sync();  // blocks awaiting worker 3's stage data
+                 w.sync();
+               }),
+               std::runtime_error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000) << "survivors hung until the timeout "
+                                      "instead of aborting";
+}
+
+TEST(SocketFaultInjection, KilledEndpointsSurfaceAsTransportError) {
+  // Hard-close one worker's endpoints mid-run, as if its process died: the
+  // peer observes EOF on the shared stream and diagnoses it.
+  Runtime rt(socket_config(2));
+  auto* sock = dynamic_cast<SocketTransport*>(&rt.transport());
+  ASSERT_NE(sock, nullptr);
+  EXPECT_THROW(rt.run([&](Worker& w) {
+                 if (w.pid() == 0) {
+                   sock->debug_kill_endpoints(0);
+                 }
+                 w.sync();
+               }),
+               BspTransportError);
+}
+
+TEST(SocketFaultInjection, StageTimeoutFiresOnWedgedPeer) {
+  // Worker 0 stops syncing (finishes early); worker 1's next exchange waits
+  // on stage data that will never come and must abort within the configured
+  // timeout rather than hang.
+  Config cfg = socket_config(2);
+  cfg.socket_stage_timeout_ms = 200;
+  cfg.socket_backoff_max_ms = 10;
+  Runtime rt(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(rt.run([](Worker& w) {
+                 w.sync();
+                 if (w.pid() == 1) w.sync();
+               }),
+               BspTransportError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(SocketFaultInjection, RuntimeIsReusableAfterAFailedRun) {
+  // reset_run() rebuilds sockets from scratch, so a run that died mid-stage
+  // (half-written frames in kernel buffers) must not poison the next run.
+  Config cfg = socket_config(2);
+  cfg.socket_stage_timeout_ms = 200;
+  cfg.socket_backoff_max_ms = 10;
+  Runtime rt(cfg);
+  EXPECT_THROW(rt.run([](Worker& w) {
+                 w.send(1 - w.pid(), 1);
+                 w.sync();
+                 if (w.pid() == 1) w.sync();  // wedge -> timeout
+               }),
+               BspTransportError);
+  RunStats stats = rt.run([](Worker& w) {
+    w.send(1 - w.pid(), 7);
+    w.sync();
+    const Message* m = w.get_message();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->as<int>(), 7);
+  });
+  EXPECT_EQ(stats.S(), 2u);
+}
+
+TEST(SocketTransportCapabilities, DeclaresItsContract) {
+  Runtime rt(socket_config(2));
+  EXPECT_STREQ(rt.transport().name(), "socket");
+  EXPECT_FALSE(rt.transport().needs_boundary_barriers());
+  EXPECT_FALSE(rt.transport().steady_state_zero_alloc());
+}
+
+}  // namespace
+}  // namespace gbsp
