@@ -10,7 +10,11 @@
 //
 // Usage:
 //   bench_message_path [--procs N] [--steps N] [--reps N] [--label STR]
-//                      [--json PATH] [--sizes a,b,c] [--quiet]
+//                      [--json PATH] [--sizes a,b,c] [--quiet] [--socket]
+//
+// --socket adds the socket transport's staged exchange to the case list
+// (off by default: it measures syscalls and wire framing on top of the
+// arena path, and the committed trajectory predates it).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -50,8 +54,9 @@ int default_burst(std::size_t payload) {
 CaseResult run_case(gbsp::DeliveryStrategy delivery, std::size_t payload,
                     int nprocs, int steps, int reps, bool quiet) {
   CaseResult r;
-  r.delivery =
-      delivery == gbsp::DeliveryStrategy::Deferred ? "Deferred" : "Eager";
+  r.delivery = delivery == gbsp::DeliveryStrategy::Deferred ? "Deferred"
+               : delivery == gbsp::DeliveryStrategy::Eager  ? "Eager"
+                                                            : "Socket";
   r.payload_bytes = payload;
   r.msgs_per_proc_per_step = default_burst(payload);
   r.nprocs = nprocs;
@@ -177,8 +182,12 @@ int main(int argc, char** argv) {
   const auto sizes = args.get_int_list("sizes", {16, 64, 1024, 65536});
 
   std::vector<CaseResult> results;
-  for (auto delivery :
-       {gbsp::DeliveryStrategy::Deferred, gbsp::DeliveryStrategy::Eager}) {
+  std::vector<gbsp::DeliveryStrategy> strategies = {
+      gbsp::DeliveryStrategy::Deferred, gbsp::DeliveryStrategy::Eager};
+  if (args.has_flag("socket")) {
+    strategies.push_back(gbsp::DeliveryStrategy::Socket);
+  }
+  for (auto delivery : strategies) {
     for (auto sz : sizes) {
       results.push_back(run_case(delivery, static_cast<std::size_t>(sz),
                                  nprocs, steps, reps, quiet));

@@ -188,6 +188,32 @@ class MessageArena {
     }
   }
 
+  /// Visits the payload byte ranges of every non-empty frame, in frame order,
+  /// as (pointer, length) spans suitable for scatter-gather I/O (iovec
+  /// entries). Physically adjacent payloads coalesce into one span: 16-byte-
+  /// multiple out-of-line payloads pack back-to-back in the byte slabs, so a
+  /// burst of same-sized large messages walks as one span per slab. Inline
+  /// payloads (interleaved with frame metadata) emit one span each. The sum
+  /// of span lengths equals payload_bytes().
+  template <typename F>
+  void for_each_payload_span(F&& f) const {
+    const std::byte* run = nullptr;
+    std::size_t run_len = 0;
+    for_each_frame([&](const Frame& fr) {
+      if (fr.len == 0) return;
+      const std::byte* p = fr.payload();
+      const std::size_t len = static_cast<std::size_t>(fr.len);
+      if (p == run + run_len) {
+        run_len += len;
+        return;
+      }
+      if (run_len != 0) f(run, run_len);
+      run = p;
+      run_len = len;
+    });
+    if (run_len != 0) f(run, run_len);
+  }
+
  private:
   void reset_counters() {
     frame_active_ = 0;

@@ -92,6 +92,31 @@ struct Config {
   /// burn less CPU while a slow peer computes.
   std::size_t socket_backoff_initial_ms = 1;
   std::size_t socket_backoff_max_ms = 50;
+
+  /// Socket transport: adaptive spin-then-poll wait policy. After both
+  /// directions of a stage hit EAGAIN, the worker keeps retrying the
+  /// non-blocking pumps (yielding the CPU between attempts, so an
+  /// oversubscribed host hands the core to the peer) for this long before
+  /// falling back to poll() with the bounded backoff above. Spinning skips
+  /// the sleep/wake round trip when the peer is only microseconds behind;
+  /// 0 disables the spin phase and polls immediately.
+  std::size_t socket_spin_us = 50;
+
+  /// Socket transport: upper bound on a single message's payload on the
+  /// wire. Outgoing messages above it are rejected at send time; incoming
+  /// frame headers claiming more are diagnosed as stream corruption
+  /// (BspTransportError) instead of letting a garbled length size an inbox
+  /// arena append.
+  std::size_t socket_max_frame_bytes = std::size_t{1} << 30;  // 1 GiB
+
+  /// Socket transport: kernel socket buffer policy. 0 = adaptive, the
+  /// default: SO_SNDBUF (sender side) and SO_RCVBUF (receiver side) are
+  /// grown toward each stage's expected byte count, so a stage that fits in
+  /// kernel buffers completes without blocking on the peer's reads. Nonzero
+  /// = request exactly this many bytes per socket at build time (the kernel
+  /// clamps to its own min/max; tests use tiny values to force torn
+  /// preambles and partial scatter-gather writes).
+  std::size_t socket_buffer_bytes = 0;
 };
 
 /// Validates a Config at Runtime construction, so bad values fail loudly
@@ -127,6 +152,18 @@ inline void validate_config(const Config& cfg) {
     throw std::invalid_argument(
         "gbsp: socket_backoff_max_ms must not exceed socket_stage_timeout_ms "
         "(an idle wait longer than the timeout could overshoot it)");
+  }
+  constexpr std::size_t kMaxSpinUs = 1'000'000;  // one second
+  if (cfg.socket_spin_us > kMaxSpinUs) {
+    throw std::invalid_argument(
+        "gbsp: socket_spin_us must be <= 1000000 (spinning longer than a "
+        "second burns the core the peer needs), got " +
+        std::to_string(cfg.socket_spin_us));
+  }
+  if (cfg.socket_max_frame_bytes == 0) {
+    throw std::invalid_argument(
+        "gbsp: socket_max_frame_bytes must be >= 1 (a zero cap would reject "
+        "every message)");
   }
 }
 

@@ -71,6 +71,8 @@ void Runtime::record_step(detail::WorkerState& st) {
   // they are charged — like recv_packets — to the superstep being recorded.
   r.wire_bytes = st.wire_bytes;
   st.wire_bytes = 0;
+  r.wire_syscalls = st.wire_syscalls;
+  st.wire_syscalls = 0;
   r.sent_packets = st.sent_packets;
   r.sent_bytes = st.sent_bytes;
   r.sent_messages = st.sent_messages;

@@ -41,6 +41,12 @@ std::uint64_t RunStats::total_wire_bytes() const {
   return n;
 }
 
+std::uint64_t RunStats::total_wire_syscalls() const {
+  std::uint64_t n = 0;
+  for (const auto& s : supersteps) n += s.total_wire_syscalls;
+  return n;
+}
+
 void RunStats::aggregate_from_traces() {
   supersteps.clear();
   std::size_t steps = 0;
@@ -64,6 +70,7 @@ void RunStats::aggregate_from_traces() {
       agg.endpoint_messages = std::max(agg.endpoint_messages,
                                        r.sent_messages + r.recv_messages);
       agg.total_wire_bytes += r.wire_bytes;
+      agg.total_wire_syscalls += r.wire_syscalls;
       total_recv += r.recv_packets;
     }
     supersteps[i] = agg;

@@ -29,6 +29,10 @@ struct WorkerStepRecord {
   /// rule as recv_packets. Zero for in-memory transports, which move arenas
   /// instead of bytes; the socket transport reports real socket writes here.
   std::uint64_t wire_bytes = 0;
+  /// Data-moving syscalls (sendmsg/recv/readv) the transport issued for this
+  /// worker at the boundary that opened this superstep — the software-path
+  /// constant factor behind the wire bytes. Zero for in-memory transports.
+  std::uint64_t wire_syscalls = 0;
   /// Destination-indexed packet counts; empty unless
   /// Config::collect_comm_matrix is set.
   std::vector<std::uint64_t> sent_to_packets;
@@ -51,6 +55,10 @@ struct SuperstepStats {
   /// (0 for in-memory transports). Framing overhead included, so this is the
   /// wire analogue of gH rather than a payload count.
   std::uint64_t total_wire_bytes = 0;
+  /// Total data-path syscalls issued for this superstep's exchange (0 for
+  /// in-memory transports): the per-stage software overhead that the socket
+  /// transport's sectioned wire format amortises.
+  std::uint64_t total_wire_syscalls = 0;
 };
 
 /// Full accounting for one BSP run.
@@ -80,6 +88,10 @@ struct RunStats {
   /// Total bytes on the wire over the whole run (0 unless the socket
   /// transport ran the exchanges).
   [[nodiscard]] std::uint64_t total_wire_bytes() const;
+
+  /// Total data-path syscalls over the whole run (0 unless the socket
+  /// transport ran the exchanges).
+  [[nodiscard]] std::uint64_t total_wire_syscalls() const;
 
   /// Merges per-worker traces into per-superstep aggregates. Called by the
   /// runtime; public so emulation replays can re-aggregate.

@@ -1,6 +1,8 @@
 #include "core/stats_io.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -11,7 +13,8 @@ namespace {
 
 constexpr char kHeader[] =
     "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
-    "total_messages,h_messages,endpoint_messages,total_wire_bytes";
+    "total_messages,h_messages,endpoint_messages,total_wire_bytes,"
+    "total_wire_syscalls";
 
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> out;
@@ -27,13 +30,17 @@ std::vector<std::string> split_csv(const std::string& line) {
 }  // namespace
 
 void write_superstep_csv(std::ostream& os, const RunStats& stats) {
+  // max_digits10 makes the double columns round-trip bit-exactly, so a
+  // reloaded trace prices identically to the captured one.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << kHeader << '\n';
   for (std::size_t i = 0; i < stats.supersteps.size(); ++i) {
     const SuperstepStats& s = stats.supersteps[i];
     os << i << ',' << s.w_max_us << ',' << s.w_total_us << ','
        << s.h_packets << ',' << s.total_packets << ',' << s.total_bytes
        << ',' << s.total_messages << ',' << s.h_messages << ','
-       << s.endpoint_messages << ',' << s.total_wire_bytes << '\n';
+       << s.endpoint_messages << ',' << s.total_wire_bytes << ','
+       << s.total_wire_syscalls << '\n';
   }
 }
 
@@ -47,7 +54,7 @@ RunStats read_superstep_csv(std::istream& is, int nprocs) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    if (cells.size() != 10) {
+    if (cells.size() != 11) {
       throw std::invalid_argument("stats_io: malformed CSV row: " + line);
     }
     SuperstepStats s;
@@ -61,6 +68,7 @@ RunStats read_superstep_csv(std::istream& is, int nprocs) {
       s.h_messages = std::stoull(cells[7]);
       s.endpoint_messages = std::stoull(cells[8]);
       s.total_wire_bytes = std::stoull(cells[9]);
+      s.total_wire_syscalls = std::stoull(cells[10]);
     } catch (const std::exception&) {
       throw std::invalid_argument("stats_io: malformed CSV value: " + line);
     }

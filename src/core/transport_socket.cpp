@@ -5,16 +5,29 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <thread>
 
 #include "core/barrier.hpp"  // BspAborted
 
 namespace gbsp {
 
 namespace {
+
+/// Largest kernel buffer the adaptive sizing will ever request. Beyond a few
+/// MiB the transfer is syscall-bound anyway and the pumps stream through the
+/// buffer; unbounded requests would just pin memory per socketpair.
+constexpr std::size_t kMaxKernelBufBytes = std::size_t{1} << 22;
+
+/// Upper bound on an incoming header block before we trust the preamble
+/// enough to allocate for it: a claimed block above this is stream
+/// corruption, not traffic (2^26 frames per stage).
+constexpr std::uint64_t kMaxHeaderBlockBytes = std::uint64_t{1} << 30;
 
 void append_bytes(std::vector<std::byte>& buf, const void* data,
                   std::size_t n) {
@@ -28,6 +41,45 @@ void set_nonblocking(int fd) {
     throw BspTransportError(std::string("fcntl(O_NONBLOCK): ") +
                             std::strerror(errno));
   }
+}
+
+std::size_t iov_max() {
+  static const std::size_t v = [] {
+    const long m = ::sysconf(_SC_IOV_MAX);
+    return m > 0 ? static_cast<std::size_t>(m) : std::size_t{16};
+  }();
+  return v;
+}
+
+/// Consumes `n` bytes of a scatter-gather list in place: fully transferred
+/// entries advance `idx`, a partially transferred entry has its base/len
+/// moved past the sent prefix so the next syscall resumes mid-entry.
+void advance_iov(std::vector<iovec>& iov, std::size_t& idx, std::size_t n) {
+  while (n != 0) {
+    iovec& e = iov[idx];
+    if (n < e.iov_len) {
+      e.iov_base = static_cast<std::byte*>(e.iov_base) + n;
+      e.iov_len -= n;
+      return;
+    }
+    n -= e.iov_len;
+    ++idx;
+  }
+}
+
+std::size_t kernel_buf_bytes(int fd, int opt) {
+  int v = 0;
+  socklen_t len = sizeof(v);
+  if (::getsockopt(fd, SOL_SOCKET, opt, &v, &len) != 0 || v < 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+void request_kernel_buf(int fd, int opt, std::size_t bytes) {
+  const int v = static_cast<int>(std::min(
+      bytes, static_cast<std::size_t>(std::numeric_limits<int>::max())));
+  // Best effort: the kernel clamps to its rmem/wmem limits, and the
+  // partial-I/O pumps are correct at any buffer size.
+  (void)::setsockopt(fd, SOL_SOCKET, opt, &v, sizeof(v));
 }
 
 }  // namespace
@@ -45,10 +97,22 @@ void SocketTransport::close_all_sockets() {
 
 void SocketTransport::reset_run(
     const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
-  // Fresh sockets every run: an aborted exchange may leave half-written
-  // stage data in kernel buffers, which must not leak into the next run.
-  close_all_sockets();
   const std::size_t p = states.size();
+  if (!wire_dirty_.load(std::memory_order_relaxed) && per_.size() == p &&
+      !per_.empty()) {
+    // Every previous exchange completed cleanly, so every stream is drained:
+    // the socketpair mesh carries no state and is reused as-is. Only the
+    // arenas reset (slabs go back to the pool for the new run to reacquire).
+    for (PerWorker& pw : per_) {
+      for (MessageArena& ob : pw.outbox) ob.release_slabs();
+      pw.inbox_arena.release_slabs();
+    }
+    return;
+  }
+  // First run, changed topology, or a run that unwound mid-stage: an aborted
+  // exchange may leave half-written stage data in kernel buffers, which must
+  // not leak into the next run. Rebuild the mesh from scratch.
+  close_all_sockets();
   per_.clear();
   per_.resize(p);
   for (PerWorker& pw : per_) {
@@ -56,6 +120,8 @@ void SocketTransport::reset_run(
     for (std::size_t d = 0; d < p; ++d) pw.outbox.emplace_back(pool_);
     pw.inbox_arena.bind(pool_);
     pw.fd_to.assign(p, -1);
+    pw.snd_grown_to.assign(p, 0);
+    pw.rcv_grown_to.assign(p, 0);
   }
   for (std::size_t i = 0; i < p; ++i) {
     for (std::size_t j = i + 1; j < p; ++j) {
@@ -66,14 +132,50 @@ void SocketTransport::reset_run(
       }
       set_nonblocking(sv[0]);
       set_nonblocking(sv[1]);
+      if (cfg_.socket_buffer_bytes != 0) {
+        // Pinned mode: one explicit request per endpoint, no adaptive growth.
+        for (const int fd : {sv[0], sv[1]}) {
+          request_kernel_buf(fd, SO_SNDBUF, cfg_.socket_buffer_bytes);
+          request_kernel_buf(fd, SO_RCVBUF, cfg_.socket_buffer_bytes);
+        }
+      }
       per_[i].fd_to[j] = sv[0];
       per_[j].fd_to[i] = sv[1];
+      // Seed the grow-only marks with what the kernel granted at build, so
+      // stages that fit the default buffers never touch setsockopt.
+      per_[i].snd_grown_to[j] = kernel_buf_bytes(sv[0], SO_SNDBUF);
+      per_[i].rcv_grown_to[j] = kernel_buf_bytes(sv[0], SO_RCVBUF);
+      per_[j].snd_grown_to[i] = kernel_buf_bytes(sv[1], SO_SNDBUF);
+      per_[j].rcv_grown_to[i] = kernel_buf_bytes(sv[1], SO_RCVBUF);
     }
   }
+  ++socket_builds_;
+  wire_dirty_.store(false, std::memory_order_relaxed);
+}
+
+void SocketTransport::grow_kernel_buffer(PerWorker& pw, std::size_t peer,
+                                         bool send_side,
+                                         std::size_t stage_bytes) {
+  if (cfg_.socket_buffer_bytes != 0) return;  // pinned at build time
+  const std::size_t want = std::min(stage_bytes, kMaxKernelBufBytes);
+  std::size_t& mark =
+      send_side ? pw.snd_grown_to[peer] : pw.rcv_grown_to[peer];
+  if (want <= mark) return;
+  mark = want;
+  request_kernel_buf(pw.fd_to[peer], send_side ? SO_SNDBUF : SO_RCVBUF, want);
 }
 
 void SocketTransport::stage_send(detail::WorkerState& st, int dest,
                                  const void* data, std::size_t n) {
+  if (n > cfg_.socket_max_frame_bytes) {
+    // Reject at the send call, where the application can see a clean error,
+    // rather than letting the peer's header validation kill the exchange.
+    throw BspTransportError(
+        "message of " + std::to_string(n) + " bytes from pid " +
+        std::to_string(st.pid) + " to pid " + std::to_string(dest) +
+        " exceeds socket_max_frame_bytes (" +
+        std::to_string(cfg_.socket_max_frame_bytes) + ")");
+  }
   const std::size_t d = static_cast<std::size_t>(dest);
   // Same bump-append staging as the deferred transport; the bytes hit the
   // wire at the boundary, in the rigid stage for this destination.
@@ -88,45 +190,63 @@ void SocketTransport::begin_stage(PerWorker& pw, StageState& ss, int pid,
   const int p = static_cast<int>(per_.size());
   const std::size_t sp = static_cast<std::size_t>((pid + k) % p);
   MessageArena& ob = pw.outbox[sp];
-  // Serialize the whole stage once into the reusable buffer; the pump then
-  // only moves bytes. (The copy is deliberate: a socket stage already pays
-  // syscalls per chunk, and one contiguous buffer keeps the partial-write
-  // bookkeeping to a single offset.)
-  pw.send_buf.clear();
-  pw.send_buf.reserve(sizeof(std::uint64_t) +
-                      ob.message_count() * sizeof(WireFrameHeader) +
-                      ob.payload_bytes());
-  const std::uint64_t count = ob.message_count();
-  append_bytes(pw.send_buf, &count, sizeof(count));
+  ss = StageState{};
+  ss.k = k;
+  ss.send_pre.count = ob.message_count();
+  ss.send_pre.header_bytes = ob.message_count() * sizeof(WireFrameHeader);
+  ss.send_pre.payload_bytes = ob.payload_bytes();
+  // Pack the header block; payloads are NOT serialized — the iovec below
+  // points sendmsg straight at the staging arena's slabs, so the payload
+  // section leaves the process from the memory stage_send wrote it to.
+  pw.hdr_out.clear();
+  pw.hdr_out.reserve(static_cast<std::size_t>(ss.send_pre.header_bytes));
   ob.for_each_frame([&](const MessageArena::Frame& f) {
     WireFrameHeader h;
     h.seq = f.seq;
     h.pad = 0;
     h.len = f.len;
-    append_bytes(pw.send_buf, &h, sizeof(h));
-    if (f.len != 0) {
-      append_bytes(pw.send_buf, f.payload(),
-                   static_cast<std::size_t>(f.len));
-    }
+    append_bytes(pw.hdr_out, &h, sizeof(h));
   });
-  ob.clear();  // keeps its slabs for the next superstep's staging
-  ss = StageState{};
-  ss.k = k;
+  pw.send_iov.clear();
+  pw.send_iov.push_back({&ss.send_pre, sizeof(StagePreamble)});
+  if (!pw.hdr_out.empty()) {
+    pw.send_iov.push_back({pw.hdr_out.data(), pw.hdr_out.size()});
+  }
+  ob.for_each_payload_span([&](const std::byte* ptr, std::size_t len) {
+    pw.send_iov.push_back({const_cast<std::byte*>(ptr), len});
+  });
+  // The arena stays live (it backs the iovec) until pump_send retires the
+  // last entry and clears it.
+  ss.send_arena = &ob;
+  grow_kernel_buffer(pw, sp, /*send_side=*/true,
+                     sizeof(StagePreamble) +
+                         static_cast<std::size_t>(ss.send_pre.header_bytes) +
+                         static_cast<std::size_t>(ss.send_pre.payload_bytes));
 }
 
 std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
                                        StageState& ss, int fd) {
   std::size_t moved = 0;
   while (!ss.send_done) {
-    const std::size_t remaining = pw.send_buf.size() - ss.send_off;
-    if (remaining == 0) {
+    if (ss.send_idx == pw.send_iov.size()) {
+      // Whole stage is in the kernel's hands; the staging arena's bytes have
+      // been read, so it can recycle its slabs for the next superstep.
+      if (ss.send_arena != nullptr) ss.send_arena->clear();
+      ss.send_arena = nullptr;
       ss.send_done = true;
       break;
     }
-    const ssize_t n =
-        ::send(fd, pw.send_buf.data() + ss.send_off, remaining, MSG_NOSIGNAL);
+    msghdr mh{};
+    mh.msg_iov = pw.send_iov.data() + ss.send_idx;
+    mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(
+        std::min(pw.send_iov.size() - ss.send_idx, iov_max()));
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      ss.send_off += static_cast<std::size_t>(n);
+      // Counts only calls that moved bytes: idle EAGAIN probes are a
+      // property of the waiting policy, not of the wire format's syscall
+      // economy, and would make the metric timing-dependent.
+      ++st.wire_syscalls;
+      advance_iov(pw.send_iov, ss.send_idx, static_cast<std::size_t>(n));
       moved += static_cast<std::size_t>(n);
       st.wire_bytes += static_cast<std::uint64_t>(n);
       continue;
@@ -141,30 +261,92 @@ std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
   return moved;
 }
 
-std::size_t SocketTransport::pump_recv(PerWorker& pw, StageState& ss, int fd,
-                                       int src) {
+void SocketTransport::parse_header_block(PerWorker& pw, StageState& ss,
+                                         int src) {
+  const std::size_t count = static_cast<std::size_t>(ss.recv_pre.count);
+  // First pass validates every header before a single arena append: a
+  // corrupt stream must not size allocations or leave half-parsed frames.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    WireFrameHeader h;
+    std::memcpy(&h, pw.hdr_in.data() + i * sizeof(WireFrameHeader),
+                sizeof(h));
+    if (h.pad != 0) {
+      throw BspTransportError(
+          "frame header " + std::to_string(i) + " of stage " +
+          std::to_string(ss.k) + " from peer " + std::to_string(src) +
+          " has nonzero pad " + std::to_string(h.pad) +
+          " (stream corruption?)");
+    }
+    if (h.len > cfg_.socket_max_frame_bytes) {
+      throw BspTransportError(
+          "frame header " + std::to_string(i) + " of stage " +
+          std::to_string(ss.k) + " from peer " + std::to_string(src) +
+          " claims " + std::to_string(h.len) +
+          " payload bytes, which exceeds socket_max_frame_bytes (" +
+          std::to_string(cfg_.socket_max_frame_bytes) +
+          "; stream corruption?)");
+    }
+    sum += h.len;
+  }
+  if (sum != ss.recv_pre.payload_bytes) {
+    throw BspTransportError(
+        "stage " + std::to_string(ss.k) + " from peer " +
+        std::to_string(src) + " is inconsistent: header block sums to " +
+        std::to_string(sum) + " payload bytes but the preamble declared " +
+        std::to_string(ss.recv_pre.payload_bytes) + " (stream corruption?)");
+  }
+  // Second pass appends the frames and points an iovec at every non-empty
+  // payload slot, so the payload section readv()s straight into the memory
+  // the receiver's views will expose. Slots are pointer-stable across
+  // appends (slabs never move).
+  pw.recv_iov.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    WireFrameHeader h;
+    std::memcpy(&h, pw.hdr_in.data() + i * sizeof(WireFrameHeader),
+                sizeof(h));
+    std::byte* slot =
+        pw.inbox_arena.append(static_cast<std::uint32_t>(src), h.seq,
+                              static_cast<std::size_t>(h.len));
+    if (h.len != 0) {
+      pw.recv_iov.push_back({slot, static_cast<std::size_t>(h.len)});
+    }
+  }
+  ss.recv_idx = 0;
+  ss.phase = pw.recv_iov.empty() ? StageState::Phase::Done
+                                 : StageState::Phase::Payload;
+}
+
+std::size_t SocketTransport::pump_recv(detail::WorkerState& st, PerWorker& pw,
+                                       StageState& ss, int fd, int src) {
   std::size_t moved = 0;
   while (!ss.recv_done) {
-    std::byte* dst = nullptr;
-    std::size_t want = 0;
-    switch (ss.phase) {
-      case StageState::Phase::Count:
-        dst = ss.hdr + ss.hdr_off;
-        want = sizeof(std::uint64_t) - ss.hdr_off;
-        break;
-      case StageState::Phase::Header:
-        dst = ss.hdr + ss.hdr_off;
-        want = sizeof(WireFrameHeader) - ss.hdr_off;
-        break;
-      case StageState::Phase::Payload:
-        dst = ss.payload_dst;
-        want = ss.payload_left;
-        break;
-      case StageState::Phase::Done:
-        ss.recv_done = true;
-        return moved;
+    if (ss.phase == StageState::Phase::Done) {
+      ss.recv_done = true;
+      break;
     }
-    const ssize_t n = ::recv(fd, dst, want, 0);
+    ssize_t n = 0;
+    switch (ss.phase) {
+      case StageState::Phase::Preamble:
+        n = ::recv(fd, ss.scratch + ss.scratch_off,
+                   sizeof(StagePreamble) - ss.scratch_off, 0);
+        break;
+      case StageState::Phase::Headers:
+        // One bulk read for the whole remaining header block — this is the
+        // receive-side win over the per-frame state machine.
+        n = ::recv(fd, pw.hdr_in.data() + ss.hdr_off,
+                   pw.hdr_in.size() - ss.hdr_off, 0);
+        break;
+      case StageState::Phase::Payload: {
+        const std::size_t cnt =
+            std::min(pw.recv_iov.size() - ss.recv_idx, iov_max());
+        n = ::readv(fd, pw.recv_iov.data() + ss.recv_idx,
+                    static_cast<int>(cnt));
+        break;
+      }
+      case StageState::Phase::Done:
+        break;
+    }
     if (n == 0) {
       throw BspTransportError("peer " + std::to_string(src) +
                               " closed its endpoint mid-stage " +
@@ -177,43 +359,62 @@ std::size_t SocketTransport::pump_recv(PerWorker& pw, StageState& ss, int fd,
                               " recv from peer " + std::to_string(src) +
                               " failed: " + std::strerror(errno));
     }
+    ++st.wire_syscalls;  // like the send side: only calls that moved bytes
     moved += static_cast<std::size_t>(n);
     switch (ss.phase) {
-      case StageState::Phase::Count:
-        ss.hdr_off += static_cast<std::size_t>(n);
-        if (ss.hdr_off == sizeof(std::uint64_t)) {
-          std::memcpy(&ss.frames_left, ss.hdr, sizeof(std::uint64_t));
-          ss.hdr_off = 0;
-          ss.phase = ss.frames_left == 0 ? StageState::Phase::Done
-                                         : StageState::Phase::Header;
-        }
-        break;
-      case StageState::Phase::Header:
-        ss.hdr_off += static_cast<std::size_t>(n);
-        if (ss.hdr_off == sizeof(WireFrameHeader)) {
-          WireFrameHeader h;
-          std::memcpy(&h, ss.hdr, sizeof(h));
-          ss.hdr_off = 0;
-          // Arena-backed receive: the payload streams straight into the
-          // frame slot the receiver's views will point at.
-          ss.payload_dst = pw.inbox_arena.append(
-              static_cast<std::uint32_t>(src), h.seq,
-              static_cast<std::size_t>(h.len));
-          ss.payload_left = static_cast<std::size_t>(h.len);
-          if (ss.payload_left == 0) {
-            ss.phase = --ss.frames_left == 0 ? StageState::Phase::Done
-                                             : StageState::Phase::Header;
+      case StageState::Phase::Preamble:
+        ss.scratch_off += static_cast<std::size_t>(n);
+        if (ss.scratch_off == sizeof(StagePreamble)) {
+          std::memcpy(&ss.recv_pre, ss.scratch, sizeof(ss.recv_pre));
+          // Cross-check the sections against each other before trusting any
+          // of the preamble's lengths.
+          if (ss.recv_pre.header_bytes > kMaxHeaderBlockBytes) {
+            throw BspTransportError(
+                "stage preamble from peer " + std::to_string(src) +
+                " claims a " + std::to_string(ss.recv_pre.header_bytes) +
+                "-byte header block (stream corruption?)");
+          }
+          if (ss.recv_pre.count !=
+              ss.recv_pre.header_bytes / sizeof(WireFrameHeader) ||
+              ss.recv_pre.header_bytes % sizeof(WireFrameHeader) != 0) {
+            throw BspTransportError(
+                "stage preamble from peer " + std::to_string(src) +
+                " is inconsistent: count " +
+                std::to_string(ss.recv_pre.count) + " vs header block of " +
+                std::to_string(ss.recv_pre.header_bytes) +
+                " bytes (stream corruption?)");
+          }
+          if (ss.recv_pre.count == 0) {
+            if (ss.recv_pre.payload_bytes != 0) {
+              throw BspTransportError(
+                  "stage preamble from peer " + std::to_string(src) +
+                  " declares " + std::to_string(ss.recv_pre.payload_bytes) +
+                  " payload bytes with zero frames (stream corruption?)");
+            }
+            ss.phase = StageState::Phase::Done;
           } else {
-            ss.phase = StageState::Phase::Payload;
+            pw.hdr_in.resize(
+                static_cast<std::size_t>(ss.recv_pre.header_bytes));
+            ss.hdr_off = 0;
+            grow_kernel_buffer(
+                pw, static_cast<std::size_t>(src), /*send_side=*/false,
+                sizeof(StagePreamble) +
+                    static_cast<std::size_t>(ss.recv_pre.header_bytes) +
+                    static_cast<std::size_t>(ss.recv_pre.payload_bytes));
+            ss.phase = StageState::Phase::Headers;
           }
         }
         break;
+      case StageState::Phase::Headers:
+        ss.hdr_off += static_cast<std::size_t>(n);
+        if (ss.hdr_off == pw.hdr_in.size()) {
+          parse_header_block(pw, ss, src);
+        }
+        break;
       case StageState::Phase::Payload:
-        ss.payload_dst += n;
-        ss.payload_left -= static_cast<std::size_t>(n);
-        if (ss.payload_left == 0) {
-          ss.phase = --ss.frames_left == 0 ? StageState::Phase::Done
-                                           : StageState::Phase::Header;
+        advance_iov(pw.recv_iov, ss.recv_idx, static_cast<std::size_t>(n));
+        if (ss.recv_idx == pw.recv_iov.size()) {
+          ss.phase = StageState::Phase::Done;
         }
         break;
       case StageState::Phase::Done:
@@ -240,7 +441,7 @@ void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
     // (everyone drains the stream they are the stage-k reader of).
     std::size_t moved = 0;
     if (!ss.send_done) moved += pump_send(st, pw, ss, sfd);
-    if (!ss.recv_done) moved += pump_recv(pw, ss, rfd, rp);
+    if (!ss.recv_done) moved += pump_recv(st, pw, ss, rfd, rp);
     if (ss.send_done && ss.recv_done) return;
     if (moved != 0) {
       last_progress = Clock::now();
@@ -250,8 +451,8 @@ void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
     if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
       throw BspAborted{};
     }
-    if (Clock::now() - last_progress >
-        std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
+    const auto idle = Clock::now() - last_progress;
+    if (idle > std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
       throw BspTransportError(
           "stage " + std::to_string(ss.k) + " of pid " +
           std::to_string(st.pid) + " made no progress for " +
@@ -259,8 +460,16 @@ void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
           " ms (waiting on peer " + std::to_string(rp) + "/" +
           std::to_string(sp) + "; peer dead or wedged)");
     }
-    // Idle: wait for either direction to open up, bounded so aborts and
-    // timeouts are noticed (bounded exponential backoff).
+    // Adaptive wait: a peer in the same boundary is typically microseconds
+    // away, so retry the non-blocking pumps for the spin budget (yielding
+    // the core each round for oversubscribed hosts) before paying a poll.
+    if (idle < std::chrono::microseconds(cfg_.socket_spin_us)) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Idle past the spin budget: wait for either direction to open up,
+    // bounded so aborts and timeouts are noticed (bounded exponential
+    // backoff).
     struct pollfd fds[2];
     nfds_t nfds = 0;
     if (!ss.send_done) {
@@ -304,9 +513,16 @@ void SocketTransport::deliver_to(detail::WorkerState& dst) {
   open_boundary(dst, pw);
   const int p = static_cast<int>(per_.size());
   StageState ss;
-  for (int k = 1; k < p; ++k) {
-    begin_stage(pw, ss, dst.pid, k);
-    run_stage(dst, pw, ss);
+  try {
+    for (int k = 1; k < p; ++k) {
+      begin_stage(pw, ss, dst.pid, k);
+      run_stage(dst, pw, ss);
+    }
+  } catch (...) {
+    // Unwinding mid-stage strands half-written stage bytes in kernel
+    // buffers; the mesh must be rebuilt before the next run.
+    wire_dirty_.store(true, std::memory_order_relaxed);
+    throw;
   }
   publish(dst, pw);
 }
@@ -329,77 +545,88 @@ void SocketTransport::exchange(
     bool done = false;
   };
   std::vector<Task> tasks(static_cast<std::size_t>(p));
-  for (int i = 0; i < p; ++i) {
-    Task& t = tasks[static_cast<std::size_t>(i)];
-    t.st = states[static_cast<std::size_t>(i)].get();
-    open_boundary(*t.st, per_[static_cast<std::size_t>(i)]);
-    begin_stage(per_[static_cast<std::size_t>(i)], t.ss, i, 1);
-  }
-  int done_count = 0;
-  auto last_progress = Clock::now();
-  std::size_t backoff_ms = cfg_.socket_backoff_initial_ms;
-  while (done_count < p) {
-    bool progressed = false;
+  try {
     for (int i = 0; i < p; ++i) {
       Task& t = tasks[static_cast<std::size_t>(i)];
-      if (t.done) continue;
-      PerWorker& pw = per_[static_cast<std::size_t>(i)];
-      const int sp = (i + t.ss.k) % p;
-      const int rp = (i + p - t.ss.k) % p;
-      std::size_t moved = 0;
-      if (!t.ss.send_done) {
-        moved += pump_send(*t.st, pw, t.ss,
-                           pw.fd_to[static_cast<std::size_t>(sp)]);
-      }
-      if (!t.ss.recv_done) {
-        moved += pump_recv(pw, t.ss, pw.fd_to[static_cast<std::size_t>(rp)],
-                           rp);
-      }
-      if (t.ss.send_done && t.ss.recv_done) {
-        if (t.ss.k + 1 < p) {
-          begin_stage(pw, t.ss, i, t.ss.k + 1);
-        } else {
-          t.done = true;
-          ++done_count;
-        }
-        progressed = true;
-      }
-      progressed = progressed || moved != 0;
+      t.st = states[static_cast<std::size_t>(i)].get();
+      open_boundary(*t.st, per_[static_cast<std::size_t>(i)]);
+      begin_stage(per_[static_cast<std::size_t>(i)], t.ss, i, 1);
     }
-    if (progressed) {
-      last_progress = Clock::now();
-      backoff_ms = cfg_.socket_backoff_initial_ms;
-      continue;
-    }
-    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
-      throw BspAborted{};
-    }
-    if (Clock::now() - last_progress >
-        std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
-      throw BspTransportError(
-          "serialized staged exchange made no progress for " +
-          std::to_string(cfg_.socket_stage_timeout_ms) + " ms");
-    }
-    // All tasks hit EAGAIN in both directions (kernel buffers momentarily
-    // full on one side, empty on the other): wait for any endpoint.
-    std::vector<struct pollfd> fds;
-    fds.reserve(static_cast<std::size_t>(2 * p));
-    for (int i = 0; i < p; ++i) {
-      const Task& t = tasks[static_cast<std::size_t>(i)];
-      if (t.done) continue;
-      const PerWorker& pw = per_[static_cast<std::size_t>(i)];
-      if (!t.ss.send_done) {
+    int done_count = 0;
+    auto last_progress = Clock::now();
+    std::size_t backoff_ms = cfg_.socket_backoff_initial_ms;
+    while (done_count < p) {
+      bool progressed = false;
+      for (int i = 0; i < p; ++i) {
+        Task& t = tasks[static_cast<std::size_t>(i)];
+        if (t.done) continue;
+        PerWorker& pw = per_[static_cast<std::size_t>(i)];
         const int sp = (i + t.ss.k) % p;
-        fds.push_back({pw.fd_to[static_cast<std::size_t>(sp)], POLLOUT, 0});
-      }
-      if (!t.ss.recv_done) {
         const int rp = (i + p - t.ss.k) % p;
-        fds.push_back({pw.fd_to[static_cast<std::size_t>(rp)], POLLIN, 0});
+        std::size_t moved = 0;
+        if (!t.ss.send_done) {
+          moved += pump_send(*t.st, pw, t.ss,
+                             pw.fd_to[static_cast<std::size_t>(sp)]);
+        }
+        if (!t.ss.recv_done) {
+          moved += pump_recv(*t.st, pw, t.ss,
+                             pw.fd_to[static_cast<std::size_t>(rp)], rp);
+        }
+        if (t.ss.send_done && t.ss.recv_done) {
+          if (t.ss.k + 1 < p) {
+            begin_stage(pw, t.ss, i, t.ss.k + 1);
+          } else {
+            t.done = true;
+            ++done_count;
+          }
+          progressed = true;
+        }
+        progressed = progressed || moved != 0;
       }
+      if (progressed) {
+        last_progress = Clock::now();
+        backoff_ms = cfg_.socket_backoff_initial_ms;
+        continue;
+      }
+      if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
+        throw BspAborted{};
+      }
+      const auto idle = Clock::now() - last_progress;
+      if (idle > std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
+        throw BspTransportError(
+            "serialized staged exchange made no progress for " +
+            std::to_string(cfg_.socket_stage_timeout_ms) + " ms");
+      }
+      // Same adaptive spin as the threaded driver; on a single thread the
+      // yield is a no-op and the spin just retries the pump round.
+      if (idle < std::chrono::microseconds(cfg_.socket_spin_us)) {
+        std::this_thread::yield();
+        continue;
+      }
+      // All tasks hit EAGAIN in both directions (kernel buffers momentarily
+      // full on one side, empty on the other): wait for any endpoint.
+      std::vector<struct pollfd> fds;
+      fds.reserve(static_cast<std::size_t>(2 * p));
+      for (int i = 0; i < p; ++i) {
+        const Task& t = tasks[static_cast<std::size_t>(i)];
+        if (t.done) continue;
+        const PerWorker& pw = per_[static_cast<std::size_t>(i)];
+        if (!t.ss.send_done) {
+          const int sp = (i + t.ss.k) % p;
+          fds.push_back({pw.fd_to[static_cast<std::size_t>(sp)], POLLOUT, 0});
+        }
+        if (!t.ss.recv_done) {
+          const int rp = (i + p - t.ss.k) % p;
+          fds.push_back({pw.fd_to[static_cast<std::size_t>(rp)], POLLIN, 0});
+        }
+      }
+      (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   static_cast<int>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
     }
-    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                 static_cast<int>(backoff_ms));
-    backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
+  } catch (...) {
+    wire_dirty_.store(true, std::memory_order_relaxed);
+    throw;
   }
   for (int i = 0; i < p; ++i) {
     publish(*tasks[static_cast<std::size_t>(i)].st,
@@ -416,12 +643,20 @@ bool SocketTransport::has_unflushed(const detail::WorkerState& st) const {
 }
 
 void SocketTransport::debug_kill_endpoints(int pid) {
+  // The injected death leaves peers' streams in an undefined half-written
+  // state by design: force a mesh rebuild on the next run.
+  wire_dirty_.store(true, std::memory_order_relaxed);
   PerWorker& pw = per_[static_cast<std::size_t>(pid)];
   for (int fd : pw.fd_to) {
     // shutdown, not close: peers polling the other end must observe EOF,
     // and the fd number must stay reserved until reset_run.
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
+}
+
+int SocketTransport::debug_raw_fd(int pid, int peer) const {
+  return per_[static_cast<std::size_t>(pid)]
+      .fd_to[static_cast<std::size_t>(peer)];
 }
 
 }  // namespace gbsp

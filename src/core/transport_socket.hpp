@@ -5,14 +5,25 @@
 // socketpair — "loopback TCP" without the port bookkeeping; same syscalls,
 // same partial-I/O behaviour). A superstep boundary runs the rigid
 // (p-1)-stage schedule: in stage k, pid i sends its staged traffic for
-// (i + k) mod p and receives from (i - k) mod p. Stage data is framed as
+// (i + k) mod p and receives from (i - k) mod p.
 //
-//   stage  := count:u64  frame*count
-//   frame  := seq:u32 pad:u32 len:u64  payload:len bytes
+// Wire format v2 — sectioned stages. A stage is three contiguous sections:
 //
-// and received payloads land directly in a recycled per-worker arena (no
-// bounce buffer), so inbox views have the same lifetime contract as the
-// in-memory transports: valid until the receiving worker's next sync().
+//   stage    := preamble header_block payload_block
+//   preamble := count:u64 header_bytes:u64 payload_bytes:u64      (24 B)
+//   header_block  := WireFrameHeader{seq:u32 pad:u32 len:u64} * count
+//   payload_block := payload[0] .. payload[count-1]   (no padding)
+//
+// with the invariants header_bytes == count*16 and payload_bytes ==
+// sum(len). Sectioning is what makes both ends cheap. The sender never
+// serializes: it points an iovec at the preamble, a packed header block, and
+// the staging arena's payload spans themselves, and pumps with sendmsg —
+// zero payload copies, one syscall per ~IOV_MAX spans. The receiver replaces
+// the old per-frame 8/16-byte recv state machine with three bulk reads:
+// the preamble, the whole header block into a reusable buffer, then readv
+// of the payload block straight into inbox-arena slots (no bounce buffer),
+// so inbox views keep the same lifetime contract as the in-memory
+// transports: valid until the receiving worker's next sync().
 //
 // There are no boundary barriers. The exchange is the synchronisation — a
 // worker finishes its last stage only after every peer has reached the
@@ -20,16 +31,34 @@
 // itself kept the machines in step. Stream framing keeps consecutive
 // supersteps unambiguous even when one worker runs ahead.
 //
+// Waiting is adaptive spin-then-poll: after both directions hit EAGAIN the
+// worker retries the non-blocking pumps for Config::socket_spin_us (yielding
+// between attempts, so oversubscribed hosts hand the core to the peer)
+// before falling back to poll with bounded exponential backoff. Kernel
+// buffers are sized per stage (SO_SNDBUF on the writing side at stage open,
+// SO_RCVBUF on the reading side at preamble parse), grow-only and bounded,
+// unless Config::socket_buffer_bytes pins them.
+//
 // Robustness: both directions of a stage are pumped through non-blocking
-// partial read/write loops (EINTR retried, EAGAIN polled with bounded
-// exponential backoff), so a full-duplex stage never deadlocks on kernel
-// buffer limits. A stage that makes no progress for
+// partial read/write loops (EINTR retried), so a full-duplex stage never
+// deadlocks on kernel buffer limits. A stage that makes no progress for
 // Config::socket_stage_timeout_ms, or that observes a closed peer, throws
-// BspTransportError; the runtime's abort flag is polled on every idle wait,
-// so a peer that dies mid-superstep unwinds the survivors within one backoff
-// period instead of hanging them.
+// BspTransportError; incoming frame headers are validated (pad must be 0,
+// len capped by Config::socket_max_frame_bytes, sections must agree) so a
+// corrupt stream is diagnosed instead of sizing an arena append from
+// garbage. The runtime's abort flag is polled on every idle wait, so a peer
+// that dies mid-superstep unwinds the survivors within one backoff period.
+//
+// Lifecycle: the socketpair mesh is built once and *reused across
+// Runtime::run() calls* while every exchange completes cleanly (a drained
+// stream has nothing to leak into the next run). Any worker that unwinds
+// mid-stage — peer death, timeout, abort — marks the wire dirty, and the
+// next reset_run() rebuilds the mesh from scratch.
 #pragma once
 
+#include <sys/uio.h>  // iovec
+
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -64,9 +93,23 @@ class SocketTransport final : public detail::TransportBase {
   /// their next read of the shared stream and abort with BspTransportError.
   void debug_kill_endpoints(int pid);
 
+  /// Raw endpoint fd (tests): `pid`'s end of the pair with `peer`, -1 for
+  /// self. Used by the corruption tests to inject garbled bytes into a live
+  /// stream.
+  [[nodiscard]] int debug_raw_fd(int pid, int peer) const;
+
+  /// How many times the socketpair mesh has been built. Consecutive clean
+  /// runs reuse the mesh (count stays flat); a run that unwound mid-stage
+  /// forces a rebuild on the next reset_run().
+  [[nodiscard]] std::uint64_t debug_socket_builds() const {
+    return socket_builds_;
+  }
+
  private:
   /// On-wire frame header (everything little-endian host order: both ends
   /// are this process; a multi-host transport would add byte-order here).
+  /// pad is transmitted as zero and validated on receipt — a nonzero pad is
+  /// the cheapest tripwire for a desynchronised or corrupt stream.
   struct WireFrameHeader {
     std::uint32_t seq;
     std::uint32_t pad;
@@ -74,48 +117,89 @@ class SocketTransport final : public detail::TransportBase {
   };
   static_assert(sizeof(WireFrameHeader) == 16, "wire header layout drifted");
 
-  /// Progress state of one stage of the schedule for one worker: a send
-  /// cursor over the serialized stage bytes and a streaming parse of the
-  /// incoming stage directly into the inbox arena.
+  /// Stage preamble: one per stage, ahead of the header block. The
+  /// redundancy (header_bytes is derivable from count) is deliberate — the
+  /// receiver cross-checks the sections against each other before trusting
+  /// any length.
+  struct StagePreamble {
+    std::uint64_t count;
+    std::uint64_t header_bytes;   // must equal count * sizeof(WireFrameHeader)
+    std::uint64_t payload_bytes;  // must equal the sum of frame lens
+  };
+  static_assert(sizeof(StagePreamble) == 24, "wire preamble layout drifted");
+
+  /// Progress state of one stage of the schedule for one worker: an iovec
+  /// cursor over the outgoing sections and a sectioned parse of the incoming
+  /// stage (preamble -> header block -> payloads straight into the inbox
+  /// arena).
   struct StageState {
     int k = 0;  // schedule stage, 1 .. p-1
-    // Send side.
-    std::size_t send_off = 0;
+    // Send side. send_pre lives here so its iovec entry stays valid for the
+    // stage's lifetime; send_idx indexes PerWorker::send_iov, whose entries
+    // are consumed (and partially advanced) in place.
+    StagePreamble send_pre{};
+    std::size_t send_idx = 0;
+    MessageArena* send_arena = nullptr;  // cleared once fully on the wire
     bool send_done = false;
     // Receive side.
-    enum class Phase { Count, Header, Payload, Done };
-    Phase phase = Phase::Count;
-    std::byte hdr[sizeof(WireFrameHeader)];
-    std::size_t hdr_off = 0;
-    std::uint64_t frames_left = 0;
-    std::byte* payload_dst = nullptr;
-    std::size_t payload_left = 0;
+    enum class Phase { Preamble, Headers, Payload, Done };
+    Phase phase = Phase::Preamble;
+    std::byte scratch[sizeof(StagePreamble)];
+    std::size_t scratch_off = 0;
+    StagePreamble recv_pre{};
+    std::size_t hdr_off = 0;   // bytes of the header block received so far
+    std::size_t recv_idx = 0;  // cursor into PerWorker::recv_iov
     bool recv_done = false;
   };
 
   struct PerWorker {
     std::vector<MessageArena> outbox;  // per-destination staging
     MessageArena inbox_arena;          // received frames; views live here
-    std::vector<std::byte> send_buf;   // serialized current stage (reused)
     std::vector<int> fd_to;            // fd_to[j]: my end of the pair with j
+    // Reusable per-stage scratch (capacity persists across stages and runs).
+    std::vector<std::byte> hdr_out;  // packed outgoing header block
+    std::vector<std::byte> hdr_in;   // incoming header block, bulk-read
+    std::vector<iovec> send_iov;     // preamble + hdr_out + payload spans
+    std::vector<iovec> recv_iov;     // inbox-arena payload slots to fill
+    // Grow-only high-water marks of requested kernel buffer sizes, per peer,
+    // so adaptive sizing costs at most O(log stage bytes) setsockopt calls.
+    std::vector<std::size_t> snd_grown_to;
+    std::vector<std::size_t> rcv_grown_to;
   };
 
   void close_all_sockets();
-  /// Serializes outbox[(pid + k) % p] into send_buf, resets `ss` for stage k.
+  /// Builds the v2 stage sections for outbox[(pid + k) % p]: packs the
+  /// header block, points send_iov at preamble/headers/arena payload spans,
+  /// resets `ss` for stage k. The staging arena stays live until the last
+  /// byte is written (pump_send clears it).
   void begin_stage(PerWorker& pw, StageState& ss, int pid, int k);
   /// Pumps one direction; returns bytes moved (0 on EAGAIN). Throws
-  /// BspTransportError on EOF or socket error.
+  /// BspTransportError on EOF, socket error, or a corrupt incoming stage.
   std::size_t pump_send(detail::WorkerState& st, PerWorker& pw,
                         StageState& ss, int fd);
-  std::size_t pump_recv(PerWorker& pw, StageState& ss, int fd, int src);
+  std::size_t pump_recv(detail::WorkerState& st, PerWorker& pw,
+                        StageState& ss, int fd, int src);
+  /// Validates the fully received header block, appends its frames to the
+  /// inbox arena and builds recv_iov; advances ss to Payload (or Done).
+  void parse_header_block(PerWorker& pw, StageState& ss, int src);
   /// Blocking driver of one stage for one worker (Parallel mode).
   void run_stage(detail::WorkerState& st, PerWorker& pw, StageState& ss);
   /// Self-delivery + inbox reset at the top of a boundary.
   void open_boundary(detail::WorkerState& dst, PerWorker& pw);
   /// Builds dst.inbox views from the filled inbox arena.
   void publish(detail::WorkerState& dst, PerWorker& pw);
+  /// Grow-only SO_SNDBUF/SO_RCVBUF request toward `stage_bytes` (adaptive
+  /// mode only; no-op when the high-water mark already covers it).
+  void grow_kernel_buffer(PerWorker& pw, std::size_t peer, bool send_side,
+                          std::size_t stage_bytes);
 
   std::vector<PerWorker> per_;
+  /// True when a worker unwound mid-stage (possible half-written stage bytes
+  /// in kernel buffers): the next reset_run() must rebuild the mesh. Starts
+  /// true so the first reset_run() builds. Set from concurrently failing
+  /// workers, read single-threaded in reset_run().
+  std::atomic<bool> wire_dirty_{true};
+  std::uint64_t socket_builds_ = 0;
 };
 
 }  // namespace gbsp

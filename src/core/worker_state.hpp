@@ -45,6 +45,12 @@ struct WorkerState {
   // the boundary that opens a superstep, so the bytes land in that
   // superstep's record.
   std::uint64_t wire_bytes = 0;
+  // Data-path syscalls (sendmsg/recv/readv) that moved bytes on this
+  // worker's behalf; same charging rule and ownership as wire_bytes. Idle
+  // EAGAIN probes and polls are excluded — the per-stage count of productive
+  // syscalls is the constant factor the sectioned wire format exists to
+  // shrink, so it is tracked first-class.
+  std::uint64_t wire_syscalls = 0;
   std::vector<std::uint64_t> sent_to;  // per-dest packets this superstep
   std::int64_t work_start_ns = 0;
   std::vector<WorkerStepRecord> trace;

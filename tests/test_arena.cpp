@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "core/arena.hpp"
@@ -174,6 +175,69 @@ TEST(MessageArena, SpliceCanContinueAppending) {
   ASSERT_EQ(seen.size(), 2u);
   EXPECT_EQ(seen[0].source, 1u);
   EXPECT_EQ(seen[1].source, 2u);
+}
+
+TEST(MessageArena, PayloadSpanWalkCoversEveryByteInOrder) {
+  // The scatter-gather contract: spans visit every non-empty payload byte in
+  // frame order, and their lengths sum to payload_bytes(). Mix inline,
+  // out-of-line, and zero-length frames.
+  MessageArena a;
+  append_pattern(a, 1, 0, 16);    // inline
+  a.append(1, 1, 0);              // zero-length: no span
+  append_pattern(a, 1, 2, 100);   // out-of-line
+  append_pattern(a, 1, 3, 100);   // out-of-line, adjacent in the byte slab
+  append_pattern(a, 1, 4, 8);     // inline again
+  std::vector<std::byte> walked;
+  a.for_each_payload_span([&](const std::byte* p, std::size_t len) {
+    walked.insert(walked.end(), p, p + len);
+  });
+  ASSERT_EQ(walked.size(), a.payload_bytes());
+  std::vector<std::byte> expect;
+  for (const auto& [seq, len] :
+       std::vector<std::pair<std::uint8_t, std::size_t>>{
+           {0, 16}, {2, 100}, {3, 100}, {4, 8}}) {
+    const auto v = pattern(len, seq);
+    expect.insert(expect.end(), v.begin(), v.end());
+  }
+  EXPECT_EQ(walked, expect);
+}
+
+TEST(MessageArena, AdjacentOutOfLinePayloadsCoalesceIntoOneSpan) {
+  // 16-byte-multiple out-of-line payloads pack back-to-back in a byte slab,
+  // so a burst of same-sized large messages should walk as one span per
+  // slab, not one iovec entry per message.
+  MessageArena a;
+  for (std::uint32_t i = 0; i < 40; ++i) append_pattern(a, 0, i, 64);
+  std::size_t spans = 0;
+  std::size_t bytes = 0;
+  a.for_each_payload_span([&](const std::byte*, std::size_t len) {
+    ++spans;
+    bytes += len;
+  });
+  EXPECT_EQ(bytes, a.payload_bytes());
+  EXPECT_LE(spans, a.slab_count())
+      << "contiguous payloads failed to coalesce";
+  EXPECT_LT(spans, 40u);
+}
+
+TEST(MessageArena, InlinePayloadsEmitOneSpanEach) {
+  // Inline payloads are interleaved with frame metadata, so they can never
+  // coalesce; each non-empty one is its own span.
+  MessageArena a;
+  for (std::uint32_t i = 0; i < 10; ++i) append_pattern(a, 0, i, 16);
+  std::size_t spans = 0;
+  a.for_each_payload_span(
+      [&](const std::byte*, std::size_t) { ++spans; });
+  EXPECT_EQ(spans, 10u);
+}
+
+TEST(MessageArena, EmptyArenaWalksNoSpans) {
+  MessageArena a;
+  a.append(0, 0, 0);
+  std::size_t spans = 0;
+  a.for_each_payload_span(
+      [&](const std::byte*, std::size_t) { ++spans; });
+  EXPECT_EQ(spans, 0u);
 }
 
 TEST(SlabPool, AcquireReleaseRoundTripsWithoutFreshAllocations) {

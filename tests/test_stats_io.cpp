@@ -77,13 +77,15 @@ TEST(StatsIo, MalformedInputIsDiagnosed) {
 
   std::stringstream short_row(
       "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
-      "total_messages,h_messages,endpoint_messages,total_wire_bytes\n1,2,3\n");
+      "total_messages,h_messages,endpoint_messages,total_wire_bytes,"
+      "total_wire_syscalls\n1,2,3\n");
   EXPECT_THROW((void)read_superstep_csv(short_row, 2), std::invalid_argument);
 
   std::stringstream bad_value(
       "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
-      "total_messages,h_messages,endpoint_messages,total_wire_bytes\n"
-      "0,x,0,0,0,0,0,0,0,0\n");
+      "total_messages,h_messages,endpoint_messages,total_wire_bytes,"
+      "total_wire_syscalls\n"
+      "0,x,0,0,0,0,0,0,0,0,0\n");
   EXPECT_THROW((void)read_superstep_csv(bad_value, 2), std::invalid_argument);
 }
 
