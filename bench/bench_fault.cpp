@@ -1,0 +1,225 @@
+// Chaos/recovery bench (DESIGN.md section 11): what resilience costs.
+//
+//   1. Idle overhead: a compute+exchange ring run with checkpointing off vs
+//      on (checkpoint_every=1, no faults). The acceptance bar for the
+//      recovery subsystem is < 2% median wall-clock overhead when it never
+//      fires.
+//   2. Recovery latency: the same run with a seeded transient kill
+//      (deliver-site abort) mid-run, checkpointed resume vs whole-run
+//      replay vs the fault-free baseline — the wall-clock price of one
+//      recovery under each policy.
+//
+// --json emits the machine-readable blob (committed as BENCH_fault.json).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gbsp;
+
+struct BenchOpts {
+  int nprocs = 4;
+  std::uint64_t steps = 400;
+  int reps = 5;
+  std::size_t region_bytes = 64 * 1024;  // checkpointed state per rank
+  std::size_t msg_bytes = 4 * 1024;      // ring payload per superstep
+  std::uint64_t work_iters = 20'000;     // compute per superstep
+  bool quiet = false;
+};
+
+/// The workload: each rank owns a region_bytes state block (registered for
+/// checkpointing), does work_iters of arithmetic per superstep, and sends a
+/// msg_bytes slice of its state around the ring. Resume-aware.
+std::function<void(Worker&)> make_workload(const BenchOpts& o,
+                                           std::vector<std::vector<std::uint64_t>>& state) {
+  return [&state, o](Worker& w) {
+    const int p = w.nprocs();
+    std::vector<std::uint64_t>& mine =
+        state[static_cast<std::size_t>(w.pid())];
+    w.register_checkpoint_region(mine.data(),
+                                 mine.size() * sizeof(std::uint64_t));
+    if (!w.resumed()) {
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = 0x9e3779b97f4a7c15ull * (i + 1) +
+                  static_cast<std::uint64_t>(w.pid());
+      }
+    }
+    const std::size_t msg_words = o.msg_bytes / sizeof(std::uint64_t);
+    std::vector<std::uint64_t> scratch;
+    for (std::uint64_t s = w.resume_superstep(); s < o.steps; ++s) {
+      if (s > 0) {
+        const Message* m = w.get_message();
+        if (m != nullptr) {
+          m->copy_array(scratch);
+          for (std::size_t i = 0; i < scratch.size(); ++i) {
+            mine[i] ^= scratch[i];
+          }
+        }
+      }
+      // Real per-superstep compute: a multiplicative scan over the state.
+      std::uint64_t acc = s + 1;
+      for (std::uint64_t i = 0; i < o.work_iters; ++i) {
+        acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+        mine[static_cast<std::size_t>(acc % mine.size())] += acc >> 33;
+      }
+      w.send_array((w.pid() + 1) % p, mine.data(),
+                   std::min(msg_words, mine.size()));
+      w.sync();
+    }
+  };
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Measurement {
+  double wall_s = 0.0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_max_us = 0.0;
+  double restore_max_us = 0.0;
+};
+
+/// One timed run of the workload under one policy. The four policies are
+/// interleaved rep by rep (see main) so slow drift in host load hits all of
+/// them equally instead of biasing whichever phase ran last.
+double one_run(const BenchOpts& o, std::size_t checkpoint_every,
+               bool inject_kill, Measurement* out) {
+  Config cfg;
+  cfg.nprocs = o.nprocs;
+  cfg.delivery = DeliveryStrategy::Socket;
+  cfg.deterministic_delivery = true;
+  cfg.checkpoint_every = checkpoint_every;
+  cfg.max_run_retries = inject_kill ? 2 : 0;
+  cfg.retry_backoff_us = 100;
+  Runtime rt(cfg);
+  if (inject_kill) {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = FaultSite::Deliver;
+    rule.kind = FaultKind::Abort;
+    rule.rank = 1;
+    rule.superstep = static_cast<std::int64_t>(o.steps / 2);
+    plan.rules.push_back(rule);
+    rt.set_fault_plan(plan);
+  }
+  std::vector<std::vector<std::uint64_t>> state(
+      static_cast<std::size_t>(o.nprocs),
+      std::vector<std::uint64_t>(o.region_bytes / sizeof(std::uint64_t)));
+  WallTimer t;
+  RunStats stats = rt.run(make_workload(o, state));
+  const double wall = t.elapsed_s();
+  out->recoveries = stats.recoveries;
+  out->checkpoint_bytes = stats.total_checkpoint_bytes();
+  for (const SuperstepStats& s : stats.supersteps) {
+    out->checkpoint_max_us =
+        std::max(out->checkpoint_max_us, s.checkpoint_max_us);
+    out->restore_max_us = std::max(out->restore_max_us, s.restore_max_us);
+  }
+  return wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  BenchOpts o;
+  o.nprocs = static_cast<int>(args.get_int("procs", o.nprocs));
+  o.steps = static_cast<std::uint64_t>(
+      args.get_int("steps", static_cast<std::int64_t>(o.steps)));
+  o.reps = static_cast<int>(args.get_int("reps", o.reps));
+  o.region_bytes = static_cast<std::size_t>(args.get_int(
+      "region-bytes", static_cast<std::int64_t>(o.region_bytes)));
+  o.msg_bytes = static_cast<std::size_t>(
+      args.get_int("msg-bytes", static_cast<std::int64_t>(o.msg_bytes)));
+  o.work_iters = static_cast<std::uint64_t>(args.get_int(
+      "work", static_cast<std::int64_t>(o.work_iters)));
+  o.quiet = args.has_flag("quiet");
+  const bool json = args.has_flag("json");
+
+  if (!o.quiet) {
+    std::cerr << "bench_fault: procs=" << o.nprocs << " steps=" << o.steps
+              << " reps=" << o.reps << " region=" << o.region_bytes
+              << "B msg=" << o.msg_bytes << "B work=" << o.work_iters
+              << "\n";
+  }
+
+  // Four policies, interleaved rep by rep:
+  //   1. idle overhead — checkpointing on (no faults) vs off;
+  //   2. recovery latency — one transient kill halfway, resume-from-
+  //      checkpoint vs whole-run replay, against the fault-free baseline.
+  Measurement base, ckpt, resume, replay;
+  std::vector<double> base_w, ckpt_w, resume_w, replay_w;
+  for (int r = 0; r < o.reps; ++r) {
+    base_w.push_back(one_run(o, 0, false, &base));
+    ckpt_w.push_back(one_run(o, 1, false, &ckpt));
+    resume_w.push_back(one_run(o, 1, true, &resume));
+    replay_w.push_back(one_run(o, 0, true, &replay));
+    if (!o.quiet) std::cerr << "  rep " << r + 1 << "/" << o.reps << "\n";
+  }
+  base.wall_s = median(base_w);
+  ckpt.wall_s = median(ckpt_w);
+  resume.wall_s = median(resume_w);
+  replay.wall_s = median(replay_w);
+  const double overhead_pct =
+      base.wall_s > 0.0 ? (ckpt.wall_s / base.wall_s - 1.0) * 100.0 : 0.0;
+  const double resume_latency_s = resume.wall_s - base.wall_s;
+  const double replay_latency_s = replay.wall_s - base.wall_s;
+
+  if (json) {
+    std::cout.precision(6);
+    std::cout << "{\n"
+              << "  \"bench\": \"fault\",\n"
+              << "  \"config\": {\"procs\": " << o.nprocs << ", \"steps\": "
+              << o.steps << ", \"reps\": " << o.reps
+              << ", \"region_bytes\": " << o.region_bytes
+              << ", \"msg_bytes\": " << o.msg_bytes << ", \"work_iters\": "
+              << o.work_iters << ", \"transport\": \"socket\"},\n"
+              << "  \"idle\": {\"baseline_wall_s\": " << base.wall_s
+              << ", \"checkpointed_wall_s\": " << ckpt.wall_s
+              << ", \"overhead_pct\": " << overhead_pct
+              << ", \"checkpoint_bytes_per_run\": " << ckpt.checkpoint_bytes
+              << ", \"checkpoint_max_us\": " << ckpt.checkpoint_max_us
+              << "},\n"
+              << "  \"recovery\": {\n"
+              << "    \"kill\": \"deliver-site abort, rank 1, superstep "
+              << o.steps / 2 << "\",\n"
+              << "    \"resume_wall_s\": " << resume.wall_s
+              << ", \"resume_latency_s\": " << resume_latency_s
+              << ", \"resume_recoveries\": " << resume.recoveries
+              << ", \"restore_max_us\": " << resume.restore_max_us << ",\n"
+              << "    \"replay_wall_s\": " << replay.wall_s
+              << ", \"replay_latency_s\": " << replay_latency_s
+              << ", \"replay_recoveries\": " << replay.recoveries << "\n"
+              << "  }\n"
+              << "}\n";
+    return 0;
+  }
+
+  std::cout << "idle overhead (checkpoint_every=1, no faults):\n"
+            << "  baseline      " << base.wall_s * 1e3 << " ms\n"
+            << "  checkpointed  " << ckpt.wall_s * 1e3 << " ms  ("
+            << overhead_pct << "% overhead, "
+            << ckpt.checkpoint_bytes / 1024 << " KiB checkpointed, max "
+            << ckpt.checkpoint_max_us << " us per checkpoint)\n"
+            << "recovery latency (one transient kill at superstep "
+            << o.steps / 2 << "):\n"
+            << "  resume from checkpoint  " << resume.wall_s * 1e3
+            << " ms (+" << resume_latency_s * 1e3 << " ms, "
+            << resume.recoveries << " recovery, max restore "
+            << resume.restore_max_us << " us)\n"
+            << "  whole-run replay        " << replay.wall_s * 1e3
+            << " ms (+" << replay_latency_s * 1e3 << " ms, "
+            << replay.recoveries << " recovery)\n";
+  return 0;
+}

@@ -3,16 +3,24 @@
 //
 //   $ bsp_probe [--procs 1,2,4,8] [--steps 200]
 //               [--transport deferred|eager|socket]
+//               [--fault-plan "site=...,kind=...;..."] [--fault-seed N]
+//               [--retries N] [--checkpoint-every N]
 //
 // L is estimated from supersteps where each processor sends a single
 // 16-byte packet; g from the marginal per-packet cost of large
 // total-exchange supersteps; both via a least-squares fit across h sizes.
 // --transport probes a specific Transport: the socket transport's g and L
 // are this machine's loopback analogue of the paper's PC-LAN column.
+//
+// The fault flags turn the probe into an ops-grade chaos driver: the plan
+// (core/fault.hpp textual form) is injected into every probed run, retries
+// bound the recovery budget, and the probe reports injected-fault and
+// recovery counts next to the fit — measuring g and L *under fire*.
 #include <cstdio>
 #include <iostream>
 #include <thread>
 
+#include "core/fault.hpp"
 #include "core/runtime.hpp"
 #include "core/transport.hpp"
 #include "cost/fit.hpp"
@@ -26,18 +34,29 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(args.get_int("steps", 200));
   const auto procs = args.get_int_list("procs", {1, 2, 4, 8});
   DeliveryStrategy delivery;
+  FaultPlan fault_plan;
   try {
     delivery = delivery_from_string(args.get_string("transport", "deferred"));
+    const std::string plan_spec = args.get_string("fault-plan", "");
+    if (!plan_spec.empty()) fault_plan = parse_fault_plan(plan_spec);
+    fault_plan.seed = static_cast<std::uint64_t>(args.get_int(
+        "fault-seed", static_cast<std::int64_t>(fault_plan.seed)));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  const auto retries =
+      static_cast<std::size_t>(args.get_int("retries", 0));
+  const auto checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
 
   std::printf(
       "probing the native thread backend (%u hardware threads), "
       "transport=%s\n",
       std::thread::hardware_concurrency(), to_string(delivery));
   TextTable t({"nprocs", "g (us / 16B packet)", "L (us)"});
+  std::uint64_t total_injected = 0;
+  std::uint64_t total_recoveries = 0;
   for (auto np64 : procs) {
     const int np = static_cast<int>(np64);
     std::vector<ProbeSample> samples;
@@ -45,10 +64,13 @@ int main(int argc, char** argv) {
     cfg.nprocs = np;
     cfg.delivery = delivery;
     cfg.collect_stats = false;
+    cfg.max_run_retries = retries;
+    cfg.checkpoint_every = checkpoint_every;
     Runtime rt(cfg);
+    if (!fault_plan.empty()) rt.set_fault_plan(fault_plan);
     for (int per_peer : {1, 4, 16, 64, 256}) {
       WallTimer timer;
-      rt.run([steps, per_peer](Worker& w) {
+      const RunStats stats = rt.run([steps, per_peer](Worker& w) {
         const int p = w.nprocs();
         char pkt[16] = {};
         for (int s = 0; s < steps; ++s) {
@@ -67,11 +89,25 @@ int main(int argc, char** argv) {
       const std::uint64_t h =
           static_cast<std::uint64_t>(per_peer) * (np == 1 ? 1 : np - 1);
       samples.push_back({h, timer.elapsed_us() / steps});
+      total_recoveries += stats.recoveries;
+      // fired() re-arms at each run() start, so tally it per run.
+      if (rt.fault_injector() != nullptr) {
+        total_injected += rt.fault_injector()->fired();
+      }
     }
     const MachineParams mp = fit_g_L(samples);
     t.row().add(std::int64_t{np}).add(mp.g_us, 3).add(mp.L_us, 1);
   }
   t.render(std::cout);
+  if (!fault_plan.empty()) {
+    std::printf("fault plan: %zu rule(s), seed %llu -> %llu injected, "
+                "%llu recover%s\n",
+                fault_plan.rules.size(),
+                static_cast<unsigned long long>(fault_plan.seed),
+                static_cast<unsigned long long>(total_injected),
+                static_cast<unsigned long long>(total_recoveries),
+                total_recoveries == 1 ? "y" : "ies");
+  }
   std::printf(
       "\ncompare with the paper's Figure 2.1: SGI g=0.77-0.95, L=3-105; "
       "Cenju g=2.2-3.6, L=130-2880; PC-LAN g=0.92-8.6, L=2-3715.\n");

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Chaos soak driver: loops the randomized fault soak (tests/test_chaos.cpp)
+# with rotating seed bases, failing fast on the first mismatch. Each round
+# is fully reproducible — on failure, rerun the printed command.
+#
+#   scripts/run_chaos.sh [rounds] [runs-per-round] [build-dir]
+#
+# Defaults: 10 rounds x 100 runs against ./build. Total coverage is
+# rounds x runs seeded storms over sample_sort (whole-run replay) and the
+# checkpointed ring (resume path), socket transport.
+set -euo pipefail
+
+rounds="${1:-10}"
+runs="${2:-100}"
+build="${3:-build}"
+bin="${build}/tests/test_chaos"
+
+if [[ ! -x "${bin}" ]]; then
+  echo "run_chaos: ${bin} not built (cmake --build ${build} --target test_chaos)" >&2
+  exit 2
+fi
+
+base_seed="${GBSP_CHAOS_BASE_SEED:-20260808}"
+for ((i = 0; i < rounds; ++i)); do
+  seed=$((base_seed + i * 104729))
+  echo "=== chaos round $((i + 1))/${rounds}: GBSP_CHAOS_SEED=${seed} GBSP_CHAOS_RUNS=${runs}"
+  if ! GBSP_CHAOS_SEED="${seed}" GBSP_CHAOS_RUNS="${runs}" \
+      "${bin}" --gtest_brief=1; then
+    echo "run_chaos: FAILED — replay with:" >&2
+    echo "  GBSP_CHAOS_SEED=${seed} GBSP_CHAOS_RUNS=${runs} ${bin}" >&2
+    exit 1
+  fi
+done
+echo "run_chaos: ${rounds} x ${runs} seeded storms survived bit-identically"

@@ -117,6 +117,37 @@ struct Config {
   /// clamps to its own min/max; tests use tiny values to force torn
   /// preambles and partial scatter-gather writes).
   std::size_t socket_buffer_bytes = 0;
+
+  /// Superstep checkpointing (core/recovery.hpp): 0 disables; N snapshots
+  /// every worker's recovery state (registered regions, the save callback's
+  /// bytes, the just-delivered inbox, sequence counters) at the top of every
+  /// superstep s with s % N == 0, s > 0. Enabling this declares the program
+  /// resume-aware: after a recoverable failure the runtime re-invokes the
+  /// SPMD function with Worker::resume_superstep() set, and the program must
+  /// fast-forward to it (see DESIGN.md section 11). Programs that do not
+  /// consult resume_superstep() must leave this 0 and rely on whole-run
+  /// replay, which is exact for deterministic programs.
+  std::size_t checkpoint_every = 0;
+
+  /// Bounded retry on recoverable failures: when Runtime::run() unwinds with
+  /// a BspTransportError (peer death, wedge timeout, corrupt stream,
+  /// watchdog), retry up to this many times — restoring the latest complete
+  /// checkpoint when checkpoint_every is set, else replaying from the start.
+  /// 0 = fail fast (the pre-recovery behaviour). User exceptions and logic
+  /// errors are never retried.
+  std::size_t max_run_retries = 0;
+
+  /// Base backoff before a retry attempt, doubled per attempt (bounded
+  /// exponential backoff): attempt k sleeps retry_backoff_us << k.
+  std::size_t retry_backoff_us = 1000;
+
+  /// Per-superstep watchdog: when nonzero, a monitor thread aborts the run
+  /// with BspTransportError if no worker completes a superstep boundary for
+  /// this long — catching wedges the transports cannot see (a peer stuck
+  /// before its first send, an in-memory exchange waiting on a worker that
+  /// exited early). The deadline must exceed the longest legitimate
+  /// superstep, compute included. 0 = off.
+  std::size_t superstep_deadline_ms = 0;
 };
 
 /// Validates a Config at Runtime construction, so bad values fail loudly

@@ -1,0 +1,274 @@
+#include "core/fault.hpp"
+
+#include <stdexcept>
+
+namespace gbsp {
+
+namespace {
+
+/// splitmix64: tiny, seedable, and with the quality this needs (per-rank
+/// chaos decision streams, not statistics).
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rank_stream_seed(std::uint64_t plan_seed, int rank) {
+  // Offset by 2 so rank -1 (runtime-level contexts) gets its own stream.
+  return plan_seed ^
+         (static_cast<std::uint64_t>(rank + 2) * 0xD6E8FEB86659FD93ull);
+}
+
+FaultSite parse_site(const std::string& v) {
+  if (v == "send") return FaultSite::SendCall;
+  if (v == "recv") return FaultSite::RecvCall;
+  if (v == "poll") return FaultSite::PollCall;
+  if (v == "deliver") return FaultSite::Deliver;
+  if (v == "flush") return FaultSite::Flush;
+  throw std::invalid_argument("fault plan: unknown site \"" + v +
+                              "\" (expected send|recv|poll|deliver|flush)");
+}
+
+FaultKind parse_kind(const std::string& v) {
+  if (v == "eintr") return FaultKind::Eintr;
+  if (v == "eagain") return FaultKind::Eagain;
+  if (v == "short") return FaultKind::ShortIo;
+  if (v == "hangup") return FaultKind::PeerHangup;
+  if (v == "corrupt") return FaultKind::CorruptByte;
+  if (v == "delay") return FaultKind::DelayUs;
+  if (v == "abort") return FaultKind::Abort;
+  throw std::invalid_argument(
+      "fault plan: unknown kind \"" + v +
+      "\" (expected eintr|eagain|short|hangup|corrupt|delay|abort)");
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t n = std::stoll(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad integer for " + key + ": \"" +
+                                v + "\"");
+  }
+}
+
+double parse_prob(const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const double p = std::stod(v, &used);
+    if (used != v.size() || p < 0.0 || p > 1.0) throw std::invalid_argument(v);
+    return p;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: prob must be in [0, 1], got \"" +
+                                v + "\"");
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::SendCall: return "send";
+    case FaultSite::RecvCall: return "recv";
+    case FaultSite::PollCall: return "poll";
+    case FaultSite::Deliver: return "deliver";
+    case FaultSite::Flush: return "flush";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::Eintr: return "eintr";
+    case FaultKind::Eagain: return "eagain";
+    case FaultKind::ShortIo: return "short";
+    case FaultKind::PeerHangup: return "hangup";
+    case FaultKind::CorruptByte: return "corrupt";
+    case FaultKind::DelayUs: return "delay";
+    case FaultKind::Abort: return "abort";
+  }
+  return "unknown";
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string segment = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    // Skip blank segments (trailing ';', empty spec).
+    bool blank = true;
+    for (char c : segment) blank = blank && (c == ' ' || c == '\t');
+    if (blank) continue;
+
+    FaultRule rule;
+    bool have_site = false;
+    std::size_t rp = 0;
+    while (rp <= segment.size()) {
+      const std::size_t comma = std::min(segment.find(',', rp), segment.size());
+      std::string tok = segment.substr(rp, comma - rp);
+      rp = comma + 1;
+      // Trim surrounding whitespace.
+      const std::size_t b = tok.find_first_not_of(" \t");
+      const std::size_t e = tok.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      tok = tok.substr(b, e - b + 1);
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("fault plan: expected key=value, got \"" +
+                                    tok + "\"");
+      }
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "site") {
+        rule.site = parse_site(val);
+        have_site = true;
+      } else if (key == "kind") {
+        rule.kind = parse_kind(val);
+      } else if (key == "rank") {
+        rule.rank = static_cast<int>(parse_int(key, val));
+      } else if (key == "step" || key == "superstep") {
+        rule.superstep = parse_int(key, val);
+      } else if (key == "stage") {
+        rule.stage = static_cast<int>(parse_int(key, val));
+      } else if (key == "nth") {
+        rule.nth = static_cast<std::uint64_t>(parse_int(key, val));
+      } else if (key == "count") {
+        rule.count = static_cast<std::uint64_t>(parse_int(key, val));
+      } else if (key == "arg") {
+        rule.arg = static_cast<std::uint64_t>(parse_int(key, val));
+      } else if (key == "prob") {
+        rule.prob = parse_prob(val);
+      } else if (key == "seed") {
+        plan.seed = static_cast<std::uint64_t>(parse_int(key, val));
+      } else {
+        throw std::invalid_argument("fault plan: unknown key \"" + key +
+                                    "\"");
+      }
+    }
+    if (!have_site) {
+      throw std::invalid_argument(
+          "fault plan: every rule needs a site=..., missing in \"" + segment +
+          "\"");
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+FaultPlan make_chaos_plan(std::uint64_t seed, double benign_prob, bool lethal,
+                          std::uint64_t lethal_superstep) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // Benign noise on the syscall paths: retried/stalled/truncated calls and
+  // sub-millisecond delivery jitter. None of these may alter results.
+  for (const FaultSite site : {FaultSite::SendCall, FaultSite::RecvCall}) {
+    plan.rules.push_back({site, FaultKind::Eintr, -1, -1, -1, 0, 1, 0,
+                          benign_prob});
+    plan.rules.push_back({site, FaultKind::ShortIo, -1, -1, -1, 0, 1, 7,
+                          benign_prob});
+    plan.rules.push_back({site, FaultKind::DelayUs, -1, -1, -1, 0, 1, 200,
+                          benign_prob / 4});
+  }
+  plan.rules.push_back({FaultSite::PollCall, FaultKind::Eintr, -1, -1, -1, 0,
+                        1, 0, benign_prob});
+  if (lethal) {
+    // One transient killer at a seed-derived rank: the counter consumes it on
+    // the first firing, so the post-recovery replay runs clean.
+    std::uint64_t s = seed;
+    const int rank = static_cast<int>(splitmix64_next(s) % 4);
+    plan.rules.push_back({FaultSite::Deliver, FaultKind::Abort, rank,
+                          static_cast<std::int64_t>(lethal_superstep), -1, 0,
+                          1, 0, 0.0});
+  }
+  return plan;
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  counters_.resize(plan_.rules.size());
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& per_rank : counters_) per_rank.clear();
+  rng_state_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::rule_matches(const FaultRule& r, FaultSite site,
+                                 const FaultContext& ctx) const {
+  if (r.site != site) return false;
+  if (r.rank >= 0 && r.rank != ctx.rank) return false;
+  if (r.superstep >= 0 &&
+      static_cast<std::uint64_t>(r.superstep) != ctx.superstep) {
+    return false;
+  }
+  if (r.stage >= 0 && r.stage != ctx.stage) return false;
+  return true;
+}
+
+std::uint64_t& FaultInjector::counter_slot(std::size_t rule, int rank) {
+  auto& per_rank = counters_[rule];
+  const std::size_t idx = static_cast<std::size_t>(rank + 1);
+  if (per_rank.size() <= idx) per_rank.resize(idx + 1, 0);
+  return per_rank[idx];
+}
+
+double FaultInjector::next_uniform(int rank) {
+  const std::size_t idx = static_cast<std::size_t>(rank + 1);
+  if (rng_state_.size() <= idx) {
+    const std::size_t old = rng_state_.size();
+    rng_state_.resize(idx + 1, 0);
+    for (std::size_t i = old; i < rng_state_.size(); ++i) {
+      rng_state_[i] =
+          rank_stream_seed(plan_.seed, static_cast<int>(i) - 1);
+    }
+  }
+  return static_cast<double>(splitmix64_next(rng_state_[idx]) >> 11) *
+         (1.0 / 9007199254740992.0);  // 53-bit mantissa / 2^53
+}
+
+std::optional<FaultInjector::Decision> FaultInjector::decide(
+    FaultSite site, const FaultContext& ctx, bool corruption_pass) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if ((r.kind == FaultKind::CorruptByte) != corruption_pass) continue;
+    if (!rule_matches(r, site, ctx)) continue;
+    bool fire;
+    if (r.prob > 0.0) {
+      fire = next_uniform(ctx.rank) < r.prob;
+    } else {
+      const std::uint64_t c = counter_slot(i, ctx.rank)++;
+      fire = c >= r.nth && c < r.nth + r.count;
+    }
+    if (fire) {
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      return Decision{r.kind, r.arg};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultInjector::Decision> FaultInjector::before_call(
+    FaultSite site, const FaultContext& ctx) {
+  if (plan_.rules.empty()) return std::nullopt;
+  return decide(site, ctx, /*corruption_pass=*/false);
+}
+
+std::optional<std::uint64_t> FaultInjector::corrupt_offset(
+    FaultSite site, const FaultContext& ctx) {
+  if (plan_.rules.empty()) return std::nullopt;
+  if (auto d = decide(site, ctx, /*corruption_pass=*/true)) return d->arg;
+  return std::nullopt;
+}
+
+}  // namespace gbsp

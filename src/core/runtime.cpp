@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "core/transport.hpp"
@@ -46,6 +47,39 @@ const Message* Worker::get_message() {
   return &st.inbox[st.inbox_cursor++];
 }
 
+bool Worker::resumed() const { return rt_->resume_step_ >= 0; }
+
+std::uint64_t Worker::resume_superstep() const {
+  return rt_->resume_step_ >= 0
+             ? static_cast<std::uint64_t>(rt_->resume_step_)
+             : 0;
+}
+
+void Worker::register_checkpoint_region(void* base, std::size_t bytes) {
+  detail::WorkerState& st = *state_;
+  const std::size_t index = st.ckpt_regions.size();
+  st.ckpt_regions.push_back(
+      {static_cast<std::byte*>(base), bytes});
+  if (rt_->resume_step_ >= 0) {
+    rt_->recovery_.restore_region(
+        st.pid, static_cast<std::uint64_t>(rt_->resume_step_), index,
+        static_cast<std::byte*>(base), bytes);
+  }
+}
+
+void Worker::set_checkpoint_state(
+    std::function<void(std::vector<std::byte>&)> save,
+    std::function<void(const std::byte*, std::size_t)> restore) {
+  detail::WorkerState& st = *state_;
+  st.ckpt_save = std::move(save);
+  st.ckpt_restore = std::move(restore);
+  if (rt_->resume_step_ >= 0 && st.ckpt_restore) {
+    const std::vector<std::byte>& blob = rt_->recovery_.user_state(
+        st.pid, static_cast<std::uint64_t>(rt_->resume_step_));
+    st.ckpt_restore(blob.data(), blob.size());
+  }
+}
+
 // ------------------------------------------------------------------- Runtime
 
 Runtime::Runtime(Config cfg) : cfg_(cfg) {
@@ -80,6 +114,17 @@ void Runtime::record_step(detail::WorkerState& st) {
     r.sent_to_packets = st.sent_to;
     std::fill(st.sent_to.begin(), st.sent_to.end(), 0);
   }
+  // Fault/recovery accounting: faults injected during the exchange that
+  // opened this superstep, plus the cost of the checkpoint taken at its top
+  // (or of the restore that recreated it).
+  r.injected_faults = st.injected_faults;
+  st.injected_faults = 0;
+  r.checkpoint_bytes = st.checkpoint_bytes;
+  st.checkpoint_bytes = 0;
+  r.checkpoint_us = st.checkpoint_us;
+  st.checkpoint_us = 0.0;
+  r.restore_us = st.restore_us;
+  st.restore_us = 0.0;
   st.trace.push_back(std::move(r));
   st.sent_packets = 0;
   st.sent_bytes = 0;
@@ -102,6 +147,15 @@ void Runtime::do_sync(detail::WorkerState& st) {
     transport_->deliver_to(st);
   }
   st.superstep += 1;
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  // The boundary just crossed is a consistent cut: every message sent before
+  // it has been delivered, none sent after it exists yet. Snapshot here —
+  // at the top of the new superstep — so a restore replays from exactly
+  // this point.
+  if (cfg_.checkpoint_every != 0 &&
+      st.superstep % cfg_.checkpoint_every == 0) {
+    recovery_.checkpoint(st);
+  }
   begin_work_slice(st);
 }
 
@@ -116,15 +170,63 @@ void Runtime::finalize_worker(detail::WorkerState& st) {
 }
 
 void Runtime::report_error(std::exception_ptr e, int pid) {
+  // Class 0: program (user) errors — the root cause when a functor throws.
+  // Class 1: transport errors — often *secondary* (a peer unwinding because
+  // worker 0 threw looks, to worker 1, like a dead peer). A user error must
+  // therefore outrank any transport error regardless of pid; within a class
+  // the lowest pid wins, so concurrent failures diagnose deterministically.
+  int cls = 0;
+  try {
+    std::rethrow_exception(e);
+  } catch (const BspTransportError&) {
+    cls = 1;
+  } catch (...) {
+  }
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
-    if (first_error_ == nullptr || pid < first_error_pid_) {
+    if (first_error_ == nullptr || cls < first_error_class_ ||
+        (cls == first_error_class_ && pid < first_error_pid_)) {
       first_error_ = e;
       first_error_pid_ = pid;
+      first_error_class_ = cls;
     }
   }
   abort_.store(true, std::memory_order_release);
   if (scheduler_) scheduler_->abort();
+}
+
+void Runtime::watchdog_main() {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = std::chrono::milliseconds(cfg_.superstep_deadline_ms);
+  // Poll often enough to detect a wedge promptly without burning a core.
+  const auto tick = std::max<std::chrono::milliseconds>(
+      std::chrono::milliseconds(1),
+      std::min(deadline / 4, std::chrono::milliseconds(100)));
+  std::uint64_t last = progress_.load(std::memory_order_relaxed);
+  clock::time_point last_change = clock::now();
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(tick);
+    const std::uint64_t cur = progress_.load(std::memory_order_relaxed);
+    if (cur != last) {
+      last = cur;
+      last_change = clock::now();
+      continue;
+    }
+    if (abort_.load(std::memory_order_acquire)) continue;  // already unwinding
+    if (clock::now() - last_change < deadline) continue;
+    // Report as a transport error (it is recoverable by retry) from a pid
+    // past every real worker, so any concrete per-worker diagnosis wins the
+    // tie-break over this generic one.
+    report_error(
+        std::make_exception_ptr(BspTransportError(
+            "watchdog: no worker completed a superstep boundary within "
+            "superstep_deadline_ms=" +
+                std::to_string(cfg_.superstep_deadline_ms) + "ms",
+            /*rank=*/-1, /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+            /*err=*/0, /*bytes_moved=*/0)),
+        cfg_.nprocs);
+    last_change = clock::now();  // rate-limit repeat reports while unwinding
+  }
 }
 
 void Runtime::worker_main(int pid, const std::function<void(Worker&)>& fn) {
@@ -153,11 +255,12 @@ void Runtime::worker_main(int pid, const std::function<void(Worker&)>& fn) {
   detail::current_worker_slot() = nullptr;
 }
 
-RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
+bool Runtime::run_attempt(const std::function<void(Worker&)>& fn) {
   const int p = cfg_.nprocs;
   abort_.store(false, std::memory_order_release);
   first_error_ = nullptr;
   first_error_pid_ = -1;
+  first_error_class_ = 2;
 
   states_.clear();
   states_.reserve(static_cast<std::size_t>(p));
@@ -168,12 +271,19 @@ RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
     if (cfg_.collect_comm_matrix) {
       st->sent_to.assign(static_cast<std::size_t>(p), 0);
     }
+    // On a resume, rebuild the state to the checkpointed cut — superstep
+    // counter, sequence numbers, trace, and inbox views — before the
+    // transport or any worker thread sees it.
+    if (resume_step_ >= 0) {
+      recovery_.restore(*st, static_cast<std::uint64_t>(resume_step_));
+    }
     states_.push_back(std::move(st));
   }
   // The transport rebuilds its per-run arenas (and, for sockets, endpoints)
   // here; destroying the previous run's arenas releases every slab into
   // pool_ for the new ones to reacquire — buffers recycle across run()
-  // calls, not just across supersteps.
+  // calls, not just across supersteps. A failed attempt marked the socket
+  // wire dirty, so a retry gets a fresh mesh.
   transport_->reset_run(states_);
   barrier_a_ = make_barrier(cfg_.barrier, p, &abort_);
   barrier_b_ = make_barrier(cfg_.barrier, p, &abort_);
@@ -183,7 +293,13 @@ RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
         p, [this] { transport_->exchange(states_); });
   }
 
-  WallTimer wall;
+  progress_.fetch_add(1, std::memory_order_relaxed);  // attempt start
+  watchdog_stop_.store(false, std::memory_order_release);
+  std::thread watchdog;
+  if (cfg_.superstep_deadline_ms != 0) {
+    watchdog = std::thread([this] { watchdog_main(); });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (int i = 0; i < p; ++i) {
@@ -191,18 +307,60 @@ RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
   }
   for (auto& t : threads) t.join();
 
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+
+  return first_error_ == nullptr;
+}
+
+RunStats Runtime::run(const std::function<void(Worker&)>& fn) {
+  const int p = cfg_.nprocs;
+  recovery_.reset(p);
+  resume_step_ = -1;
+  recoveries_ = 0;
+  // A fresh independent run re-arms the fault plan's counters; they then
+  // persist across the retry attempts *within* this run, which is what makes
+  // nth-occurrence lethal faults transient (they already fired).
+  if (fault_) fault_->reset();
+
+  WallTimer wall;
+  std::size_t attempt = 0;
+  while (!run_attempt(fn)) {
+    // Only transport errors are recoverable by replay; a program error would
+    // just recur (and masks nothing — report_error classified it primary).
+    if (first_error_class_ != 1 || attempt >= cfg_.max_run_retries) {
+      std::rethrow_exception(first_error_);
+    }
+    recoveries_ += 1;
+    const std::size_t shift = std::min<std::size_t>(attempt, 20);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.retry_backoff_us << shift));
+    attempt += 1;
+    // Resume from the newest checkpoint present on every rank; without
+    // checkpointing (or before the first one completes), replay the whole
+    // run — exact for deterministic programs.
+    resume_step_ = cfg_.checkpoint_every != 0 ? recovery_.latest_complete()
+                                              : -1;
+  }
+
   RunStats stats;
   stats.nprocs = p;
   stats.wall_s = wall.elapsed_s();
-
-  if (first_error_ != nullptr) {
-    std::rethrow_exception(first_error_);
-  }
-
+  stats.recoveries = recoveries_;
   stats.traces.reserve(states_.size());
   for (auto& st : states_) stats.traces.push_back(std::move(st->trace));
   stats.aggregate_from_traces();
   return stats;
+}
+
+void Runtime::set_fault_plan(const FaultPlan& plan) {
+  fault_ = std::make_unique<FaultInjector>(plan);
+  transport_->set_fault_injector(fault_.get());
+}
+
+void Runtime::clear_fault_plan() {
+  transport_->set_fault_injector(nullptr);
+  fault_.reset();
 }
 
 RunStats run_bsp(int nprocs, const std::function<void(Worker&)>& fn) {

@@ -37,7 +37,9 @@
 #include "core/arena.hpp"
 #include "core/barrier.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/message.hpp"
+#include "core/recovery.hpp"
 #include "core/scheduler.hpp"
 #include "core/stats.hpp"
 #include "core/worker_state.hpp"
@@ -104,6 +106,37 @@ class Worker {
     return state_->inbox;
   }
 
+  // --- Recovery API (core/recovery.hpp). Programs that enable
+  // Config::checkpoint_every are resume-aware: after a recoverable failure
+  // the runtime re-invokes the SPMD function with resumed() true, and the
+  // function must re-run its prologue (re-register regions and state
+  // callbacks, which restores their contents from the checkpoint) and then
+  // fast-forward its superstep loop to resume_superstep().
+
+  /// True when this invocation is a resume from a checkpoint rather than a
+  /// fresh start.
+  [[nodiscard]] bool resumed() const;
+
+  /// The superstep to fast-forward to: the checkpointed superstep on a
+  /// resume, 0 on a fresh start (so loops can unconditionally start here).
+  [[nodiscard]] std::uint64_t resume_superstep() const;
+
+  /// Registers `bytes` bytes at `base` (e.g. a DRMA region or a result
+  /// buffer) for checkpointing. Checkpoints snapshot regions in registration
+  /// order; on a resume, registration immediately restores the region's
+  /// checkpointed contents — the program must register the same regions, in
+  /// the same order and sizes, on every invocation. The memory must stay
+  /// valid for the rest of the run.
+  void register_checkpoint_region(void* base, std::size_t bytes);
+
+  /// Registers callbacks for state that is not a fixed memory region: `save`
+  /// appends the worker's private state to a byte vector at each checkpoint;
+  /// `restore` rebuilds it from the checkpointed bytes. On a resume, setting
+  /// a non-null `restore` invokes it immediately.
+  void set_checkpoint_state(
+      std::function<void(std::vector<std::byte>&)> save,
+      std::function<void(const std::byte*, std::size_t)> restore);
+
  private:
   friend class Runtime;
   Worker(Runtime* rt, detail::WorkerState* state) : rt_(rt), state_(state) {}
@@ -125,9 +158,26 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// Runs `fn` on nprocs workers; returns the per-superstep statistics.
-  /// If any worker throws, the computation aborts and the first error (by
-  /// pid) is rethrown here.
+  ///
+  /// Error policy: if any worker throws, the computation aborts. Program
+  /// (user) errors outrank transport errors — a functor throw is never
+  /// masked by the secondary BspTransportErrors it causes in peers — and
+  /// within a class the lowest pid wins. Transport errors are recoverable:
+  /// with Config::max_run_retries > 0 the runtime retries the run (from the
+  /// latest complete checkpoint when Config::checkpoint_every is enabled,
+  /// from superstep 0 otherwise) with exponential backoff, and only rethrows
+  /// once the retry budget is exhausted. Everything else rethrows
+  /// immediately.
   RunStats run(const std::function<void(Worker&)>& fn);
+
+  /// Installs a deterministic fault plan (core/fault.hpp) on the transport.
+  /// The injector persists across run() calls until cleared or replaced;
+  /// its per-rule counters carry across the retry attempts *within* one
+  /// run() — that is what makes nth-occurrence lethal faults transient —
+  /// but are re-armed at the start of each independent run().
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+  [[nodiscard]] FaultInjector* fault_injector() { return fault_.get(); }
 
   [[nodiscard]] const Config& config() const { return cfg_; }
 
@@ -149,12 +199,19 @@ class Runtime {
   void begin_work_slice(detail::WorkerState& st);
   void finalize_worker(detail::WorkerState& st);
   void report_error(std::exception_ptr e, int pid);
+  /// One execution of `fn` on all workers (one retry attempt). Returns true
+  /// on success; on failure the winning error is left in first_error_.
+  bool run_attempt(const std::function<void(Worker&)>& fn);
+  /// Watchdog body (only started when Config::superstep_deadline_ms > 0):
+  /// reports a wedged run as a transport error when no worker completes a
+  /// superstep boundary within the deadline.
+  void watchdog_main();
 
   Config cfg_;
-  // Declared before transport_ and states_ so arenas (which release their
-  // slabs into the pool on destruction) die first. The pool persists across
-  // run() calls: that is what recycles buffers from one BSP computation to
-  // the next.
+  // Declared before transport_, recovery_ and states_ so arenas (which
+  // release their slabs into the pool on destruction) die first. The pool
+  // persists across run() calls: that is what recycles buffers from one BSP
+  // computation to the next.
   SlabPool pool_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<detail::WorkerState>> states_;
@@ -165,6 +222,21 @@ class Runtime {
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
   int first_error_pid_ = -1;
+  // Error class of first_error_: user errors (0) outrank transport errors
+  // (1); 2 = no error yet. Lower wins; ties broken by lowest pid.
+  int first_error_class_ = 2;
+
+  // --- Fault injection + recovery.
+  std::unique_ptr<FaultInjector> fault_;
+  RecoveryManager recovery_{&pool_};
+  // Superstep the current attempt resumes from; -1 = fresh start (replay
+  // from superstep 0 on retry without checkpoints).
+  std::int64_t resume_step_ = -1;
+  std::uint64_t recoveries_ = 0;
+  // Bumped by every worker at every completed superstep boundary (and once
+  // at attempt start); the watchdog declares a wedge when it stops moving.
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<bool> watchdog_stop_{false};
 };
 
 /// Convenience: one-shot run with a default-parallel config.

@@ -47,6 +47,18 @@ std::uint64_t RunStats::total_wire_syscalls() const {
   return n;
 }
 
+std::uint64_t RunStats::total_injected_faults() const {
+  std::uint64_t n = 0;
+  for (const auto& s : supersteps) n += s.total_injected_faults;
+  return n;
+}
+
+std::uint64_t RunStats::total_checkpoint_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : supersteps) n += s.total_checkpoint_bytes;
+  return n;
+}
+
 void RunStats::aggregate_from_traces() {
   supersteps.clear();
   std::size_t steps = 0;
@@ -71,6 +83,10 @@ void RunStats::aggregate_from_traces() {
                                        r.sent_messages + r.recv_messages);
       agg.total_wire_bytes += r.wire_bytes;
       agg.total_wire_syscalls += r.wire_syscalls;
+      agg.total_injected_faults += r.injected_faults;
+      agg.total_checkpoint_bytes += r.checkpoint_bytes;
+      agg.checkpoint_max_us = std::max(agg.checkpoint_max_us, r.checkpoint_us);
+      agg.restore_max_us = std::max(agg.restore_max_us, r.restore_us);
       total_recv += r.recv_packets;
     }
     supersteps[i] = agg;

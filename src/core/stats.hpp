@@ -33,6 +33,18 @@ struct WorkerStepRecord {
   /// worker at the boundary that opened this superstep — the software-path
   /// constant factor behind the wire bytes. Zero for in-memory transports.
   std::uint64_t wire_syscalls = 0;
+  /// Faults the injection harness (core/fault.hpp) fired on this worker's
+  /// behalf during the boundary that opened this superstep. Zero unless a
+  /// FaultPlan is installed.
+  std::uint64_t injected_faults = 0;
+  /// Checkpoint taken at the top of this superstep (core/recovery.hpp):
+  /// bytes snapshotted and time spent. Zero unless Config::checkpoint_every
+  /// selected this superstep.
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_us = 0.0;
+  /// Time spent restoring this worker's state into this superstep after a
+  /// recovery (charged to the superstep execution resumed at).
+  double restore_us = 0.0;
   /// Destination-indexed packet counts; empty unless
   /// Config::collect_comm_matrix is set.
   std::vector<std::uint64_t> sent_to_packets;
@@ -59,12 +71,24 @@ struct SuperstepStats {
   /// in-memory transports): the per-stage software overhead that the socket
   /// transport's sectioned wire format amortises.
   std::uint64_t total_wire_syscalls = 0;
+  /// Faults injected across all processors at this superstep's boundary.
+  std::uint64_t total_injected_faults = 0;
+  /// Checkpoint bytes snapshotted across all processors at the top of this
+  /// superstep, and the max per-processor time spent doing it (the cut is
+  /// synchronous, so the max is what the critical path pays).
+  std::uint64_t total_checkpoint_bytes = 0;
+  double checkpoint_max_us = 0.0;
+  double restore_max_us = 0.0;
 };
 
 /// Full accounting for one BSP run.
 struct RunStats {
   int nprocs = 0;
   double wall_s = 0.0;  ///< measured wall-clock time of the whole run
+  /// Times Runtime::run() recovered from a transport failure (restored a
+  /// checkpoint or replayed from the start) before completing. 0 on a clean
+  /// run; the trace/superstep data describe the *successful* attempt.
+  std::uint64_t recoveries = 0;
   std::vector<SuperstepStats> supersteps;
   /// Raw per-worker traces (worker-major), kept for emulation/analysis.
   std::vector<std::vector<WorkerStepRecord>> traces;
@@ -92,6 +116,13 @@ struct RunStats {
   /// Total data-path syscalls over the whole run (0 unless the socket
   /// transport ran the exchanges).
   [[nodiscard]] std::uint64_t total_wire_syscalls() const;
+
+  /// Total faults injected over the whole run (0 without a FaultPlan).
+  [[nodiscard]] std::uint64_t total_injected_faults() const;
+
+  /// Total bytes checkpointed over the whole run (0 unless
+  /// Config::checkpoint_every is set).
+  [[nodiscard]] std::uint64_t total_checkpoint_bytes() const;
 
   /// Merges per-worker traces into per-superstep aggregates. Called by the
   /// runtime; public so emulation replays can re-aggregate.

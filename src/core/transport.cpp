@@ -1,12 +1,44 @@
 #include "core/transport.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
 
 #include "core/transport_deferred.hpp"
 #include "core/transport_eager.hpp"
 #include "core/transport_socket.hpp"
 
 namespace gbsp {
+
+namespace {
+
+std::string format_transport_error(const std::string& what, int rank, int peer,
+                                   std::int64_t superstep, int stage, int err,
+                                   std::uint64_t bytes_moved) {
+  std::ostringstream os;
+  os << "gbsp transport: " << what << " [rank=" << rank << " peer=" << peer
+     << " superstep=" << superstep << " stage=" << stage << " errno=" << err;
+  if (err != 0) os << " (" << std::strerror(err) << ")";
+  os << " bytes_moved=" << bytes_moved << "]";
+  return os.str();
+}
+
+}  // namespace
+
+BspTransportError::BspTransportError(const std::string& what, int rank,
+                                     int peer, std::int64_t superstep,
+                                     int stage, int err,
+                                     std::uint64_t bytes_moved)
+    : std::runtime_error(format_transport_error(what, rank, peer, superstep,
+                                                stage, err, bytes_moved)),
+      rank(rank),
+      peer(peer),
+      superstep(superstep),
+      stage(stage),
+      err(err),
+      bytes_moved(bytes_moved) {}
 
 const char* to_string(DeliveryStrategy d) {
   switch (d) {
@@ -40,6 +72,31 @@ std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
 }
 
 namespace detail {
+
+void TransportBase::inject_boundary_fault(FaultSite site,
+                                          WorkerState& st) const {
+  if (fault_ == nullptr) return;
+  FaultContext ctx;
+  ctx.rank = st.pid;
+  ctx.superstep = st.superstep;
+  const auto d = fault_->before_call(site, ctx);
+  if (!d) return;
+  st.injected_faults += 1;
+  switch (d->kind) {
+    case FaultKind::DelayUs:
+      std::this_thread::sleep_for(std::chrono::microseconds(d->arg));
+      return;
+    case FaultKind::Abort:
+    case FaultKind::PeerHangup:
+      throw BspTransportError(
+          std::string("injected ") + to_string(d->kind) + " at " +
+              to_string(site),
+          st.pid, /*peer=*/-1, static_cast<std::int64_t>(st.superstep),
+          /*stage=*/-1, /*err=*/0, /*bytes_moved=*/0);
+    default:
+      return;  // syscall-shaped kinds have no meaning at a boundary hook
+  }
+}
 
 void TransportBase::append_views(WorkerState& dst, const MessageArena& arena,
                                  std::uint64_t& recv_packets) const {

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -30,16 +31,39 @@
 
 #include "core/arena.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/worker_state.hpp"
 
 namespace gbsp {
 
-/// A peer failed at the transport level (closed connection, stage timeout).
-/// Like BspAborted it unwinds the worker, but unlike BspAborted it carries a
-/// diagnosis and is reported as the run's error rather than swallowed.
+/// A peer failed at the transport level (closed connection, stage timeout,
+/// corrupt stream, injected fault). Like BspAborted it unwinds the worker,
+/// but unlike BspAborted it carries a diagnosis and is reported as the run's
+/// error rather than swallowed — and, when Config::max_run_retries is set,
+/// it is the one error class Runtime::run() treats as recoverable.
+///
+/// Every throw site supplies uniform context so a failure deep inside a
+/// staged exchange is diagnosable from the message alone: the observing
+/// rank, the peer it was talking to (-1 when not peer-specific), the
+/// superstep boundary being crossed, the exchange stage (-1 outside a staged
+/// exchange), the observed errno (0 when the failure is not a syscall), and
+/// how many bytes of the current transfer had already moved.
 struct BspTransportError : std::runtime_error {
+  int rank = -1;
+  int peer = -1;
+  std::int64_t superstep = -1;
+  int stage = -1;
+  int err = 0;
+  std::uint64_t bytes_moved = 0;
+
   explicit BspTransportError(const std::string& what)
       : std::runtime_error("gbsp transport: " + what) {}
+
+  /// Formats "gbsp transport: <what> [rank=R peer=P superstep=S stage=K
+  /// errno=E (strerror) bytes_moved=B]".
+  BspTransportError(const std::string& what, int rank, int peer,
+                    std::int64_t superstep, int stage, int err,
+                    std::uint64_t bytes_moved);
 };
 
 /// Message-movement strategy. One Transport instance serves one Runtime for
@@ -113,6 +137,11 @@ class Transport {
   /// runtime to diagnose sends after a worker's final sync().
   [[nodiscard]] virtual bool has_unflushed(
       const detail::WorkerState& st) const = 0;
+
+  /// Installs (or clears, with nullptr) the fault-injection harness. The
+  /// injector must outlive the transport's use of it; null means no faults
+  /// (the production fast path: one pointer check per injection point).
+  virtual void set_fault_injector(FaultInjector* injector) = 0;
 };
 
 /// Human-readable transport name for a strategy ("deferred", "eager",
@@ -150,7 +179,16 @@ class TransportBase : public Transport {
     }
   }
 
+  void set_fault_injector(FaultInjector* injector) override {
+    fault_ = injector;
+  }
+
  protected:
+  /// Consults the injector at a boundary hook (Deliver/Flush) on behalf of
+  /// `st` and acts out the decision: DelayUs sleeps, Abort/PeerHangup throw
+  /// BspTransportError (in-memory transports have no endpoint to shut down,
+  /// so both model sudden peer death). Syscall-only kinds are ignored here.
+  void inject_boundary_fault(FaultSite site, WorkerState& st) const;
   /// Appends one view per frame of `arena` onto dst.inbox, accumulating the
   /// h-relation packet count into `recv_packets` when stats are collected.
   void append_views(WorkerState& dst, const MessageArena& arena,
@@ -165,6 +203,7 @@ class TransportBase : public Transport {
   const Config cfg_;
   SlabPool* const pool_;
   const std::atomic<bool>* const abort_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace detail

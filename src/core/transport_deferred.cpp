@@ -33,7 +33,14 @@ void DeferredTransport::stage_send(detail::WorkerState& st, int dest,
   if (n != 0) std::memcpy(slot, data, n);
 }
 
+void DeferredTransport::flush(detail::WorkerState& st) {
+  // Nothing to move — sends stage straight into the per-destination arenas —
+  // but the fault harness hooks the boundary here.
+  inject_boundary_fault(FaultSite::Flush, st);
+}
+
 void DeferredTransport::deliver_to(detail::WorkerState& dst) {
+  inject_boundary_fault(FaultSite::Deliver, dst);
   dst.inbox.clear();
   dst.inbox_cursor = 0;
   PerWorker& mine = per_[static_cast<std::size_t>(dst.pid)];

@@ -56,6 +56,7 @@ void EagerTransport::flush_one(detail::WorkerState& st, int dest) {
 }
 
 void EagerTransport::flush(detail::WorkerState& st) {
+  inject_boundary_fault(FaultSite::Flush, st);
   // Only destinations actually sent to this superstep need flushing — a
   // chunk-boundary flush may already have emptied some of them, which
   // flush_one short-circuits.
@@ -68,6 +69,7 @@ void EagerTransport::flush(detail::WorkerState& st) {
 }
 
 void EagerTransport::deliver_to(detail::WorkerState& dst) {
+  inject_boundary_fault(FaultSite::Deliver, dst);
   dst.inbox.clear();
   dst.inbox_cursor = 0;
   PerWorker& pw = *per_[static_cast<std::size_t>(dst.pid)];

@@ -38,8 +38,9 @@ void append_bytes(std::vector<std::byte>& buf, const void* data,
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    throw BspTransportError(std::string("fcntl(O_NONBLOCK): ") +
-                            std::strerror(errno));
+    throw BspTransportError("fcntl(O_NONBLOCK) failed", /*rank=*/-1,
+                            /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+                            errno, /*bytes_moved=*/0);
   }
 }
 
@@ -127,8 +128,9 @@ void SocketTransport::reset_run(
     for (std::size_t j = i + 1; j < p; ++j) {
       int sv[2];
       if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-        throw BspTransportError(std::string("socketpair: ") +
-                                std::strerror(errno));
+        throw BspTransportError("socketpair failed", /*rank=*/-1,
+                                static_cast<int>(j), /*superstep=*/-1,
+                                /*stage=*/-1, errno, /*bytes_moved=*/0);
       }
       set_nonblocking(sv[0]);
       set_nonblocking(sv[1]);
@@ -171,10 +173,11 @@ void SocketTransport::stage_send(detail::WorkerState& st, int dest,
     // Reject at the send call, where the application can see a clean error,
     // rather than letting the peer's header validation kill the exchange.
     throw BspTransportError(
-        "message of " + std::to_string(n) + " bytes from pid " +
-        std::to_string(st.pid) + " to pid " + std::to_string(dest) +
-        " exceeds socket_max_frame_bytes (" +
-        std::to_string(cfg_.socket_max_frame_bytes) + ")");
+        "message of " + std::to_string(n) +
+            " bytes exceeds socket_max_frame_bytes (" +
+            std::to_string(cfg_.socket_max_frame_bytes) + ")",
+        st.pid, dest, static_cast<std::int64_t>(st.superstep), /*stage=*/-1,
+        /*err=*/0, /*bytes_moved=*/0);
   }
   const std::size_t d = static_cast<std::size_t>(dest);
   // Same bump-append staging as the deferred transport; the bytes hit the
@@ -224,8 +227,54 @@ void SocketTransport::begin_stage(PerWorker& pw, StageState& ss, int pid,
                          static_cast<std::size_t>(ss.send_pre.payload_bytes));
 }
 
+std::optional<FaultInjector::Decision> SocketTransport::syscall_fault(
+    detail::WorkerState& st, const StageState& ss, FaultSite site, int fd,
+    int peer, std::uint64_t bytes_moved) {
+  if (fault_ == nullptr) return std::nullopt;
+  FaultContext ctx;
+  ctx.rank = st.pid;
+  ctx.superstep = st.superstep;
+  ctx.stage = ss.k;
+  ctx.peer = peer;
+  auto d = fault_->before_call(site, ctx);
+  if (!d) return std::nullopt;
+  st.injected_faults += 1;
+  switch (d->kind) {
+    case FaultKind::DelayUs:
+      std::this_thread::sleep_for(std::chrono::microseconds(d->arg));
+      return std::nullopt;  // proceed normally after the stall
+    case FaultKind::PeerHangup:
+      // Shut down our end of the stream: the peer observes EOF and we
+      // observe EPIPE/EOF on the next real call — a bidirectional death.
+      ::shutdown(fd, SHUT_RDWR);
+      return std::nullopt;
+    case FaultKind::Abort:
+      throw BspTransportError(
+          std::string("injected abort at ") + to_string(site), st.pid, peer,
+          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
+          bytes_moved);
+    default:
+      return d;  // Eintr / Eagain / ShortIo: the pump loop acts these out
+  }
+}
+
+void SocketTransport::maybe_corrupt(detail::WorkerState& st,
+                                    const StageState& ss, int src,
+                                    std::byte* buf, std::size_t n) {
+  if (fault_ == nullptr || n == 0) return;
+  FaultContext ctx;
+  ctx.rank = st.pid;
+  ctx.superstep = st.superstep;
+  ctx.stage = ss.k;
+  ctx.peer = src;
+  if (const auto off = fault_->corrupt_offset(FaultSite::RecvCall, ctx)) {
+    st.injected_faults += 1;
+    buf[static_cast<std::size_t>(*off) % n] ^= std::byte{0xA5};
+  }
+}
+
 std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
-                                       StageState& ss, int fd) {
+                                       StageState& ss, int fd, int peer) {
   std::size_t moved = 0;
   while (!ss.send_done) {
     if (ss.send_idx == pw.send_iov.size()) {
@@ -236,10 +285,30 @@ std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
       ss.send_done = true;
       break;
     }
+    std::size_t clamp = 0;
+    if (const auto d =
+            syscall_fault(st, ss, FaultSite::SendCall, fd, peer,
+                          ss.send_moved)) {
+      if (d->kind == FaultKind::Eintr) continue;   // as if sendmsg -> EINTR
+      if (d->kind == FaultKind::Eagain) break;     // as if sendmsg -> EAGAIN
+      if (d->kind == FaultKind::ShortIo) {
+        clamp = std::max<std::uint64_t>(d->arg, 1);
+      }
+    }
+    iovec clamped{};
     msghdr mh{};
-    mh.msg_iov = pw.send_iov.data() + ss.send_idx;
-    mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(
-        std::min(pw.send_iov.size() - ss.send_idx, iov_max()));
+    if (clamp != 0) {
+      // Truncated transfer: offer the kernel a prefix of the current entry,
+      // exercising the partial-I/O resume path.
+      clamped = pw.send_iov[ss.send_idx];
+      clamped.iov_len = std::min(clamped.iov_len, clamp);
+      mh.msg_iov = &clamped;
+      mh.msg_iovlen = 1;
+    } else {
+      mh.msg_iov = pw.send_iov.data() + ss.send_idx;
+      mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(
+          std::min(pw.send_iov.size() - ss.send_idx, iov_max()));
+    }
     const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
       // Counts only calls that moved bytes: idle EAGAIN probes are a
@@ -248,20 +317,21 @@ std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
       ++st.wire_syscalls;
       advance_iov(pw.send_iov, ss.send_idx, static_cast<std::size_t>(n));
       moved += static_cast<std::size_t>(n);
+      ss.send_moved += static_cast<std::uint64_t>(n);
       st.wire_bytes += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     throw BspTransportError(
-        "stage " + std::to_string(ss.k) + " send from pid " +
-        std::to_string(st.pid) + " failed: " + std::strerror(errno) +
-        " (peer dead?)");
+        "stage send failed (peer dead?)", st.pid, peer,
+        static_cast<std::int64_t>(st.superstep), ss.k, errno, ss.send_moved);
   }
   return moved;
 }
 
-void SocketTransport::parse_header_block(PerWorker& pw, StageState& ss,
+void SocketTransport::parse_header_block(detail::WorkerState& st,
+                                         PerWorker& pw, StageState& ss,
                                          int src) {
   const std::size_t count = static_cast<std::size_t>(ss.recv_pre.count);
   // First pass validates every header before a single arena append: a
@@ -273,28 +343,31 @@ void SocketTransport::parse_header_block(PerWorker& pw, StageState& ss,
                 sizeof(h));
     if (h.pad != 0) {
       throw BspTransportError(
-          "frame header " + std::to_string(i) + " of stage " +
-          std::to_string(ss.k) + " from peer " + std::to_string(src) +
-          " has nonzero pad " + std::to_string(h.pad) +
-          " (stream corruption?)");
+          "frame header " + std::to_string(i) + " has nonzero pad " +
+              std::to_string(h.pad) + " (stream corruption?)",
+          st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+          /*err=*/0, ss.recv_moved);
     }
     if (h.len > cfg_.socket_max_frame_bytes) {
       throw BspTransportError(
-          "frame header " + std::to_string(i) + " of stage " +
-          std::to_string(ss.k) + " from peer " + std::to_string(src) +
-          " claims " + std::to_string(h.len) +
-          " payload bytes, which exceeds socket_max_frame_bytes (" +
-          std::to_string(cfg_.socket_max_frame_bytes) +
-          "; stream corruption?)");
+          "frame header " + std::to_string(i) + " claims " +
+              std::to_string(h.len) +
+              " payload bytes, which exceeds socket_max_frame_bytes (" +
+              std::to_string(cfg_.socket_max_frame_bytes) +
+              "; stream corruption?)",
+          st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+          /*err=*/0, ss.recv_moved);
     }
     sum += h.len;
   }
   if (sum != ss.recv_pre.payload_bytes) {
     throw BspTransportError(
-        "stage " + std::to_string(ss.k) + " from peer " +
-        std::to_string(src) + " is inconsistent: header block sums to " +
-        std::to_string(sum) + " payload bytes but the preamble declared " +
-        std::to_string(ss.recv_pre.payload_bytes) + " (stream corruption?)");
+        "inconsistent stage: header block sums to " + std::to_string(sum) +
+            " payload bytes but the preamble declared " +
+            std::to_string(ss.recv_pre.payload_bytes) +
+            " (stream corruption?)",
+        st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+        /*err=*/0, ss.recv_moved);
   }
   // Second pass appends the frames and points an iovec at every non-empty
   // payload slot, so the payload section readv()s straight into the memory
@@ -325,19 +398,39 @@ std::size_t SocketTransport::pump_recv(detail::WorkerState& st, PerWorker& pw,
       ss.recv_done = true;
       break;
     }
+    std::size_t clamp = 0;
+    if (const auto d =
+            syscall_fault(st, ss, FaultSite::RecvCall, fd, src,
+                          ss.recv_moved)) {
+      if (d->kind == FaultKind::Eintr) continue;  // as if recv -> EINTR
+      if (d->kind == FaultKind::Eagain) break;    // as if recv -> EAGAIN
+      if (d->kind == FaultKind::ShortIo) {
+        clamp = std::max<std::uint64_t>(d->arg, 1);
+      }
+    }
     ssize_t n = 0;
     switch (ss.phase) {
-      case StageState::Phase::Preamble:
-        n = ::recv(fd, ss.scratch + ss.scratch_off,
-                   sizeof(StagePreamble) - ss.scratch_off, 0);
+      case StageState::Phase::Preamble: {
+        std::size_t want = sizeof(StagePreamble) - ss.scratch_off;
+        if (clamp != 0) want = std::min(want, clamp);
+        n = ::recv(fd, ss.scratch + ss.scratch_off, want, 0);
         break;
-      case StageState::Phase::Headers:
+      }
+      case StageState::Phase::Headers: {
         // One bulk read for the whole remaining header block — this is the
         // receive-side win over the per-frame state machine.
-        n = ::recv(fd, pw.hdr_in.data() + ss.hdr_off,
-                   pw.hdr_in.size() - ss.hdr_off, 0);
+        std::size_t want = pw.hdr_in.size() - ss.hdr_off;
+        if (clamp != 0) want = std::min(want, clamp);
+        n = ::recv(fd, pw.hdr_in.data() + ss.hdr_off, want, 0);
         break;
+      }
       case StageState::Phase::Payload: {
+        if (clamp != 0) {
+          iovec clamped = pw.recv_iov[ss.recv_idx];
+          clamped.iov_len = std::min(clamped.iov_len, clamp);
+          n = ::readv(fd, &clamped, 1);
+          break;
+        }
         const std::size_t cnt =
             std::min(pw.recv_iov.size() - ss.recv_idx, iov_max());
         n = ::readv(fd, pw.recv_iov.data() + ss.recv_idx,
@@ -348,48 +441,60 @@ std::size_t SocketTransport::pump_recv(detail::WorkerState& st, PerWorker& pw,
         break;
     }
     if (n == 0) {
-      throw BspTransportError("peer " + std::to_string(src) +
-                              " closed its endpoint mid-stage " +
-                              std::to_string(ss.k) + " (peer death)");
+      throw BspTransportError(
+          "peer closed its endpoint mid-stage (peer death)", st.pid, src,
+          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
+          ss.recv_moved);
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      throw BspTransportError("stage " + std::to_string(ss.k) +
-                              " recv from peer " + std::to_string(src) +
-                              " failed: " + std::strerror(errno));
+      throw BspTransportError(
+          "stage recv failed", st.pid, src,
+          static_cast<std::int64_t>(st.superstep), ss.k, errno,
+          ss.recv_moved);
     }
     ++st.wire_syscalls;  // like the send side: only calls that moved bytes
     moved += static_cast<std::size_t>(n);
+    ss.recv_moved += static_cast<std::uint64_t>(n);
     switch (ss.phase) {
       case StageState::Phase::Preamble:
         ss.scratch_off += static_cast<std::size_t>(n);
         if (ss.scratch_off == sizeof(StagePreamble)) {
+          // Corruption fires on completed control sections — the validation
+          // path must be the thing that catches the garbled byte.
+          maybe_corrupt(st, ss, src, ss.scratch, sizeof(StagePreamble));
           std::memcpy(&ss.recv_pre, ss.scratch, sizeof(ss.recv_pre));
           // Cross-check the sections against each other before trusting any
           // of the preamble's lengths.
           if (ss.recv_pre.header_bytes > kMaxHeaderBlockBytes) {
             throw BspTransportError(
-                "stage preamble from peer " + std::to_string(src) +
-                " claims a " + std::to_string(ss.recv_pre.header_bytes) +
-                "-byte header block (stream corruption?)");
+                "stage preamble claims a " +
+                    std::to_string(ss.recv_pre.header_bytes) +
+                    "-byte header block (stream corruption?)",
+                st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+                /*err=*/0, ss.recv_moved);
           }
           if (ss.recv_pre.count !=
               ss.recv_pre.header_bytes / sizeof(WireFrameHeader) ||
               ss.recv_pre.header_bytes % sizeof(WireFrameHeader) != 0) {
             throw BspTransportError(
-                "stage preamble from peer " + std::to_string(src) +
-                " is inconsistent: count " +
-                std::to_string(ss.recv_pre.count) + " vs header block of " +
-                std::to_string(ss.recv_pre.header_bytes) +
-                " bytes (stream corruption?)");
+                "inconsistent stage preamble: count " +
+                    std::to_string(ss.recv_pre.count) +
+                    " vs header block of " +
+                    std::to_string(ss.recv_pre.header_bytes) +
+                    " bytes (stream corruption?)",
+                st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+                /*err=*/0, ss.recv_moved);
           }
           if (ss.recv_pre.count == 0) {
             if (ss.recv_pre.payload_bytes != 0) {
               throw BspTransportError(
-                  "stage preamble from peer " + std::to_string(src) +
-                  " declares " + std::to_string(ss.recv_pre.payload_bytes) +
-                  " payload bytes with zero frames (stream corruption?)");
+                  "stage preamble declares " +
+                      std::to_string(ss.recv_pre.payload_bytes) +
+                      " payload bytes with zero frames (stream corruption?)",
+                  st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+                  /*err=*/0, ss.recv_moved);
             }
             ss.phase = StageState::Phase::Done;
           } else {
@@ -408,7 +513,8 @@ std::size_t SocketTransport::pump_recv(detail::WorkerState& st, PerWorker& pw,
       case StageState::Phase::Headers:
         ss.hdr_off += static_cast<std::size_t>(n);
         if (ss.hdr_off == pw.hdr_in.size()) {
-          parse_header_block(pw, ss, src);
+          maybe_corrupt(st, ss, src, pw.hdr_in.data(), pw.hdr_in.size());
+          parse_header_block(st, pw, ss, src);
         }
         break;
       case StageState::Phase::Payload:
@@ -440,7 +546,7 @@ void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
     // full-duplex stage deadlock-free when transfers exceed kernel buffers
     // (everyone drains the stream they are the stage-k reader of).
     std::size_t moved = 0;
-    if (!ss.send_done) moved += pump_send(st, pw, ss, sfd);
+    if (!ss.send_done) moved += pump_send(st, pw, ss, sfd, sp);
     if (!ss.recv_done) moved += pump_recv(st, pw, ss, rfd, rp);
     if (ss.send_done && ss.recv_done) return;
     if (moved != 0) {
@@ -454,11 +560,11 @@ void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
     const auto idle = Clock::now() - last_progress;
     if (idle > std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
       throw BspTransportError(
-          "stage " + std::to_string(ss.k) + " of pid " +
-          std::to_string(st.pid) + " made no progress for " +
-          std::to_string(cfg_.socket_stage_timeout_ms) +
-          " ms (waiting on peer " + std::to_string(rp) + "/" +
-          std::to_string(sp) + "; peer dead or wedged)");
+          "stage made no progress for " +
+              std::to_string(cfg_.socket_stage_timeout_ms) +
+              " ms (peer dead or wedged)",
+          st.pid, rp, static_cast<std::int64_t>(st.superstep), ss.k,
+          /*err=*/0, ss.send_moved + ss.recv_moved);
     }
     // Adaptive wait: a peer in the same boundary is typically microseconds
     // away, so retry the non-blocking pumps for the spin budget (yielding
@@ -488,7 +594,23 @@ void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
         ++nfds;
       }
     }
-    (void)::poll(fds, nfds, static_cast<int>(backoff_ms));  // EINTR: re-loop
+    if (const auto d =
+            syscall_fault(st, ss, FaultSite::PollCall, rfd, rp, 0)) {
+      // Eintr/Eagain: skip this poll round as if it was interrupted; the
+      // loop re-pumps and re-polls with the next backoff step.
+      (void)d;
+      backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
+      continue;
+    }
+    if (::poll(fds, nfds, static_cast<int>(backoff_ms)) < 0 &&
+        errno != EINTR) {
+      // A real poll failure (EBADF after an injected hangup, ENOMEM) must be
+      // diagnosed, not spun on: retrying would busy-loop until the stage
+      // timeout with no chance of progress.
+      throw BspTransportError("poll on stage sockets failed", st.pid, rp,
+                              static_cast<std::int64_t>(st.superstep), ss.k,
+                              errno, ss.send_moved + ss.recv_moved);
+    }
     backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
   }
 }
@@ -510,10 +632,11 @@ void SocketTransport::publish(detail::WorkerState& dst, PerWorker& pw) {
 
 void SocketTransport::deliver_to(detail::WorkerState& dst) {
   PerWorker& pw = per_[static_cast<std::size_t>(dst.pid)];
-  open_boundary(dst, pw);
   const int p = static_cast<int>(per_.size());
   StageState ss;
   try {
+    inject_boundary_fault(FaultSite::Deliver, dst);
+    open_boundary(dst, pw);
     for (int k = 1; k < p; ++k) {
       begin_stage(pw, ss, dst.pid, k);
       run_stage(dst, pw, ss);
@@ -549,6 +672,7 @@ void SocketTransport::exchange(
     for (int i = 0; i < p; ++i) {
       Task& t = tasks[static_cast<std::size_t>(i)];
       t.st = states[static_cast<std::size_t>(i)].get();
+      inject_boundary_fault(FaultSite::Deliver, *t.st);
       open_boundary(*t.st, per_[static_cast<std::size_t>(i)]);
       begin_stage(per_[static_cast<std::size_t>(i)], t.ss, i, 1);
     }
@@ -566,7 +690,7 @@ void SocketTransport::exchange(
         std::size_t moved = 0;
         if (!t.ss.send_done) {
           moved += pump_send(*t.st, pw, t.ss,
-                             pw.fd_to[static_cast<std::size_t>(sp)]);
+                             pw.fd_to[static_cast<std::size_t>(sp)], sp);
         }
         if (!t.ss.recv_done) {
           moved += pump_recv(*t.st, pw, t.ss,
@@ -595,7 +719,10 @@ void SocketTransport::exchange(
       if (idle > std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
         throw BspTransportError(
             "serialized staged exchange made no progress for " +
-            std::to_string(cfg_.socket_stage_timeout_ms) + " ms");
+                std::to_string(cfg_.socket_stage_timeout_ms) + " ms",
+            /*rank=*/-1, /*peer=*/-1,
+            static_cast<std::int64_t>(states[0]->superstep), /*stage=*/-1,
+            /*err=*/0, /*bytes_moved=*/0);
       }
       // Same adaptive spin as the threaded driver; on a single thread the
       // yield is a no-op and the spin just retries the pump round.
@@ -620,8 +747,14 @@ void SocketTransport::exchange(
           fds.push_back({pw.fd_to[static_cast<std::size_t>(rp)], POLLIN, 0});
         }
       }
-      (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                   static_cast<int>(backoff_ms));
+      if (::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 static_cast<int>(backoff_ms)) < 0 &&
+          errno != EINTR) {
+        throw BspTransportError(
+            "poll in serialized staged exchange failed", /*rank=*/-1,
+            /*peer=*/-1, static_cast<std::int64_t>(states[0]->superstep),
+            /*stage=*/-1, errno, /*bytes_moved=*/0);
+      }
       backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
     }
   } catch (...) {

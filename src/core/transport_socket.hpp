@@ -60,6 +60,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/transport.hpp"
@@ -81,7 +82,11 @@ class SocketTransport final : public detail::TransportBase {
                      states) override;
   void stage_send(detail::WorkerState& st, int dest, const void* data,
                   std::size_t n) override;
-  void flush(detail::WorkerState& st) override { (void)st; }
+  void flush(detail::WorkerState& st) override {
+    // Sends stage straight into per-destination arenas; only the fault
+    // harness hooks the boundary here.
+    inject_boundary_fault(FaultSite::Flush, st);
+  }
   void deliver_to(detail::WorkerState& dst) override;
   void exchange(const std::vector<std::unique_ptr<detail::WorkerState>>&
                     states) override;
@@ -150,6 +155,11 @@ class SocketTransport final : public detail::TransportBase {
     std::size_t hdr_off = 0;   // bytes of the header block received so far
     std::size_t recv_idx = 0;  // cursor into PerWorker::recv_iov
     bool recv_done = false;
+    // Bytes moved so far in each direction of this stage — the transfer
+    // progress a BspTransportError reports so a failure mid-stage is
+    // diagnosable ("died 8 MB into a 64 MB stage" vs "died instantly").
+    std::uint64_t send_moved = 0;
+    std::uint64_t recv_moved = 0;
   };
 
   struct PerWorker {
@@ -175,13 +185,28 @@ class SocketTransport final : public detail::TransportBase {
   void begin_stage(PerWorker& pw, StageState& ss, int pid, int k);
   /// Pumps one direction; returns bytes moved (0 on EAGAIN). Throws
   /// BspTransportError on EOF, socket error, or a corrupt incoming stage.
+  /// Both pumps consult the fault injector (when installed) before every
+  /// syscall and act out its decision: simulated EINTR/EAGAIN, truncated
+  /// transfers, endpoint shutdown, delays, and aborts.
   std::size_t pump_send(detail::WorkerState& st, PerWorker& pw,
-                        StageState& ss, int fd);
+                        StageState& ss, int fd, int peer);
   std::size_t pump_recv(detail::WorkerState& st, PerWorker& pw,
                         StageState& ss, int fd, int src);
   /// Validates the fully received header block, appends its frames to the
   /// inbox arena and builds recv_iov; advances ss to Payload (or Done).
-  void parse_header_block(PerWorker& pw, StageState& ss, int src);
+  void parse_header_block(detail::WorkerState& st, PerWorker& pw,
+                          StageState& ss, int src);
+  /// Consults the injector before a syscall at `site`. Returns the decision
+  /// the pump loop must act on (nullopt = proceed normally); applies
+  /// DelayUs/PeerHangup side effects itself and throws on Abort.
+  std::optional<FaultInjector::Decision> syscall_fault(
+      detail::WorkerState& st, const StageState& ss, FaultSite site, int fd,
+      int peer, std::uint64_t bytes_moved);
+  /// Applies a pending CorruptByte decision to `n` freshly received control
+  /// bytes at `buf` (XOR 0xA5 at the rule's offset mod n), before the
+  /// validation path reads them.
+  void maybe_corrupt(detail::WorkerState& st, const StageState& ss, int src,
+                     std::byte* buf, std::size_t n);
   /// Blocking driver of one stage for one worker (Parallel mode).
   void run_stage(detail::WorkerState& st, PerWorker& pw, StageState& ss);
   /// Self-delivery + inbox reset at the top of a boundary.

@@ -11,7 +11,9 @@
 // Cenju / PC-LAN portability claim, Appendix B).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/message.hpp"
@@ -51,10 +53,32 @@ struct WorkerState {
   // syscalls is the constant factor the sectioned wire format exists to
   // shrink, so it is tracked first-class.
   std::uint64_t wire_syscalls = 0;
+  // Faults the injection harness (core/fault.hpp) fired on this worker since
+  // the last record; charged like wire_bytes to the superstep being opened
+  // when they fire during an exchange. Zero when no injector is installed.
+  std::uint64_t injected_faults = 0;
+  // Checkpoint/restore accounting (core/recovery.hpp): bytes snapshotted and
+  // time spent at the checkpoint taken at the top of the superstep being
+  // recorded, and time spent restoring into it after a recovery.
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_us = 0.0;
+  double restore_us = 0.0;
   std::vector<std::uint64_t> sent_to;  // per-dest packets this superstep
   std::int64_t work_start_ns = 0;
   std::vector<WorkerStepRecord> trace;
   bool finished = false;
+
+  // --- Recovery registration (core/recovery.hpp). Re-populated by the user
+  // function on every run attempt; the checkpoint layer snapshots regions in
+  // registration order and feeds the save callback's bytes back through the
+  // restore callback on resume.
+  struct CheckpointRegion {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+  };
+  std::vector<CheckpointRegion> ckpt_regions;
+  std::function<void(std::vector<std::byte>&)> ckpt_save;
+  std::function<void(const std::byte*, std::size_t)> ckpt_restore;
 };
 
 }  // namespace detail

@@ -1,0 +1,147 @@
+// Randomized chaos soak (ctest label `chaos`): many short runs under a
+// seeded storm of benign socket faults (EINTR, EAGAIN, short I/O, delays)
+// with a periodic transient killer mixed in, asserting that every run
+// completes with results bit-identical to std::sort / a fault-free ring.
+//
+// Two alternating workloads:
+//   * sample_sort with whole-run replay (checkpoint_every=0): the paper's
+//     canonical subroutine, exercising the personalized all-to-all under
+//     fire. Replay is exact because the program is deterministic.
+//   * the checkpointed ring accumulator: exercises checkpoint/restore of
+//     regions + inboxes on the resume path proper.
+//
+// Seeds rotate so every run is a different schedule yet each is exactly
+// reproducible: a failure report names the seed, and re-running with
+// GBSP_CHAOS_SEED=<seed> GBSP_CHAOS_RUNS=1 replays that exact storm.
+// GBSP_CHAOS_RUNS shrinks the soak under sanitizers (CMakePresets.json).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/sort/sample_sort.hpp"
+#include "core/fault.hpp"
+#include "core/runtime.hpp"
+
+namespace gbsp {
+namespace {
+
+constexpr int kProcs = 4;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/// Deterministic input for run i (splitmix64 — no global RNG state).
+std::vector<std::uint64_t> chaos_input(std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t& e : v) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    e = z ^ (z >> 31);
+  }
+  return v;
+}
+
+Config chaos_config() {
+  Config cfg;
+  cfg.nprocs = kProcs;
+  cfg.delivery = DeliveryStrategy::Socket;
+  cfg.deterministic_delivery = true;
+  cfg.socket_stage_timeout_ms = 2000;
+  cfg.max_run_retries = 4;
+  cfg.retry_backoff_us = 200;
+  return cfg;
+}
+
+void soak_sample_sort(std::uint64_t seed, bool lethal) {
+  const std::vector<std::uint64_t> input = chaos_input(seed, 4096);
+  std::vector<std::uint64_t> expected = input;
+  std::sort(expected.begin(), expected.end());
+
+  Config cfg = chaos_config();
+  Runtime rt(cfg);
+  // sample_sort syncs three times, so boundaries close supersteps 0..2 —
+  // the killer must land on one of them to actually fire.
+  rt.set_fault_plan(make_chaos_plan(seed, /*benign_prob=*/5e-4, lethal,
+                                    /*lethal_superstep=*/1 + seed % 2));
+  std::vector<std::uint64_t> out(input.size(), 0);
+  RunStats stats = rt.run(make_sample_sort_program(input, &out));
+  ASSERT_EQ(out, expected) << "seed=" << seed << " lethal=" << lethal
+                           << " recoveries=" << stats.recoveries;
+  if (lethal) {
+    ASSERT_GE(stats.recoveries, 1u)
+        << "seed=" << seed << ": the killer never fired";
+  }
+}
+
+void soak_checkpointed_ring(std::uint64_t seed, bool lethal) {
+  constexpr std::uint64_t kSteps = 5;
+  auto ring = [](Worker& w, std::vector<std::uint64_t>& accs) {
+    const int p = w.nprocs();
+    std::uint64_t& acc = accs[static_cast<std::size_t>(w.pid())];
+    w.register_checkpoint_region(&acc, sizeof(acc));
+    if (!w.resumed()) acc = 77 + static_cast<std::uint64_t>(w.pid());
+    for (std::uint64_t s = w.resume_superstep(); s < kSteps; ++s) {
+      if (s > 0) {
+        const Message* m = w.get_message();
+        ASSERT_NE(m, nullptr);
+        acc = acc * 33 + m->as<std::uint64_t>();
+      }
+      w.send((w.pid() + 1) % p, acc);
+      w.sync();
+    }
+    const Message* last = w.get_message();
+    ASSERT_NE(last, nullptr);
+    acc = acc * 33 + last->as<std::uint64_t>();
+  };
+
+  std::vector<std::uint64_t> expected(kProcs, 0);
+  {
+    Runtime rt(chaos_config());
+    rt.run([&](Worker& w) { ring(w, expected); });
+  }
+
+  Config cfg = chaos_config();
+  cfg.checkpoint_every = 1;
+  Runtime rt(cfg);
+  rt.set_fault_plan(make_chaos_plan(seed, /*benign_prob=*/5e-4, lethal,
+                                    /*lethal_superstep=*/1 + seed % 3));
+  std::vector<std::uint64_t> accs(kProcs, 0);
+  RunStats stats = rt.run([&](Worker& w) { ring(w, accs); });
+  ASSERT_EQ(accs, expected) << "seed=" << seed << " lethal=" << lethal
+                            << " recoveries=" << stats.recoveries;
+  if (lethal) {
+    ASSERT_GE(stats.recoveries, 1u)
+        << "seed=" << seed << ": the killer never fired";
+  }
+}
+
+TEST(ChaosSoak, SeededStormsCompleteBitIdentical) {
+  const std::uint64_t runs = env_u64("GBSP_CHAOS_RUNS", 100);
+  const std::uint64_t base = env_u64("GBSP_CHAOS_SEED", 20260808);
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base + i * 7919;
+    const bool lethal = i % 3 != 2;  // two of three runs take a real hit
+    if (i % 2 == 0) {
+      soak_sample_sort(seed, lethal);
+    } else {
+      soak_checkpointed_ring(seed, lethal);
+    }
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "chaos soak failed at seed=" << seed
+             << " (replay with GBSP_CHAOS_SEED=" << seed
+             << " GBSP_CHAOS_RUNS=1)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbsp
