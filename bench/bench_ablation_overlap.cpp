@@ -1,0 +1,241 @@
+// Ablation of split-phase supersteps (Worker::sync_begin()/sync_end()):
+// rigid sync() versus the split pair on a balanced compute+communication
+// workload, per transport. Every superstep each worker scatters `msgs`
+// `size`-byte messages over its peers and then does `work` units of local
+// compute; the rigid program computes *before* the boundary, the split
+// program computes *inside* the overlap window (chunked, pumping
+// sync_progress() between chunks). Same sends, same compute, same superstep
+// count — the wall-clock difference is the communication the window managed
+// to hide.
+//
+// Two work models:
+//   timed (default) — `work` ns of deadline-scheduled off-core time per
+//     superstep (absolute-deadline sleeps, so oversleep never accumulates).
+//     This models compute that does not contend with the transport for the
+//     CPU — a dedicated core per worker, an accelerator, or a memory-stall
+//     phase — which is the regime where overlap pays: the rigid barrier
+//     leaves the core idle while finished messages sit undelivered, the
+//     split window lets every worker's stage pumping use those gaps.
+//   cpu — `work` iterations of a serial integer recurrence on the worker
+//     thread. When workers outnumber cores this serializes compute and
+//     comm by construction (the transport's memcpy/syscall work runs on
+//     the same cores), so split tracks rigid instead of beating it; use
+//     it to measure the window's bookkeeping overhead, not the overlap.
+//
+//   --transport all|deferred|eager|socket   restrict the rows
+//   --procs N --steps N --msgs N --size B   workload shape
+//   --work N                                compute per superstep (ns|iters)
+//   --work-model timed|cpu                  see above
+//   --reps N                                median of N runs per row
+//   --json PATH                             machine-readable results
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/transport.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+std::function<void(gbsp::Worker&)> workload(int steps, int msgs, int size,
+                                            std::int64_t work, bool split,
+                                            bool timed) {
+  return [steps, msgs, size, work, split, timed](gbsp::Worker& w) {
+    const int p = w.nprocs();
+    std::vector<char> pkt(static_cast<std::size_t>(size),
+                          static_cast<char>(w.pid()));
+    std::uint64_t sink = 12345 + static_cast<std::uint64_t>(w.pid());
+    const auto compute = [&sink](std::int64_t iters) {
+      std::uint64_t x = sink;
+      for (std::int64_t i = 0; i < iters; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      }
+      sink = x;  // data-dependent across supersteps: not optimisable away
+    };
+    for (int s = 0; s < steps; ++s) {
+      if (p > 1) {
+        for (int k = 0; k < msgs; ++k) {
+          const int d = (w.pid() + 1 + k % (p - 1)) % p;
+          w.send_bytes(d, pkt.data(), pkt.size());
+        }
+      }
+      if (split) {
+        w.sync_begin();
+        if (timed) {
+          // Absolute deadlines: chunk i's oversleep is absorbed by chunk
+          // i+1, so the window is `work` ns regardless of timer slack, and
+          // every wakeup lends the transport a pump.
+          const auto t0 = std::chrono::steady_clock::now();
+          const int kChunks = 16;
+          for (int c = 1; c <= kChunks; ++c) {
+            std::this_thread::sleep_until(
+                t0 + (std::chrono::nanoseconds(work) * c) / kChunks);
+            (void)w.sync_progress();
+          }
+        } else {
+          // Chunk the compute so the worker lends the transport cycles
+          // between chunks; 64 pump opportunities per window is plenty to
+          // keep loopback streams moving without measurable loop overhead.
+          const std::int64_t chunk = std::max<std::int64_t>(1, work / 64);
+          for (std::int64_t done = 0; done < work; done += chunk) {
+            compute(std::min(chunk, work - done));
+            (void)w.sync_progress();
+          }
+        }
+        w.sync_end();
+      } else {
+        if (timed) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(work));
+        } else {
+          compute(work);
+        }
+        w.sync();
+      }
+      std::size_t got = 0;
+      while (w.get_message() != nullptr) ++got;
+      if (p > 1 && got != static_cast<std::size_t>(msgs)) {
+        throw std::logic_error("overlap ablation: lost messages");
+      }
+    }
+    if (sink == 0) throw std::logic_error("unreachable");  // keep sink live
+  };
+}
+
+struct Row {
+  std::string transport;
+  std::string mode;
+  double us_per_superstep = 0.0;
+  double overlap_ms = 0.0;            ///< total window time across the run
+  std::uint64_t overlap_wire_bytes = 0;  ///< wire bytes moved inside windows
+  std::uint64_t wire_bytes = 0;
+};
+
+Row measure(const gbsp::Config& cfg, bool split, int steps, int msgs,
+            int size, std::int64_t work, int reps, bool timed) {
+  gbsp::Runtime rt(cfg);
+  std::vector<double> us;
+  us.reserve(static_cast<std::size_t>(reps));
+  Row row;
+  for (int r = 0; r < reps; ++r) {
+    gbsp::WallTimer timer;
+    gbsp::RunStats stats =
+        rt.run(workload(steps, msgs, size, work, split, timed));
+    us.push_back(timer.elapsed_us() / steps);
+    row.overlap_ms = stats.overlap_s() * 1e3;
+    row.wire_bytes = stats.total_wire_bytes();
+    row.overlap_wire_bytes = stats.total_overlap_wire_bytes();
+  }
+  std::sort(us.begin(), us.end());
+  row.transport = gbsp::to_string(cfg.delivery);
+  row.mode = split ? "split" : "rigid";
+  row.us_per_superstep = us[us.size() / 2];
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gbsp;
+  CliArgs args(argc, argv);
+  const int np = static_cast<int>(args.get_int("procs", 4));
+  const int steps = static_cast<int>(args.get_int("steps", 200));
+  const int msgs = static_cast<int>(args.get_int("msgs", 256));
+  const int size = static_cast<int>(args.get_int("size", 4096));
+  const std::int64_t work = args.get_int("work", 600000);
+  const int reps = static_cast<int>(args.get_int("reps", 5));
+  const std::string which = args.get_string("transport", "all");
+  const std::string work_model = args.get_string("work-model", "timed");
+  const std::string json_path = args.get_string("json", "");
+  if (work_model != "timed" && work_model != "cpu") {
+    std::cerr << "unknown --work-model '" << work_model
+              << "' (want timed|cpu)\n";
+    return 2;
+  }
+  const bool timed = work_model == "timed";
+  const auto want = [&](const char* t) {
+    return which == "all" || which == t;
+  };
+
+  std::cout << "== overlap ablation: " << msgs << " x " << size
+            << " B msgs/worker/superstep + " << work
+            << (timed ? " ns off-core" : " iters on-core")
+            << " compute, p=" << np << ", " << steps
+            << " supersteps, median of " << reps << " rep(s) ==\n";
+
+  std::vector<DeliveryStrategy> transports;
+  if (want("deferred")) transports.push_back(DeliveryStrategy::Deferred);
+  if (want("eager")) transports.push_back(DeliveryStrategy::Eager);
+  if (want("socket")) transports.push_back(DeliveryStrategy::Socket);
+
+  std::vector<std::pair<Row, Row>> pairs;  // (rigid, split) per transport
+  for (DeliveryStrategy d : transports) {
+    Config cfg;
+    cfg.nprocs = np;
+    cfg.delivery = d;
+    pairs.emplace_back(
+        measure(cfg, false, steps, msgs, size, work, reps, timed),
+        measure(cfg, true, steps, msgs, size, work, reps, timed));
+  }
+
+  TextTable t({"transport", "rigid us/step", "split us/step", "speedup %",
+               "overlap ms/run", "overlap wire MB"});
+  for (const auto& [rigid, split] : pairs) {
+    const double pct =
+        100.0 * (rigid.us_per_superstep - split.us_per_superstep) /
+        rigid.us_per_superstep;
+    t.row()
+        .add(rigid.transport)
+        .add(rigid.us_per_superstep, 1)
+        .add(split.us_per_superstep, 1)
+        .add(pct, 1)
+        .add(split.overlap_ms, 1)
+        .add(static_cast<double>(split.overlap_wire_bytes) / 1e6, 1);
+  }
+  t.render(std::cout);
+  std::cout << "\nexpected shape: the in-memory transports gain little (the "
+               "whole-arena swap is already cheap; the split pair only "
+               "re-orders the same barriers), while the socket transport "
+               "hides its stage pumping — syscalls, framing, memcpy — inside "
+               "the window's off-core compute. With --work-model cpu and "
+               "fewer cores than workers, compute and comm fight for the "
+               "same cores and split tracks rigid instead.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n  \"bench\": \"ablation_overlap\",\n"
+       << "  \"nprocs\": " << np << ", \"steps\": " << steps
+       << ", \"msgs_per_proc_per_step\": " << msgs
+       << ", \"payload_bytes\": " << size << ", \"work\": " << work
+       << ", \"work_model\": \"" << work_model << "\", \"reps\": " << reps
+       << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto& [rigid, split] = pairs[i];
+      const double pct =
+          100.0 * (rigid.us_per_superstep - split.us_per_superstep) /
+          rigid.us_per_superstep;
+      os << "    {\"transport\": \"" << rigid.transport
+         << "\", \"rigid_median_us_per_superstep\": " << rigid.us_per_superstep
+         << ", \"split_median_us_per_superstep\": " << split.us_per_superstep
+         << ", \"speedup_pct\": " << pct
+         << ", \"split_overlap_ms_per_run\": " << split.overlap_ms
+         << ", \"split_overlap_wire_bytes\": " << split.overlap_wire_bytes
+         << ", \"wire_bytes_per_run\": " << split.wire_bytes << "}"
+         << (i + 1 < pairs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    if (!os.good()) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

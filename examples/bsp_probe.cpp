@@ -2,7 +2,7 @@
 // Figure 2.1 recipe, using the native thread backend.
 //
 //   $ bsp_probe [--procs 1,2,4,8] [--steps 200]
-//               [--transport deferred|eager|socket]
+//               [--transport deferred|eager|socket] [--overlap]
 //               [--fault-plan "site=...,kind=...;..."] [--fault-seed N]
 //               [--retries N] [--checkpoint-every N]
 //
@@ -11,6 +11,10 @@
 // total-exchange supersteps; both via a least-squares fit across h sizes.
 // --transport probes a specific Transport: the socket transport's g and L
 // are this machine's loopback analogue of the paper's PC-LAN column.
+// --overlap drives every boundary through the split-phase pair
+// (sync_begin()/sync_end() with no compute in the window), measuring the
+// pure protocol overhead of split-phase synchronization against the rigid
+// sync() numbers.
 //
 // The fault flags turn the probe into an ops-grade chaos driver: the plan
 // (core/fault.hpp textual form) is injected into every probed run, retries
@@ -49,11 +53,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("retries", 0));
   const auto checkpoint_every =
       static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  const bool overlap = args.has_flag("overlap");
 
   std::printf(
       "probing the native thread backend (%u hardware threads), "
-      "transport=%s\n",
-      std::thread::hardware_concurrency(), to_string(delivery));
+      "transport=%s, sync=%s\n",
+      std::thread::hardware_concurrency(), to_string(delivery),
+      overlap ? "split-phase" : "rigid");
   TextTable t({"nprocs", "g (us / 16B packet)", "L (us)"});
   std::uint64_t total_injected = 0;
   std::uint64_t total_recoveries = 0;
@@ -70,7 +76,7 @@ int main(int argc, char** argv) {
     if (!fault_plan.empty()) rt.set_fault_plan(fault_plan);
     for (int per_peer : {1, 4, 16, 64, 256}) {
       WallTimer timer;
-      const RunStats stats = rt.run([steps, per_peer](Worker& w) {
+      const RunStats stats = rt.run([steps, per_peer, overlap](Worker& w) {
         const int p = w.nprocs();
         char pkt[16] = {};
         for (int s = 0; s < steps; ++s) {
@@ -81,7 +87,12 @@ int main(int argc, char** argv) {
               w.send_bytes(dest, pkt, sizeof(pkt));
             }
           }
-          w.sync();
+          if (overlap) {
+            w.sync_begin();
+            w.sync_end();
+          } else {
+            w.sync();
+          }
           while (w.get_message() != nullptr) {
           }
         }

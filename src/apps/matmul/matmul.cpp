@@ -112,12 +112,13 @@ void copy_block_out(const double* src, int bx, int by, int bn, Matrix* dst) {
 }  // namespace
 
 std::function<void(Worker&)> make_cannon_program(const Matrix& A,
-                                                 const Matrix& B, Matrix* C) {
+                                                 const Matrix& B, Matrix* C,
+                                                 SyncMode mode) {
   const int n = A.n();
   if (B.n() != n || C->n() != n) {
     throw std::invalid_argument("cannon: size mismatch");
   }
-  return [&A, &B, C, n](Worker& w) {
+  return [&A, &B, C, n, mode](Worker& w) {
     const int q = cannon_active_grid_dim(w.nprocs(), n);
     if (w.pid() >= q * q) {
       // Processor outside the q x q compute grid (non-perfect-square p):
@@ -143,12 +144,23 @@ std::function<void(Worker&)> make_cannon_program(const Matrix& A,
     const int below = ((x + 1) % q) * q + y;    // B travels down
 
     for (int t = 0; t < q; ++t) {
-      kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
-      if (t + 1 == q) break;
-      // Superstep boundary 1: ship the blocks onward.
-      w.send_array(right, a);
-      w.send_array(below, b);
-      w.sync();
+      if (mode == SyncMode::SplitPhase && t + 1 < q) {
+        // Ship the resident blocks first (stage_send copies them out), then
+        // multiply inside the window while the shift travels. Same kernel,
+        // same operands, same order as the rigid iteration below.
+        w.send_array(right, a);
+        w.send_array(below, b);
+        w.sync_begin();
+        kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
+        w.sync_end();
+      } else {
+        kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
+        if (t + 1 == q) break;
+        // Superstep boundary 1: ship the blocks onward.
+        w.send_array(right, a);
+        w.send_array(below, b);
+        w.sync();
+      }
       // Unpack superstep: read the two incoming blocks (the paper's
       // message-passing "read messages" step), then a second boundary.
       int got = 0;

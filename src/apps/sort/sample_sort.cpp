@@ -29,16 +29,50 @@ std::vector<std::uint64_t> merge_runs(
   return std::move(runs.front());
 }
 
+/// The split-phase trick: the regular sample at sorted position `pos` can be
+/// produced *without sorting* by std::nth_element, whose partition property
+/// (everything left of the nth is <=, everything right is >=) also lets the
+/// next, larger position be selected from the remaining right part only.
+/// For std::uint64_t keys the value at each order statistic is unique as a
+/// bit pattern, so the sample array is bit-identical to sampling the sorted
+/// run — which is what makes the split and rigid programs comparable.
+std::vector<std::uint64_t> regular_samples_unsorted(
+    std::vector<std::uint64_t>& local, int p) {
+  std::vector<std::uint64_t> samples;
+  if (local.empty()) return samples;
+  bool have_prev = false;
+  std::size_t prev_pos = 0;
+  for (int k = 0; k < p; ++k) {
+    const std::size_t pos = local.size() * static_cast<std::size_t>(k) /
+                            static_cast<std::size_t>(p);
+    if (have_prev && pos == prev_pos) {
+      samples.push_back(samples.back());
+      continue;
+    }
+    const auto base =
+        local.begin() +
+        static_cast<std::ptrdiff_t>(have_prev ? prev_pos + 1 : 0);
+    std::nth_element(base, local.begin() + static_cast<std::ptrdiff_t>(pos),
+                     local.end());
+    samples.push_back(local[pos]);
+    prev_pos = pos;
+    have_prev = true;
+  }
+  return samples;
+}
+
 }  // namespace
 
 std::function<void(Worker&)> make_sample_sort_program(
-    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out) {
+    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out,
+    SyncMode mode) {
   if (out->size() != input.size()) {
     throw std::invalid_argument("sample_sort: output size mismatch");
   }
-  return [&input, out](Worker& w) {
+  return [&input, out, mode](Worker& w) {
     const int p = w.nprocs();
     const std::size_t n = input.size();
+    const bool split = mode == SyncMode::SplitPhase;
 
     // Blockwise share of the shared input.
     const std::size_t lo = n * static_cast<std::size_t>(w.pid()) /
@@ -47,25 +81,36 @@ std::function<void(Worker&)> make_sample_sort_program(
                            static_cast<std::size_t>(p);
     std::vector<std::uint64_t> local(input.begin() + static_cast<std::ptrdiff_t>(lo),
                                      input.begin() + static_cast<std::ptrdiff_t>(hi));
-    std::sort(local.begin(), local.end());
+    if (!split) std::sort(local.begin(), local.end());
 
     if (p == 1) {
+      if (split) std::sort(local.begin(), local.end());
       std::copy(local.begin(), local.end(), out->begin());
       return;
     }
 
     // --- superstep 1: regular samples to processor 0 -----------------------
     std::vector<std::uint64_t> samples;
-    for (int k = 0; k < p; ++k) {
-      if (!local.empty()) {
-        samples.push_back(local[local.size() * static_cast<std::size_t>(k) /
-                                static_cast<std::size_t>(p)]);
+    if (split) {
+      // Select the samples by order statistics, ship them, and run the
+      // dominant local sort inside the split-phase window while they travel.
+      samples = regular_samples_unsorted(local, p);
+      if (w.pid() != 0) w.send_array(0, samples);
+      w.sync_begin();
+      std::sort(local.begin(), local.end());
+      w.sync_end();
+    } else {
+      for (int k = 0; k < p; ++k) {
+        if (!local.empty()) {
+          samples.push_back(local[local.size() * static_cast<std::size_t>(k) /
+                                  static_cast<std::size_t>(p)]);
+        }
       }
+      if (w.pid() != 0) {
+        w.send_array(0, samples);
+      }
+      w.sync();
     }
-    if (w.pid() != 0) {
-      w.send_array(0, samples);
-    }
-    w.sync();
 
     // --- superstep 2: splitter selection and broadcast ----------------------
     std::vector<std::uint64_t> splitters;
@@ -141,12 +186,12 @@ std::function<void(Worker&)> make_sample_sort_program(
 }
 
 std::vector<std::uint64_t> bsp_sample_sort(
-    const std::vector<std::uint64_t>& input, int nprocs) {
+    const std::vector<std::uint64_t>& input, int nprocs, SyncMode mode) {
   std::vector<std::uint64_t> out(input.size(), 0);
   Config cfg;
   cfg.nprocs = nprocs;
   Runtime rt(cfg);
-  rt.run(make_sample_sort_program(input, &out));
+  rt.run(make_sample_sort_program(input, &out, mode));
   return out;
 }
 

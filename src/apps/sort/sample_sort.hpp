@@ -25,11 +25,21 @@ namespace gbsp {
 /// to input.size()). Keys are distributed blockwise by index at the start;
 /// each processor writes its final run into the output at the correct
 /// global offset (offsets are exchanged, so writes are disjoint).
+///
+/// SyncMode::SplitPhase overlaps the dominant local work with the sample
+/// gather: regular samples are picked *before* the local sort with iterative
+/// std::nth_element order statistics (bit-identical values to sampling the
+/// sorted run, by the partition property), the boundary opens with
+/// sync_begin(), and the O((n/p) log(n/p)) std::sort runs inside the window
+/// while the samples travel. Superstep structure, message bytes, and the
+/// sorted output are bit-identical to SyncMode::Rigid.
 std::function<void(Worker&)> make_sample_sort_program(
-    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out);
+    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out,
+    SyncMode mode = SyncMode::Rigid);
 
 /// Convenience wrapper: sort via the BSP program on `nprocs` processors.
 std::vector<std::uint64_t> bsp_sample_sort(
-    const std::vector<std::uint64_t>& input, int nprocs);
+    const std::vector<std::uint64_t>& input, int nprocs,
+    SyncMode mode = SyncMode::Rigid);
 
 }  // namespace gbsp

@@ -32,9 +32,12 @@ enum class CollectiveAlgorithm { Direct, Tree };
 namespace detail {
 
 inline void require_clean_inbox(Worker& w, const char* what) {
-  if (w.pending() != 0) {
+  if (const std::size_t n = w.pending(); n != 0) {
     throw std::logic_error(std::string("gbsp collective ") + what +
-                           ": inbox not drained on entry");
+                           ": inbox not drained on entry on rank " +
+                           std::to_string(w.pid()) + " (" +
+                           std::to_string(n) + " message" +
+                           (n == 1 ? "" : "s") + " pending)");
   }
 }
 

@@ -56,6 +56,10 @@ extern "C" {
 
 void bspSynch(void) { require_worker().sync(); }
 
+void bspSynchBegin(void) { require_worker().sync_begin(); }
+
+void bspSynchEnd(void) { require_worker().sync_end(); }
+
 void bspSendPkt(int dest, const bspPkt* pkt) {
   require_worker().send_bytes(dest, pkt->data, BSP_PKT_SIZE);
 }

@@ -25,6 +25,18 @@ typedef struct bspPkt {
 /// Barrier synchronization across all processes.
 void bspSynch(void);
 
+/// Split-phase synchronization (the paper's Section 5.2 proposal): ends this
+/// superstep's sending side and starts the boundary exchange; the caller may
+/// keep computing on local data until bspSynchEnd(). Between the two calls,
+/// sending and packet access are errors. bspSynchBegin()+bspSynchEnd()
+/// together count as exactly one bspSynch().
+void bspSynchBegin(void);
+
+/// Completes the split-phase boundary opened by bspSynchBegin(): blocks
+/// until delivery is complete; afterwards the packets sent to this process
+/// in the ended superstep are available.
+void bspSynchEnd(void);
+
 /// Sends the 16-byte packet `pkt` to process `dest`; it is delivered at the
 /// beginning of the next superstep.
 void bspSendPkt(int dest, const bspPkt* pkt);

@@ -21,9 +21,18 @@ Worker*& current_worker_slot() {
 int Worker::nprocs() const { return rt_->config().nprocs; }
 const Config& Worker::config() const { return rt_->config(); }
 
+void Worker::require_outside_window(const char* what) const {
+  if (state_->overlap_active) {
+    throw std::logic_error(
+        "gbsp: worker " + std::to_string(state_->pid) + " called " + what +
+        " inside a split-phase window (between sync_begin() and sync_end())");
+  }
+}
+
 void Worker::send_bytes(int dest, const void* data, std::size_t n) {
   detail::WorkerState& st = *state_;
   const Config& cfg = rt_->config();
+  require_outside_window("send()");
   if (dest < 0 || dest >= cfg.nprocs) {
     throw std::out_of_range("gbsp: send to invalid processor " +
                             std::to_string(dest));
@@ -41,8 +50,15 @@ void Worker::send_bytes(int dest, const void* data, std::size_t n) {
 
 void Worker::sync() { rt_->do_sync(*state_); }
 
+void Worker::sync_begin() { rt_->do_sync_begin(*state_); }
+
+bool Worker::sync_progress() { return rt_->do_sync_progress(*state_); }
+
+void Worker::sync_end() { rt_->do_sync_end(*state_); }
+
 const Message* Worker::get_message() {
   detail::WorkerState& st = *state_;
+  require_outside_window("get_message()");
   if (st.inbox_cursor >= st.inbox.size()) return nullptr;
   return &st.inbox[st.inbox_cursor++];
 }
@@ -125,6 +141,12 @@ void Runtime::record_step(detail::WorkerState& st) {
   st.checkpoint_us = 0.0;
   r.restore_us = st.restore_us;
   st.restore_us = 0.0;
+  // Split-phase window that opened this superstep (set by the previous
+  // do_sync_end): charged like the wire traffic it overlapped.
+  r.overlap_us = st.overlap_us;
+  st.overlap_us = 0.0;
+  r.overlap_wire_bytes = st.overlap_wire_bytes;
+  st.overlap_wire_bytes = 0;
   st.trace.push_back(std::move(r));
   st.sent_packets = 0;
   st.sent_bytes = 0;
@@ -132,6 +154,11 @@ void Runtime::record_step(detail::WorkerState& st) {
 }
 
 void Runtime::do_sync(detail::WorkerState& st) {
+  if (st.overlap_active) {
+    throw std::logic_error(
+        "gbsp: worker " + std::to_string(st.pid) +
+        " called sync() inside a split-phase window; use sync_end()");
+  }
   if (abort_.load(std::memory_order_acquire)) throw BspAborted{};
   record_step(st);
   transport_->flush(st);
@@ -159,7 +186,101 @@ void Runtime::do_sync(detail::WorkerState& st) {
   begin_work_slice(st);
 }
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Runtime::do_sync_begin(detail::WorkerState& st) {
+  if (st.overlap_active) {
+    throw std::logic_error(
+        "gbsp: worker " + std::to_string(st.pid) +
+        " called sync_begin() twice without an intervening sync_end()");
+  }
+  if (abort_.load(std::memory_order_acquire)) throw BspAborted{};
+  // Snapshot the wire counters before the transport moves anything, so
+  // sync_end can re-charge the window's traffic to the superstep the
+  // boundary opens (the rigid path's charging rule).
+  st.overlap_wire_base = st.wire_bytes;
+  st.overlap_syscall_base = st.wire_syscalls;
+  if (cfg_.scheduling == Scheduling::Serialized) {
+    // One thread at a time: the exchange runs inside the scheduler at
+    // sync_end, exactly like a rigid boundary. The window still measures the
+    // caller's overlappable compute, so Serialized traces stay comparable.
+    transport_->flush(st);
+  } else {
+    transport_->begin_exchange(st);
+  }
+  st.overlap_active = true;
+  st.overlap_start_ns = steady_now_ns();
+}
+
+bool Runtime::do_sync_progress(detail::WorkerState& st) {
+  if (!st.overlap_active) return false;
+  if (abort_.load(std::memory_order_acquire)) throw BspAborted{};
+  if (cfg_.scheduling == Scheduling::Serialized) return false;
+  return transport_->progress(st);
+}
+
+void Runtime::do_sync_end(detail::WorkerState& st) {
+  if (!st.overlap_active) {
+    throw std::logic_error("gbsp: worker " + std::to_string(st.pid) +
+                           " called sync_end() without a matching "
+                           "sync_begin()");
+  }
+  if (abort_.load(std::memory_order_acquire)) throw BspAborted{};
+  const double window_us =
+      static_cast<double>(steady_now_ns() - st.overlap_start_ns) * 1e-3;
+  // Wire traffic that moved during the window belongs — like every exchange
+  // counter — to the superstep this boundary opens. Park it below the
+  // sync_begin snapshot while record_step closes the *ending* superstep,
+  // then restore it for the next record.
+  const std::uint64_t window_wire = st.wire_bytes - st.overlap_wire_base;
+  const std::uint64_t window_calls =
+      st.wire_syscalls - st.overlap_syscall_base;
+  st.wire_bytes = st.overlap_wire_base;
+  st.wire_syscalls = st.overlap_syscall_base;
+  record_step(st);  // includes the window's compute in this step's work_us
+  st.wire_bytes = window_wire;
+  st.wire_syscalls = window_calls;
+  st.overlap_us = window_us;
+  st.overlap_wire_bytes = window_wire;
+  st.overlap_active = false;
+  if (cfg_.scheduling == Scheduling::Serialized) {
+    scheduler_->yield_at_sync(st.pid);  // transport exchange ran inside
+  } else if (transport_->needs_boundary_barriers()) {
+    // Same placement as a rigid boundary: every worker sealed its sends at
+    // its own sync_begin, so once all arrive here the senders are quiescent.
+    barrier_a_->arrive_and_wait(st.pid);
+    transport_->finish_exchange(st);
+    barrier_b_->arrive_and_wait(st.pid);
+  } else {
+    transport_->finish_exchange(st);
+  }
+  st.superstep += 1;
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  // Same consistent cut as the rigid boundary (see do_sync): a fault inside
+  // the window unwound before reaching here, so a checkpoint is only ever
+  // taken on a fully reconciled boundary.
+  if (cfg_.checkpoint_every != 0 &&
+      st.superstep % cfg_.checkpoint_every == 0) {
+    recovery_.checkpoint(st);
+  }
+  begin_work_slice(st);
+}
+
 void Runtime::finalize_worker(detail::WorkerState& st) {
+  if (st.overlap_active) {
+    throw std::logic_error(
+        "gbsp: worker " + std::to_string(st.pid) +
+        " returned from the SPMD function inside a split-phase window "
+        "(missing sync_end())");
+  }
   if (st.sent_messages != 0 || transport_->has_unflushed(st)) {
     throw std::logic_error(
         "gbsp: worker " + std::to_string(st.pid) +

@@ -17,7 +17,8 @@
 //  * Message arrival order within a superstep is unspecified unless
 //    Config::deterministic_delivery is set.
 //  * All workers must call sync() the same number of times; messages sent
-//    after the final sync() are an error, diagnosed at worker exit.
+//    after the final sync() are an error, diagnosed at worker exit. A
+//    sync_begin()/sync_end() pair is one boundary — it counts as one sync().
 //
 // Layering: the Runtime owns worker lifecycle, scheduling, barriers, and
 // instrumentation. All message movement — staging, flushing, boundary
@@ -49,6 +50,12 @@ namespace gbsp {
 class Runtime;
 class Worker;
 class Transport;
+
+/// How an application drives its superstep boundaries: the rigid sync() of
+/// the paper's core library, or the split-phase sync_begin()/sync_end() pair
+/// (the paper's bspSynchBegin/bspSynchEnd) with local compute in the window.
+/// Apps expose both so the two can be compared bit-for-bit.
+enum class SyncMode { Rigid, SplitPhase };
 
 namespace detail {
 
@@ -93,16 +100,48 @@ class Worker {
   /// sent to this processor during the ended superstep are available.
   void sync();
 
+  // --- Split-phase boundary (the paper's bspSynchBegin/bspSynchEnd).
+  // sync_begin() seals this worker's sending side and starts the boundary
+  // exchange; the caller then keeps computing on local data while the
+  // transport moves bytes; sync_end() completes delivery and reconciles the
+  // superstep at the barrier. sync_begin()..sync_end() together are exactly
+  // one sync() — same boundary count, same message semantics — so rigid and
+  // split workers can meet at the same boundary.
+  //
+  // Inside the window the worker owns only its local data: send*() and
+  // every inbox accessor (get_message/pending/inbox) throw std::logic_error
+  // until sync_end() returns, as do a second sync_begin(), a plain sync(),
+  // or returning from the SPMD function mid-window. A transport fault inside
+  // the window classifies and retries exactly like one during sync().
+
+  /// Opens the split-phase window: ends this superstep's sending side and
+  /// starts the exchange. Must be paired with sync_end().
+  void sync_begin();
+
+  /// Optional, inside the window: lets the transport move whatever bytes are
+  /// ready without blocking. Returns true once this worker's incoming
+  /// exchange is fully drained (sync_end() will not block on the wire);
+  /// transports without incremental progress always return false, and the
+  /// call is then a no-op. Calling it outside a window returns false.
+  bool sync_progress();
+
+  /// Closes the window: completes delivery, crosses the barrier, and makes
+  /// the messages sent to this processor during the ended superstep
+  /// available.
+  void sync_end();
+
   /// Next undelivered message, or nullptr when drained (paper: bspGetPkt).
   const Message* get_message();
 
   /// Messages not yet returned by get_message() (paper: bspNumPkts).
   [[nodiscard]] std::size_t pending() const {
+    require_outside_window("pending()");
     return state_->inbox.size() - state_->inbox_cursor;
   }
 
   /// Whole-inbox view for bulk consumption (valid until the next sync()).
   [[nodiscard]] const std::vector<Message>& inbox() const {
+    require_outside_window("inbox()");
     return state_->inbox;
   }
 
@@ -140,6 +179,11 @@ class Worker {
  private:
   friend class Runtime;
   Worker(Runtime* rt, detail::WorkerState* state) : rt_(rt), state_(state) {}
+
+  /// Throws std::logic_error when called inside a split-phase window: the
+  /// inbox views may already have been invalidated by begin_exchange(), so
+  /// uniform refusal is what keeps the semantics transport-portable.
+  void require_outside_window(const char* what) const;
 
   Runtime* rt_;
   detail::WorkerState* state_;
@@ -195,6 +239,9 @@ class Runtime {
 
   void worker_main(int pid, const std::function<void(Worker&)>& fn);
   void do_sync(detail::WorkerState& st);
+  void do_sync_begin(detail::WorkerState& st);
+  bool do_sync_progress(detail::WorkerState& st);
+  void do_sync_end(detail::WorkerState& st);
   void record_step(detail::WorkerState& st);
   void begin_work_slice(detail::WorkerState& st);
   void finalize_worker(detail::WorkerState& st);

@@ -59,6 +59,18 @@ std::uint64_t RunStats::total_checkpoint_bytes() const {
   return n;
 }
 
+double RunStats::overlap_s() const {
+  double us = 0.0;
+  for (const auto& s : supersteps) us += s.overlap_max_us;
+  return us * 1e-6;
+}
+
+std::uint64_t RunStats::total_overlap_wire_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : supersteps) n += s.total_overlap_wire_bytes;
+  return n;
+}
+
 void RunStats::aggregate_from_traces() {
   supersteps.clear();
   std::size_t steps = 0;
@@ -87,6 +99,8 @@ void RunStats::aggregate_from_traces() {
       agg.total_checkpoint_bytes += r.checkpoint_bytes;
       agg.checkpoint_max_us = std::max(agg.checkpoint_max_us, r.checkpoint_us);
       agg.restore_max_us = std::max(agg.restore_max_us, r.restore_us);
+      agg.overlap_max_us = std::max(agg.overlap_max_us, r.overlap_us);
+      agg.total_overlap_wire_bytes += r.overlap_wire_bytes;
       total_recv += r.recv_packets;
     }
     supersteps[i] = agg;

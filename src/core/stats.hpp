@@ -45,6 +45,15 @@ struct WorkerStepRecord {
   /// Time spent restoring this worker's state into this superstep after a
   /// recovery (charged to the superstep execution resumed at).
   double restore_us = 0.0;
+  /// Duration of the split-phase window (Worker::sync_begin()..sync_end())
+  /// at the boundary that opened this superstep — the compute the caller
+  /// overlapped with the exchange. 0 when the boundary was a rigid sync().
+  double overlap_us = 0.0;
+  /// Wire bytes this worker moved *inside* that window (subset of
+  /// wire_bytes): the traffic that genuinely overlapped compute. Zero for
+  /// in-memory transports, whose default split-phase mapping defers all
+  /// movement to sync_end.
+  std::uint64_t overlap_wire_bytes = 0;
   /// Destination-indexed packet counts; empty unless
   /// Config::collect_comm_matrix is set.
   std::vector<std::uint64_t> sent_to_packets;
@@ -79,6 +88,13 @@ struct SuperstepStats {
   std::uint64_t total_checkpoint_bytes = 0;
   double checkpoint_max_us = 0.0;
   double restore_max_us = 0.0;
+  /// Max over processors of the split-phase window that opened this
+  /// superstep (0 when every worker crossed the boundary with rigid sync()):
+  /// the compute time the critical path hid behind the exchange.
+  double overlap_max_us = 0.0;
+  /// Total wire bytes moved inside split-phase windows at this superstep's
+  /// opening boundary (subset of total_wire_bytes).
+  std::uint64_t total_overlap_wire_bytes = 0;
 };
 
 /// Full accounting for one BSP run.
@@ -123,6 +139,13 @@ struct RunStats {
   /// Total bytes checkpointed over the whole run (0 unless
   /// Config::checkpoint_every is set).
   [[nodiscard]] std::uint64_t total_checkpoint_bytes() const;
+
+  /// Critical-path compute hidden behind exchanges, in seconds: sum over
+  /// supersteps of the max split-phase window (0 for all-rigid runs).
+  [[nodiscard]] double overlap_s() const;
+
+  /// Total wire bytes moved inside split-phase windows over the whole run.
+  [[nodiscard]] std::uint64_t total_overlap_wire_bytes() const;
 
   /// Merges per-worker traces into per-superstep aggregates. Called by the
   /// runtime; public so emulation replays can re-aggregate.

@@ -127,6 +127,35 @@ class Transport {
   /// the concurrency contract.
   virtual void deliver_to(detail::WorkerState& dst) = 0;
 
+  // --- Split-phase boundary (Worker::sync_begin()/sync_end()). The default
+  // implementations map the split pair onto today's flush()+deliver_to(), so
+  // transports without incremental progress stay behavior-identical to a
+  // rigid sync(): all message movement happens at finish_exchange(), under
+  // the same barrier placement. Transports with real overlap (socket)
+  // override all three. Each call runs on the owning worker's thread with
+  // `st` being that worker's own state, and may touch only what deliver_to()
+  // may touch for a self-synchronising transport — the caller computes on
+  // local data concurrently with peers' exchanges either way.
+
+  /// Seals `st`'s sending side and starts its boundary exchange. After this
+  /// call the worker must not send until the matching finish_exchange()
+  /// (enforced by the runtime); its previous inbox views are invalidated.
+  virtual void begin_exchange(detail::WorkerState& st) { flush(st); }
+
+  /// Opportunistic progress inside the overlap window: moves whatever bytes
+  /// are ready without blocking. Returns true when the incoming exchange for
+  /// `st` is fully drained (finish_exchange() will not block). The default
+  /// (no incremental progress) returns false.
+  virtual bool progress(detail::WorkerState& st) {
+    (void)st;
+    return false;
+  }
+
+  /// Completes `st`'s boundary exchange and publishes the new inbox views —
+  /// the delivery half of the split pair. For barrier transports the runtime
+  /// brackets this with the same two barriers as a rigid sync().
+  virtual void finish_exchange(detail::WorkerState& st) { deliver_to(st); }
+
   /// Serialized-mode global exchange: delivers for every worker in one call
   /// (single-threaded; see the class comment). Finished workers still
   /// participate as empty senders where the wire protocol requires it.

@@ -107,6 +107,11 @@ void SocketTransport::reset_run(
     for (PerWorker& pw : per_) {
       for (MessageArena& ob : pw.outbox) ob.release_slabs();
       pw.inbox_arena.release_slabs();
+      // Defensive: a clean run always closes its windows, but stale split
+      // flags from a run that never reached its sync_end() would make the
+      // first begin_exchange() of the new run resume a dead stage.
+      pw.split_active = false;
+      pw.split_done = false;
     }
     return;
   }
@@ -648,6 +653,101 @@ void SocketTransport::deliver_to(detail::WorkerState& dst) {
     throw;
   }
   publish(dst, pw);
+}
+
+bool SocketTransport::pump_window(detail::WorkerState& st, PerWorker& pw) {
+  const int p = static_cast<int>(per_.size());
+  bool moved_any = true;
+  while (!pw.split_done && moved_any) {
+    StageState& ss = pw.split_ss;
+    const int sp = (st.pid + ss.k) % p;
+    const int rp = (st.pid + p - ss.k) % p;
+    std::size_t moved = 0;
+    if (!ss.send_done) {
+      moved += pump_send(st, pw, ss, pw.fd_to[static_cast<std::size_t>(sp)],
+                         sp);
+    }
+    if (!ss.recv_done) {
+      moved += pump_recv(st, pw, ss, pw.fd_to[static_cast<std::size_t>(rp)],
+                         rp);
+    }
+    if (ss.send_done && ss.recv_done) {
+      if (ss.k + 1 < p) {
+        begin_stage(pw, ss, st.pid, ss.k + 1);
+        continue;  // the fresh stage may be able to move bytes right away
+      }
+      pw.split_done = true;
+      break;
+    }
+    moved_any = moved != 0;
+  }
+  return pw.split_done;
+}
+
+void SocketTransport::begin_exchange(detail::WorkerState& st) {
+  PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
+  const int p = static_cast<int>(per_.size());
+  try {
+    // Same fault-hook sequence as the rigid path: the sender-side Flush hook
+    // (this transport's flush() is hook-only), then the Deliver hook at the
+    // top of boundary delivery.
+    inject_boundary_fault(FaultSite::Flush, st);
+    inject_boundary_fault(FaultSite::Deliver, st);
+    open_boundary(st, pw);
+    pw.split_active = true;
+    pw.split_done = (p == 1);
+    if (!pw.split_done) {
+      begin_stage(pw, pw.split_ss, st.pid, 1);
+      // One opportunistic pass before handing control back: with kernel
+      // buffers sized to the stage, small exchanges are often fully on the
+      // wire before the caller's overlapped compute even starts.
+      pump_window(st, pw);
+    }
+  } catch (...) {
+    wire_dirty_.store(true, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+bool SocketTransport::progress(detail::WorkerState& st) {
+  PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
+  if (!pw.split_active) return false;
+  if (pw.split_done) return true;
+  try {
+    return pump_window(st, pw);
+  } catch (...) {
+    wire_dirty_.store(true, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+void SocketTransport::finish_exchange(detail::WorkerState& st) {
+  PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
+  if (!pw.split_active) {
+    // No window in flight (a rigid boundary routed through the default
+    // contract): behave exactly like deliver_to.
+    deliver_to(st);
+    return;
+  }
+  const int p = static_cast<int>(per_.size());
+  try {
+    while (!pw.split_done) {
+      // run_stage resumes the in-flight stage mid-transfer — the iovec
+      // cursors and receive phase pick up exactly where the window's last
+      // pump left them.
+      run_stage(st, pw, pw.split_ss);
+      if (pw.split_ss.k + 1 < p) {
+        begin_stage(pw, pw.split_ss, st.pid, pw.split_ss.k + 1);
+      } else {
+        pw.split_done = true;
+      }
+    }
+  } catch (...) {
+    wire_dirty_.store(true, std::memory_order_relaxed);
+    throw;
+  }
+  pw.split_active = false;
+  publish(st, pw);
 }
 
 void SocketTransport::exchange(

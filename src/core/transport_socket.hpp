@@ -88,6 +88,18 @@ class SocketTransport final : public detail::TransportBase {
     inject_boundary_fault(FaultSite::Flush, st);
   }
   void deliver_to(detail::WorkerState& dst) override;
+  // Split-phase overlap (the tentpole of the contract): begin_exchange opens
+  // the boundary and starts streaming stage 1 out of the staging arenas;
+  // progress() pumps both directions non-blocking, advancing through the
+  // (p-1)-stage schedule as each stage drains; finish_exchange resumes the
+  // in-flight stage with the blocking spin-then-poll driver, runs the
+  // remaining stages, and publishes the inbox views. The window's wall-clock
+  // counts against Config::socket_stage_timeout_ms exactly like slow peer
+  // compute in a rigid boundary — the timeout must exceed the longest
+  // overlap window.
+  void begin_exchange(detail::WorkerState& st) override;
+  bool progress(detail::WorkerState& st) override;
+  void finish_exchange(detail::WorkerState& st) override;
   void exchange(const std::vector<std::unique_ptr<detail::WorkerState>>&
                     states) override;
   [[nodiscard]] bool has_unflushed(
@@ -175,6 +187,13 @@ class SocketTransport final : public detail::TransportBase {
     // so adaptive sizing costs at most O(log stage bytes) setsockopt calls.
     std::vector<std::size_t> snd_grown_to;
     std::vector<std::size_t> rcv_grown_to;
+    // Split-phase window state: the in-flight stage of this worker's staged
+    // exchange between begin_exchange and finish_exchange. Lives here (not
+    // on the stack) because send_iov points at split_ss.send_pre, which must
+    // stay at a stable address across progress() calls.
+    StageState split_ss;
+    bool split_active = false;
+    bool split_done = false;
   };
 
   void close_all_sockets();
@@ -209,6 +228,11 @@ class SocketTransport final : public detail::TransportBase {
                      std::byte* buf, std::size_t n);
   /// Blocking driver of one stage for one worker (Parallel mode).
   void run_stage(detail::WorkerState& st, PerWorker& pw, StageState& ss);
+  /// Non-blocking pass over the split-phase window's schedule: pumps the
+  /// in-flight stage both ways and advances to the next stage whenever one
+  /// drains, until nothing moves or the schedule is done. Returns
+  /// pw.split_done.
+  bool pump_window(detail::WorkerState& st, PerWorker& pw);
   /// Self-delivery + inbox reset at the top of a boundary.
   void open_boundary(detail::WorkerState& dst, PerWorker& pw);
   /// Builds dst.inbox views from the filled inbox arena.

@@ -64,6 +64,24 @@ struct WorkerState {
   double checkpoint_us = 0.0;
   double restore_us = 0.0;
   std::vector<std::uint64_t> sent_to;  // per-dest packets this superstep
+
+  // --- Split-phase window (Worker::sync_begin()/sync_end()). The flag is
+  // owned by the worker's own thread; run_attempt() rebuilds states fresh,
+  // so an attempt that unwound mid-window never leaks a stale window.
+  bool overlap_active = false;
+  // Wall-clock (steady) ns at sync_begin, for the window-duration stat.
+  std::int64_t overlap_start_ns = 0;
+  // wire_bytes/wire_syscalls at sync_begin: traffic accrued past these marks
+  // moved during the window and is re-charged to the superstep the boundary
+  // opens (the same charging rule as recv_packets).
+  std::uint64_t overlap_wire_base = 0;
+  std::uint64_t overlap_syscall_base = 0;
+  // Pending per-superstep overlap stats, set at sync_end and consumed by the
+  // next record_step: duration of the window that opened the recorded
+  // superstep and the wire bytes that moved inside it.
+  double overlap_us = 0.0;
+  std::uint64_t overlap_wire_bytes = 0;
+
   std::int64_t work_start_ns = 0;
   std::vector<WorkerStepRecord> trace;
   bool finished = false;

@@ -195,13 +195,22 @@ TEST(CollectivesExtra, DirtyInboxIsDiagnosed) {
   Config cfg;
   cfg.nprocs = 2;
   Runtime rt(cfg);
-  EXPECT_THROW(rt.run([](Worker& w) {
-                 w.send(1 - w.pid(), 1);
-                 w.sync();
-                 // inbox not drained
-                 broadcast(w, 0, 5);
-               }),
-               std::logic_error);
+  try {
+    rt.run([](Worker& w) {
+      w.send(1 - w.pid(), 1);
+      w.sync();
+      // inbox not drained
+      broadcast(w, 0, 5);
+    });
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    // The diagnostic names the collective, the offending rank, and how many
+    // messages were still pending.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("broadcast"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1 message pending"), std::string::npos) << msg;
+  }
 }
 
 TEST(CollectivesExtra, SuperstepCostsMatchTheAdvertisedTradeoff) {

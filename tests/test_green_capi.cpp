@@ -84,6 +84,27 @@ TEST(GreenCApi, PacketsArriveInArbitraryOrderButComplete) {
   });
 }
 
+TEST(GreenCApi, SplitPhaseRingRoundTrip) {
+  // Same ring as PacketRingRoundTrip, but crossing the boundary with the
+  // split pair: compute between bspSynchBegin and bspSynchEnd, then read.
+  run_bsp(5, [](Worker& w) {
+    const int p = bspNProcs();
+    bspPkt pkt;
+    std::memset(pkt.data, 0, sizeof(pkt.data));
+    std::snprintf(pkt.data, sizeof(pkt.data), "from %d", bspPid());
+    bspSendPkt((bspPid() + 1) % p, &pkt);
+    bspSynchBegin();
+    char want[16];
+    std::snprintf(want, sizeof(want), "from %d", (bspPid() + p - 1) % p);
+    bspSynchEnd();
+    bspPkt* got = bspGetPkt();
+    ASSERT_NE(got, nullptr);
+    EXPECT_STREQ(got->data, want);
+    EXPECT_EQ(bspGetPkt(), nullptr);
+    (void)w;
+  });
+}
+
 TEST(GreenCApi, MixingWithVariableLengthSendsIsDiagnosed) {
   Config cfg;
   cfg.nprocs = 2;

@@ -52,6 +52,28 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.nprocs);
     });
 
+TEST_P(SampleSort, SplitPhaseMatchesRigidBitIdentically) {
+  // The split variant samples by order statistics before sorting (see
+  // sample_sort.cpp); its samples, splitters, buckets, and output must be
+  // bit-identical to the rigid program's.
+  const auto& sp = GetParam();
+  const auto input = random_keys(sp.n, sp.seed);
+  const auto rigid = bsp_sample_sort(input, sp.nprocs, SyncMode::Rigid);
+  const auto split = bsp_sample_sort(input, sp.nprocs, SyncMode::SplitPhase);
+  ASSERT_EQ(split, rigid);
+}
+
+TEST(SampleSortExtra, SplitPhaseHandlesHeavyDuplicates) {
+  // Repeated sample positions (local.size() < p) and repeated key values
+  // exercise the order-statistic reuse path.
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> input(20000);
+  for (auto& k : input) k = rng.uniform_int(5);
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(bsp_sample_sort(input, 8, SyncMode::SplitPhase), expect);
+}
+
 TEST(SampleSortExtra, HandlesHeavyDuplicates) {
   Xoshiro256 rng(9);
   std::vector<std::uint64_t> input(20000);
