@@ -20,10 +20,17 @@
 // (core/fault.hpp textual form) is injected into every probed run, retries
 // bound the recovery budget, and the probe reports injected-fault and
 // recovery counts next to the fit — measuring g and L *under fire*.
+//
+// --collectives feeds each fitted (g, L) into the collectives-layer
+// schedule selector (core/collectives.hpp) and prints what it would pick on
+// THIS machine for representative requests — small/large broadcast
+// (direct vs tree) and uniform/one-hot alltoallv (direct vs two-phase) —
+// next to the selector's baked-in per-transport defaults.
 #include <cstdio>
 #include <iostream>
 #include <thread>
 
+#include "core/collectives.hpp"
 #include "core/fault.hpp"
 #include "core/runtime.hpp"
 #include "core/transport.hpp"
@@ -31,6 +38,20 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+const char* schedule_name(gbsp::CollectiveSchedule s) {
+  switch (s) {
+    case gbsp::CollectiveSchedule::Direct: return "direct";
+    case gbsp::CollectiveSchedule::Tree: return "tree";
+    case gbsp::CollectiveSchedule::TwoPhase: return "two-phase";
+    case gbsp::CollectiveSchedule::Auto: break;
+  }
+  return "auto";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gbsp;
@@ -54,6 +75,7 @@ int main(int argc, char** argv) {
   const auto checkpoint_every =
       static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
   const bool overlap = args.has_flag("overlap");
+  const bool collectives = args.has_flag("collectives");
 
   std::printf(
       "probing the native thread backend (%u hardware threads), "
@@ -61,6 +83,7 @@ int main(int argc, char** argv) {
       std::thread::hardware_concurrency(), to_string(delivery),
       overlap ? "split-phase" : "rigid");
   TextTable t({"nprocs", "g (us / 16B packet)", "L (us)"});
+  std::vector<std::pair<int, MachineParams>> fitted;
   std::uint64_t total_injected = 0;
   std::uint64_t total_recoveries = 0;
   for (auto np64 : procs) {
@@ -108,8 +131,61 @@ int main(int argc, char** argv) {
     }
     const MachineParams mp = fit_g_L(samples);
     t.row().add(std::int64_t{np}).add(mp.g_us, 3).add(mp.L_us, 1);
+    fitted.push_back({np, mp});
   }
   t.render(std::cout);
+
+  if (collectives) {
+    std::printf(
+        "\nschedule selector on the measured (g, L) — the default column "
+        "is the baked-in per-transport fit the selector uses when no probe "
+        "has run:\n");
+    TextTable ct({"nprocs", "g/L used (us)", "g/L default (us)",
+                  "bcast 16B", "bcast 1MiB", "a2a uniform", "a2a one-hot"});
+    for (const auto& [np, mp] : fitted) {
+      if (np < 2) continue;  // every schedule degenerates at p = 1
+      const std::size_t sp = static_cast<std::size_t>(np);
+      const bool staged = delivery == DeliveryStrategy::Socket;
+      const double g = mp.g_us > 0.0 ? mp.g_us : 0.001;
+      const double l = mp.L_us > 0.0 ? mp.L_us : 0.001;
+      // Representative h-relations: 512 KiB per rank, spread vs focused.
+      std::vector<std::vector<std::uint64_t>> uniform(
+          sp, std::vector<std::uint64_t>(sp, 0));
+      auto one_hot = uniform;
+      constexpr std::uint64_t kVolume = 512 * 1024;
+      for (int i = 0; i < np; ++i) {
+        for (int d = 0; d < np; ++d) {
+          if (i == d) continue;
+          uniform[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] =
+              kVolume / static_cast<std::uint64_t>(np - 1);
+        }
+        one_hot[static_cast<std::size_t>(i)]
+               [static_cast<std::size_t>((i * 3 + 1) % np)] = kVolume;
+      }
+      const ScheduleChoice small_bcast =
+          evaluate_rooted_schedule(np, 16, g, l, 16);
+      const ScheduleChoice big_bcast =
+          evaluate_rooted_schedule(np, 1 << 20, g, l, 16);
+      const ScheduleChoice flat =
+          evaluate_alltoallv_schedule(uniform, staged, g, l, 16);
+      const ScheduleChoice skew =
+          evaluate_alltoallv_schedule(one_hot, staged, g, l, 16);
+      char used[64], dflt[64];
+      std::snprintf(used, sizeof(used), "%.3f / %.1f", g, l);
+      std::snprintf(dflt, sizeof(dflt), "%.3f / %.1f",
+                    default_collective_g_us(delivery, np),
+                    default_collective_l_us(delivery, np));
+      ct.row()
+          .add(std::int64_t{np})
+          .add(used)
+          .add(dflt)
+          .add(schedule_name(small_bcast.schedule))
+          .add(schedule_name(big_bcast.schedule))
+          .add(schedule_name(flat.schedule))
+          .add(schedule_name(skew.schedule));
+    }
+    ct.render(std::cout);
+  }
   if (!fault_plan.empty()) {
     std::printf("fault plan: %zu rule(s), seed %llu -> %llu injected, "
                 "%llu recover%s\n",

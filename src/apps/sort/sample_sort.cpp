@@ -1,6 +1,7 @@
 #include "apps/sort/sample_sort.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
@@ -10,23 +11,128 @@ namespace gbsp {
 
 namespace {
 
-/// Merges sorted runs pairwise until one remains.
-std::vector<std::uint64_t> merge_runs(
-    std::vector<std::vector<std::uint64_t>> runs) {
-  if (runs.empty()) return {};
-  while (runs.size() > 1) {
-    std::vector<std::vector<std::uint64_t>> next;
-    for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
-      std::vector<std::uint64_t> merged;
-      merged.resize(runs[i].size() + runs[i + 1].size());
-      std::merge(runs[i].begin(), runs[i].end(), runs[i + 1].begin(),
-                 runs[i + 1].end(), merged.begin());
-      next.push_back(std::move(merged));
-    }
-    if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
-    runs = std::move(next);
+/// LSD radix sort for uint64 keys: 8 stable counting passes of one byte
+/// each, with single-bucket passes skipped (free on skewed key ranges). The
+/// total order it produces is exactly std::sort's for unsigned keys, so it
+/// is drop-in bit-identical; ~4x faster than comparison sorting at the n/p
+/// block sizes this app handles, which is where the retuned profile's W
+/// savings come from.
+void radix_sort_u64(std::vector<std::uint64_t>& v,
+                    std::vector<std::uint64_t>& scratch) {
+  const std::size_t n = v.size();
+  if (n < 64) {
+    std::sort(v.begin(), v.end());
+    return;
   }
-  return std::move(runs.front());
+  scratch.resize(n);
+  // One read pass builds all eight histograms.
+  std::array<std::array<std::size_t, 256>, 8> hist{};
+  for (const std::uint64_t k : v) {
+    for (int pass = 0; pass < 8; ++pass) {
+      hist[static_cast<std::size_t>(pass)][(k >> (8 * pass)) & 0xff]++;
+    }
+  }
+  std::uint64_t* src = v.data();
+  std::uint64_t* dst = scratch.data();
+  for (int pass = 0; pass < 8; ++pass) {
+    const auto& h = hist[static_cast<std::size_t>(pass)];
+    bool trivial = false;
+    for (const std::size_t c : h) {
+      if (c == n) {
+        trivial = true;
+        break;
+      }
+    }
+    if (trivial) continue;  // every key shares this byte: a stable no-op
+    std::array<std::size_t, 256> offs;
+    std::size_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offs[static_cast<std::size_t>(b)] = sum;
+      sum += h[static_cast<std::size_t>(b)];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offs[(src[i] >> (8 * pass)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v.data()) std::memcpy(v.data(), src, n * sizeof(std::uint64_t));
+}
+
+void sort_local(std::vector<std::uint64_t>& v,
+                SampleSortOptions::LocalSort how,
+                std::vector<std::uint64_t>& scratch) {
+  if (how == SampleSortOptions::LocalSort::Radix) {
+    radix_sort_u64(v, scratch);
+  } else {
+    std::sort(v.begin(), v.end());
+  }
+}
+
+/// One sorted run to merge: a borrowed [begin, begin+len) span (inbox view
+/// or local buffer).
+struct Run {
+  const std::uint64_t* begin;
+  std::size_t len;
+};
+
+/// K-way merges sorted runs into `out` with a hand-rolled binary min-heap of
+/// run heads: one pass over the data (log k comparisons per key) instead of
+/// the log k full passes of pairwise merging — and since it writes straight
+/// into the output span, the per-run copies and the final memcpy of the old
+/// tail are gone entirely.
+void merge_runs_into(const std::vector<Run>& runs, std::uint64_t* out) {
+  struct Cursor {
+    const std::uint64_t* cur;
+    const std::uint64_t* end;
+  };
+  std::vector<Cursor> cs;
+  cs.reserve(runs.size());
+  for (const Run& r : runs) {
+    if (r.len != 0) cs.push_back(Cursor{r.begin, r.begin + r.len});
+  }
+  if (cs.empty()) return;
+  if (cs.size() == 1) {
+    std::memcpy(out, cs[0].cur,
+                static_cast<std::size_t>(cs[0].end - cs[0].cur) *
+                    sizeof(std::uint64_t));
+    return;
+  }
+  struct Head {
+    std::uint64_t key;
+    std::uint32_t run;
+  };
+  std::vector<Head> heap;
+  heap.reserve(cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    heap.push_back(Head{*cs[i].cur, static_cast<std::uint32_t>(i)});
+  }
+  const auto sift_down = [&heap](std::size_t i) {
+    const std::size_t n = heap.size();
+    Head h = heap[i];
+    while (true) {
+      std::size_t kid = 2 * i + 1;
+      if (kid >= n) break;
+      if (kid + 1 < n && heap[kid + 1].key < heap[kid].key) ++kid;
+      if (heap[kid].key >= h.key) break;
+      heap[i] = heap[kid];
+      i = kid;
+    }
+    heap[i] = h;
+  };
+  for (std::size_t i = heap.size() / 2; i-- > 0;) sift_down(i);
+  while (!heap.empty()) {
+    const Head top = heap[0];
+    *out++ = top.key;
+    Cursor& c = cs[top.run];
+    ++c.cur;
+    if (c.cur != c.end) {
+      heap[0] = Head{*c.cur, top.run};  // replace-top: one sift, no pop+push
+    } else {
+      heap[0] = heap.back();
+      heap.pop_back();
+    }
+    if (!heap.empty()) sift_down(0);
+  }
 }
 
 /// The split-phase trick: the regular sample at sorted position `pos` can be
@@ -37,14 +143,13 @@ std::vector<std::uint64_t> merge_runs(
 /// bit pattern, so the sample array is bit-identical to sampling the sorted
 /// run — which is what makes the split and rigid programs comparable.
 std::vector<std::uint64_t> regular_samples_unsorted(
-    std::vector<std::uint64_t>& local, int p) {
+    std::vector<std::uint64_t>& local, std::size_t s) {
   std::vector<std::uint64_t> samples;
   if (local.empty()) return samples;
   bool have_prev = false;
   std::size_t prev_pos = 0;
-  for (int k = 0; k < p; ++k) {
-    const std::size_t pos = local.size() * static_cast<std::size_t>(k) /
-                            static_cast<std::size_t>(p);
+  for (std::size_t k = 0; k < s; ++k) {
+    const std::size_t pos = local.size() * k / s;
     if (have_prev && pos == prev_pos) {
       samples.push_back(samples.back());
       continue;
@@ -61,87 +166,135 @@ std::vector<std::uint64_t> regular_samples_unsorted(
   return samples;
 }
 
+std::vector<std::uint64_t> regular_samples_sorted(
+    const std::vector<std::uint64_t>& local, std::size_t s) {
+  std::vector<std::uint64_t> samples;
+  if (local.empty()) return samples;
+  samples.reserve(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    samples.push_back(local[local.size() * k / s]);
+  }
+  return samples;
+}
+
+/// Selects the p-1 splitters from the sorted pool of everyone's samples —
+/// the same formula on the same pool on every rank, so one-pass distribution
+/// needs no broadcast to agree.
+std::vector<std::uint64_t> select_splitters(std::vector<std::uint64_t> all,
+                                            int p) {
+  std::sort(all.begin(), all.end());
+  std::vector<std::uint64_t> splitters;
+  if (all.empty()) return splitters;
+  splitters.reserve(static_cast<std::size_t>(p) - 1);
+  for (int j = 1; j < p; ++j) {
+    splitters.push_back(
+        all[std::min(all.size() - 1, all.size() * static_cast<std::size_t>(j) /
+                                         static_cast<std::size_t>(p))]);
+  }
+  return splitters;
+}
+
 }  // namespace
 
 std::function<void(Worker&)> make_sample_sort_program(
     const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out,
-    SyncMode mode) {
+    SampleSortOptions options) {
   if (out->size() != input.size()) {
     throw std::invalid_argument("sample_sort: output size mismatch");
   }
-  return [&input, out, mode](Worker& w) {
+  return [&input, out, options](Worker& w) {
     const int p = w.nprocs();
     const std::size_t n = input.size();
-    const bool split = mode == SyncMode::SplitPhase;
+    const bool split = options.mode == SyncMode::SplitPhase;
+    const std::size_t s =
+        options.oversample != 0 ? options.oversample
+                                : static_cast<std::size_t>(p);
+    std::vector<std::uint64_t> scratch;
 
     // Blockwise share of the shared input.
     const std::size_t lo = n * static_cast<std::size_t>(w.pid()) /
                            static_cast<std::size_t>(p);
     const std::size_t hi = n * (static_cast<std::size_t>(w.pid()) + 1) /
                            static_cast<std::size_t>(p);
-    std::vector<std::uint64_t> local(input.begin() + static_cast<std::ptrdiff_t>(lo),
-                                     input.begin() + static_cast<std::ptrdiff_t>(hi));
-    if (!split) std::sort(local.begin(), local.end());
+    std::vector<std::uint64_t> local(
+        input.begin() + static_cast<std::ptrdiff_t>(lo),
+        input.begin() + static_cast<std::ptrdiff_t>(hi));
 
     if (p == 1) {
-      if (split) std::sort(local.begin(), local.end());
+      sort_local(local, options.local_sort, scratch);
       std::copy(local.begin(), local.end(), out->begin());
       return;
     }
+    if (!split) sort_local(local, options.local_sort, scratch);
 
-    // --- superstep 1: regular samples to processor 0 -----------------------
+    // --- superstep 1 (and 2, for two-pass): splitter agreement ------------
+    // One-pass: allgather every rank's samples and select locally — the
+    // pool, and therefore the selection, is identical everywhere. Two-pass:
+    // gather the pool onto rank 0, select there, broadcast the selection.
+    // SplitPhase picks the samples by order statistics first and runs the
+    // dominant local sort inside the boundary window while they travel.
     std::vector<std::uint64_t> samples;
+    std::vector<std::uint64_t> pool;  // everyone's samples, pid order
     if (split) {
-      // Select the samples by order statistics, ship them, and run the
-      // dominant local sort inside the split-phase window while they travel.
-      samples = regular_samples_unsorted(local, p);
-      if (w.pid() != 0) w.send_array(0, samples);
+      samples = regular_samples_unsorted(local, s);
+      if (options.two_pass_splitters) {
+        if (w.pid() != 0) w.send_array(0, samples);
+      } else {
+        for (int d = 0; d < p; ++d) {
+          if (d != w.pid()) w.send_array(d, samples);
+        }
+      }
       w.sync_begin();
-      std::sort(local.begin(), local.end());
+      sort_local(local, options.local_sort, scratch);
       w.sync_end();
+      if (options.two_pass_splitters ? w.pid() == 0 : true) {
+        // Concatenate in pid order — the same pool one-pass rigid builds.
+        std::vector<const Message*> from(static_cast<std::size_t>(p), nullptr);
+        while (const Message* m = w.get_message()) from[m->source] = m;
+        for (int q = 0; q < p; ++q) {
+          if (q == w.pid()) {
+            pool.insert(pool.end(), samples.begin(), samples.end());
+          } else if (const Message* m = from[static_cast<std::size_t>(q)]) {
+            const std::size_t cnt = m->size() / sizeof(std::uint64_t);
+            const std::size_t at = pool.size();
+            pool.resize(at + cnt);
+            if (cnt != 0) std::memcpy(pool.data() + at, m->payload.data(), m->size());
+          }
+        }
+      }
     } else {
-      for (int k = 0; k < p; ++k) {
-        if (!local.empty()) {
-          samples.push_back(local[local.size() * static_cast<std::size_t>(k) /
-                                  static_cast<std::size_t>(p)]);
-        }
+      samples = regular_samples_sorted(local, s);
+      if (options.two_pass_splitters) {
+        pool = gatherv(w, 0, samples);
+      } else {
+        pool = allgatherv(w, samples);
       }
-      if (w.pid() != 0) {
-        w.send_array(0, samples);
-      }
-      w.sync();
     }
-
-    // --- superstep 2: splitter selection and broadcast ----------------------
     std::vector<std::uint64_t> splitters;
-    if (w.pid() == 0) {
-      std::vector<std::uint64_t> all = samples;
-      while (const Message* m = w.get_message()) {
-        std::vector<std::uint64_t> s;
-        m->copy_array(s);
-        all.insert(all.end(), s.begin(), s.end());
+    if (options.two_pass_splitters) {
+      // Broadcast [count, splitters..., padding] as one fixed-size block so
+      // non-roots need no size agreement superstep.
+      std::vector<std::uint64_t> pack(static_cast<std::size_t>(p), 0);
+      if (w.pid() == 0) {
+        splitters = select_splitters(std::move(pool), p);
+        pack[0] = splitters.size();
+        std::copy(splitters.begin(), splitters.end(), pack.begin() + 1);
       }
-      std::sort(all.begin(), all.end());
-      for (int j = 1; j < p; ++j) {
-        if (!all.empty()) {
-          splitters.push_back(
-              all[std::min(all.size() - 1,
-                           all.size() * static_cast<std::size_t>(j) /
-                               static_cast<std::size_t>(p))]);
-        }
+      broadcast_span(w, 0, pack);
+      if (w.pid() != 0) {
+        splitters.assign(pack.begin() + 1,
+                         pack.begin() + 1 + static_cast<std::ptrdiff_t>(pack[0]));
       }
-      for (int d = 1; d < p; ++d) w.send_array(d, splitters);
-    }
-    w.sync();
-    if (w.pid() != 0) {
-      const Message* m = w.get_message();
-      if (m == nullptr) throw std::logic_error("sample_sort: no splitters");
-      m->copy_array(splitters);
+    } else {
+      splitters = select_splitters(std::move(pool), p);
     }
 
-    // --- superstep 3: personalized all-to-all of buckets --------------------
-    std::size_t from = 0;
-    std::vector<std::vector<std::uint64_t>> keep(1);
+    // --- superstep 2: personalized all-to-all of buckets ------------------
+    // One combined message per destination: the sender's full p-entry key
+    // count row rides at the head of its key block, so every receiver
+    // reconstructs the whole count matrix and computes the global output
+    // offsets — no separate length-allgather superstep.
+    std::vector<std::size_t> cut(static_cast<std::size_t>(p) + 1, 0);
     for (int d = 0; d < p; ++d) {
       std::size_t to = local.size();
       if (d < static_cast<int>(splitters.size())) {
@@ -150,49 +303,94 @@ std::function<void(Worker&)> make_sample_sort_program(
                              splitters[static_cast<std::size_t>(d)]) -
             local.begin());
       }
-      if (d == w.pid()) {
-        keep[0].assign(local.begin() + static_cast<std::ptrdiff_t>(from),
-                       local.begin() + static_cast<std::ptrdiff_t>(to));
-      } else if (to > from) {
-        w.send_array(d, local.data() + from, to - from);
+      cut[static_cast<std::size_t>(d) + 1] = to;
+    }
+    std::vector<std::uint64_t> row(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      row[static_cast<std::size_t>(d)] =
+          cut[static_cast<std::size_t>(d) + 1] - cut[static_cast<std::size_t>(d)];
+    }
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(p) * sizeof(std::uint64_t);
+    for (int d = 0; d < p; ++d) {
+      if (d == w.pid()) continue;
+      const std::size_t cnt = row[static_cast<std::size_t>(d)];
+      std::byte* slot =
+          w.send_reserve(d, row_bytes + cnt * sizeof(std::uint64_t));
+      std::memcpy(slot, row.data(), row_bytes);
+      if (cnt != 0) {
+        std::memcpy(slot + row_bytes,
+                    local.data() + cut[static_cast<std::size_t>(d)],
+                    cnt * sizeof(std::uint64_t));
       }
-      from = to;
     }
-    w.sync();
+    if (split) {
+      w.sync_begin();
+      w.sync_end();
+    } else {
+      w.sync();
+    }
 
-    std::vector<std::vector<std::uint64_t>> runs = std::move(keep);
+    // --- tail: offsets from the piggybacked rows, then merge --------------
+    std::vector<std::uint64_t> lens(static_cast<std::size_t>(p), 0);
+    for (int q = 0; q < p; ++q) {
+      lens[static_cast<std::size_t>(q)] += row[static_cast<std::size_t>(q)];
+    }
+    std::vector<Run> runs;
+    runs.reserve(static_cast<std::size_t>(p));
+    const std::size_t self_at = static_cast<std::size_t>(w.pid());
+    runs.push_back(Run{local.data() + cut[self_at], row[self_at]});
     while (const Message* m = w.get_message()) {
-      std::vector<std::uint64_t> run;
-      m->copy_array(run);
-      runs.push_back(std::move(run));
+      if (m->size() < row_bytes ||
+          (m->size() - row_bytes) % sizeof(std::uint64_t) != 0) {
+        throw std::logic_error("sample_sort: malformed bucket message");
+      }
+      // The sender's count row accumulates into the global lengths; keys
+      // merge straight out of the inbox view (8-byte aligned, row offset
+      // keeps it so).
+      const std::byte* base = m->payload.data();
+      for (int q = 0; q < p; ++q) {
+        std::uint64_t c;
+        std::memcpy(&c, base + static_cast<std::size_t>(q) * sizeof(c),
+                    sizeof(c));
+        lens[static_cast<std::size_t>(q)] += c;
+      }
+      runs.push_back(
+          Run{reinterpret_cast<const std::uint64_t*>(base + row_bytes),
+              (m->size() - row_bytes) / sizeof(std::uint64_t)});
     }
-    std::size_t my_len = 0;
-    for (const auto& r : runs) my_len += r.size();
-
-    // --- superstep 4: output offsets via allgather --------------------------
-    const auto lengths = allgather(w, static_cast<std::uint64_t>(my_len));
     std::size_t offset = 0;
     for (int q = 0; q < w.pid(); ++q) {
-      offset += static_cast<std::size_t>(lengths[static_cast<std::size_t>(q)]);
+      offset += static_cast<std::size_t>(lens[static_cast<std::size_t>(q)]);
     }
-
-    // --- tail: merge sorted runs into the output ----------------------------
-    const std::vector<std::uint64_t> result = merge_runs(std::move(runs));
-    if (!result.empty()) {
-      std::memcpy(out->data() + offset, result.data(),
-                  result.size() * sizeof(std::uint64_t));
-    }
+    merge_runs_into(runs, out->data() + offset);
   };
 }
 
+std::function<void(Worker&)> make_sample_sort_program(
+    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out,
+    SyncMode mode) {
+  SampleSortOptions options;
+  options.mode = mode;
+  return make_sample_sort_program(input, out, options);
+}
+
 std::vector<std::uint64_t> bsp_sample_sort(
-    const std::vector<std::uint64_t>& input, int nprocs, SyncMode mode) {
+    const std::vector<std::uint64_t>& input, int nprocs,
+    SampleSortOptions options) {
   std::vector<std::uint64_t> out(input.size(), 0);
   Config cfg;
   cfg.nprocs = nprocs;
   Runtime rt(cfg);
-  rt.run(make_sample_sort_program(input, &out, mode));
+  rt.run(make_sample_sort_program(input, &out, options));
   return out;
+}
+
+std::vector<std::uint64_t> bsp_sample_sort(
+    const std::vector<std::uint64_t>& input, int nprocs, SyncMode mode) {
+  SampleSortOptions options;
+  options.mode = mode;
+  return bsp_sample_sort(input, nprocs, options);
 }
 
 }  // namespace gbsp

@@ -1,16 +1,23 @@
 // BSP parallel sorting by regular sampling (PSRS) — the paper's Section 4
 // names sorting (with broadcast) as the canonical "fairly simple
 // subroutine" whose BSP cost curve can be fit precisely; this is that
-// subroutine, written in the library's own style.
+// subroutine, written in the library's own style and tuned per the regimes
+// of "BSP Sorting: An experimental Study" (PAPERS.md).
 //
-// Four-superstep structure (for p > 1):
-//   1. sort locally; pick p regular samples each; gather samples to 0
-//   2. processor 0 selects p-1 splitters; broadcast
-//   3. partition locally by splitter; personalized all-to-all of buckets
-//   4. merge incoming sorted runs (the tail superstep)
+// Three-superstep structure (one-pass splitters, p > 1):
+//   1. sort locally; allgather `oversample` regular samples per processor;
+//      every processor selects the identical p-1 splitters locally
+//   2. partition by splitter; one combined message per destination carrying
+//      [p x uint64 send-count row][keys] — the piggybacked rows give every
+//      receiver the full count matrix, so output offsets need no extra
+//      superstep
+//   3. k-way merge the incoming sorted runs straight out of the inbox views
+//      into the output at the global offset (the tail superstep)
 //
-// so S is constant, H ~ 2n/p per processor, and W ~ (n/p) log n — the
-// classic BSP sorting profile.
+// so S is constant, H ~ 2n/p per processor, and W ~ sort(n/p) — the classic
+// BSP sorting profile. Two-pass splitter distribution (gather samples to 0,
+// select, broadcast — the regime that halves the splitter-selection h at one
+// extra L) is available via SampleSortOptions.
 #pragma once
 
 #include <cstdint>
@@ -21,23 +28,56 @@
 
 namespace gbsp {
 
+/// Tuning knobs for the sample-sort regimes ("BSP Sorting: An experimental
+/// Study"): how hard to oversample, how to distribute splitters, how to sort
+/// locally. Every combination produces the same sorted output bit for bit.
+struct SampleSortOptions {
+  SyncMode mode = SyncMode::Rigid;
+
+  /// Samples taken per processor. 0 = p, the classic regular-sampling ratio
+  /// (guarantees < 2n/p keys per bucket); larger values tighten bucket
+  /// balance at the cost of a bigger splitter-selection relation.
+  std::size_t oversample = 0;
+
+  /// false (one-pass): allgather the samples and let every processor select
+  /// the identical splitters locally — 1 superstep, h = (p-1)*s each way.
+  /// true (two-pass): gather samples onto processor 0, select there, and
+  /// broadcast p-1 splitters — 2 supersteps, but the gather's fan-in is the
+  /// whole relation (the regime that wins when g is small and L is not).
+  bool two_pass_splitters = false;
+
+  /// Local sort: LSD radix (exact for uint64 keys, ~4x the throughput of
+  /// comparison sorting at the n/p sizes this app runs) or std::sort (the
+  /// pre-tune baseline, kept for regime comparison).
+  enum class LocalSort { Radix, StdSort };
+  LocalSort local_sort = LocalSort::Radix;
+};
+
 /// SPMD program sorting the shared input into *out (the caller pre-sizes it
 /// to input.size()). Keys are distributed blockwise by index at the start;
 /// each processor writes its final run into the output at the correct
-/// global offset (offsets are exchanged, so writes are disjoint).
+/// global offset (the piggybacked count rows make writes disjoint).
 ///
 /// SyncMode::SplitPhase overlaps the dominant local work with the sample
-/// gather: regular samples are picked *before* the local sort with iterative
-/// std::nth_element order statistics (bit-identical values to sampling the
-/// sorted run, by the partition property), the boundary opens with
-/// sync_begin(), and the O((n/p) log(n/p)) std::sort runs inside the window
-/// while the samples travel. Superstep structure, message bytes, and the
-/// sorted output are bit-identical to SyncMode::Rigid.
+/// exchange: regular samples are picked *before* the local sort with
+/// iterative std::nth_element order statistics (bit-identical values to
+/// sampling the sorted run, by the partition property), the boundary opens
+/// with sync_begin(), and the local sort runs inside the window while the
+/// samples travel. Superstep structure and the sorted output are
+/// bit-identical to SyncMode::Rigid.
+std::function<void(Worker&)> make_sample_sort_program(
+    const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out,
+    SampleSortOptions options);
+
 std::function<void(Worker&)> make_sample_sort_program(
     const std::vector<std::uint64_t>& input, std::vector<std::uint64_t>* out,
     SyncMode mode = SyncMode::Rigid);
 
 /// Convenience wrapper: sort via the BSP program on `nprocs` processors.
+std::vector<std::uint64_t> bsp_sample_sort(
+    const std::vector<std::uint64_t>& input, int nprocs,
+    SampleSortOptions options);
+
 std::vector<std::uint64_t> bsp_sample_sort(
     const std::vector<std::uint64_t>& input, int nprocs,
     SyncMode mode = SyncMode::Rigid);

@@ -40,6 +40,24 @@ enum class DeliveryStrategy {
   Socket,
 };
 
+/// Which schedule the collectives layer (core/collectives.hpp) uses for an
+/// h-relation. Auto lets the selector pick per call from the request's
+/// actual traffic matrix and the transport's measured g/L; the other values
+/// force one schedule everywhere (ablation and tests).
+enum class CollectiveSchedule {
+  /// Cost-model choice per call (the default).
+  Auto,
+  /// One superstep, every source sends straight to its destinations.
+  Direct,
+  /// Binomial/butterfly trees: ceil(log2 p) supersteps of h = m each
+  /// (rooted collectives only; alltoallv treats Tree as Direct).
+  Tree,
+  /// Valiant-style two-phase gather–scatter routing for skewed alltoallv:
+  /// slice every source->dest block over p intermediates, regroup, deliver —
+  /// two balanced ~h/p phases instead of one hot-spot phase.
+  TwoPhase,
+};
+
 /// Barrier algorithm used at superstep boundaries.
 enum class BarrierKind {
   /// Central sense-reversing spin barrier (with yielding), in the spirit of
@@ -118,6 +136,20 @@ struct Config {
   /// preambles and partial scatter-gather writes).
   std::size_t socket_buffer_bytes = 0;
 
+  /// Collectives layer (core/collectives.hpp): schedule override. Auto picks
+  /// Direct / Tree / TwoPhase per call from the h-relation and the
+  /// transport's g/L; any other value forces that schedule.
+  CollectiveSchedule collective_schedule = CollectiveSchedule::Auto;
+
+  /// Collectives selector cost constants, in the paper's units: g in
+  /// microseconds per 16-byte packet, L in microseconds per superstep.
+  /// 0 (the default) uses per-transport constants measured by bsp_probe on
+  /// this host (committed in BENCH_transport.json); nonzero pins the value —
+  /// set both from a live `bsp_probe --collectives` run to retarget the
+  /// selector at a different machine profile.
+  double collective_g_us = 0.0;
+  double collective_l_us = 0.0;
+
   /// Superstep checkpointing (core/recovery.hpp): 0 disables; N snapshots
   /// every worker's recovery state (registered regions, the save callback's
   /// bytes, the just-delivered inbox, sequence counters) at the top of every
@@ -195,6 +227,13 @@ inline void validate_config(const Config& cfg) {
     throw std::invalid_argument(
         "gbsp: socket_max_frame_bytes must be >= 1 (a zero cap would reject "
         "every message)");
+  }
+  if (!(cfg.collective_g_us >= 0.0) || !(cfg.collective_l_us >= 0.0)) {
+    // The negated >= also rejects NaN, which would otherwise make every
+    // selector comparison false and the choice arbitrary.
+    throw std::invalid_argument(
+        "gbsp: collective_g_us and collective_l_us must be >= 0 (0 = use the "
+        "per-transport measured defaults)");
   }
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/collectives.hpp"
+
 namespace gbsp {
 
 namespace {
@@ -100,10 +102,7 @@ void Drma::sync_puts_only() {
   if (!pending_gets_.empty()) {
     throw std::logic_error("drma: sync_puts_only() with pending gets");
   }
-  if (w_.pending() != 0) {
-    throw std::logic_error(
-        "drma: sync_puts_only() with undrained message inbox");
-  }
+  detail::require_clean_inbox(w_, "drma sync_puts_only()");
   w_.sync();
   while (const Message* m = w_.get_message()) {
     if (tag_of(*m) != kPut) {
@@ -122,11 +121,8 @@ void Drma::sync_puts_only() {
 }
 
 void Drma::sync() {
-  if (w_.pending() != 0) {
-    throw std::logic_error(
-        "drma: sync() with undrained message inbox — DRMA supersteps are "
-        "dedicated");
-  }
+  // DRMA supersteps are dedicated: application traffic may not straddle one.
+  detail::require_clean_inbox(w_, "drma sync()");
   // --- BSP superstep 1: puts and get-requests arrive ------------------------
   w_.sync();
   // Gets observe memory before puts take effect: serve replies first.

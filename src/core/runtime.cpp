@@ -48,6 +48,26 @@ void Worker::send_bytes(int dest, const void* data, std::size_t n) {
   }
 }
 
+std::byte* Worker::send_reserve(int dest, std::size_t n) {
+  detail::WorkerState& st = *state_;
+  const Config& cfg = rt_->config();
+  require_outside_window("send_reserve()");
+  if (dest < 0 || dest >= cfg.nprocs) {
+    throw std::out_of_range("gbsp: send to invalid processor " +
+                            std::to_string(dest));
+  }
+  std::byte* slot = rt_->transport_->stage_reserve(st, dest, n);
+
+  const std::uint64_t pkts = packets_for_bytes(n, cfg.packet_unit_bytes);
+  st.sent_packets += pkts;
+  st.sent_bytes += n;
+  st.sent_messages += 1;
+  if (cfg.collect_comm_matrix) {
+    st.sent_to[static_cast<std::size_t>(dest)] += pkts;
+  }
+  return slot;
+}
+
 void Worker::sync() { rt_->do_sync(*state_); }
 
 void Worker::sync_begin() { rt_->do_sync_begin(*state_); }

@@ -77,6 +77,15 @@ class Worker {
   /// after the next sync().
   void send_bytes(int dest, const void* data, std::size_t n);
 
+  /// Stages an `n`-byte message to `dest` and returns its writable payload
+  /// slot, so the caller can build the message in place instead of copying
+  /// from a staging buffer. The slot is pointer-stable until delivery; the
+  /// caller must fill it before its next sync()/sync_begin(). Accounting
+  /// (packets, bytes, comm matrix) is identical to send_bytes(). This is the
+  /// combining primitive the collectives layer packs per-destination traffic
+  /// with (core/collectives.hpp).
+  std::byte* send_reserve(int dest, std::size_t n);
+
   /// Sends one trivially copyable value.
   template <typename T>
   void send(int dest, const T& value) {

@@ -117,6 +117,17 @@ class Transport {
   virtual void stage_send(detail::WorkerState& st, int dest, const void* data,
                           std::size_t n) = 0;
 
+  /// Like stage_send(), but returns the writable payload slot instead of
+  /// copying from a caller buffer: the caller builds the message in place.
+  /// This is what lets the collectives layer combine many logical payloads
+  /// into one framed message without a staging copy — `MessageArena::append`
+  /// slots are pointer-stable (slabs never move), so the returned pointer
+  /// stays valid until the message is delivered. The slot is part of the
+  /// current superstep's traffic whether or not the caller writes all of it;
+  /// same concurrency contract as stage_send().
+  virtual std::byte* stage_reserve(detail::WorkerState& st, int dest,
+                                   std::size_t n) = 0;
+
   /// Sender-side boundary hook, called at the top of sync() before delivery
   /// (and before the first barrier, for barrier transports).
   virtual void flush(detail::WorkerState& st) = 0;

@@ -24,13 +24,17 @@ void DeferredTransport::reset_run(
 
 void DeferredTransport::stage_send(detail::WorkerState& st, int dest,
                                    const void* data, std::size_t n) {
+  std::byte* slot = stage_reserve(st, dest, n);
+  if (n != 0) std::memcpy(slot, data, n);
+}
+
+std::byte* DeferredTransport::stage_reserve(detail::WorkerState& st, int dest,
+                                            std::size_t n) {
   const std::size_t d = static_cast<std::size_t>(dest);
   // The zero-allocation send path: bump-append a frame into the recycled
-  // per-destination arena and copy the payload once.
+  // per-destination arena; the caller fills the payload slot in place.
   MessageArena& arena = per_[static_cast<std::size_t>(st.pid)].outbox[d];
-  std::byte* slot = arena.append(static_cast<std::uint32_t>(st.pid),
-                                 st.seq_to[d]++, n);
-  if (n != 0) std::memcpy(slot, data, n);
+  return arena.append(static_cast<std::uint32_t>(st.pid), st.seq_to[d]++, n);
 }
 
 void DeferredTransport::flush(detail::WorkerState& st) {

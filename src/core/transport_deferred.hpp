@@ -27,6 +27,8 @@ class DeferredTransport final : public detail::TransportBase {
                      states) override;
   void stage_send(detail::WorkerState& st, int dest, const void* data,
                   std::size_t n) override;
+  std::byte* stage_reserve(detail::WorkerState& st, int dest,
+                           std::size_t n) override;
   void flush(detail::WorkerState& st) override;
   void deliver_to(detail::WorkerState& dst) override;
   [[nodiscard]] bool has_unflushed(

@@ -24,19 +24,28 @@ void EagerTransport::reset_run(
 
 void EagerTransport::stage_send(detail::WorkerState& st, int dest,
                                 const void* data, std::size_t n) {
+  std::byte* slot = stage_reserve(st, dest, n);
+  if (n != 0) std::memcpy(slot, data, n);
+}
+
+std::byte* EagerTransport::stage_reserve(detail::WorkerState& st, int dest,
+                                         std::size_t n) {
   const std::size_t d = static_cast<std::size_t>(dest);
   PerWorker& pw = *per_[static_cast<std::size_t>(st.pid)];
   MessageArena& arena = pw.pending[d];
   std::byte* slot = arena.append(static_cast<std::uint32_t>(st.pid),
                                  st.seq_to[d]++, n);
-  if (n != 0) std::memcpy(slot, data, n);
   if (pw.dirty_flag[d] == 0) {
     pw.dirty_flag[d] = 1;
     pw.dirty.push_back(dest);
   }
   if (arena.message_count() >= cfg_.eager_chunk_messages) {
+    // The chunk flush splices whole slab chains into the destination's input
+    // buffer; slabs are never copied or moved, so `slot` stays writable — the
+    // receiver cannot observe it before the boundary barriers anyway.
     flush_one(st, dest);
   }
+  return slot;
 }
 
 void EagerTransport::flush_one(detail::WorkerState& st, int dest) {

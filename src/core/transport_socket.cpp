@@ -174,6 +174,12 @@ void SocketTransport::grow_kernel_buffer(PerWorker& pw, std::size_t peer,
 
 void SocketTransport::stage_send(detail::WorkerState& st, int dest,
                                  const void* data, std::size_t n) {
+  std::byte* slot = stage_reserve(st, dest, n);
+  if (n != 0) std::memcpy(slot, data, n);
+}
+
+std::byte* SocketTransport::stage_reserve(detail::WorkerState& st, int dest,
+                                          std::size_t n) {
   if (n > cfg_.socket_max_frame_bytes) {
     // Reject at the send call, where the application can see a clean error,
     // rather than letting the peer's header validation kill the exchange.
@@ -188,9 +194,7 @@ void SocketTransport::stage_send(detail::WorkerState& st, int dest,
   // Same bump-append staging as the deferred transport; the bytes hit the
   // wire at the boundary, in the rigid stage for this destination.
   MessageArena& arena = per_[static_cast<std::size_t>(st.pid)].outbox[d];
-  std::byte* slot = arena.append(static_cast<std::uint32_t>(st.pid),
-                                 st.seq_to[d]++, n);
-  if (n != 0) std::memcpy(slot, data, n);
+  return arena.append(static_cast<std::uint32_t>(st.pid), st.seq_to[d]++, n);
 }
 
 void SocketTransport::begin_stage(PerWorker& pw, StageState& ss, int pid,

@@ -82,6 +82,8 @@ class SocketTransport final : public detail::TransportBase {
                      states) override;
   void stage_send(detail::WorkerState& st, int dest, const void* data,
                   std::size_t n) override;
+  std::byte* stage_reserve(detail::WorkerState& st, int dest,
+                           std::size_t n) override;
   void flush(detail::WorkerState& st) override {
     // Sends stage straight into per-destination arenas; only the fault
     // harness hooks the boundary here.

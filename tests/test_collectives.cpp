@@ -4,7 +4,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/collectives.hpp"
@@ -236,6 +238,289 @@ TEST(CollectivesExtra, SuperstepCostsMatchTheAdvertisedTradeoff) {
       EXPECT_LE(s.supersteps[i].h_packets, 1u);
     }
   }
+}
+
+// ------------------------------------------------------------ bulk (v2)
+
+TEST_P(Collectives, BroadcastSpanDeliversWholeBlock) {
+  for (int root = 0; root < p(); ++root) {
+    run([&, root](Worker& w) {
+      std::vector<std::uint64_t> block(337);
+      if (w.pid() == root) {
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          block[i] = 1000u * static_cast<std::uint64_t>(root) + i;
+        }
+      }
+      broadcast_span(w, root, block, alg());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        ASSERT_EQ(block[i], 1000u * static_cast<std::uint64_t>(root) + i);
+      }
+    });
+  }
+}
+
+TEST_P(Collectives, AllreduceSpanElementwiseSum) {
+  run([&](Worker& w) {
+    std::vector<std::int64_t> v(97);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<std::int64_t>(i) * (w.pid() + 1);
+    }
+    allreduce_span(w, v.data(), v.size(), std::plus<std::int64_t>{}, alg());
+    const std::int64_t scale =
+        static_cast<std::int64_t>(p()) * (p() + 1) / 2;  // sum of pid+1
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      ASSERT_EQ(v[i], static_cast<std::int64_t>(i) * scale);
+    }
+  });
+}
+
+TEST(CollectivesExtra, AllreduceSpanBitIdenticalAcrossRanksForDoubles) {
+  // The Direct fold runs strictly in pid order on every rank, so even
+  // non-associative floating-point addition yields one answer everywhere.
+  for (const auto alg :
+       {CollectiveAlgorithm::Direct, CollectiveAlgorithm::Tree}) {
+    Config cfg;
+    cfg.nprocs = 8;
+    Runtime rt(cfg);
+    std::vector<std::vector<double>> per_rank(8);
+    std::mutex mu;
+    rt.run([&](Worker& w) {
+      std::vector<double> v(33);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = 1.0 / (1.0 + static_cast<double>(w.pid()) +
+                      static_cast<double>(i) * 0.125);
+      }
+      allreduce_span(w, v.data(), v.size(), std::plus<double>{}, alg);
+      std::lock_guard<std::mutex> lk(mu);
+      per_rank[static_cast<std::size_t>(w.pid())] = std::move(v);
+    });
+    for (int r = 1; r < 8; ++r) {
+      ASSERT_EQ(per_rank[static_cast<std::size_t>(r)], per_rank[0])
+          << "rank " << r << " diverged";
+    }
+  }
+}
+
+TEST(CollectivesExtra, GathervAndAllgathervRaggedBlocks) {
+  for (int p : {1, 3, 6}) {
+    Config cfg;
+    cfg.nprocs = p;
+    Runtime rt(cfg);
+    rt.run([p](Worker& w) {
+      // Rank r contributes r*r elements (rank 1 contributes zero... use
+      // (r+1)%3 sizes so one rank is genuinely empty past p=1).
+      std::vector<std::uint32_t> mine(
+          static_cast<std::size_t>((w.pid() * w.pid()) % 5),
+          static_cast<std::uint32_t>(0xA0 + w.pid()));
+      std::vector<std::uint32_t> expect;
+      for (int r = 0; r < p; ++r) {
+        expect.insert(expect.end(), static_cast<std::size_t>((r * r) % 5),
+                      static_cast<std::uint32_t>(0xA0 + r));
+      }
+      std::vector<std::size_t> counts;
+      const auto everywhere = allgatherv(w, mine, &counts);
+      EXPECT_EQ(everywhere, expect);
+      ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                  static_cast<std::size_t>((r * r) % 5));
+      }
+      const auto rooted = gatherv(w, 0, mine);
+      if (w.pid() == 0) {
+        EXPECT_EQ(rooted, expect);
+      } else {
+        EXPECT_TRUE(rooted.empty());
+      }
+    });
+  }
+}
+
+// --------------------------------------------- two-phase alltoallv (v2)
+
+/// Personalized traffic patterns of the h-relation skew sweep. Every entry
+/// is keyed (source, dest, index) so misrouted or reordered elements are
+/// detectable, not just miscounted.
+std::vector<std::vector<std::uint64_t>> make_traffic(int pid, int p,
+                                                     int pattern) {
+  std::vector<std::vector<std::uint64_t>> out(static_cast<std::size_t>(p));
+  auto fill = [&](int d, std::size_t n) {
+    auto& v = out[static_cast<std::size_t>(d)];
+    v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = (static_cast<std::uint64_t>(pid) << 48) |
+             (static_cast<std::uint64_t>(d) << 32) | i;
+    }
+  };
+  switch (pattern) {
+    case 0:  // uniform: everyone sends ~the same to everyone
+      for (int d = 0; d < p; ++d) fill(d, 64 + static_cast<std::size_t>(d));
+      break;
+    case 1:  // one-hot: each rank fires one big block at a single partner
+      fill((pid * 3 + 1) % p, 1500);
+      break;
+    case 2:  // zipf-ish: block to dest d shrinks as 1/(1+d-pid mod p)
+      for (int d = 0; d < p; ++d) {
+        fill(d, 900 / (1 + static_cast<std::size_t>((d - pid + p) % p)));
+      }
+      break;
+    default:  // ragged with holes: some blocks empty, sizes vary
+      for (int d = 0; d < p; ++d) {
+        if ((pid + d) % 3 == 0) continue;
+        fill(d, static_cast<std::size_t>(1 + (pid * 7 + d * 13) % 41));
+      }
+      break;
+  }
+  return out;
+}
+
+struct SkewParam {
+  DeliveryStrategy delivery;
+  SyncMode mode;
+};
+
+class SkewedAlltoallv : public testing::TestWithParam<SkewParam> {};
+
+TEST_P(SkewedAlltoallv, TwoPhaseBitIdenticalToDirect) {
+  // Across every transport and sync mode: the two-phase (Valiant-style)
+  // route must deliver exactly what the direct schedule delivers, byte for
+  // byte, for each skew pattern of the sweep.
+  const auto& sp = GetParam();
+  const int p = 6;
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    std::vector<std::vector<std::vector<std::uint64_t>>> direct_in(
+        static_cast<std::size_t>(p)),
+        two_phase_in(static_cast<std::size_t>(p));
+    std::mutex mu;
+    for (const auto schedule :
+         {CollectiveSchedule::Direct, CollectiveSchedule::TwoPhase}) {
+      Config cfg;
+      cfg.nprocs = p;
+      cfg.delivery = sp.delivery;
+      Runtime rt(cfg);
+      auto& sink = schedule == CollectiveSchedule::Direct ? direct_in
+                                                         : two_phase_in;
+      rt.run([&](Worker& w) {
+        auto in = alltoallv(w, make_traffic(w.pid(), p, pattern), schedule,
+                            sp.mode);
+        std::lock_guard<std::mutex> lk(mu);
+        sink[static_cast<std::size_t>(w.pid())] = std::move(in);
+      });
+    }
+    ASSERT_EQ(two_phase_in, direct_in) << "pattern " << pattern;
+    // And both match the oracle: what s built for d is what d got from s.
+    for (int d = 0; d < p; ++d) {
+      for (int s = 0; s < p; ++s) {
+        const auto want = make_traffic(s, p, pattern);
+        ASSERT_EQ(direct_in[static_cast<std::size_t>(d)]
+                           [static_cast<std::size_t>(s)],
+                  want[static_cast<std::size_t>(d)])
+            << "pattern " << pattern << " s=" << s << " d=" << d;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportsAndModes, SkewedAlltoallv,
+    testing::ValuesIn(std::vector<SkewParam>{
+        {DeliveryStrategy::Deferred, SyncMode::Rigid},
+        {DeliveryStrategy::Deferred, SyncMode::SplitPhase},
+        {DeliveryStrategy::Eager, SyncMode::Rigid},
+        {DeliveryStrategy::Eager, SyncMode::SplitPhase},
+        {DeliveryStrategy::Socket, SyncMode::Rigid},
+        {DeliveryStrategy::Socket, SyncMode::SplitPhase},
+    }),
+    [](const testing::TestParamInfo<SkewParam>& info) {
+      std::string name;
+      switch (info.param.delivery) {
+        case DeliveryStrategy::Deferred: name = "Deferred"; break;
+        case DeliveryStrategy::Eager: name = "Eager"; break;
+        case DeliveryStrategy::Socket: name = "Socket"; break;
+      }
+      return name + (info.param.mode == SyncMode::Rigid ? "Rigid" : "Split");
+    });
+
+TEST(CollectivesExtra, AlltoallvScheduleSuperstepCounts) {
+  // Forced Direct: one boundary. Forced TwoPhase: two. Auto: the byte-count
+  // allgather adds one boundary before the chosen schedule.
+  Config cfg;
+  cfg.nprocs = 4;
+  auto steps = [&cfg](CollectiveSchedule s) {
+    Runtime rt(cfg);
+    return rt
+        .run([s](Worker& w) {
+          alltoallv(w, make_traffic(w.pid(), w.nprocs(), 0), s);
+        })
+        .S();
+  };
+  EXPECT_EQ(steps(CollectiveSchedule::Direct), 2u);    // boundary + tail
+  EXPECT_EQ(steps(CollectiveSchedule::TwoPhase), 3u);  // 2 boundaries + tail
+  // Uniform traffic on an in-memory transport: Auto must pick Direct.
+  EXPECT_EQ(steps(CollectiveSchedule::Auto), 3u);  // counts + direct + tail
+}
+
+TEST(CollectivesExtra, ConfigScheduleOverrideAppliesToAutoCalls) {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.collective_schedule = CollectiveSchedule::TwoPhase;
+  Runtime rt(cfg);
+  const RunStats s = rt.run([](Worker& w) {
+    alltoallv(w, make_traffic(w.pid(), w.nprocs(), 1));
+  });
+  EXPECT_EQ(s.S(), 3u);  // the override forces the two-boundary route
+}
+
+TEST(CollectivesExtra, SelectorPrefersTwoPhaseForOneHotOnStagedTransport) {
+  // One-hot traffic on the staged (socket) exchange: the direct schedule
+  // serializes the whole block through one round, while two-phase spreads
+  // it across intermediates — the selector must see that.
+  const int p = 8;
+  const std::size_t sp = static_cast<std::size_t>(p);
+  std::vector<std::vector<std::uint64_t>> one_hot(
+      sp, std::vector<std::uint64_t>(sp, 0));
+  for (int i = 0; i < p; ++i) {
+    one_hot[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+        (i * 3 + 1) % p)] = 512 * 1024;
+  }
+  const ScheduleChoice skew = evaluate_alltoallv_schedule(
+      one_hot, /*staged=*/true, /*g_us=*/1.0, /*l_us=*/50.0, 16);
+  EXPECT_EQ(skew.schedule, CollectiveSchedule::TwoPhase);
+  EXPECT_LT(skew.two_phase_us, skew.direct_us);
+
+  // Uniform traffic: direct is already balanced; repacking cannot win.
+  std::vector<std::vector<std::uint64_t>> uniform(
+      sp, std::vector<std::uint64_t>(sp, 64 * 1024));
+  const ScheduleChoice flat = evaluate_alltoallv_schedule(
+      uniform, /*staged=*/true, /*g_us=*/1.0, /*l_us=*/50.0, 16);
+  EXPECT_EQ(flat.schedule, CollectiveSchedule::Direct);
+
+  // Barrier-transport pricing: one-hot is already a perfect h-relation
+  // (h = block), so adding a second boundary only costs.
+  const ScheduleChoice barrier = evaluate_alltoallv_schedule(
+      one_hot, /*staged=*/false, /*g_us=*/1.0, /*l_us=*/50.0, 16);
+  EXPECT_EQ(barrier.schedule, CollectiveSchedule::Direct);
+}
+
+TEST(CollectivesExtra, RootedSelectorTradesLatencyAgainstBandwidth) {
+  // Tiny payload, high L: direct's single boundary wins. Big payload,
+  // cheap L: the tree's log p rounds of h=m beat direct's h=(p-1)m.
+  const ScheduleChoice tiny =
+      evaluate_rooted_schedule(8, 8, /*g_us=*/0.1, /*l_us=*/100.0, 16);
+  EXPECT_EQ(tiny.schedule, CollectiveSchedule::Direct);
+  const ScheduleChoice big =
+      evaluate_rooted_schedule(8, 1 << 20, /*g_us=*/0.1, /*l_us=*/100.0, 16);
+  EXPECT_EQ(big.schedule, CollectiveSchedule::Tree);
+  EXPECT_LT(big.tree_us, big.direct_us);
+}
+
+TEST(CollectivesExtra, ConfigRejectsNegativeCollectiveParams) {
+  Config cfg;
+  cfg.nprocs = 2;
+  cfg.collective_g_us = -1.0;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.collective_g_us = 0.0;
+  cfg.collective_l_us = -0.5;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
 }
 
 }  // namespace

@@ -99,17 +99,66 @@ TEST(SampleSortExtra, HandlesPresortedAndReversed) {
 
 TEST(SampleSortExtra, ConstantSuperstepProfile) {
   // S must not depend on n — the paper's "simple subroutine" profile.
-  auto steps = [](std::size_t n) {
+  auto steps = [](std::size_t n, bool two_pass) {
     const auto input = random_keys(n, 11);
     std::vector<std::uint64_t> out(input.size(), 0);
     Config cfg;
     cfg.nprocs = 4;
     Runtime rt(cfg);
-    return rt.run(make_sample_sort_program(input, &out)).S();
+    SampleSortOptions options;
+    options.two_pass_splitters = two_pass;
+    return rt.run(make_sample_sort_program(input, &out, options)).S();
   };
-  const auto s1 = steps(2000);
-  EXPECT_EQ(s1, steps(64000));
-  EXPECT_EQ(s1, 5u);  // samples, splitters, buckets, offsets, merge-tail
+  const auto s1 = steps(2000, false);
+  EXPECT_EQ(s1, steps(64000, false));
+  EXPECT_EQ(s1, 3u);  // sample-allgather, buckets (rows piggybacked), tail
+  EXPECT_EQ(steps(2000, true), 4u);  // + the splitter broadcast superstep
+}
+
+TEST(SampleSortExtra, OversamplingRegimeSweep) {
+  // Every point of the BSP-sorting regime grid — oversampling ratio,
+  // splitter distribution, local sort — must reproduce the std::sort
+  // oracle exactly. (Different regimes pick different splitters, so only
+  // the final output is comparable, and for uint64 keys equal content is
+  // bit-identity.)
+  const std::size_t n = 30000;
+  const int p = 6;
+  const auto input = random_keys(n, 23);
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  for (const std::size_t over : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{12}, std::size_t{48}}) {
+    for (const bool two_pass : {false, true}) {
+      for (const auto local : {SampleSortOptions::LocalSort::Radix,
+                               SampleSortOptions::LocalSort::StdSort}) {
+        SampleSortOptions options;
+        options.oversample = over;
+        options.two_pass_splitters = two_pass;
+        options.local_sort = local;
+        EXPECT_EQ(bsp_sample_sort(input, p, options), expect)
+            << "oversample=" << over << " two_pass=" << two_pass
+            << " radix=" << (local == SampleSortOptions::LocalSort::Radix);
+      }
+    }
+  }
+}
+
+TEST(SampleSortExtra, OversampleOptionsBitIdenticalAcrossSyncModes) {
+  // The order-statistic sampling trick must keep split == rigid for every
+  // oversampling ratio and splitter-distribution regime, not just defaults.
+  const auto input = random_keys(8000, 29);
+  for (const std::size_t over : {std::size_t{0}, std::size_t{20}}) {
+    for (const bool two_pass : {false, true}) {
+      SampleSortOptions rigid_opt;
+      rigid_opt.oversample = over;
+      rigid_opt.two_pass_splitters = two_pass;
+      SampleSortOptions split_opt = rigid_opt;
+      split_opt.mode = SyncMode::SplitPhase;
+      EXPECT_EQ(bsp_sample_sort(input, 5, split_opt),
+                bsp_sample_sort(input, 5, rigid_opt))
+          << "oversample=" << over << " two_pass=" << two_pass;
+    }
+  }
 }
 
 TEST(SampleSortExtra, SerializedSchedulerSameResult) {
@@ -136,10 +185,10 @@ TEST(SampleSortExtra, BalancedCommunication) {
   cfg.nprocs = p;
   Runtime rt(cfg);
   const RunStats stats = rt.run(make_sample_sort_program(input, &out));
-  // Superstep 2 carries the buckets (~ (p-1)/p of n/p keys per processor,
+  // Superstep 1 carries the buckets (~ (p-1)/p of n/p keys per processor,
   // in 16-byte packet units: 8 bytes per key => n/p/2 packets).
   const double ideal = static_cast<double>(n) / p / 2.0;
-  EXPECT_LT(static_cast<double>(stats.supersteps[2].h_packets), 3.0 * ideal);
+  EXPECT_LT(static_cast<double>(stats.supersteps[1].h_packets), 3.0 * ideal);
 }
 
 TEST(SampleSortExtra, RejectsWrongOutputSize) {
