@@ -7,6 +7,13 @@
 // same h-relation.
 //
 //   --transport all|deferred|eager|socket   restrict the rows
+//   --transport tcp                         cross-process rows; must run
+//                                           under bsp_launch (rank env), and
+//                                           is deliberately NOT part of
+//                                           "all" — the in-process rows
+//                                           would measure nothing useful
+//                                           inside every rank. Only rank 0
+//                                           prints and writes --json.
 //   --sizes 16,4096,65536                   payload-size sweep (bytes);
 //                                           message count scales as 16/size
 //                                           to keep traffic volume comparable
@@ -126,11 +133,23 @@ int main(int argc, char** argv) {
     return which == "all" || which == t;
   };
 
-  std::cout << "== delivery ablation: " << msgs
-            << " packets/worker/superstep at 16 B (count scales with "
-               "payload size), p="
-            << np << ", median of " << reps
-            << " rep(s), wall-clock us per superstep ==\n";
+  Config tcp_base;  // rank identity from bsp_launch when --transport tcp
+  if (which == "tcp" && !configure_tcp_from_env(tcp_base)) {
+    std::cerr << "--transport tcp needs the bsp_launch rank environment; "
+                 "run e.g.\n  bsp_launch -p 4 -- " << argv[0]
+              << " --transport tcp\n";
+    return 1;
+  }
+  const bool chatty = which != "tcp" || tcp_base.tcp_rank == 0;
+  const int run_np = which == "tcp" ? tcp_base.nprocs : np;
+
+  if (chatty) {
+    std::cout << "== delivery ablation: " << msgs
+              << " packets/worker/superstep at 16 B (count scales with "
+                 "payload size), p="
+              << run_np << ", median of " << reps
+              << " rep(s), wall-clock us per superstep ==\n";
+  }
 
   std::vector<Row> rows;
   for (const int size : sizes) {
@@ -165,7 +184,16 @@ int main(int argc, char** argv) {
       rows.push_back(measure(cfg, "socket (staged total exchange)" + suffix,
                              steps, m, size, reps));
     }
+    if (which == "tcp") {
+      // Every rank runs the same measurement in lockstep; rank 0's wall
+      // clock is the row (the boundary barrier keeps all ranks within one
+      // exchange of each other).
+      rows.push_back(measure(tcp_base, "tcp (cross-process loopback)" + suffix,
+                             steps, m, size, reps));
+    }
   }
+
+  if (!chatty) return 0;  // non-zero tcp ranks: measure, stay silent
 
   TextTable t({"strategy", "payload B", "us/superstep", "msgs/s",
                "wire bytes/run", "syscalls/stage"});

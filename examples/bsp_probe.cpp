@@ -2,7 +2,7 @@
 // Figure 2.1 recipe, using the native thread backend.
 //
 //   $ bsp_probe [--procs 1,2,4,8] [--steps 200]
-//               [--transport deferred|eager|socket] [--overlap]
+//               [--transport deferred|eager|socket|tcp] [--overlap]
 //               [--fault-plan "site=...,kind=...;..."] [--fault-seed N]
 //               [--retries N] [--checkpoint-every N]
 //
@@ -11,6 +11,10 @@
 // total-exchange supersteps; both via a least-squares fit across h sizes.
 // --transport probes a specific Transport: the socket transport's g and L
 // are this machine's loopback analogue of the paper's PC-LAN column.
+// --transport tcp must run under the rank runner —
+//   bsp_launch -p 4 -- bsp_probe --transport tcp
+// — each rank is a separate OS process; nprocs comes from GBSP_NPROCS (the
+// --procs list is ignored) and only rank 0 prints.
 // --overlap drives every boundary through the split-phase pair
 // (sync_begin()/sync_end() with no compute in the window), measuring the
 // pure protocol overhead of split-phase synchronization against the rigid
@@ -57,19 +61,35 @@ int main(int argc, char** argv) {
   using namespace gbsp;
   CliArgs args(argc, argv);
   const int steps = static_cast<int>(args.get_int("steps", 200));
-  const auto procs = args.get_int_list("procs", {1, 2, 4, 8});
+  auto procs = args.get_int_list("procs", {1, 2, 4, 8});
   DeliveryStrategy delivery;
   FaultPlan fault_plan;
+  Config tcp_base;  // delivery/nprocs/tcp_* from bsp_launch's environment
   try {
     delivery = delivery_from_string(args.get_string("transport", "deferred"));
     const std::string plan_spec = args.get_string("fault-plan", "");
     if (!plan_spec.empty()) fault_plan = parse_fault_plan(plan_spec);
     fault_plan.seed = static_cast<std::uint64_t>(args.get_int(
         "fault-seed", static_cast<std::int64_t>(fault_plan.seed)));
+    if (delivery == DeliveryStrategy::Tcp) {
+      if (!configure_tcp_from_env(tcp_base)) {
+        std::fprintf(stderr,
+                     "--transport tcp needs the bsp_launch rank environment "
+                     "(GBSP_RANK/GBSP_NPROCS); run e.g.\n"
+                     "  bsp_launch -p 4 -- %s --transport tcp\n",
+                     argv[0]);
+        return 1;
+      }
+      // One process == one rank: the run size is the launcher's, and every
+      // rank must execute the same probe sequence in lockstep.
+      procs = {tcp_base.nprocs};
+    }
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  const bool chatty =
+      delivery != DeliveryStrategy::Tcp || tcp_base.tcp_rank == 0;
   const auto retries =
       static_cast<std::size_t>(args.get_int("retries", 0));
   const auto checkpoint_every =
@@ -77,11 +97,20 @@ int main(int argc, char** argv) {
   const bool overlap = args.has_flag("overlap");
   const bool collectives = args.has_flag("collectives");
 
-  std::printf(
-      "probing the native thread backend (%u hardware threads), "
-      "transport=%s, sync=%s\n",
-      std::thread::hardware_concurrency(), to_string(delivery),
-      overlap ? "split-phase" : "rigid");
+  if (chatty) {
+    if (delivery == DeliveryStrategy::Tcp) {
+      std::printf(
+          "probing the cross-process tcp backend (%d ranks via bsp_launch, "
+          "loopback unless GBSP_HOST says otherwise), sync=%s\n",
+          tcp_base.nprocs, overlap ? "split-phase" : "rigid");
+    } else {
+      std::printf(
+          "probing the native thread backend (%u hardware threads), "
+          "transport=%s, sync=%s\n",
+          std::thread::hardware_concurrency(), to_string(delivery),
+          overlap ? "split-phase" : "rigid");
+    }
+  }
   TextTable t({"nprocs", "g (us / 16B packet)", "L (us)"});
   std::vector<std::pair<int, MachineParams>> fitted;
   std::uint64_t total_injected = 0;
@@ -89,7 +118,7 @@ int main(int argc, char** argv) {
   for (auto np64 : procs) {
     const int np = static_cast<int>(np64);
     std::vector<ProbeSample> samples;
-    Config cfg;
+    Config cfg = tcp_base;  // default-constructed unless --transport tcp
     cfg.nprocs = np;
     cfg.delivery = delivery;
     cfg.collect_stats = false;
@@ -133,9 +162,9 @@ int main(int argc, char** argv) {
     t.row().add(std::int64_t{np}).add(mp.g_us, 3).add(mp.L_us, 1);
     fitted.push_back({np, mp});
   }
-  t.render(std::cout);
+  if (chatty) t.render(std::cout);
 
-  if (collectives) {
+  if (collectives && chatty) {
     std::printf(
         "\nschedule selector on the measured (g, L) — the default column "
         "is the baked-in per-transport fit the selector uses when no probe "
@@ -145,7 +174,8 @@ int main(int argc, char** argv) {
     for (const auto& [np, mp] : fitted) {
       if (np < 2) continue;  // every schedule degenerates at p = 1
       const std::size_t sp = static_cast<std::size_t>(np);
-      const bool staged = delivery == DeliveryStrategy::Socket;
+      const bool staged = delivery == DeliveryStrategy::Socket ||
+                          delivery == DeliveryStrategy::Tcp;
       const double g = mp.g_us > 0.0 ? mp.g_us : 0.001;
       const double l = mp.L_us > 0.0 ? mp.L_us : 0.001;
       // Representative h-relations: 512 KiB per rank, spread vs focused.
@@ -186,7 +216,7 @@ int main(int argc, char** argv) {
     }
     ct.render(std::cout);
   }
-  if (!fault_plan.empty()) {
+  if (!fault_plan.empty() && chatty) {
     std::printf("fault plan: %zu rule(s), seed %llu -> %llu injected, "
                 "%llu recover%s\n",
                 fault_plan.rules.size(),
@@ -195,8 +225,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total_recoveries),
                 total_recoveries == 1 ? "y" : "ies");
   }
-  std::printf(
-      "\ncompare with the paper's Figure 2.1: SGI g=0.77-0.95, L=3-105; "
-      "Cenju g=2.2-3.6, L=130-2880; PC-LAN g=0.92-8.6, L=2-3715.\n");
+  if (chatty) {
+    std::printf(
+        "\ncompare with the paper's Figure 2.1: SGI g=0.77-0.95, L=3-105; "
+        "Cenju g=2.2-3.6, L=130-2880; PC-LAN g=0.92-8.6, L=2-3715.\n");
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/collectives.hpp"
 #include "util/kernels.hpp"
 #include "util/rng.hpp"
 
@@ -90,10 +91,10 @@ int cannon_active_grid_dim(int nprocs, int n) {
 
 namespace {
 
-void copy_block_in(const Matrix& src, int bx, int by, int bn, double* dst) {
+void copy_block_in(const double* src, int n, int bx, int by, int bn,
+                   double* dst) {
   for (int i = 0; i < bn; ++i) {
-    const double* row = src.data() +
-                        static_cast<std::size_t>(bx * bn + i) * src.n() +
+    const double* row = src + static_cast<std::size_t>(bx * bn + i) * n +
                         static_cast<std::size_t>(by) * bn;
     std::copy(row, row + bn, dst + static_cast<std::size_t>(i) * bn);
   }
@@ -109,6 +110,77 @@ void copy_block_out(const double* src, int bx, int by, int bn, Matrix* dst) {
   }
 }
 
+// The shared Cannon body: both entry points (shared-layout and
+// broadcast-layout) land here with row-major n x n operand arrays, so they
+// execute the identical kernel sequence on identical operands — the
+// bit-identical-C guarantee the regression tests pin down.
+void cannon_body(Worker& w, const double* Aflat, const double* Bflat, int n,
+                 Matrix* C, SyncMode mode) {
+  const int q = cannon_active_grid_dim(w.nprocs(), n);
+  if (w.pid() >= q * q) {
+    // Processor outside the q x q compute grid (non-perfect-square p):
+    // idle through the grid's superstep structure — two sync()s per shift
+    // iteration — so the global barriers stay matched.
+    for (int t = 1; t < q; ++t) {
+      w.sync();
+      w.sync();
+    }
+    return;
+  }
+  const int bn = n / q;
+  const std::size_t bsz = static_cast<std::size_t>(bn) * bn;
+  const int x = w.pid() / q;
+  const int y = w.pid() % q;
+
+  // The paper's pre-skewed initial layout.
+  std::vector<double> a(bsz), b(bsz), c(bsz, 0.0), a_in(bsz), b_in(bsz);
+  copy_block_in(Aflat, n, x, (x + y) % q, bn, a.data());
+  copy_block_in(Bflat, n, (x + y) % q, y, bn, b.data());
+
+  const int right = x * q + (y + 1) % q;      // A travels right
+  const int below = ((x + 1) % q) * q + y;    // B travels down
+
+  for (int t = 0; t < q; ++t) {
+    if (mode == SyncMode::SplitPhase && t + 1 < q) {
+      // Ship the resident blocks first (stage_send copies them out), then
+      // multiply inside the window while the shift travels. Same kernel,
+      // same operands, same order as the rigid iteration below.
+      w.send_array(right, a);
+      w.send_array(below, b);
+      w.sync_begin();
+      kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
+      w.sync_end();
+    } else {
+      kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
+      if (t + 1 == q) break;
+      // Superstep boundary 1: ship the blocks onward.
+      w.send_array(right, a);
+      w.send_array(below, b);
+      w.sync();
+    }
+    // Unpack superstep: read the two incoming blocks (the paper's
+    // message-passing "read messages" step), then a second boundary.
+    int got = 0;
+    while (const Message* m = w.get_message()) {
+      // A blocks come from the left neighbor, B blocks from above.
+      const int from_left = x * q + (y + q - 1) % q;
+      if (static_cast<int>(m->source) == from_left) {
+        std::memcpy(a_in.data(), m->payload.data(), bsz * sizeof(double));
+      } else {
+        std::memcpy(b_in.data(), m->payload.data(), bsz * sizeof(double));
+      }
+      ++got;
+    }
+    if (got != (w.nprocs() > 1 ? 2 : 0)) {
+      throw std::logic_error("cannon: expected exactly two blocks");
+    }
+    a.swap(a_in);
+    b.swap(b_in);
+    w.sync();
+  }
+  copy_block_out(c.data(), x, y, bn, C);
+}
+
 }  // namespace
 
 std::function<void(Worker&)> make_cannon_program(const Matrix& A,
@@ -119,69 +191,33 @@ std::function<void(Worker&)> make_cannon_program(const Matrix& A,
     throw std::invalid_argument("cannon: size mismatch");
   }
   return [&A, &B, C, n, mode](Worker& w) {
-    const int q = cannon_active_grid_dim(w.nprocs(), n);
-    if (w.pid() >= q * q) {
-      // Processor outside the q x q compute grid (non-perfect-square p):
-      // idle through the grid's superstep structure — two sync()s per shift
-      // iteration — so the global barriers stay matched.
-      for (int t = 1; t < q; ++t) {
-        w.sync();
-        w.sync();
-      }
-      return;
+    cannon_body(w, A.data(), B.data(), n, C, mode);
+  };
+}
+
+std::function<void(Worker&)> make_cannon_broadcast_program(const Matrix& A,
+                                                           const Matrix& B,
+                                                           Matrix* C,
+                                                           SyncMode mode) {
+  const int n = A.n();
+  if (B.n() != n || C->n() != n) {
+    throw std::invalid_argument("cannon: size mismatch");
+  }
+  return [&A, &B, C, n, mode](Worker& w) {
+    // Rank 0 is the only rank that reads the operand values; everyone else
+    // receives its replica through the bulk collective (one combined
+    // message per destination, Direct vs Tree chosen by the (g, L)
+    // selector). Idle ranks outside the compute grid participate too —
+    // broadcast_span is collective over the whole run.
+    const std::size_t total = static_cast<std::size_t>(n) * n;
+    std::vector<double> a_all(total), b_all(total);
+    if (w.pid() == 0) {
+      std::copy(A.data(), A.data() + total, a_all.begin());
+      std::copy(B.data(), B.data() + total, b_all.begin());
     }
-    const int bn = n / q;
-    const std::size_t bsz = static_cast<std::size_t>(bn) * bn;
-    const int x = w.pid() / q;
-    const int y = w.pid() % q;
-
-    // The paper's pre-skewed initial layout.
-    std::vector<double> a(bsz), b(bsz), c(bsz, 0.0), a_in(bsz), b_in(bsz);
-    copy_block_in(A, x, (x + y) % q, bn, a.data());
-    copy_block_in(B, (x + y) % q, y, bn, b.data());
-
-    const int right = x * q + (y + 1) % q;      // A travels right
-    const int below = ((x + 1) % q) * q + y;    // B travels down
-
-    for (int t = 0; t < q; ++t) {
-      if (mode == SyncMode::SplitPhase && t + 1 < q) {
-        // Ship the resident blocks first (stage_send copies them out), then
-        // multiply inside the window while the shift travels. Same kernel,
-        // same operands, same order as the rigid iteration below.
-        w.send_array(right, a);
-        w.send_array(below, b);
-        w.sync_begin();
-        kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
-        w.sync_end();
-      } else {
-        kernels::dgemm_add(a.data(), b.data(), c.data(), bn);
-        if (t + 1 == q) break;
-        // Superstep boundary 1: ship the blocks onward.
-        w.send_array(right, a);
-        w.send_array(below, b);
-        w.sync();
-      }
-      // Unpack superstep: read the two incoming blocks (the paper's
-      // message-passing "read messages" step), then a second boundary.
-      int got = 0;
-      while (const Message* m = w.get_message()) {
-        // A blocks come from the left neighbor, B blocks from above.
-        const int from_left = x * q + (y + q - 1) % q;
-        if (static_cast<int>(m->source) == from_left) {
-          std::memcpy(a_in.data(), m->payload.data(), bsz * sizeof(double));
-        } else {
-          std::memcpy(b_in.data(), m->payload.data(), bsz * sizeof(double));
-        }
-        ++got;
-      }
-      if (got != (w.nprocs() > 1 ? 2 : 0)) {
-        throw std::logic_error("cannon: expected exactly two blocks");
-      }
-      a.swap(a_in);
-      b.swap(b_in);
-      w.sync();
-    }
-    copy_block_out(c.data(), x, y, bn, C);
+    broadcast_span(w, 0, a_all.data(), total);
+    broadcast_span(w, 0, b_all.data(), total);
+    cannon_body(w, a_all.data(), b_all.data(), n, C, mode);
   };
 }
 

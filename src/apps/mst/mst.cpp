@@ -437,36 +437,42 @@ std::function<void(Worker&)> make_mst_program(const GraphPartition& part,
         std::memcpy(buf.data() + off, my_edges.data(),
                     my_edges.size() * sizeof(TreeEdgeMsg));
       }
-      if (w.pid() != 0) {
-        w.send_bytes(0, buf.data(), buf.size());
-      }
-      w.sync();
+      // The gather leg of the endgame is exactly the bulk-collective shape:
+      // each rank contributes one combined, self-describing block and rank 0
+      // receives the concatenation in pid order (the same order the manual
+      // drain observed — the root's own block parses first, so the floating
+      // sum accumulates in the same sequence as before).
+      const std::vector<std::uint8_t> all = gatherv(w, 0, buf);
 
+      FinalMsg fin;
       if (w.pid() == 0) {
-        double total_weight = my_weight;
-        std::int64_t total_count = my_count;
+        double total_weight = 0.0;
+        std::int64_t total_count = 0;
         std::vector<EdgeMsg> cands;
-        for (const auto& [k, cand] : pair_best) cands.push_back(cand);
-        std::vector<TreeEdgeMsg> all_edges = my_edges;
+        std::vector<TreeEdgeMsg> all_edges;
 
-        while (const Message* m = w.get_message()) {
+        std::size_t o = 0;
+        for (int s = 0; s < w.nprocs(); ++s) {
           EndgameHeader h;
-          std::memcpy(&h, m->payload.data(), sizeof(h));
+          std::memcpy(&h, all.data() + o, sizeof(h));
+          o += sizeof(h);
           total_weight += h.weight;
           total_count += h.count;
-          std::size_t o = sizeof(h);
           for (std::int32_t i = 0; i < h.ncand; ++i) {
             EdgeMsg cand;
-            std::memcpy(&cand, m->payload.data() + o, sizeof(cand));
+            std::memcpy(&cand, all.data() + o, sizeof(cand));
             o += sizeof(cand);
             cands.push_back(cand);
           }
           for (std::int32_t i = 0; i < h.nedges; ++i) {
             TreeEdgeMsg te;
-            std::memcpy(&te, m->payload.data() + o, sizeof(te));
+            std::memcpy(&te, all.data() + o, sizeof(te));
             o += sizeof(te);
             all_edges.push_back(te);
           }
+        }
+        if (o != all.size()) {
+          throw std::logic_error("mst: endgame gather size mismatch");
         }
 
         // Kruskal over the contracted component graph.
@@ -505,15 +511,15 @@ std::function<void(Worker&)> make_mst_program(const GraphPartition& part,
             result->edges.push_back({te.u, te.v, te.w});
           }
         }
-        for (int d = 1; d < w.nprocs(); ++d) {
-          w.send(d, FinalMsg{total_weight, total_count});
-        }
+        fin = {total_weight, total_count};
       }
-      w.sync();
-      if (w.pid() != 0) {
-        const Message* m = w.get_message();
-        if (m == nullptr) throw std::logic_error("mst: missing final result");
-      }
+      // Direct is forced so the fan-out stays one superstep — the same
+      // boundary count as the hand-rolled send loop it replaced (the tree
+      // schedule would add log2(p) boundaries and shift every superstep
+      // statistic the tests pin down).
+      // broadcast_span itself proves delivery on every non-root rank (a
+      // missing or short message throws), replacing the manual null check.
+      broadcast_span(w, 0, &fin, 1, CollectiveAlgorithm::Direct);
     }
   };
 }

@@ -61,6 +61,11 @@ double default_collective_g_us(DeliveryStrategy d, int nprocs) {
   switch (d) {
     case DeliveryStrategy::Socket:
       return 0.12 * p;  // p=2: 0.24, p=4: 0.48 (measured 0.242 / 0.528)
+    case DeliveryStrategy::Tcp:
+      // Loopback TCP between processes: same staged schedule as Socket
+      // with the inet stack's extra per-byte cost; measured 0.136us at
+      // p=2, 0.336us at p=4 (BENCH_tcp.json).
+      return 0.08 * p;
     case DeliveryStrategy::Eager:
       return 0.10;
     case DeliveryStrategy::Deferred:
@@ -76,6 +81,11 @@ double default_collective_l_us(DeliveryStrategy d, int nprocs) {
       // One staged boundary is (p-1) rounds; measured 11.5us at p=2,
       // 51.5us at p=4.
       return 13.0 * (p > 1.0 ? p - 1.0 : 1.0);
+    case DeliveryStrategy::Tcp:
+      // Cross-process loopback boundary: staged rounds plus scheduler
+      // wake-ups between processes; measured 21.8us at p=2, 74.4us at
+      // p=4 (BENCH_tcp.json).
+      return 24.0 * (p > 1.0 ? p - 1.0 : 1.0);
     case DeliveryStrategy::Eager:
       return 25.0;
     case DeliveryStrategy::Deferred:

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -38,6 +39,11 @@ enum class DeliveryStrategy {
   /// No boundary barriers: the exchange itself is the synchronisation, as on
   /// the real PC-LAN. See core/transport_socket.hpp.
   Socket,
+  /// The same staged exchange over AF_INET/TCP between separate OS
+  /// processes: this process is exactly one rank (tcp_rank) of an nprocs
+  /// process run, normally launched by `bsp_launch`, and connects to its
+  /// peers over loopback or a real LAN. See core/transport_tcp.hpp.
+  Tcp,
 };
 
 /// Which schedule the collectives layer (core/collectives.hpp) uses for an
@@ -136,6 +142,24 @@ struct Config {
   /// preambles and partial scatter-gather writes).
   std::size_t socket_buffer_bytes = 0;
 
+  /// TCP transport (delivery == Tcp): which rank of the nprocs-process run
+  /// THIS process is. Set by bsp_launch via the GBSP_RANK environment
+  /// variable (see configure_tcp_from_env).
+  int tcp_rank = 0;
+
+  /// TCP transport: numeric IPv4 address every rank binds and connects on.
+  /// Loopback by default; a real LAN run sets the rank's reachable address.
+  std::string tcp_host = "127.0.0.1";
+
+  /// TCP transport: base port of the run's port window. Rank r listens on
+  /// tcp_port + r, so a p-process run occupies [tcp_port, tcp_port + p - 1].
+  int tcp_port = 47100;
+
+  /// TCP transport: bootstrap deadline. Covers the connect retry loop (peers
+  /// start at different times; ECONNREFUSED is retried until the listener
+  /// comes up) and each blocking rank-handshake read/write.
+  std::size_t tcp_connect_timeout_ms = 10'000;
+
   /// Collectives layer (core/collectives.hpp): schedule override. Auto picks
   /// Direct / Tree / TwoPhase per call from the h-relation and the
   /// transport's g/L; any other value forces that schedule.
@@ -227,6 +251,72 @@ inline void validate_config(const Config& cfg) {
     throw std::invalid_argument(
         "gbsp: socket_max_frame_bytes must be >= 1 (a zero cap would reject "
         "every message)");
+  }
+  // setsockopt takes an int: a pinned kernel buffer request above INT_MAX
+  // would silently truncate instead of pinning what was asked for.
+  if (cfg.socket_buffer_bytes >
+      static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument(
+        "gbsp: socket_buffer_bytes must fit in an int (setsockopt's unit), "
+        "got " +
+        std::to_string(cfg.socket_buffer_bytes));
+  }
+  if (cfg.socket_buffer_bytes != 0 &&
+      cfg.socket_buffer_bytes > cfg.socket_max_frame_bytes) {
+    throw std::invalid_argument(
+        "gbsp: a pinned socket_buffer_bytes (" +
+        std::to_string(cfg.socket_buffer_bytes) +
+        ") must not exceed socket_max_frame_bytes (" +
+        std::to_string(cfg.socket_max_frame_bytes) +
+        "): a single admissible frame could then never fit the kernel "
+        "buffers it must stream through");
+  }
+  // Keep frame lengths far from u64 overflow: the receiver sums up to 2^26
+  // claimed frame lens (kMaxHeaderBlockBytes worth of headers) before
+  // validating them against the preamble, and that sum must not wrap.
+  constexpr std::size_t kMaxFrameCap = std::size_t{1} << 37;  // 128 GiB
+  if (cfg.socket_max_frame_bytes > kMaxFrameCap) {
+    throw std::invalid_argument(
+        "gbsp: socket_max_frame_bytes must be <= 2^37, got " +
+        std::to_string(cfg.socket_max_frame_bytes));
+  }
+  if (cfg.delivery == DeliveryStrategy::Tcp) {
+    if (cfg.scheduling == Scheduling::Serialized) {
+      throw std::invalid_argument(
+          "gbsp: Serialized scheduling is incompatible with the tcp "
+          "transport (one process hosts one rank; there is no global "
+          "exchange to serialize)");
+    }
+    if (cfg.tcp_rank < 0 || cfg.tcp_rank >= cfg.nprocs) {
+      throw std::invalid_argument(
+          "gbsp: tcp_rank must be in [0, nprocs), got tcp_rank=" +
+          std::to_string(cfg.tcp_rank) +
+          " with nprocs=" + std::to_string(cfg.nprocs));
+    }
+    if (cfg.tcp_host.empty() ||
+        cfg.tcp_host.find_first_of(" \t\n:") != std::string::npos) {
+      throw std::invalid_argument(
+          "gbsp: tcp_host must be a plain numeric IPv4 address (no "
+          "whitespace, no port suffix), got \"" +
+          cfg.tcp_host + "\"");
+    }
+    if (cfg.tcp_port < 1 || cfg.tcp_port > 65535) {
+      throw std::invalid_argument("gbsp: tcp_port must be in [1, 65535], got " +
+                                  std::to_string(cfg.tcp_port));
+    }
+    if (cfg.tcp_port + cfg.nprocs - 1 > 65535) {
+      throw std::invalid_argument(
+          "gbsp: the run's port window [tcp_port, tcp_port + nprocs - 1] "
+          "must stay within [1, 65535]; tcp_port=" +
+          std::to_string(cfg.tcp_port) +
+          " with nprocs=" + std::to_string(cfg.nprocs) + " overflows it");
+    }
+    if (cfg.tcp_connect_timeout_ms == 0 ||
+        cfg.tcp_connect_timeout_ms > kMaxStageTimeoutMs) {
+      throw std::invalid_argument(
+          "gbsp: tcp_connect_timeout_ms must be in [1, 3600000], got " +
+          std::to_string(cfg.tcp_connect_timeout_ms));
+    }
   }
   if (!(cfg.collective_g_us >= 0.0) || !(cfg.collective_l_us >= 0.0)) {
     // The negated >= also rejects NaN, which would otherwise make every

@@ -1,0 +1,591 @@
+#include "core/exchange_engine.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/barrier.hpp"     // BspAborted
+#include "core/transport.hpp"  // BspTransportError
+
+namespace gbsp {
+namespace detail {
+
+namespace {
+
+/// Upper bound on an incoming header block before we trust the preamble
+/// enough to allocate for it: a claimed block above this is stream
+/// corruption, not traffic (2^26 frames per stage).
+constexpr std::uint64_t kMaxHeaderBlockBytes = std::uint64_t{1} << 30;
+
+void append_bytes(std::vector<std::byte>& buf, const void* data,
+                  std::size_t n) {
+  const std::byte* p = static_cast<const std::byte*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+std::size_t iov_max() {
+  static const std::size_t v = [] {
+    const long m = ::sysconf(_SC_IOV_MAX);
+    return m > 0 ? static_cast<std::size_t>(m) : std::size_t{16};
+  }();
+  return v;
+}
+
+/// Consumes `n` bytes of a scatter-gather list in place: fully transferred
+/// entries advance `idx`, a partially transferred entry has its base/len
+/// moved past the sent prefix so the next syscall resumes mid-entry.
+void advance_iov(std::vector<iovec>& iov, std::size_t& idx, std::size_t n) {
+  while (n != 0) {
+    iovec& e = iov[idx];
+    if (n < e.iov_len) {
+      e.iov_base = static_cast<std::byte*>(e.iov_base) + n;
+      e.iov_len -= n;
+      return;
+    }
+    n -= e.iov_len;
+    ++idx;
+  }
+}
+
+}  // namespace
+
+void ExchangeEngine::attach(int pid, int nprocs) {
+  pid_ = pid;
+  nprocs_ = nprocs;
+  outbox_.clear();
+  outbox_.reserve(static_cast<std::size_t>(nprocs));
+  for (int d = 0; d < nprocs; ++d) outbox_.emplace_back(pool_);
+  inbox_arena_.release_slabs();
+  split_active_ = false;
+  split_done_ = false;
+}
+
+void ExchangeEngine::reset_for_reuse() {
+  for (MessageArena& ob : outbox_) ob.release_slabs();
+  inbox_arena_.release_slabs();
+  // Defensive: a clean run always closes its windows, but stale split flags
+  // from a run that never reached its sync_end() would make the first
+  // begin_window() of the new run resume a dead stage.
+  split_active_ = false;
+  split_done_ = false;
+}
+
+bool ExchangeEngine::has_unflushed() const {
+  for (const MessageArena& a : outbox_) {
+    if (!a.empty()) return true;
+  }
+  return false;
+}
+
+std::byte* ExchangeEngine::reserve(WorkerState& st, int dest, std::size_t n) {
+  if (n > cfg_->socket_max_frame_bytes) {
+    // Reject at the send call, where the application can see a clean error,
+    // rather than letting the peer's header validation kill the exchange.
+    throw BspTransportError(
+        "message of " + std::to_string(n) +
+            " bytes exceeds socket_max_frame_bytes (" +
+            std::to_string(cfg_->socket_max_frame_bytes) + ")",
+        st.pid, dest, static_cast<std::int64_t>(st.superstep), /*stage=*/-1,
+        /*err=*/0, /*bytes_moved=*/0);
+  }
+  const std::size_t d = static_cast<std::size_t>(dest);
+  // Same bump-append staging as the deferred transport; the bytes hit the
+  // wire at the boundary, in the rigid stage for this destination.
+  return outbox_[d].append(static_cast<std::uint32_t>(st.pid),
+                           st.seq_to[d]++, n);
+}
+
+void ExchangeEngine::open_boundary(WorkerState& dst) {
+  dst.inbox.clear();
+  dst.inbox_cursor = 0;
+  inbox_arena_.release_slabs();  // last superstep's views are dead now
+  // Stage 0 of the schedule: self-delivery moves whole slabs, no wire.
+  inbox_arena_.splice_from(outbox_[static_cast<std::size_t>(dst.pid)]);
+}
+
+void ExchangeEngine::begin_stage(StageState& ss, int k) {
+  const std::size_t sp = static_cast<std::size_t>((pid_ + k) % nprocs_);
+  MessageArena& ob = outbox_[sp];
+  ss = StageState{};
+  ss.k = k;
+  ss.send_pre.count = ob.message_count();
+  ss.send_pre.header_bytes = ob.message_count() * sizeof(WireFrameHeader);
+  ss.send_pre.payload_bytes = ob.payload_bytes();
+  // Pack the header block; payloads are NOT serialized — the iovec below
+  // points sendmsg straight at the staging arena's slabs, so the payload
+  // section leaves the process from the memory stage_send wrote it to.
+  hdr_out_.clear();
+  hdr_out_.reserve(static_cast<std::size_t>(ss.send_pre.header_bytes));
+  ob.for_each_frame([&](const MessageArena::Frame& f) {
+    WireFrameHeader h;
+    h.seq = f.seq;
+    h.pad = 0;
+    h.len = f.len;
+    append_bytes(hdr_out_, &h, sizeof(h));
+  });
+  send_iov_.clear();
+  send_iov_.push_back({&ss.send_pre, sizeof(StagePreamble)});
+  if (!hdr_out_.empty()) {
+    send_iov_.push_back({hdr_out_.data(), hdr_out_.size()});
+  }
+  ob.for_each_payload_span([&](const std::byte* ptr, std::size_t len) {
+    send_iov_.push_back({const_cast<std::byte*>(ptr), len});
+  });
+  // The arena stays live (it backs the iovec) until pump_send retires the
+  // last entry and clears it.
+  ss.send_arena = &ob;
+  mesh_->grow_kernel_buffer(
+      pid_, static_cast<int>(sp), /*send_side=*/true,
+      sizeof(StagePreamble) +
+          static_cast<std::size_t>(ss.send_pre.header_bytes) +
+          static_cast<std::size_t>(ss.send_pre.payload_bytes));
+}
+
+std::optional<FaultInjector::Decision> ExchangeEngine::syscall_fault(
+    WorkerState& st, const StageState& ss, FaultSite site, int fd, int peer,
+    std::uint64_t moved) {
+  FaultInjector* inj = injector();
+  if (inj == nullptr) return std::nullopt;
+  FaultContext ctx;
+  ctx.rank = st.pid;
+  ctx.superstep = st.superstep;
+  ctx.stage = ss.k;
+  ctx.peer = peer;
+  auto d = inj->before_call(site, ctx);
+  if (!d) return std::nullopt;
+  st.injected_faults += 1;
+  switch (d->kind) {
+    case FaultKind::DelayUs:
+      std::this_thread::sleep_for(std::chrono::microseconds(d->arg));
+      return std::nullopt;  // proceed normally after the stall
+    case FaultKind::PeerHangup:
+      // Shut down our end of the stream: the peer observes EOF and we
+      // observe EPIPE/EOF on the next real call — a bidirectional death.
+      ::shutdown(fd, SHUT_RDWR);
+      return std::nullopt;
+    case FaultKind::Abort:
+      throw BspTransportError(
+          std::string("injected abort at ") + to_string(site), st.pid, peer,
+          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0, moved);
+    default:
+      return d;  // Eintr / Eagain / ShortIo: the pump loop acts these out
+  }
+}
+
+void ExchangeEngine::maybe_corrupt(WorkerState& st, const StageState& ss,
+                                   int src, std::byte* buf, std::size_t n) {
+  FaultInjector* inj = injector();
+  if (inj == nullptr || n == 0) return;
+  FaultContext ctx;
+  ctx.rank = st.pid;
+  ctx.superstep = st.superstep;
+  ctx.stage = ss.k;
+  ctx.peer = src;
+  if (const auto off = inj->corrupt_offset(FaultSite::RecvCall, ctx)) {
+    st.injected_faults += 1;
+    buf[static_cast<std::size_t>(*off) % n] ^= std::byte{0xA5};
+  }
+}
+
+std::size_t ExchangeEngine::pump_send(WorkerState& st, StageState& ss) {
+  const int peer = send_peer(ss);
+  const int fd = mesh_->fd(pid_, peer);
+  std::size_t moved = 0;
+  while (!ss.send_done) {
+    if (ss.send_idx == send_iov_.size()) {
+      // Whole stage is in the kernel's hands; the staging arena's bytes have
+      // been read, so it can recycle its slabs for the next superstep.
+      if (ss.send_arena != nullptr) ss.send_arena->clear();
+      ss.send_arena = nullptr;
+      ss.send_done = true;
+      break;
+    }
+    std::size_t clamp = 0;
+    if (const auto d = syscall_fault(st, ss, FaultSite::SendCall, fd, peer,
+                                     ss.send_moved)) {
+      if (d->kind == FaultKind::Eintr) continue;   // as if sendmsg -> EINTR
+      if (d->kind == FaultKind::Eagain) break;     // as if sendmsg -> EAGAIN
+      if (d->kind == FaultKind::ShortIo) {
+        clamp = std::max<std::uint64_t>(d->arg, 1);
+      }
+    }
+    iovec clamped{};
+    msghdr mh{};
+    if (clamp != 0) {
+      // Truncated transfer: offer the kernel a prefix of the current entry,
+      // exercising the partial-I/O resume path.
+      clamped = send_iov_[ss.send_idx];
+      clamped.iov_len = std::min(clamped.iov_len, clamp);
+      mh.msg_iov = &clamped;
+      mh.msg_iovlen = 1;
+    } else {
+      mh.msg_iov = send_iov_.data() + ss.send_idx;
+      mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(
+          std::min(send_iov_.size() - ss.send_idx, iov_max()));
+    }
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (n > 0) {
+      // Counts only calls that moved bytes: idle EAGAIN probes are a
+      // property of the waiting policy, not of the wire format's syscall
+      // economy, and would make the metric timing-dependent.
+      ++st.wire_syscalls;
+      advance_iov(send_iov_, ss.send_idx, static_cast<std::size_t>(n));
+      moved += static_cast<std::size_t>(n);
+      ss.send_moved += static_cast<std::uint64_t>(n);
+      st.wire_bytes += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    throw BspTransportError(
+        "stage send failed (peer dead?)", st.pid, peer,
+        static_cast<std::int64_t>(st.superstep), ss.k, errno, ss.send_moved);
+  }
+  return moved;
+}
+
+void ExchangeEngine::parse_header_block(WorkerState& st, StageState& ss,
+                                        int src) {
+  const std::size_t count = static_cast<std::size_t>(ss.recv_pre.count);
+  // First pass validates every header before a single arena append: a
+  // corrupt stream must not size allocations or leave half-parsed frames.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    WireFrameHeader h;
+    std::memcpy(&h, hdr_in_.data() + i * sizeof(WireFrameHeader), sizeof(h));
+    if (h.pad != 0) {
+      throw BspTransportError(
+          "frame header " + std::to_string(i) + " has nonzero pad " +
+              std::to_string(h.pad) + " (stream corruption?)",
+          st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+          /*err=*/0, ss.recv_moved);
+    }
+    if (h.len > cfg_->socket_max_frame_bytes) {
+      throw BspTransportError(
+          "frame header " + std::to_string(i) + " claims " +
+              std::to_string(h.len) +
+              " payload bytes, which exceeds socket_max_frame_bytes (" +
+              std::to_string(cfg_->socket_max_frame_bytes) +
+              "; stream corruption?)",
+          st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+          /*err=*/0, ss.recv_moved);
+    }
+    sum += h.len;
+  }
+  if (sum != ss.recv_pre.payload_bytes) {
+    throw BspTransportError(
+        "inconsistent stage: header block sums to " + std::to_string(sum) +
+            " payload bytes but the preamble declared " +
+            std::to_string(ss.recv_pre.payload_bytes) +
+            " (stream corruption?)",
+        st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+        /*err=*/0, ss.recv_moved);
+  }
+  // Second pass appends the frames and points an iovec at every non-empty
+  // payload slot, so the payload section readv()s straight into the memory
+  // the receiver's views will expose. Slots are pointer-stable across
+  // appends (slabs never move).
+  recv_iov_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    WireFrameHeader h;
+    std::memcpy(&h, hdr_in_.data() + i * sizeof(WireFrameHeader), sizeof(h));
+    std::byte* slot =
+        inbox_arena_.append(static_cast<std::uint32_t>(src), h.seq,
+                            static_cast<std::size_t>(h.len));
+    if (h.len != 0) {
+      recv_iov_.push_back({slot, static_cast<std::size_t>(h.len)});
+    }
+  }
+  ss.recv_idx = 0;
+  ss.phase = recv_iov_.empty() ? StageState::Phase::Done
+                               : StageState::Phase::Payload;
+}
+
+std::size_t ExchangeEngine::pump_recv(WorkerState& st, StageState& ss) {
+  const int src = recv_peer(ss);
+  const int fd = mesh_->fd(pid_, src);
+  std::size_t moved = 0;
+  while (!ss.recv_done) {
+    if (ss.phase == StageState::Phase::Done) {
+      ss.recv_done = true;
+      break;
+    }
+    std::size_t clamp = 0;
+    if (const auto d = syscall_fault(st, ss, FaultSite::RecvCall, fd, src,
+                                     ss.recv_moved)) {
+      if (d->kind == FaultKind::Eintr) continue;  // as if recv -> EINTR
+      if (d->kind == FaultKind::Eagain) break;    // as if recv -> EAGAIN
+      if (d->kind == FaultKind::ShortIo) {
+        clamp = std::max<std::uint64_t>(d->arg, 1);
+      }
+    }
+    ssize_t n = 0;
+    switch (ss.phase) {
+      case StageState::Phase::Preamble: {
+        std::size_t want = sizeof(StagePreamble) - ss.scratch_off;
+        if (clamp != 0) want = std::min(want, clamp);
+        n = ::recv(fd, ss.scratch + ss.scratch_off, want, 0);
+        break;
+      }
+      case StageState::Phase::Headers: {
+        // One bulk read for the whole remaining header block — this is the
+        // receive-side win over the per-frame state machine.
+        std::size_t want = hdr_in_.size() - ss.hdr_off;
+        if (clamp != 0) want = std::min(want, clamp);
+        n = ::recv(fd, hdr_in_.data() + ss.hdr_off, want, 0);
+        break;
+      }
+      case StageState::Phase::Payload: {
+        if (clamp != 0) {
+          iovec clamped = recv_iov_[ss.recv_idx];
+          clamped.iov_len = std::min(clamped.iov_len, clamp);
+          n = ::readv(fd, &clamped, 1);
+          break;
+        }
+        const std::size_t cnt =
+            std::min(recv_iov_.size() - ss.recv_idx, iov_max());
+        n = ::readv(fd, recv_iov_.data() + ss.recv_idx,
+                    static_cast<int>(cnt));
+        break;
+      }
+      case StageState::Phase::Done:
+        break;
+    }
+    if (n == 0) {
+      throw BspTransportError(
+          "peer closed its endpoint mid-stage (peer death)", st.pid, src,
+          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
+          ss.recv_moved);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      throw BspTransportError(
+          "stage recv failed", st.pid, src,
+          static_cast<std::int64_t>(st.superstep), ss.k, errno,
+          ss.recv_moved);
+    }
+    ++st.wire_syscalls;  // like the send side: only calls that moved bytes
+    moved += static_cast<std::size_t>(n);
+    ss.recv_moved += static_cast<std::uint64_t>(n);
+    switch (ss.phase) {
+      case StageState::Phase::Preamble:
+        ss.scratch_off += static_cast<std::size_t>(n);
+        if (ss.scratch_off == sizeof(StagePreamble)) {
+          // Corruption fires on completed control sections — the validation
+          // path must be the thing that catches the garbled byte.
+          maybe_corrupt(st, ss, src, ss.scratch, sizeof(StagePreamble));
+          std::memcpy(&ss.recv_pre, ss.scratch, sizeof(ss.recv_pre));
+          // Cross-check the sections against each other before trusting any
+          // of the preamble's lengths.
+          if (ss.recv_pre.header_bytes > kMaxHeaderBlockBytes) {
+            throw BspTransportError(
+                "stage preamble claims a " +
+                    std::to_string(ss.recv_pre.header_bytes) +
+                    "-byte header block (stream corruption?)",
+                st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+                /*err=*/0, ss.recv_moved);
+          }
+          if (ss.recv_pre.count !=
+              ss.recv_pre.header_bytes / sizeof(WireFrameHeader) ||
+              ss.recv_pre.header_bytes % sizeof(WireFrameHeader) != 0) {
+            throw BspTransportError(
+                "inconsistent stage preamble: count " +
+                    std::to_string(ss.recv_pre.count) +
+                    " vs header block of " +
+                    std::to_string(ss.recv_pre.header_bytes) +
+                    " bytes (stream corruption?)",
+                st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+                /*err=*/0, ss.recv_moved);
+          }
+          if (ss.recv_pre.count == 0) {
+            if (ss.recv_pre.payload_bytes != 0) {
+              throw BspTransportError(
+                  "stage preamble declares " +
+                      std::to_string(ss.recv_pre.payload_bytes) +
+                      " payload bytes with zero frames (stream corruption?)",
+                  st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
+                  /*err=*/0, ss.recv_moved);
+            }
+            ss.phase = StageState::Phase::Done;
+          } else {
+            hdr_in_.resize(
+                static_cast<std::size_t>(ss.recv_pre.header_bytes));
+            ss.hdr_off = 0;
+            mesh_->grow_kernel_buffer(
+                pid_, src, /*send_side=*/false,
+                sizeof(StagePreamble) +
+                    static_cast<std::size_t>(ss.recv_pre.header_bytes) +
+                    static_cast<std::size_t>(ss.recv_pre.payload_bytes));
+            ss.phase = StageState::Phase::Headers;
+          }
+        }
+        break;
+      case StageState::Phase::Headers:
+        ss.hdr_off += static_cast<std::size_t>(n);
+        if (ss.hdr_off == hdr_in_.size()) {
+          maybe_corrupt(st, ss, src, hdr_in_.data(), hdr_in_.size());
+          parse_header_block(st, ss, src);
+        }
+        break;
+      case StageState::Phase::Payload:
+        advance_iov(recv_iov_, ss.recv_idx, static_cast<std::size_t>(n));
+        if (ss.recv_idx == recv_iov_.size()) {
+          ss.phase = StageState::Phase::Done;
+        }
+        break;
+      case StageState::Phase::Done:
+        break;
+    }
+    if (ss.phase == StageState::Phase::Done) ss.recv_done = true;
+  }
+  return moved;
+}
+
+void ExchangeEngine::run_stage(WorkerState& st, StageState& ss) {
+  using Clock = std::chrono::steady_clock;
+  const int sfd = mesh_->fd(pid_, send_peer(ss));
+  const int rfd = mesh_->fd(pid_, recv_peer(ss));
+  auto last_progress = Clock::now();
+  std::size_t backoff_ms = cfg_->socket_backoff_initial_ms;
+  for (;;) {
+    // Pump both directions each round: interleaving is what makes the
+    // full-duplex stage deadlock-free when transfers exceed kernel buffers
+    // (everyone drains the stream they are the stage-k reader of).
+    std::size_t moved = 0;
+    if (!ss.send_done) moved += pump_send(st, ss);
+    if (!ss.recv_done) moved += pump_recv(st, ss);
+    if (ss.send_done && ss.recv_done) return;
+    if (moved != 0) {
+      last_progress = Clock::now();
+      backoff_ms = cfg_->socket_backoff_initial_ms;
+      continue;
+    }
+    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
+      throw BspAborted{};
+    }
+    const auto idle = Clock::now() - last_progress;
+    if (idle > std::chrono::milliseconds(cfg_->socket_stage_timeout_ms)) {
+      throw BspTransportError(
+          "stage made no progress for " +
+              std::to_string(cfg_->socket_stage_timeout_ms) +
+              " ms (peer dead or wedged)",
+          st.pid, recv_peer(ss), static_cast<std::int64_t>(st.superstep),
+          ss.k, /*err=*/0, ss.send_moved + ss.recv_moved);
+    }
+    // Adaptive wait: a peer in the same boundary is typically microseconds
+    // away, so retry the non-blocking pumps for the spin budget (yielding
+    // the core each round for oversubscribed hosts) before paying a poll.
+    if (idle < std::chrono::microseconds(cfg_->socket_spin_us)) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Idle past the spin budget: wait for either direction to open up,
+    // bounded so aborts and timeouts are noticed (bounded exponential
+    // backoff).
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    if (!ss.send_done) {
+      fds[nfds].fd = sfd;
+      fds[nfds].events = POLLOUT;
+      fds[nfds].revents = 0;
+      ++nfds;
+    }
+    if (!ss.recv_done) {
+      if (nfds == 1 && fds[0].fd == rfd) {
+        fds[0].events |= POLLIN;
+      } else {
+        fds[nfds].fd = rfd;
+        fds[nfds].events = POLLIN;
+        fds[nfds].revents = 0;
+        ++nfds;
+      }
+    }
+    if (const auto d = syscall_fault(st, ss, FaultSite::PollCall, rfd,
+                                     recv_peer(ss), 0)) {
+      // Eintr/Eagain: skip this poll round as if it was interrupted; the
+      // loop re-pumps and re-polls with the next backoff step.
+      (void)d;
+      backoff_ms = std::min(backoff_ms * 2, cfg_->socket_backoff_max_ms);
+      continue;
+    }
+    if (::poll(fds, nfds, static_cast<int>(backoff_ms)) < 0 &&
+        errno != EINTR) {
+      // A real poll failure (EBADF after an injected hangup, ENOMEM) must be
+      // diagnosed, not spun on: retrying would busy-loop until the stage
+      // timeout with no chance of progress.
+      throw BspTransportError("poll on stage sockets failed", st.pid,
+                              recv_peer(ss),
+                              static_cast<std::int64_t>(st.superstep), ss.k,
+                              errno, ss.send_moved + ss.recv_moved);
+    }
+    backoff_ms = std::min(backoff_ms * 2, cfg_->socket_backoff_max_ms);
+  }
+}
+
+void ExchangeEngine::run_all_stages(WorkerState& st) {
+  open_boundary(st);
+  StageState ss;
+  for (int k = 1; k < nprocs_; ++k) {
+    begin_stage(ss, k);
+    run_stage(st, ss);
+  }
+}
+
+bool ExchangeEngine::pump_window(WorkerState& st) {
+  bool moved_any = true;
+  while (!split_done_ && moved_any) {
+    StageState& ss = split_ss_;
+    std::size_t moved = 0;
+    if (!ss.send_done) moved += pump_send(st, ss);
+    if (!ss.recv_done) moved += pump_recv(st, ss);
+    if (ss.send_done && ss.recv_done) {
+      if (ss.k + 1 < nprocs_) {
+        begin_stage(ss, ss.k + 1);
+        continue;  // the fresh stage may be able to move bytes right away
+      }
+      split_done_ = true;
+      break;
+    }
+    moved_any = moved != 0;
+  }
+  return split_done_;
+}
+
+void ExchangeEngine::begin_window(WorkerState& st) {
+  open_boundary(st);
+  split_active_ = true;
+  split_done_ = (nprocs_ == 1);
+  if (!split_done_) {
+    begin_stage(split_ss_, 1);
+    // One opportunistic pass before handing control back: with kernel
+    // buffers sized to the stage, small exchanges are often fully on the
+    // wire before the caller's overlapped compute even starts.
+    pump_window(st);
+  }
+}
+
+void ExchangeEngine::finish_window(WorkerState& st) {
+  while (!split_done_) {
+    // run_stage resumes the in-flight stage mid-transfer — the iovec
+    // cursors and receive phase pick up exactly where the window's last
+    // pump left them.
+    run_stage(st, split_ss_);
+    if (split_ss_.k + 1 < nprocs_) {
+      begin_stage(split_ss_, split_ss_.k + 1);
+    } else {
+      split_done_ = true;
+    }
+  }
+  split_active_ = false;
+}
+
+}  // namespace detail
+}  // namespace gbsp

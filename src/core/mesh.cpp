@@ -1,0 +1,521 @@
+#include "core/mesh.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "core/transport.hpp"  // BspTransportError
+
+namespace gbsp {
+namespace detail {
+
+namespace {
+
+/// Largest kernel buffer the adaptive sizing will ever request. Beyond a few
+/// MiB the transfer is syscall-bound anyway and the pumps stream through the
+/// buffer; unbounded requests would just pin memory per endpoint.
+constexpr std::size_t kMaxKernelBufBytes = std::size_t{1} << 22;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw BspTransportError("fcntl(O_NONBLOCK) failed", /*rank=*/-1,
+                            /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+                            errno, /*bytes_moved=*/0);
+  }
+}
+
+std::size_t kernel_buf_bytes(int fd, int opt) {
+  int v = 0;
+  socklen_t len = sizeof(v);
+  if (::getsockopt(fd, SOL_SOCKET, opt, &v, &len) != 0 || v < 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+void request_kernel_buf(int fd, int opt, std::size_t bytes) {
+  const int v = static_cast<int>(std::min(
+      bytes, static_cast<std::size_t>(std::numeric_limits<int>::max())));
+  // Best effort: the kernel clamps to its rmem/wmem limits, and the
+  // partial-I/O pumps are correct at any buffer size.
+  (void)::setsockopt(fd, SOL_SOCKET, opt, &v, sizeof(v));
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until `deadline`, floored at 1 so a nearly expired budget
+/// still makes one bounded attempt instead of an instant zero-timeout fail.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<std::int64_t>(1, left.count()));
+}
+
+void set_io_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Exact-length blocking read. Returns true on success; false with *err == 0
+/// on EOF, false with *err == errno on error (EAGAIN after SO_RCVTIMEO means
+/// the handshake timed out).
+bool read_full(int fd, void* buf, std::size_t n, int* err) {
+  std::byte* p = static_cast<std::byte*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, p + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      *err = 0;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    *err = errno;
+    return false;
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n, int* err) {
+  const std::byte* p = static_cast<const std::byte*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (r >= 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    *err = errno;
+    return false;
+  }
+  return true;
+}
+
+std::string endpoint_str(const std::string& host, int port) {
+  return host + ":" + std::to_string(port);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- Mesh
+
+void Mesh::build(int nprocs) {
+  teardown();
+  nprocs_ = nprocs;
+  const std::size_t n2 =
+      static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs);
+  snd_grown_to_.assign(n2, 0);
+  rcv_grown_to_.assign(n2, 0);
+  try {
+    do_build(nprocs);
+  } catch (...) {
+    // A partial bootstrap (some endpoints up, some not) must not leak into a
+    // later build: tear down and stay dirty. The mesh remains reusable — the
+    // next build() starts from scratch.
+    teardown();
+    throw;
+  }
+  ++builds_;
+  dirty_.store(false, std::memory_order_relaxed);
+}
+
+void Mesh::grow_kernel_buffer(int pid, int peer, bool send_side,
+                              std::size_t stage_bytes) {
+  if (cfg_.socket_buffer_bytes != 0) return;  // pinned at build time
+  const std::size_t want = std::min(stage_bytes, kMaxKernelBufBytes);
+  std::size_t& mark = send_side ? snd_grown_to_[mark_index(pid, peer)]
+                                : rcv_grown_to_[mark_index(pid, peer)];
+  if (want <= mark) return;
+  mark = want;
+  request_kernel_buf(fd(pid, peer), send_side ? SO_SNDBUF : SO_RCVBUF, want);
+}
+
+void Mesh::seed_buffer_marks(int pid, int peer) {
+  const int f = fd(pid, peer);
+  snd_grown_to_[mark_index(pid, peer)] = kernel_buf_bytes(f, SO_SNDBUF);
+  rcv_grown_to_[mark_index(pid, peer)] = kernel_buf_bytes(f, SO_RCVBUF);
+}
+
+void Mesh::apply_endpoint_options(int fd) const {
+  set_nonblocking(fd);
+  if (cfg_.socket_buffer_bytes != 0) {
+    // Pinned mode: one explicit request per endpoint, no adaptive growth.
+    request_kernel_buf(fd, SO_SNDBUF, cfg_.socket_buffer_bytes);
+    request_kernel_buf(fd, SO_RCVBUF, cfg_.socket_buffer_bytes);
+  }
+}
+
+// ------------------------------------------------------------ SocketpairMesh
+
+void SocketpairMesh::teardown() {
+  for (int& fd : fd_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+int SocketpairMesh::fd(int pid, int peer) const {
+  return fd_[static_cast<std::size_t>(pid) *
+                 static_cast<std::size_t>(nprocs_) +
+             static_cast<std::size_t>(peer)];
+}
+
+void SocketpairMesh::do_build(int nprocs) {
+  const std::size_t p = static_cast<std::size_t>(nprocs);
+  fd_.assign(p * p, -1);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        throw BspTransportError("socketpair failed", /*rank=*/-1,
+                                static_cast<int>(j), /*superstep=*/-1,
+                                /*stage=*/-1, errno, /*bytes_moved=*/0);
+      }
+      apply_endpoint_options(sv[0]);
+      apply_endpoint_options(sv[1]);
+      fd_[i * p + j] = sv[0];
+      fd_[j * p + i] = sv[1];
+      seed_buffer_marks(static_cast<int>(i), static_cast<int>(j));
+      seed_buffer_marks(static_cast<int>(j), static_cast<int>(i));
+    }
+  }
+}
+
+void SocketpairMesh::kill_endpoints(int pid) {
+  // The injected death leaves peers' streams in an undefined half-written
+  // state by design: force a mesh rebuild on the next run.
+  mark_dirty();
+  const std::size_t p = static_cast<std::size_t>(nprocs_);
+  for (std::size_t j = 0; j < p; ++j) {
+    const int fd = fd_[static_cast<std::size_t>(pid) * p + j];
+    // shutdown, not close: peers polling the other end must observe EOF,
+    // and the fd number must stay reserved until the rebuild.
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+// ----------------------------------------------------------------- TcpMesh
+
+void TcpMesh::teardown() {
+  for (int& fd : fd_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+int TcpMesh::fd(int pid, int peer) const {
+  if (pid != cfg_.tcp_rank) return -1;  // only the local rank has endpoints
+  return fd_[static_cast<std::size_t>(peer)];
+}
+
+void TcpMesh::kill_endpoints(int pid) {
+  mark_dirty();
+  if (pid != cfg_.tcp_rank) return;
+  for (int fd : fd_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void TcpMesh::send_hello(int fd, int peer) const {
+  RankHello h;
+  h.rank = static_cast<std::uint32_t>(cfg_.tcp_rank);
+  h.nprocs = static_cast<std::uint32_t>(nprocs_);
+  int err = 0;
+  if (!write_full(fd, &h, sizeof(h), &err)) {
+    throw BspTransportError("failed to send the rank handshake",
+                            cfg_.tcp_rank, peer, /*superstep=*/-1,
+                            /*stage=*/-1, err, /*bytes_moved=*/0);
+  }
+}
+
+RankHello TcpMesh::recv_hello(int fd, int peer) const {
+  RankHello h;
+  int err = 0;
+  if (!read_full(fd, &h, sizeof(h), &err)) {
+    if (err == 0) {
+      throw BspTransportError(
+          "peer closed the connection during the rank handshake (peer died "
+          "during accept?)",
+          cfg_.tcp_rank, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      throw BspTransportError(
+          "rank handshake timed out after tcp_connect_timeout_ms=" +
+              std::to_string(cfg_.tcp_connect_timeout_ms) + "ms",
+          cfg_.tcp_rank, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    throw BspTransportError("failed to read the rank handshake",
+                            cfg_.tcp_rank, peer, /*superstep=*/-1,
+                            /*stage=*/-1, err, /*bytes_moved=*/0);
+  }
+  return h;
+}
+
+void TcpMesh::check_hello(const RankHello& h, int fd, int expect_rank) const {
+  (void)fd;
+  const int me = cfg_.tcp_rank;
+  if (h.magic != RankHello::kMagic) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(h.magic));
+    throw BspTransportError(
+        std::string("rank handshake has bad magic ") + hex +
+            " — the peer is not a gbsp mesh rank (or a byte-order mismatch)",
+        me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (h.version != RankHello::kVersion) {
+    throw BspTransportError(
+        "rank handshake version mismatch: peer speaks mesh protocol v" +
+            std::to_string(h.version) + ", this build expects v" +
+            std::to_string(RankHello::kVersion),
+        me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (h.reserved != 0) {
+    throw BspTransportError(
+        "rank handshake has nonzero reserved field (stream corruption?)", me,
+        expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (h.nprocs != static_cast<std::uint32_t>(nprocs_)) {
+    throw BspTransportError(
+        "rank handshake nprocs mismatch: peer was launched with " +
+            std::to_string(h.nprocs) + " ranks, this rank with " +
+            std::to_string(nprocs_),
+        me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (expect_rank >= 0) {
+    if (h.rank != static_cast<std::uint32_t>(expect_rank)) {
+      throw BspTransportError(
+          "rank handshake rank mismatch: expected rank " +
+              std::to_string(expect_rank) + " on this port, peer claims rank " +
+              std::to_string(h.rank) + " (port map skewed?)",
+          me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    return;
+  }
+  // Accept side: any higher rank we have not accepted yet.
+  if (h.rank >= static_cast<std::uint32_t>(nprocs_) ||
+      static_cast<int>(h.rank) <= me) {
+    throw BspTransportError(
+        "rank handshake rank mismatch: accepted a connection claiming rank " +
+            std::to_string(h.rank) + ", but rank " + std::to_string(me) +
+            " of " + std::to_string(nprocs_) +
+            " only accepts from higher ranks",
+        me, static_cast<int>(h.rank), /*superstep=*/-1, /*stage=*/-1,
+        /*err=*/0, /*bytes_moved=*/0);
+  }
+  if (fd_[h.rank] >= 0) {
+    throw BspTransportError(
+        "duplicate rank handshake: rank " + std::to_string(h.rank) +
+            " connected twice (two processes launched with the same "
+            "GBSP_RANK?)",
+        me, static_cast<int>(h.rank), /*superstep=*/-1, /*stage=*/-1,
+        /*err=*/0, /*bytes_moved=*/0);
+  }
+}
+
+void TcpMesh::do_build(int nprocs) {
+  const int me = cfg_.tcp_rank;
+  fd_.assign(static_cast<std::size_t>(nprocs), -1);
+
+  in_addr host_addr{};
+  if (::inet_pton(AF_INET, cfg_.tcp_host.c_str(), &host_addr) != 1) {
+    throw BspTransportError(
+        "tcp_host \"" + cfg_.tcp_host + "\" is not a numeric IPv4 address",
+        me, /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(cfg_.tcp_connect_timeout_ms);
+
+  // 1. Listener first, before any connect: across processes the bootstrap is
+  // deadlock-free because every rank's listener exists (or will shortly —
+  // connectors retry) before anyone blocks in accept.
+  const int my_port = cfg_.tcp_port + me;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw BspTransportError("socket(AF_INET) failed", me, /*peer=*/-1,
+                            /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+  const int one = 1;
+  // SO_REUSEADDR: a rebuild (wire-dirty retry) must re-bind the same port
+  // while the previous incarnation's accepted sockets sit in TIME_WAIT.
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr = host_addr;
+  sa.sin_port = htons(static_cast<std::uint16_t>(my_port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw BspTransportError(
+        "bind(" + endpoint_str(cfg_.tcp_host, my_port) + ") for rank " +
+            std::to_string(me) + " failed (port already in use?)",
+        me, /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1, errno,
+        /*bytes_moved=*/0);
+  }
+  if (::listen(listen_fd_, nprocs) != 0) {
+    throw BspTransportError(
+        "listen(" + endpoint_str(cfg_.tcp_host, my_port) + ") failed", me,
+        /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1, errno,
+        /*bytes_moved=*/0);
+  }
+
+  // 2. Connect to every lower rank's listener (the pair orientation: higher
+  // rank dials, lower rank answers). ECONNREFUSED just means that rank's
+  // listener is not up yet — retry until the deadline.
+  for (int j = 0; j < me; ++j) {
+    const int peer_port = cfg_.tcp_port + j;
+    int fd = -1;
+    for (;;) {
+      if (Clock::now() >= deadline) {
+        throw BspTransportError(
+            "connect to rank " + std::to_string(j) + " at " +
+                endpoint_str(cfg_.tcp_host, peer_port) +
+                " timed out after tcp_connect_timeout_ms=" +
+                std::to_string(cfg_.tcp_connect_timeout_ms) +
+                "ms (rank never launched, or died during bootstrap?)",
+            me, j, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+            /*bytes_moved=*/0);
+      }
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        throw BspTransportError("socket(AF_INET) failed", me, j,
+                                /*superstep=*/-1, /*stage=*/-1, errno,
+                                /*bytes_moved=*/0);
+      }
+      sockaddr_in pa{};
+      pa.sin_family = AF_INET;
+      pa.sin_addr = host_addr;
+      pa.sin_port = htons(static_cast<std::uint16_t>(peer_port));
+      set_io_timeout(fd, remaining_ms(deadline));
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&pa), sizeof(pa)) == 0) {
+        // Handshake: the dialing side speaks first. A peer that resets or
+        // closes underneath the handshake is treated like a refused connect
+        // (it may be tearing down a previous incarnation) and retried until
+        // the deadline; a malformed or mismatched hello is fatal.
+        try {
+          send_hello(fd, j);
+          const RankHello h = recv_hello(fd, j);
+          check_hello(h, fd, /*expect_rank=*/j);
+          break;
+        } catch (const BspTransportError& e) {
+          ::close(fd);
+          fd = -1;
+          if (e.err == ECONNRESET || e.err == EPIPE ||
+              (e.err == 0 && std::string(e.what()).find("peer closed") !=
+                                 std::string::npos)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          throw;
+        }
+      }
+      const int cerr = errno;
+      ::close(fd);
+      fd = -1;
+      if (cerr == ECONNREFUSED || cerr == ETIMEDOUT || cerr == EINTR ||
+          cerr == EAGAIN || cerr == EINPROGRESS) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      throw BspTransportError(
+          "connect to rank " + std::to_string(j) + " at " +
+              endpoint_str(cfg_.tcp_host, peer_port) + " failed",
+          me, j, /*superstep=*/-1, /*stage=*/-1, cerr, /*bytes_moved=*/0);
+    }
+    fd_[static_cast<std::size_t>(j)] = fd;
+  }
+
+  // 3. Accept every higher rank. The hello tells us who dialed in; a
+  // connection that fails its handshake fails the whole bootstrap — the
+  // caller tears down and (on retry) rebuilds from scratch.
+  int expected = nprocs - 1 - me;
+  while (expected > 0) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw BspTransportError("poll on the mesh listener failed", me,
+                              /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+                              errno, /*bytes_moved=*/0);
+    }
+    if (pr == 0) {
+      throw BspTransportError(
+          "accept on " + endpoint_str(cfg_.tcp_host, my_port) +
+              " timed out with " + std::to_string(expected) +
+              " rank(s) still unconnected (tcp_connect_timeout_ms=" +
+              std::to_string(cfg_.tcp_connect_timeout_ms) + "ms)",
+          me, /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw BspTransportError("accept failed", me, /*peer=*/-1,
+                              /*superstep=*/-1, /*stage=*/-1, errno,
+                              /*bytes_moved=*/0);
+    }
+    set_io_timeout(fd, remaining_ms(deadline));
+    RankHello h;
+    try {
+      h = recv_hello(fd, /*peer=*/-1);
+      check_hello(h, fd, /*expect_rank=*/-1);
+      send_hello(fd, static_cast<int>(h.rank));
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    fd_[h.rank] = fd;
+    --expected;
+  }
+  // Bootstrap complete: close the listener so nothing can dial in mid-run
+  // (a skewed retry attempt gets ECONNREFUSED and keeps retrying until this
+  // rank reaches its own rebuild).
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 4. Stage-traffic socket options, now that the blocking handshake is done.
+  for (int j = 0; j < nprocs; ++j) {
+    const int fd = fd_[static_cast<std::size_t>(j)];
+    if (fd < 0) continue;
+    set_io_timeout(fd, 0);  // back to no-timeout; stage I/O is non-blocking
+    // The staged exchange writes small control sections (24 B preamble)
+    // followed by bulk payload; Nagle would hold the control bytes hostage
+    // to the previous stage's ACKs.
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    apply_endpoint_options(fd);
+    seed_buffer_marks(me, j);
+  }
+}
+
+}  // namespace detail
+}  // namespace gbsp

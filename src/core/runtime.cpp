@@ -370,13 +370,15 @@ void Runtime::watchdog_main() {
   }
 }
 
-void Runtime::worker_main(int pid, const std::function<void(Worker&)>& fn) {
-  detail::WorkerState& st = *states_[static_cast<std::size_t>(pid)];
+void Runtime::worker_main(int local, const std::function<void(Worker&)>& fn) {
+  // `local` indexes states_; st.pid is the global rank (they differ only in
+  // process mode, where the one local state carries Config::tcp_rank).
+  detail::WorkerState& st = *states_[static_cast<std::size_t>(local)];
   Worker w(this, &st);
   detail::current_worker_slot() = &w;
   bool started = true;
   try {
-    if (scheduler_) scheduler_->start(pid);
+    if (scheduler_) scheduler_->start(st.pid);
   } catch (const BspAborted&) {
     started = false;
   }
@@ -388,26 +390,29 @@ void Runtime::worker_main(int pid, const std::function<void(Worker&)>& fn) {
     } catch (const BspAborted&) {
       // Unwound because a peer failed; nothing to report.
     } catch (...) {
-      report_error(std::current_exception(), pid);
+      report_error(std::current_exception(), st.pid);
     }
   }
   st.finished = true;
-  if (scheduler_) scheduler_->finish(pid);
+  if (scheduler_) scheduler_->finish(st.pid);
   detail::current_worker_slot() = nullptr;
 }
 
 bool Runtime::run_attempt(const std::function<void(Worker&)>& fn) {
   const int p = cfg_.nprocs;
+  // In process mode this process hosts exactly one of the p ranks; its state
+  // still carries per-destination counters sized to the full global run.
+  const int nl = process_mode() ? 1 : p;
   abort_.store(false, std::memory_order_release);
   first_error_ = nullptr;
   first_error_pid_ = -1;
   first_error_class_ = 2;
 
   states_.clear();
-  states_.reserve(static_cast<std::size_t>(p));
-  for (int i = 0; i < p; ++i) {
+  states_.reserve(static_cast<std::size_t>(nl));
+  for (int i = 0; i < nl; ++i) {
     auto st = std::make_unique<detail::WorkerState>();
-    st->pid = i;
+    st->pid = process_mode() ? cfg_.tcp_rank : i;
     st->seq_to.assign(static_cast<std::size_t>(p), 0);
     if (cfg_.collect_comm_matrix) {
       st->sent_to.assign(static_cast<std::size_t>(p), 0);
@@ -426,8 +431,8 @@ bool Runtime::run_attempt(const std::function<void(Worker&)>& fn) {
   // calls, not just across supersteps. A failed attempt marked the socket
   // wire dirty, so a retry gets a fresh mesh.
   transport_->reset_run(states_);
-  barrier_a_ = make_barrier(cfg_.barrier, p, &abort_);
-  barrier_b_ = make_barrier(cfg_.barrier, p, &abort_);
+  barrier_a_ = make_barrier(cfg_.barrier, nl, &abort_);
+  barrier_b_ = make_barrier(cfg_.barrier, nl, &abort_);
   scheduler_.reset();
   if (cfg_.scheduling == Scheduling::Serialized) {
     scheduler_ = std::make_unique<SerialScheduler>(
@@ -442,8 +447,8 @@ bool Runtime::run_attempt(const std::function<void(Worker&)>& fn) {
   }
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(p));
-  for (int i = 0; i < p; ++i) {
+  threads.reserve(static_cast<std::size_t>(nl));
+  for (int i = 0; i < nl; ++i) {
     threads.emplace_back([this, i, &fn] { worker_main(i, fn); });
   }
   for (auto& t : threads) t.join();

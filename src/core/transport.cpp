@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "core/transport_deferred.hpp"
 #include "core/transport_eager.hpp"
 #include "core/transport_socket.hpp"
+#include "core/transport_tcp.hpp"
 
 namespace gbsp {
 
@@ -45,6 +47,7 @@ const char* to_string(DeliveryStrategy d) {
     case DeliveryStrategy::Deferred: return "deferred";
     case DeliveryStrategy::Eager: return "eager";
     case DeliveryStrategy::Socket: return "socket";
+    case DeliveryStrategy::Tcp: return "tcp";
   }
   return "unknown";
 }
@@ -53,9 +56,10 @@ DeliveryStrategy delivery_from_string(const std::string& s) {
   if (s == "deferred") return DeliveryStrategy::Deferred;
   if (s == "eager") return DeliveryStrategy::Eager;
   if (s == "socket") return DeliveryStrategy::Socket;
+  if (s == "tcp") return DeliveryStrategy::Tcp;
   throw std::invalid_argument(
       "gbsp: unknown transport \"" + s +
-      "\" (expected deferred, eager, or socket)");
+      "\" (expected deferred, eager, socket, or tcp)");
 }
 
 std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
@@ -67,8 +71,50 @@ std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
       return std::make_unique<EagerTransport>(cfg, pool, abort_flag);
     case DeliveryStrategy::Socket:
       return std::make_unique<SocketTransport>(cfg, pool, abort_flag);
+    case DeliveryStrategy::Tcp:
+      return std::make_unique<TcpTransport>(cfg, pool, abort_flag);
   }
   throw std::invalid_argument("gbsp: unknown DeliveryStrategy");
+}
+
+namespace {
+
+int env_int(const char* name, const char* raw, int lo, int hi) {
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < lo || v > hi) {
+    throw std::invalid_argument(std::string("gbsp: environment variable ") +
+                                name + "=\"" + raw +
+                                "\" is not an integer in [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+bool configure_tcp_from_env(Config& cfg) {
+  const char* rank = std::getenv("GBSP_RANK");
+  if (rank == nullptr) return false;
+  const char* nprocs = std::getenv("GBSP_NPROCS");
+  if (nprocs == nullptr) {
+    throw std::invalid_argument(
+        "gbsp: GBSP_RANK is set but GBSP_NPROCS is not (both are exported by "
+        "bsp_launch; a lone GBSP_RANK is a broken launch environment)");
+  }
+  cfg.delivery = DeliveryStrategy::Tcp;
+  cfg.nprocs = env_int("GBSP_NPROCS", nprocs, 1, 1 << 20);
+  cfg.tcp_rank = env_int("GBSP_RANK", rank, 0, cfg.nprocs - 1);
+  if (const char* host = std::getenv("GBSP_HOST")) cfg.tcp_host = host;
+  if (const char* port = std::getenv("GBSP_PORT")) {
+    cfg.tcp_port = env_int("GBSP_PORT", port, 1, 65535);
+  }
+  if (const char* t = std::getenv("GBSP_CONNECT_TIMEOUT_MS")) {
+    cfg.tcp_connect_timeout_ms = static_cast<std::size_t>(
+        env_int("GBSP_CONNECT_TIMEOUT_MS", t, 1, 3'600'000));
+  }
+  return true;
 }
 
 namespace detail {

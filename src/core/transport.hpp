@@ -192,6 +192,13 @@ class Transport {
 /// names.
 [[nodiscard]] DeliveryStrategy delivery_from_string(const std::string& s);
 
+/// Applies the bsp_launch rank environment (GBSP_RANK, GBSP_NPROCS, and
+/// optional GBSP_HOST / GBSP_PORT / GBSP_CONNECT_TIMEOUT_MS) to `cfg`:
+/// selects the tcp transport and fills nprocs + tcp_*. Returns false —
+/// leaving cfg untouched — when GBSP_RANK is absent (not launched by
+/// bsp_launch); throws std::invalid_argument on a malformed environment.
+bool configure_tcp_from_env(Config& cfg);
+
 /// Builds the Transport for cfg.delivery. `pool` must outlive the transport
 /// (it backs every arena); `abort_flag` is the runtime's shared abort flag,
 /// polled by blocking transports so peer failure unwinds instead of hanging.

@@ -1,175 +1,38 @@
 #include "core/transport_socket.hpp"
 
-#include <fcntl.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <limits>
-#include <string>
 #include <thread>
 
 #include "core/barrier.hpp"  // BspAborted
 
 namespace gbsp {
 
-namespace {
-
-/// Largest kernel buffer the adaptive sizing will ever request. Beyond a few
-/// MiB the transfer is syscall-bound anyway and the pumps stream through the
-/// buffer; unbounded requests would just pin memory per socketpair.
-constexpr std::size_t kMaxKernelBufBytes = std::size_t{1} << 22;
-
-/// Upper bound on an incoming header block before we trust the preamble
-/// enough to allocate for it: a claimed block above this is stream
-/// corruption, not traffic (2^26 frames per stage).
-constexpr std::uint64_t kMaxHeaderBlockBytes = std::uint64_t{1} << 30;
-
-void append_bytes(std::vector<std::byte>& buf, const void* data,
-                  std::size_t n) {
-  const std::byte* p = static_cast<const std::byte*>(data);
-  buf.insert(buf.end(), p, p + n);
-}
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    throw BspTransportError("fcntl(O_NONBLOCK) failed", /*rank=*/-1,
-                            /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
-                            errno, /*bytes_moved=*/0);
-  }
-}
-
-std::size_t iov_max() {
-  static const std::size_t v = [] {
-    const long m = ::sysconf(_SC_IOV_MAX);
-    return m > 0 ? static_cast<std::size_t>(m) : std::size_t{16};
-  }();
-  return v;
-}
-
-/// Consumes `n` bytes of a scatter-gather list in place: fully transferred
-/// entries advance `idx`, a partially transferred entry has its base/len
-/// moved past the sent prefix so the next syscall resumes mid-entry.
-void advance_iov(std::vector<iovec>& iov, std::size_t& idx, std::size_t n) {
-  while (n != 0) {
-    iovec& e = iov[idx];
-    if (n < e.iov_len) {
-      e.iov_base = static_cast<std::byte*>(e.iov_base) + n;
-      e.iov_len -= n;
-      return;
-    }
-    n -= e.iov_len;
-    ++idx;
-  }
-}
-
-std::size_t kernel_buf_bytes(int fd, int opt) {
-  int v = 0;
-  socklen_t len = sizeof(v);
-  if (::getsockopt(fd, SOL_SOCKET, opt, &v, &len) != 0 || v < 0) return 0;
-  return static_cast<std::size_t>(v);
-}
-
-void request_kernel_buf(int fd, int opt, std::size_t bytes) {
-  const int v = static_cast<int>(std::min(
-      bytes, static_cast<std::size_t>(std::numeric_limits<int>::max())));
-  // Best effort: the kernel clamps to its rmem/wmem limits, and the
-  // partial-I/O pumps are correct at any buffer size.
-  (void)::setsockopt(fd, SOL_SOCKET, opt, &v, sizeof(v));
-}
-
-}  // namespace
-
-SocketTransport::~SocketTransport() { close_all_sockets(); }
-
-void SocketTransport::close_all_sockets() {
-  for (PerWorker& pw : per_) {
-    for (int& fd : pw.fd_to) {
-      if (fd >= 0) ::close(fd);
-      fd = -1;
-    }
-  }
-}
-
 void SocketTransport::reset_run(
     const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
   const std::size_t p = states.size();
-  if (!wire_dirty_.load(std::memory_order_relaxed) && per_.size() == p &&
-      !per_.empty()) {
+  if (!mesh_.dirty() && eng_.size() == p && !eng_.empty()) {
     // Every previous exchange completed cleanly, so every stream is drained:
     // the socketpair mesh carries no state and is reused as-is. Only the
     // arenas reset (slabs go back to the pool for the new run to reacquire).
-    for (PerWorker& pw : per_) {
-      for (MessageArena& ob : pw.outbox) ob.release_slabs();
-      pw.inbox_arena.release_slabs();
-      // Defensive: a clean run always closes its windows, but stale split
-      // flags from a run that never reached its sync_end() would make the
-      // first begin_exchange() of the new run resume a dead stage.
-      pw.split_active = false;
-      pw.split_done = false;
-    }
+    for (auto& e : eng_) e->reset_for_reuse();
     return;
   }
   // First run, changed topology, or a run that unwound mid-stage: an aborted
   // exchange may leave half-written stage data in kernel buffers, which must
   // not leak into the next run. Rebuild the mesh from scratch.
-  close_all_sockets();
-  per_.clear();
-  per_.resize(p);
-  for (PerWorker& pw : per_) {
-    pw.outbox.reserve(p);
-    for (std::size_t d = 0; d < p; ++d) pw.outbox.emplace_back(pool_);
-    pw.inbox_arena.bind(pool_);
-    pw.fd_to.assign(p, -1);
-    pw.snd_grown_to.assign(p, 0);
-    pw.rcv_grown_to.assign(p, 0);
-  }
+  mesh_.build(static_cast<int>(p));
+  eng_.clear();
+  eng_.reserve(p);
   for (std::size_t i = 0; i < p; ++i) {
-    for (std::size_t j = i + 1; j < p; ++j) {
-      int sv[2];
-      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-        throw BspTransportError("socketpair failed", /*rank=*/-1,
-                                static_cast<int>(j), /*superstep=*/-1,
-                                /*stage=*/-1, errno, /*bytes_moved=*/0);
-      }
-      set_nonblocking(sv[0]);
-      set_nonblocking(sv[1]);
-      if (cfg_.socket_buffer_bytes != 0) {
-        // Pinned mode: one explicit request per endpoint, no adaptive growth.
-        for (const int fd : {sv[0], sv[1]}) {
-          request_kernel_buf(fd, SO_SNDBUF, cfg_.socket_buffer_bytes);
-          request_kernel_buf(fd, SO_RCVBUF, cfg_.socket_buffer_bytes);
-        }
-      }
-      per_[i].fd_to[j] = sv[0];
-      per_[j].fd_to[i] = sv[1];
-      // Seed the grow-only marks with what the kernel granted at build, so
-      // stages that fit the default buffers never touch setsockopt.
-      per_[i].snd_grown_to[j] = kernel_buf_bytes(sv[0], SO_SNDBUF);
-      per_[i].rcv_grown_to[j] = kernel_buf_bytes(sv[0], SO_RCVBUF);
-      per_[j].snd_grown_to[i] = kernel_buf_bytes(sv[1], SO_SNDBUF);
-      per_[j].rcv_grown_to[i] = kernel_buf_bytes(sv[1], SO_RCVBUF);
-    }
+    eng_.push_back(std::make_unique<detail::ExchangeEngine>(
+        cfg_, *pool_, mesh_, abort_, &fault_));
+    eng_.back()->attach(static_cast<int>(i), static_cast<int>(p));
   }
-  ++socket_builds_;
-  wire_dirty_.store(false, std::memory_order_relaxed);
-}
-
-void SocketTransport::grow_kernel_buffer(PerWorker& pw, std::size_t peer,
-                                         bool send_side,
-                                         std::size_t stage_bytes) {
-  if (cfg_.socket_buffer_bytes != 0) return;  // pinned at build time
-  const std::size_t want = std::min(stage_bytes, kMaxKernelBufBytes);
-  std::size_t& mark =
-      send_side ? pw.snd_grown_to[peer] : pw.rcv_grown_to[peer];
-  if (want <= mark) return;
-  mark = want;
-  request_kernel_buf(pw.fd_to[peer], send_side ? SO_SNDBUF : SO_RCVBUF, want);
 }
 
 void SocketTransport::stage_send(detail::WorkerState& st, int dest,
@@ -180,584 +43,79 @@ void SocketTransport::stage_send(detail::WorkerState& st, int dest,
 
 std::byte* SocketTransport::stage_reserve(detail::WorkerState& st, int dest,
                                           std::size_t n) {
-  if (n > cfg_.socket_max_frame_bytes) {
-    // Reject at the send call, where the application can see a clean error,
-    // rather than letting the peer's header validation kill the exchange.
-    throw BspTransportError(
-        "message of " + std::to_string(n) +
-            " bytes exceeds socket_max_frame_bytes (" +
-            std::to_string(cfg_.socket_max_frame_bytes) + ")",
-        st.pid, dest, static_cast<std::int64_t>(st.superstep), /*stage=*/-1,
-        /*err=*/0, /*bytes_moved=*/0);
-  }
-  const std::size_t d = static_cast<std::size_t>(dest);
-  // Same bump-append staging as the deferred transport; the bytes hit the
-  // wire at the boundary, in the rigid stage for this destination.
-  MessageArena& arena = per_[static_cast<std::size_t>(st.pid)].outbox[d];
-  return arena.append(static_cast<std::uint32_t>(st.pid), st.seq_to[d]++, n);
+  return engine_of(st.pid).reserve(st, dest, n);
 }
 
-void SocketTransport::begin_stage(PerWorker& pw, StageState& ss, int pid,
-                                  int k) {
-  const int p = static_cast<int>(per_.size());
-  const std::size_t sp = static_cast<std::size_t>((pid + k) % p);
-  MessageArena& ob = pw.outbox[sp];
-  ss = StageState{};
-  ss.k = k;
-  ss.send_pre.count = ob.message_count();
-  ss.send_pre.header_bytes = ob.message_count() * sizeof(WireFrameHeader);
-  ss.send_pre.payload_bytes = ob.payload_bytes();
-  // Pack the header block; payloads are NOT serialized — the iovec below
-  // points sendmsg straight at the staging arena's slabs, so the payload
-  // section leaves the process from the memory stage_send wrote it to.
-  pw.hdr_out.clear();
-  pw.hdr_out.reserve(static_cast<std::size_t>(ss.send_pre.header_bytes));
-  ob.for_each_frame([&](const MessageArena::Frame& f) {
-    WireFrameHeader h;
-    h.seq = f.seq;
-    h.pad = 0;
-    h.len = f.len;
-    append_bytes(pw.hdr_out, &h, sizeof(h));
-  });
-  pw.send_iov.clear();
-  pw.send_iov.push_back({&ss.send_pre, sizeof(StagePreamble)});
-  if (!pw.hdr_out.empty()) {
-    pw.send_iov.push_back({pw.hdr_out.data(), pw.hdr_out.size()});
-  }
-  ob.for_each_payload_span([&](const std::byte* ptr, std::size_t len) {
-    pw.send_iov.push_back({const_cast<std::byte*>(ptr), len});
-  });
-  // The arena stays live (it backs the iovec) until pump_send retires the
-  // last entry and clears it.
-  ss.send_arena = &ob;
-  grow_kernel_buffer(pw, sp, /*send_side=*/true,
-                     sizeof(StagePreamble) +
-                         static_cast<std::size_t>(ss.send_pre.header_bytes) +
-                         static_cast<std::size_t>(ss.send_pre.payload_bytes));
-}
-
-std::optional<FaultInjector::Decision> SocketTransport::syscall_fault(
-    detail::WorkerState& st, const StageState& ss, FaultSite site, int fd,
-    int peer, std::uint64_t bytes_moved) {
-  if (fault_ == nullptr) return std::nullopt;
-  FaultContext ctx;
-  ctx.rank = st.pid;
-  ctx.superstep = st.superstep;
-  ctx.stage = ss.k;
-  ctx.peer = peer;
-  auto d = fault_->before_call(site, ctx);
-  if (!d) return std::nullopt;
-  st.injected_faults += 1;
-  switch (d->kind) {
-    case FaultKind::DelayUs:
-      std::this_thread::sleep_for(std::chrono::microseconds(d->arg));
-      return std::nullopt;  // proceed normally after the stall
-    case FaultKind::PeerHangup:
-      // Shut down our end of the stream: the peer observes EOF and we
-      // observe EPIPE/EOF on the next real call — a bidirectional death.
-      ::shutdown(fd, SHUT_RDWR);
-      return std::nullopt;
-    case FaultKind::Abort:
-      throw BspTransportError(
-          std::string("injected abort at ") + to_string(site), st.pid, peer,
-          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
-          bytes_moved);
-    default:
-      return d;  // Eintr / Eagain / ShortIo: the pump loop acts these out
-  }
-}
-
-void SocketTransport::maybe_corrupt(detail::WorkerState& st,
-                                    const StageState& ss, int src,
-                                    std::byte* buf, std::size_t n) {
-  if (fault_ == nullptr || n == 0) return;
-  FaultContext ctx;
-  ctx.rank = st.pid;
-  ctx.superstep = st.superstep;
-  ctx.stage = ss.k;
-  ctx.peer = src;
-  if (const auto off = fault_->corrupt_offset(FaultSite::RecvCall, ctx)) {
-    st.injected_faults += 1;
-    buf[static_cast<std::size_t>(*off) % n] ^= std::byte{0xA5};
-  }
-}
-
-std::size_t SocketTransport::pump_send(detail::WorkerState& st, PerWorker& pw,
-                                       StageState& ss, int fd, int peer) {
-  std::size_t moved = 0;
-  while (!ss.send_done) {
-    if (ss.send_idx == pw.send_iov.size()) {
-      // Whole stage is in the kernel's hands; the staging arena's bytes have
-      // been read, so it can recycle its slabs for the next superstep.
-      if (ss.send_arena != nullptr) ss.send_arena->clear();
-      ss.send_arena = nullptr;
-      ss.send_done = true;
-      break;
-    }
-    std::size_t clamp = 0;
-    if (const auto d =
-            syscall_fault(st, ss, FaultSite::SendCall, fd, peer,
-                          ss.send_moved)) {
-      if (d->kind == FaultKind::Eintr) continue;   // as if sendmsg -> EINTR
-      if (d->kind == FaultKind::Eagain) break;     // as if sendmsg -> EAGAIN
-      if (d->kind == FaultKind::ShortIo) {
-        clamp = std::max<std::uint64_t>(d->arg, 1);
-      }
-    }
-    iovec clamped{};
-    msghdr mh{};
-    if (clamp != 0) {
-      // Truncated transfer: offer the kernel a prefix of the current entry,
-      // exercising the partial-I/O resume path.
-      clamped = pw.send_iov[ss.send_idx];
-      clamped.iov_len = std::min(clamped.iov_len, clamp);
-      mh.msg_iov = &clamped;
-      mh.msg_iovlen = 1;
-    } else {
-      mh.msg_iov = pw.send_iov.data() + ss.send_idx;
-      mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(
-          std::min(pw.send_iov.size() - ss.send_idx, iov_max()));
-    }
-    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
-    if (n > 0) {
-      // Counts only calls that moved bytes: idle EAGAIN probes are a
-      // property of the waiting policy, not of the wire format's syscall
-      // economy, and would make the metric timing-dependent.
-      ++st.wire_syscalls;
-      advance_iov(pw.send_iov, ss.send_idx, static_cast<std::size_t>(n));
-      moved += static_cast<std::size_t>(n);
-      ss.send_moved += static_cast<std::uint64_t>(n);
-      st.wire_bytes += static_cast<std::uint64_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    throw BspTransportError(
-        "stage send failed (peer dead?)", st.pid, peer,
-        static_cast<std::int64_t>(st.superstep), ss.k, errno, ss.send_moved);
-  }
-  return moved;
-}
-
-void SocketTransport::parse_header_block(detail::WorkerState& st,
-                                         PerWorker& pw, StageState& ss,
-                                         int src) {
-  const std::size_t count = static_cast<std::size_t>(ss.recv_pre.count);
-  // First pass validates every header before a single arena append: a
-  // corrupt stream must not size allocations or leave half-parsed frames.
-  std::uint64_t sum = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    WireFrameHeader h;
-    std::memcpy(&h, pw.hdr_in.data() + i * sizeof(WireFrameHeader),
-                sizeof(h));
-    if (h.pad != 0) {
-      throw BspTransportError(
-          "frame header " + std::to_string(i) + " has nonzero pad " +
-              std::to_string(h.pad) + " (stream corruption?)",
-          st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
-          /*err=*/0, ss.recv_moved);
-    }
-    if (h.len > cfg_.socket_max_frame_bytes) {
-      throw BspTransportError(
-          "frame header " + std::to_string(i) + " claims " +
-              std::to_string(h.len) +
-              " payload bytes, which exceeds socket_max_frame_bytes (" +
-              std::to_string(cfg_.socket_max_frame_bytes) +
-              "; stream corruption?)",
-          st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
-          /*err=*/0, ss.recv_moved);
-    }
-    sum += h.len;
-  }
-  if (sum != ss.recv_pre.payload_bytes) {
-    throw BspTransportError(
-        "inconsistent stage: header block sums to " + std::to_string(sum) +
-            " payload bytes but the preamble declared " +
-            std::to_string(ss.recv_pre.payload_bytes) +
-            " (stream corruption?)",
-        st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
-        /*err=*/0, ss.recv_moved);
-  }
-  // Second pass appends the frames and points an iovec at every non-empty
-  // payload slot, so the payload section readv()s straight into the memory
-  // the receiver's views will expose. Slots are pointer-stable across
-  // appends (slabs never move).
-  pw.recv_iov.clear();
-  for (std::size_t i = 0; i < count; ++i) {
-    WireFrameHeader h;
-    std::memcpy(&h, pw.hdr_in.data() + i * sizeof(WireFrameHeader),
-                sizeof(h));
-    std::byte* slot =
-        pw.inbox_arena.append(static_cast<std::uint32_t>(src), h.seq,
-                              static_cast<std::size_t>(h.len));
-    if (h.len != 0) {
-      pw.recv_iov.push_back({slot, static_cast<std::size_t>(h.len)});
-    }
-  }
-  ss.recv_idx = 0;
-  ss.phase = pw.recv_iov.empty() ? StageState::Phase::Done
-                                 : StageState::Phase::Payload;
-}
-
-std::size_t SocketTransport::pump_recv(detail::WorkerState& st, PerWorker& pw,
-                                       StageState& ss, int fd, int src) {
-  std::size_t moved = 0;
-  while (!ss.recv_done) {
-    if (ss.phase == StageState::Phase::Done) {
-      ss.recv_done = true;
-      break;
-    }
-    std::size_t clamp = 0;
-    if (const auto d =
-            syscall_fault(st, ss, FaultSite::RecvCall, fd, src,
-                          ss.recv_moved)) {
-      if (d->kind == FaultKind::Eintr) continue;  // as if recv -> EINTR
-      if (d->kind == FaultKind::Eagain) break;    // as if recv -> EAGAIN
-      if (d->kind == FaultKind::ShortIo) {
-        clamp = std::max<std::uint64_t>(d->arg, 1);
-      }
-    }
-    ssize_t n = 0;
-    switch (ss.phase) {
-      case StageState::Phase::Preamble: {
-        std::size_t want = sizeof(StagePreamble) - ss.scratch_off;
-        if (clamp != 0) want = std::min(want, clamp);
-        n = ::recv(fd, ss.scratch + ss.scratch_off, want, 0);
-        break;
-      }
-      case StageState::Phase::Headers: {
-        // One bulk read for the whole remaining header block — this is the
-        // receive-side win over the per-frame state machine.
-        std::size_t want = pw.hdr_in.size() - ss.hdr_off;
-        if (clamp != 0) want = std::min(want, clamp);
-        n = ::recv(fd, pw.hdr_in.data() + ss.hdr_off, want, 0);
-        break;
-      }
-      case StageState::Phase::Payload: {
-        if (clamp != 0) {
-          iovec clamped = pw.recv_iov[ss.recv_idx];
-          clamped.iov_len = std::min(clamped.iov_len, clamp);
-          n = ::readv(fd, &clamped, 1);
-          break;
-        }
-        const std::size_t cnt =
-            std::min(pw.recv_iov.size() - ss.recv_idx, iov_max());
-        n = ::readv(fd, pw.recv_iov.data() + ss.recv_idx,
-                    static_cast<int>(cnt));
-        break;
-      }
-      case StageState::Phase::Done:
-        break;
-    }
-    if (n == 0) {
-      throw BspTransportError(
-          "peer closed its endpoint mid-stage (peer death)", st.pid, src,
-          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
-          ss.recv_moved);
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      throw BspTransportError(
-          "stage recv failed", st.pid, src,
-          static_cast<std::int64_t>(st.superstep), ss.k, errno,
-          ss.recv_moved);
-    }
-    ++st.wire_syscalls;  // like the send side: only calls that moved bytes
-    moved += static_cast<std::size_t>(n);
-    ss.recv_moved += static_cast<std::uint64_t>(n);
-    switch (ss.phase) {
-      case StageState::Phase::Preamble:
-        ss.scratch_off += static_cast<std::size_t>(n);
-        if (ss.scratch_off == sizeof(StagePreamble)) {
-          // Corruption fires on completed control sections — the validation
-          // path must be the thing that catches the garbled byte.
-          maybe_corrupt(st, ss, src, ss.scratch, sizeof(StagePreamble));
-          std::memcpy(&ss.recv_pre, ss.scratch, sizeof(ss.recv_pre));
-          // Cross-check the sections against each other before trusting any
-          // of the preamble's lengths.
-          if (ss.recv_pre.header_bytes > kMaxHeaderBlockBytes) {
-            throw BspTransportError(
-                "stage preamble claims a " +
-                    std::to_string(ss.recv_pre.header_bytes) +
-                    "-byte header block (stream corruption?)",
-                st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
-                /*err=*/0, ss.recv_moved);
-          }
-          if (ss.recv_pre.count !=
-              ss.recv_pre.header_bytes / sizeof(WireFrameHeader) ||
-              ss.recv_pre.header_bytes % sizeof(WireFrameHeader) != 0) {
-            throw BspTransportError(
-                "inconsistent stage preamble: count " +
-                    std::to_string(ss.recv_pre.count) +
-                    " vs header block of " +
-                    std::to_string(ss.recv_pre.header_bytes) +
-                    " bytes (stream corruption?)",
-                st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
-                /*err=*/0, ss.recv_moved);
-          }
-          if (ss.recv_pre.count == 0) {
-            if (ss.recv_pre.payload_bytes != 0) {
-              throw BspTransportError(
-                  "stage preamble declares " +
-                      std::to_string(ss.recv_pre.payload_bytes) +
-                      " payload bytes with zero frames (stream corruption?)",
-                  st.pid, src, static_cast<std::int64_t>(st.superstep), ss.k,
-                  /*err=*/0, ss.recv_moved);
-            }
-            ss.phase = StageState::Phase::Done;
-          } else {
-            pw.hdr_in.resize(
-                static_cast<std::size_t>(ss.recv_pre.header_bytes));
-            ss.hdr_off = 0;
-            grow_kernel_buffer(
-                pw, static_cast<std::size_t>(src), /*send_side=*/false,
-                sizeof(StagePreamble) +
-                    static_cast<std::size_t>(ss.recv_pre.header_bytes) +
-                    static_cast<std::size_t>(ss.recv_pre.payload_bytes));
-            ss.phase = StageState::Phase::Headers;
-          }
-        }
-        break;
-      case StageState::Phase::Headers:
-        ss.hdr_off += static_cast<std::size_t>(n);
-        if (ss.hdr_off == pw.hdr_in.size()) {
-          maybe_corrupt(st, ss, src, pw.hdr_in.data(), pw.hdr_in.size());
-          parse_header_block(st, pw, ss, src);
-        }
-        break;
-      case StageState::Phase::Payload:
-        advance_iov(pw.recv_iov, ss.recv_idx, static_cast<std::size_t>(n));
-        if (ss.recv_idx == pw.recv_iov.size()) {
-          ss.phase = StageState::Phase::Done;
-        }
-        break;
-      case StageState::Phase::Done:
-        break;
-    }
-    if (ss.phase == StageState::Phase::Done) ss.recv_done = true;
-  }
-  return moved;
-}
-
-void SocketTransport::run_stage(detail::WorkerState& st, PerWorker& pw,
-                                StageState& ss) {
-  using Clock = std::chrono::steady_clock;
-  const int p = static_cast<int>(per_.size());
-  const int sp = (st.pid + ss.k) % p;
-  const int rp = (st.pid + p - ss.k) % p;
-  const int sfd = pw.fd_to[static_cast<std::size_t>(sp)];
-  const int rfd = pw.fd_to[static_cast<std::size_t>(rp)];
-  auto last_progress = Clock::now();
-  std::size_t backoff_ms = cfg_.socket_backoff_initial_ms;
-  for (;;) {
-    // Pump both directions each round: interleaving is what makes the
-    // full-duplex stage deadlock-free when transfers exceed kernel buffers
-    // (everyone drains the stream they are the stage-k reader of).
-    std::size_t moved = 0;
-    if (!ss.send_done) moved += pump_send(st, pw, ss, sfd, sp);
-    if (!ss.recv_done) moved += pump_recv(st, pw, ss, rfd, rp);
-    if (ss.send_done && ss.recv_done) return;
-    if (moved != 0) {
-      last_progress = Clock::now();
-      backoff_ms = cfg_.socket_backoff_initial_ms;
-      continue;
-    }
-    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
-      throw BspAborted{};
-    }
-    const auto idle = Clock::now() - last_progress;
-    if (idle > std::chrono::milliseconds(cfg_.socket_stage_timeout_ms)) {
-      throw BspTransportError(
-          "stage made no progress for " +
-              std::to_string(cfg_.socket_stage_timeout_ms) +
-              " ms (peer dead or wedged)",
-          st.pid, rp, static_cast<std::int64_t>(st.superstep), ss.k,
-          /*err=*/0, ss.send_moved + ss.recv_moved);
-    }
-    // Adaptive wait: a peer in the same boundary is typically microseconds
-    // away, so retry the non-blocking pumps for the spin budget (yielding
-    // the core each round for oversubscribed hosts) before paying a poll.
-    if (idle < std::chrono::microseconds(cfg_.socket_spin_us)) {
-      std::this_thread::yield();
-      continue;
-    }
-    // Idle past the spin budget: wait for either direction to open up,
-    // bounded so aborts and timeouts are noticed (bounded exponential
-    // backoff).
-    struct pollfd fds[2];
-    nfds_t nfds = 0;
-    if (!ss.send_done) {
-      fds[nfds].fd = sfd;
-      fds[nfds].events = POLLOUT;
-      fds[nfds].revents = 0;
-      ++nfds;
-    }
-    if (!ss.recv_done) {
-      if (nfds == 1 && fds[0].fd == rfd) {
-        fds[0].events |= POLLIN;
-      } else {
-        fds[nfds].fd = rfd;
-        fds[nfds].events = POLLIN;
-        fds[nfds].revents = 0;
-        ++nfds;
-      }
-    }
-    if (const auto d =
-            syscall_fault(st, ss, FaultSite::PollCall, rfd, rp, 0)) {
-      // Eintr/Eagain: skip this poll round as if it was interrupted; the
-      // loop re-pumps and re-polls with the next backoff step.
-      (void)d;
-      backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
-      continue;
-    }
-    if (::poll(fds, nfds, static_cast<int>(backoff_ms)) < 0 &&
-        errno != EINTR) {
-      // A real poll failure (EBADF after an injected hangup, ENOMEM) must be
-      // diagnosed, not spun on: retrying would busy-loop until the stage
-      // timeout with no chance of progress.
-      throw BspTransportError("poll on stage sockets failed", st.pid, rp,
-                              static_cast<std::int64_t>(st.superstep), ss.k,
-                              errno, ss.send_moved + ss.recv_moved);
-    }
-    backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
-  }
-}
-
-void SocketTransport::open_boundary(detail::WorkerState& dst, PerWorker& pw) {
-  dst.inbox.clear();
-  dst.inbox_cursor = 0;
-  pw.inbox_arena.release_slabs();  // last superstep's views are dead now
-  // Stage 0 of the schedule: self-delivery moves whole slabs, no wire.
-  pw.inbox_arena.splice_from(pw.outbox[static_cast<std::size_t>(dst.pid)]);
-}
-
-void SocketTransport::publish(detail::WorkerState& dst, PerWorker& pw) {
-  dst.inbox.reserve(pw.inbox_arena.message_count());
+void SocketTransport::publish(detail::WorkerState& dst) {
+  detail::ExchangeEngine& e = engine_of(dst.pid);
+  dst.inbox.reserve(e.inbox_arena().message_count());
   std::uint64_t recv_packets = 0;
-  append_views(dst, pw.inbox_arena, recv_packets);
+  append_views(dst, e.inbox_arena(), recv_packets);
   finish_delivery(dst, recv_packets, cfg_.deterministic_delivery);
 }
 
 void SocketTransport::deliver_to(detail::WorkerState& dst) {
-  PerWorker& pw = per_[static_cast<std::size_t>(dst.pid)];
-  const int p = static_cast<int>(per_.size());
-  StageState ss;
+  detail::ExchangeEngine& e = engine_of(dst.pid);
   try {
     inject_boundary_fault(FaultSite::Deliver, dst);
-    open_boundary(dst, pw);
-    for (int k = 1; k < p; ++k) {
-      begin_stage(pw, ss, dst.pid, k);
-      run_stage(dst, pw, ss);
-    }
+    e.run_all_stages(dst);
   } catch (...) {
     // Unwinding mid-stage strands half-written stage bytes in kernel
     // buffers; the mesh must be rebuilt before the next run.
-    wire_dirty_.store(true, std::memory_order_relaxed);
+    mesh_.mark_dirty();
     throw;
   }
-  publish(dst, pw);
-}
-
-bool SocketTransport::pump_window(detail::WorkerState& st, PerWorker& pw) {
-  const int p = static_cast<int>(per_.size());
-  bool moved_any = true;
-  while (!pw.split_done && moved_any) {
-    StageState& ss = pw.split_ss;
-    const int sp = (st.pid + ss.k) % p;
-    const int rp = (st.pid + p - ss.k) % p;
-    std::size_t moved = 0;
-    if (!ss.send_done) {
-      moved += pump_send(st, pw, ss, pw.fd_to[static_cast<std::size_t>(sp)],
-                         sp);
-    }
-    if (!ss.recv_done) {
-      moved += pump_recv(st, pw, ss, pw.fd_to[static_cast<std::size_t>(rp)],
-                         rp);
-    }
-    if (ss.send_done && ss.recv_done) {
-      if (ss.k + 1 < p) {
-        begin_stage(pw, ss, st.pid, ss.k + 1);
-        continue;  // the fresh stage may be able to move bytes right away
-      }
-      pw.split_done = true;
-      break;
-    }
-    moved_any = moved != 0;
-  }
-  return pw.split_done;
+  publish(dst);
 }
 
 void SocketTransport::begin_exchange(detail::WorkerState& st) {
-  PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
-  const int p = static_cast<int>(per_.size());
+  detail::ExchangeEngine& e = engine_of(st.pid);
   try {
     // Same fault-hook sequence as the rigid path: the sender-side Flush hook
     // (this transport's flush() is hook-only), then the Deliver hook at the
     // top of boundary delivery.
     inject_boundary_fault(FaultSite::Flush, st);
     inject_boundary_fault(FaultSite::Deliver, st);
-    open_boundary(st, pw);
-    pw.split_active = true;
-    pw.split_done = (p == 1);
-    if (!pw.split_done) {
-      begin_stage(pw, pw.split_ss, st.pid, 1);
-      // One opportunistic pass before handing control back: with kernel
-      // buffers sized to the stage, small exchanges are often fully on the
-      // wire before the caller's overlapped compute even starts.
-      pump_window(st, pw);
-    }
+    e.begin_window(st);
   } catch (...) {
-    wire_dirty_.store(true, std::memory_order_relaxed);
+    mesh_.mark_dirty();
     throw;
   }
 }
 
 bool SocketTransport::progress(detail::WorkerState& st) {
-  PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
-  if (!pw.split_active) return false;
-  if (pw.split_done) return true;
+  detail::ExchangeEngine& e = engine_of(st.pid);
+  if (!e.window_active()) return false;
+  if (e.window_done()) return true;
   try {
-    return pump_window(st, pw);
+    return e.pump_window(st);
   } catch (...) {
-    wire_dirty_.store(true, std::memory_order_relaxed);
+    mesh_.mark_dirty();
     throw;
   }
 }
 
 void SocketTransport::finish_exchange(detail::WorkerState& st) {
-  PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
-  if (!pw.split_active) {
+  detail::ExchangeEngine& e = engine_of(st.pid);
+  if (!e.window_active()) {
     // No window in flight (a rigid boundary routed through the default
     // contract): behave exactly like deliver_to.
     deliver_to(st);
     return;
   }
-  const int p = static_cast<int>(per_.size());
   try {
-    while (!pw.split_done) {
-      // run_stage resumes the in-flight stage mid-transfer — the iovec
-      // cursors and receive phase pick up exactly where the window's last
-      // pump left them.
-      run_stage(st, pw, pw.split_ss);
-      if (pw.split_ss.k + 1 < p) {
-        begin_stage(pw, pw.split_ss, st.pid, pw.split_ss.k + 1);
-      } else {
-        pw.split_done = true;
-      }
-    }
+    e.finish_window(st);
   } catch (...) {
-    wire_dirty_.store(true, std::memory_order_relaxed);
+    mesh_.mark_dirty();
     throw;
   }
-  pw.split_active = false;
-  publish(st, pw);
+  publish(st);
 }
 
 void SocketTransport::exchange(
     const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
   using Clock = std::chrono::steady_clock;
-  const int p = static_cast<int>(per_.size());
+  const int p = static_cast<int>(states.size());
   if (p == 1) {
     if (!states[0]->finished) deliver_to(*states[0]);
     return;
@@ -768,7 +126,7 @@ void SocketTransport::exchange(
   // (possibly empty) stage from them on the shared stream.
   struct Task {
     detail::WorkerState* st = nullptr;
-    StageState ss;
+    detail::ExchangeEngine::StageState ss;
     bool done = false;
   };
   std::vector<Task> tasks(static_cast<std::size_t>(p));
@@ -777,8 +135,8 @@ void SocketTransport::exchange(
       Task& t = tasks[static_cast<std::size_t>(i)];
       t.st = states[static_cast<std::size_t>(i)].get();
       inject_boundary_fault(FaultSite::Deliver, *t.st);
-      open_boundary(*t.st, per_[static_cast<std::size_t>(i)]);
-      begin_stage(per_[static_cast<std::size_t>(i)], t.ss, i, 1);
+      engine_of(i).open_boundary(*t.st);
+      engine_of(i).begin_stage(t.ss, 1);
     }
     int done_count = 0;
     auto last_progress = Clock::now();
@@ -788,21 +146,13 @@ void SocketTransport::exchange(
       for (int i = 0; i < p; ++i) {
         Task& t = tasks[static_cast<std::size_t>(i)];
         if (t.done) continue;
-        PerWorker& pw = per_[static_cast<std::size_t>(i)];
-        const int sp = (i + t.ss.k) % p;
-        const int rp = (i + p - t.ss.k) % p;
+        detail::ExchangeEngine& e = engine_of(i);
         std::size_t moved = 0;
-        if (!t.ss.send_done) {
-          moved += pump_send(*t.st, pw, t.ss,
-                             pw.fd_to[static_cast<std::size_t>(sp)], sp);
-        }
-        if (!t.ss.recv_done) {
-          moved += pump_recv(*t.st, pw, t.ss,
-                             pw.fd_to[static_cast<std::size_t>(rp)], rp);
-        }
+        if (!t.ss.send_done) moved += e.pump_send(*t.st, t.ss);
+        if (!t.ss.recv_done) moved += e.pump_recv(*t.st, t.ss);
         if (t.ss.send_done && t.ss.recv_done) {
           if (t.ss.k + 1 < p) {
-            begin_stage(pw, t.ss, i, t.ss.k + 1);
+            e.begin_stage(t.ss, t.ss.k + 1);
           } else {
             t.done = true;
             ++done_count;
@@ -841,14 +191,12 @@ void SocketTransport::exchange(
       for (int i = 0; i < p; ++i) {
         const Task& t = tasks[static_cast<std::size_t>(i)];
         if (t.done) continue;
-        const PerWorker& pw = per_[static_cast<std::size_t>(i)];
+        detail::ExchangeEngine& e = engine_of(i);
         if (!t.ss.send_done) {
-          const int sp = (i + t.ss.k) % p;
-          fds.push_back({pw.fd_to[static_cast<std::size_t>(sp)], POLLOUT, 0});
+          fds.push_back({mesh_.fd(i, e.send_peer(t.ss)), POLLOUT, 0});
         }
         if (!t.ss.recv_done) {
-          const int rp = (i + p - t.ss.k) % p;
-          fds.push_back({pw.fd_to[static_cast<std::size_t>(rp)], POLLIN, 0});
+          fds.push_back({mesh_.fd(i, e.recv_peer(t.ss)), POLLIN, 0});
         }
       }
       if (::poll(fds.data(), static_cast<nfds_t>(fds.size()),
@@ -862,38 +210,14 @@ void SocketTransport::exchange(
       backoff_ms = std::min(backoff_ms * 2, cfg_.socket_backoff_max_ms);
     }
   } catch (...) {
-    wire_dirty_.store(true, std::memory_order_relaxed);
+    mesh_.mark_dirty();
     throw;
   }
-  for (int i = 0; i < p; ++i) {
-    publish(*tasks[static_cast<std::size_t>(i)].st,
-            per_[static_cast<std::size_t>(i)]);
-  }
+  for (Task& t : tasks) publish(*t.st);
 }
 
 bool SocketTransport::has_unflushed(const detail::WorkerState& st) const {
-  const PerWorker& pw = per_[static_cast<std::size_t>(st.pid)];
-  for (const MessageArena& a : pw.outbox) {
-    if (!a.empty()) return true;
-  }
-  return false;
-}
-
-void SocketTransport::debug_kill_endpoints(int pid) {
-  // The injected death leaves peers' streams in an undefined half-written
-  // state by design: force a mesh rebuild on the next run.
-  wire_dirty_.store(true, std::memory_order_relaxed);
-  PerWorker& pw = per_[static_cast<std::size_t>(pid)];
-  for (int fd : pw.fd_to) {
-    // shutdown, not close: peers polling the other end must observe EOF,
-    // and the fd number must stay reserved until reset_run.
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  }
-}
-
-int SocketTransport::debug_raw_fd(int pid, int peer) const {
-  return per_[static_cast<std::size_t>(pid)]
-      .fd_to[static_cast<std::size_t>(peer)];
+  return eng_[static_cast<std::size_t>(st.pid)]->has_unflushed();
 }
 
 }  // namespace gbsp

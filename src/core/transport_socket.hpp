@@ -1,53 +1,22 @@
 // Socket transport: the paper's Appendix B.3 PC-LAN total exchange, over
-// real loopback sockets.
+// real loopback sockets — the in-process composition of the two socket
+// layers:
 //
-// Every worker owns one full-duplex stream socket per peer (an AF_UNIX
-// socketpair — "loopback TCP" without the port bookkeeping; same syscalls,
-// same partial-I/O behaviour). A superstep boundary runs the rigid
-// (p-1)-stage schedule: in stage k, pid i sends its staged traffic for
-// (i + k) mod p and receives from (i - k) mod p.
+//   * SocketpairMesh (core/mesh.hpp): one AF_UNIX SOCK_STREAM socketpair per
+//     worker pair ("loopback TCP" without the port bookkeeping; same
+//     syscalls, same partial-I/O behaviour), owning fd lifecycle, the
+//     dirty-wire rebuild contract, and kernel buffer sizing.
+//   * ExchangeEngine (core/exchange_engine.hpp), one per worker: the v2
+//     sectioned wire format, the rigid (p-1)-stage schedule, sendmsg/readv
+//     gather paths, spin-then-poll waiting, split-phase windows, and the
+//     fault-injection sites.
 //
-// Wire format v2 — sectioned stages. A stage is three contiguous sections:
-//
-//   stage    := preamble header_block payload_block
-//   preamble := count:u64 header_bytes:u64 payload_bytes:u64      (24 B)
-//   header_block  := WireFrameHeader{seq:u32 pad:u32 len:u64} * count
-//   payload_block := payload[0] .. payload[count-1]   (no padding)
-//
-// with the invariants header_bytes == count*16 and payload_bytes ==
-// sum(len). Sectioning is what makes both ends cheap. The sender never
-// serializes: it points an iovec at the preamble, a packed header block, and
-// the staging arena's payload spans themselves, and pumps with sendmsg —
-// zero payload copies, one syscall per ~IOV_MAX spans. The receiver replaces
-// the old per-frame 8/16-byte recv state machine with three bulk reads:
-// the preamble, the whole header block into a reusable buffer, then readv
-// of the payload block straight into inbox-arena slots (no bounce buffer),
-// so inbox views keep the same lifetime contract as the in-memory
-// transports: valid until the receiving worker's next sync().
-//
-// There are no boundary barriers. The exchange is the synchronisation — a
-// worker finishes its last stage only after every peer has reached the
-// matching send, exactly as on the paper's PC-LAN, where the staged schedule
-// itself kept the machines in step. Stream framing keeps consecutive
-// supersteps unambiguous even when one worker runs ahead.
-//
-// Waiting is adaptive spin-then-poll: after both directions hit EAGAIN the
-// worker retries the non-blocking pumps for Config::socket_spin_us (yielding
-// between attempts, so oversubscribed hosts hand the core to the peer)
-// before falling back to poll with bounded exponential backoff. Kernel
-// buffers are sized per stage (SO_SNDBUF on the writing side at stage open,
-// SO_RCVBUF on the reading side at preamble parse), grow-only and bounded,
-// unless Config::socket_buffer_bytes pins them.
-//
-// Robustness: both directions of a stage are pumped through non-blocking
-// partial read/write loops (EINTR retried), so a full-duplex stage never
-// deadlocks on kernel buffer limits. A stage that makes no progress for
-// Config::socket_stage_timeout_ms, or that observes a closed peer, throws
-// BspTransportError; incoming frame headers are validated (pad must be 0,
-// len capped by Config::socket_max_frame_bytes, sections must agree) so a
-// corrupt stream is diagnosed instead of sizing an arena append from
-// garbage. The runtime's abort flag is polled on every idle wait, so a peer
-// that dies mid-superstep unwinds the survivors within one backoff period.
+// This class is the Transport seam glue: it routes stage_send/sync through
+// the right worker's engine, publishes inbox views after each boundary,
+// marks the mesh dirty when a worker unwinds mid-stage, and drives the
+// Serialized-mode round-robin exchange over every engine at once. The wire
+// behaviour — formats, schedules, timeouts, fault semantics — is documented
+// with the layer that owns it.
 //
 // Lifecycle: the socketpair mesh is built once and *reused across
 // Runtime::run() calls* while every exchange completes cleanly (a drained
@@ -56,13 +25,12 @@
 // next reset_run() rebuilds the mesh from scratch.
 #pragma once
 
-#include <sys/uio.h>  // iovec
-
-#include <atomic>
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
+#include "core/exchange_engine.hpp"
+#include "core/mesh.hpp"
 #include "core/transport.hpp"
 
 namespace gbsp {
@@ -71,8 +39,7 @@ class SocketTransport final : public detail::TransportBase {
  public:
   SocketTransport(const Config& cfg, SlabPool& pool,
                   const std::atomic<bool>* abort_flag)
-      : TransportBase(cfg, pool, abort_flag) {}
-  ~SocketTransport() override;
+      : TransportBase(cfg, pool, abort_flag), mesh_(cfg) {}
 
   [[nodiscard]] const char* name() const override { return "socket"; }
   [[nodiscard]] bool needs_boundary_barriers() const override { return false; }
@@ -90,15 +57,14 @@ class SocketTransport final : public detail::TransportBase {
     inject_boundary_fault(FaultSite::Flush, st);
   }
   void deliver_to(detail::WorkerState& dst) override;
-  // Split-phase overlap (the tentpole of the contract): begin_exchange opens
-  // the boundary and starts streaming stage 1 out of the staging arenas;
-  // progress() pumps both directions non-blocking, advancing through the
-  // (p-1)-stage schedule as each stage drains; finish_exchange resumes the
-  // in-flight stage with the blocking spin-then-poll driver, runs the
-  // remaining stages, and publishes the inbox views. The window's wall-clock
-  // counts against Config::socket_stage_timeout_ms exactly like slow peer
-  // compute in a rigid boundary — the timeout must exceed the longest
-  // overlap window.
+  // Split-phase overlap: begin_exchange opens the boundary and starts
+  // streaming stage 1 out of the staging arenas; progress() pumps both
+  // directions non-blocking, advancing through the (p-1)-stage schedule as
+  // each stage drains; finish_exchange resumes the in-flight stage with the
+  // blocking spin-then-poll driver, runs the remaining stages, and publishes
+  // the inbox views. The window's wall-clock counts against
+  // Config::socket_stage_timeout_ms exactly like slow peer compute in a
+  // rigid boundary — the timeout must exceed the longest overlap window.
   void begin_exchange(detail::WorkerState& st) override;
   bool progress(detail::WorkerState& st) override;
   void finish_exchange(detail::WorkerState& st) override;
@@ -110,147 +76,34 @@ class SocketTransport final : public detail::TransportBase {
   /// Fault-injection hook (tests/ops): hard-closes every endpoint worker
   /// `pid` owns, as if its process died mid-superstep. Peers observe EOF on
   /// their next read of the shared stream and abort with BspTransportError.
-  void debug_kill_endpoints(int pid);
+  void debug_kill_endpoints(int pid) { mesh_.kill_endpoints(pid); }
 
   /// Raw endpoint fd (tests): `pid`'s end of the pair with `peer`, -1 for
   /// self. Used by the corruption tests to inject garbled bytes into a live
   /// stream.
-  [[nodiscard]] int debug_raw_fd(int pid, int peer) const;
+  [[nodiscard]] int debug_raw_fd(int pid, int peer) const {
+    return mesh_.fd(pid, peer);
+  }
 
   /// How many times the socketpair mesh has been built. Consecutive clean
   /// runs reuse the mesh (count stays flat); a run that unwound mid-stage
   /// forces a rebuild on the next reset_run().
   [[nodiscard]] std::uint64_t debug_socket_builds() const {
-    return socket_builds_;
+    return mesh_.builds();
   }
 
  private:
-  /// On-wire frame header (everything little-endian host order: both ends
-  /// are this process; a multi-host transport would add byte-order here).
-  /// pad is transmitted as zero and validated on receipt — a nonzero pad is
-  /// the cheapest tripwire for a desynchronised or corrupt stream.
-  struct WireFrameHeader {
-    std::uint32_t seq;
-    std::uint32_t pad;
-    std::uint64_t len;
-  };
-  static_assert(sizeof(WireFrameHeader) == 16, "wire header layout drifted");
-
-  /// Stage preamble: one per stage, ahead of the header block. The
-  /// redundancy (header_bytes is derivable from count) is deliberate — the
-  /// receiver cross-checks the sections against each other before trusting
-  /// any length.
-  struct StagePreamble {
-    std::uint64_t count;
-    std::uint64_t header_bytes;   // must equal count * sizeof(WireFrameHeader)
-    std::uint64_t payload_bytes;  // must equal the sum of frame lens
-  };
-  static_assert(sizeof(StagePreamble) == 24, "wire preamble layout drifted");
-
-  /// Progress state of one stage of the schedule for one worker: an iovec
-  /// cursor over the outgoing sections and a sectioned parse of the incoming
-  /// stage (preamble -> header block -> payloads straight into the inbox
-  /// arena).
-  struct StageState {
-    int k = 0;  // schedule stage, 1 .. p-1
-    // Send side. send_pre lives here so its iovec entry stays valid for the
-    // stage's lifetime; send_idx indexes PerWorker::send_iov, whose entries
-    // are consumed (and partially advanced) in place.
-    StagePreamble send_pre{};
-    std::size_t send_idx = 0;
-    MessageArena* send_arena = nullptr;  // cleared once fully on the wire
-    bool send_done = false;
-    // Receive side.
-    enum class Phase { Preamble, Headers, Payload, Done };
-    Phase phase = Phase::Preamble;
-    std::byte scratch[sizeof(StagePreamble)];
-    std::size_t scratch_off = 0;
-    StagePreamble recv_pre{};
-    std::size_t hdr_off = 0;   // bytes of the header block received so far
-    std::size_t recv_idx = 0;  // cursor into PerWorker::recv_iov
-    bool recv_done = false;
-    // Bytes moved so far in each direction of this stage — the transfer
-    // progress a BspTransportError reports so a failure mid-stage is
-    // diagnosable ("died 8 MB into a 64 MB stage" vs "died instantly").
-    std::uint64_t send_moved = 0;
-    std::uint64_t recv_moved = 0;
-  };
-
-  struct PerWorker {
-    std::vector<MessageArena> outbox;  // per-destination staging
-    MessageArena inbox_arena;          // received frames; views live here
-    std::vector<int> fd_to;            // fd_to[j]: my end of the pair with j
-    // Reusable per-stage scratch (capacity persists across stages and runs).
-    std::vector<std::byte> hdr_out;  // packed outgoing header block
-    std::vector<std::byte> hdr_in;   // incoming header block, bulk-read
-    std::vector<iovec> send_iov;     // preamble + hdr_out + payload spans
-    std::vector<iovec> recv_iov;     // inbox-arena payload slots to fill
-    // Grow-only high-water marks of requested kernel buffer sizes, per peer,
-    // so adaptive sizing costs at most O(log stage bytes) setsockopt calls.
-    std::vector<std::size_t> snd_grown_to;
-    std::vector<std::size_t> rcv_grown_to;
-    // Split-phase window state: the in-flight stage of this worker's staged
-    // exchange between begin_exchange and finish_exchange. Lives here (not
-    // on the stack) because send_iov points at split_ss.send_pre, which must
-    // stay at a stable address across progress() calls.
-    StageState split_ss;
-    bool split_active = false;
-    bool split_done = false;
-  };
-
-  void close_all_sockets();
-  /// Builds the v2 stage sections for outbox[(pid + k) % p]: packs the
-  /// header block, points send_iov at preamble/headers/arena payload spans,
-  /// resets `ss` for stage k. The staging arena stays live until the last
-  /// byte is written (pump_send clears it).
-  void begin_stage(PerWorker& pw, StageState& ss, int pid, int k);
-  /// Pumps one direction; returns bytes moved (0 on EAGAIN). Throws
-  /// BspTransportError on EOF, socket error, or a corrupt incoming stage.
-  /// Both pumps consult the fault injector (when installed) before every
-  /// syscall and act out its decision: simulated EINTR/EAGAIN, truncated
-  /// transfers, endpoint shutdown, delays, and aborts.
-  std::size_t pump_send(detail::WorkerState& st, PerWorker& pw,
-                        StageState& ss, int fd, int peer);
-  std::size_t pump_recv(detail::WorkerState& st, PerWorker& pw,
-                        StageState& ss, int fd, int src);
-  /// Validates the fully received header block, appends its frames to the
-  /// inbox arena and builds recv_iov; advances ss to Payload (or Done).
-  void parse_header_block(detail::WorkerState& st, PerWorker& pw,
-                          StageState& ss, int src);
-  /// Consults the injector before a syscall at `site`. Returns the decision
-  /// the pump loop must act on (nullopt = proceed normally); applies
-  /// DelayUs/PeerHangup side effects itself and throws on Abort.
-  std::optional<FaultInjector::Decision> syscall_fault(
-      detail::WorkerState& st, const StageState& ss, FaultSite site, int fd,
-      int peer, std::uint64_t bytes_moved);
-  /// Applies a pending CorruptByte decision to `n` freshly received control
-  /// bytes at `buf` (XOR 0xA5 at the rule's offset mod n), before the
-  /// validation path reads them.
-  void maybe_corrupt(detail::WorkerState& st, const StageState& ss, int src,
-                     std::byte* buf, std::size_t n);
-  /// Blocking driver of one stage for one worker (Parallel mode).
-  void run_stage(detail::WorkerState& st, PerWorker& pw, StageState& ss);
-  /// Non-blocking pass over the split-phase window's schedule: pumps the
-  /// in-flight stage both ways and advances to the next stage whenever one
-  /// drains, until nothing moves or the schedule is done. Returns
-  /// pw.split_done.
-  bool pump_window(detail::WorkerState& st, PerWorker& pw);
-  /// Self-delivery + inbox reset at the top of a boundary.
-  void open_boundary(detail::WorkerState& dst, PerWorker& pw);
+  [[nodiscard]] detail::ExchangeEngine& engine_of(int pid) {
+    return *eng_[static_cast<std::size_t>(pid)];
+  }
   /// Builds dst.inbox views from the filled inbox arena.
-  void publish(detail::WorkerState& dst, PerWorker& pw);
-  /// Grow-only SO_SNDBUF/SO_RCVBUF request toward `stage_bytes` (adaptive
-  /// mode only; no-op when the high-water mark already covers it).
-  void grow_kernel_buffer(PerWorker& pw, std::size_t peer, bool send_side,
-                          std::size_t stage_bytes);
+  void publish(detail::WorkerState& dst);
 
-  std::vector<PerWorker> per_;
-  /// True when a worker unwound mid-stage (possible half-written stage bytes
-  /// in kernel buffers): the next reset_run() must rebuild the mesh. Starts
-  /// true so the first reset_run() builds. Set from concurrently failing
-  /// workers, read single-threaded in reset_run().
-  std::atomic<bool> wire_dirty_{true};
-  std::uint64_t socket_builds_ = 0;
+  detail::SocketpairMesh mesh_;
+  // One engine per worker (unique_ptr: an engine holds arenas and iovec
+  // scratch whose addresses its own StageState may point at — it must never
+  // relocate).
+  std::vector<std::unique_ptr<detail::ExchangeEngine>> eng_;
 };
 
 }  // namespace gbsp

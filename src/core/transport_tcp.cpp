@@ -1,0 +1,118 @@
+#include "core/transport_tcp.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace gbsp {
+
+void TcpTransport::reset_run(
+    const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
+  // Process mode: the Runtime hands us exactly the one local worker, already
+  // carrying the global rank.
+  if (states.size() != 1 ||
+      states[0]->pid != cfg_.tcp_rank) {
+    throw BspTransportError(
+        "tcp transport expects exactly one local worker with pid == tcp_rank "
+        "(" +
+        std::to_string(cfg_.tcp_rank) + "), got " +
+        std::to_string(states.size()) + " worker(s)");
+  }
+  if (!mesh_.dirty() && eng_ != nullptr && mesh_.nprocs() == cfg_.nprocs) {
+    // Clean previous run: every stream is drained, the connections carry no
+    // state — reuse the mesh, reset only the arenas.
+    eng_->reset_for_reuse();
+    return;
+  }
+  // First run or a run that unwound mid-stage. Rebuilding the mesh re-enters
+  // the full connect/accept bootstrap, which only completes when every peer
+  // rank does the same — a coordinated retry reconnects, a dead peer makes
+  // the bootstrap time out with a descriptive BspTransportError.
+  mesh_.build(cfg_.nprocs);
+  eng_ = std::make_unique<detail::ExchangeEngine>(cfg_, *pool_, mesh_, abort_,
+                                                 &fault_);
+  eng_->attach(cfg_.tcp_rank, cfg_.nprocs);
+}
+
+void TcpTransport::stage_send(detail::WorkerState& st, int dest,
+                              const void* data, std::size_t n) {
+  std::byte* slot = stage_reserve(st, dest, n);
+  if (n != 0) std::memcpy(slot, data, n);
+}
+
+std::byte* TcpTransport::stage_reserve(detail::WorkerState& st, int dest,
+                                       std::size_t n) {
+  return eng_->reserve(st, dest, n);
+}
+
+void TcpTransport::publish(detail::WorkerState& dst) {
+  dst.inbox.reserve(eng_->inbox_arena().message_count());
+  std::uint64_t recv_packets = 0;
+  append_views(dst, eng_->inbox_arena(), recv_packets);
+  finish_delivery(dst, recv_packets, cfg_.deterministic_delivery);
+}
+
+void TcpTransport::deliver_to(detail::WorkerState& dst) {
+  try {
+    inject_boundary_fault(FaultSite::Deliver, dst);
+    eng_->run_all_stages(dst);
+  } catch (...) {
+    // Unwinding mid-stage desynchronises the streams with every peer; the
+    // next run must re-bootstrap the mesh.
+    mesh_.mark_dirty();
+    throw;
+  }
+  publish(dst);
+}
+
+void TcpTransport::begin_exchange(detail::WorkerState& st) {
+  try {
+    inject_boundary_fault(FaultSite::Flush, st);
+    inject_boundary_fault(FaultSite::Deliver, st);
+    eng_->begin_window(st);
+  } catch (...) {
+    mesh_.mark_dirty();
+    throw;
+  }
+}
+
+bool TcpTransport::progress(detail::WorkerState& st) {
+  if (!eng_->window_active()) return false;
+  if (eng_->window_done()) return true;
+  try {
+    return eng_->pump_window(st);
+  } catch (...) {
+    mesh_.mark_dirty();
+    throw;
+  }
+}
+
+void TcpTransport::finish_exchange(detail::WorkerState& st) {
+  if (!eng_->window_active()) {
+    deliver_to(st);
+    return;
+  }
+  try {
+    eng_->finish_window(st);
+  } catch (...) {
+    mesh_.mark_dirty();
+    throw;
+  }
+  publish(st);
+}
+
+void TcpTransport::exchange(
+    const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
+  // validate_config rejects Serialized + Tcp before a Runtime exists; this
+  // is the defensive backstop, not a reachable path.
+  (void)states;
+  throw BspTransportError(
+      "the tcp transport has no serialized global exchange (one process "
+      "hosts one rank)");
+}
+
+bool TcpTransport::has_unflushed(const detail::WorkerState& st) const {
+  (void)st;
+  return eng_ != nullptr && eng_->has_unflushed();
+}
+
+}  // namespace gbsp

@@ -1,0 +1,86 @@
+// TCP transport: the paper's Appendix B.3 exchange between separate OS
+// processes — the cross-process composition of the two socket layers:
+//
+//   * TcpMesh (core/mesh.hpp): this process is exactly one rank
+//     (Config::tcp_rank) of an nprocs-process run, with one AF_INET/TCP
+//     stream per peer, bootstrapped by a connect/accept sweep with a
+//     versioned rank handshake (normally under tools/bsp_launch).
+//   * ExchangeEngine (core/exchange_engine.hpp), exactly one, attached to
+//     the local rank: the identical v2 sectioned wire format and rigid
+//     (p-1)-stage schedule the in-process SocketTransport runs — the whole
+//     point of the mesh/engine split is that nothing above the fds changes
+//     between loopback socketpairs and a real LAN.
+//
+// Differences from SocketTransport are all topological, not protocol:
+//
+//   * One local worker. The Runtime runs in process mode (one WorkerState,
+//     pid == tcp_rank, superstep barriers of size 1); cross-rank
+//     synchronisation is the staged exchange itself, exactly as on the
+//     paper's PC-LAN, where each machine was one rank.
+//   * Peer death surfaces as EOF/ECONNRESET inside a stage and throws
+//     BspTransportError, marking the wire dirty; the next run (including a
+//     Config::max_run_retries replay) rebuilds the mesh — every surviving
+//     rank re-enters the connect/accept bootstrap, so a coordinated restart
+//     reconnects and a permanent death times out with a descriptive error.
+//   * Checkpoint resume degrades to whole-run replay: this process can see
+//     only its own rank's checkpoints, and RecoveryLog::latest_complete()
+//     spans all nprocs ranks, so it reports "none" and the retry path
+//     replays from superstep 0 — correct for deterministic programs, and
+//     each rank replays in lockstep because its peers' exchanges force it.
+//   * Serialized scheduling is rejected by validate_config: one process
+//     hosts one rank, so there is no global exchange to serialize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/exchange_engine.hpp"
+#include "core/mesh.hpp"
+#include "core/transport.hpp"
+
+namespace gbsp {
+
+class TcpTransport final : public detail::TransportBase {
+ public:
+  TcpTransport(const Config& cfg, SlabPool& pool,
+               const std::atomic<bool>* abort_flag)
+      : TransportBase(cfg, pool, abort_flag), mesh_(cfg) {}
+
+  [[nodiscard]] const char* name() const override { return "tcp"; }
+  [[nodiscard]] bool needs_boundary_barriers() const override { return false; }
+  [[nodiscard]] bool steady_state_zero_alloc() const override { return false; }
+
+  void reset_run(const std::vector<std::unique_ptr<detail::WorkerState>>&
+                     states) override;
+  void stage_send(detail::WorkerState& st, int dest, const void* data,
+                  std::size_t n) override;
+  std::byte* stage_reserve(detail::WorkerState& st, int dest,
+                           std::size_t n) override;
+  void flush(detail::WorkerState& st) override {
+    inject_boundary_fault(FaultSite::Flush, st);
+  }
+  void deliver_to(detail::WorkerState& dst) override;
+  void begin_exchange(detail::WorkerState& st) override;
+  bool progress(detail::WorkerState& st) override;
+  void finish_exchange(detail::WorkerState& st) override;
+  void exchange(const std::vector<std::unique_ptr<detail::WorkerState>>&
+                    states) override;
+  [[nodiscard]] bool has_unflushed(
+      const detail::WorkerState& st) const override;
+
+  /// How many times the TCP mesh has been bootstrapped (same reuse contract
+  /// as SocketTransport::debug_socket_builds: clean runs keep it flat).
+  [[nodiscard]] std::uint64_t debug_mesh_builds() const {
+    return mesh_.builds();
+  }
+
+ private:
+  void publish(detail::WorkerState& dst);
+
+  detail::TcpMesh mesh_;
+  // The one engine of the one local rank (unique_ptr: an engine must never
+  // relocate — its StageState can point into its own scratch).
+  std::unique_ptr<detail::ExchangeEngine> eng_;
+};
+
+}  // namespace gbsp

@@ -436,6 +436,7 @@ INSTANTIATE_TEST_SUITE_P(
         case DeliveryStrategy::Deferred: name = "Deferred"; break;
         case DeliveryStrategy::Eager: name = "Eager"; break;
         case DeliveryStrategy::Socket: name = "Socket"; break;
+        case DeliveryStrategy::Tcp: name = "Tcp"; break;
       }
       return name + (info.param.mode == SyncMode::Rigid ? "Rigid" : "Split");
     });

@@ -113,20 +113,118 @@ TEST(ConfigValidation, ValidSocketKnobsConstructAndRun) {
   });
 }
 
+TEST(ConfigValidation, RejectsOversizedPinnedSocketBuffer) {
+  // A pinned kernel buffer smaller than the largest admissible frame is a
+  // contradiction; and a request above INT_MAX would truncate in setsockopt.
+  Config cfg = valid_base();
+  cfg.delivery = DeliveryStrategy::Socket;
+  cfg.socket_max_frame_bytes = 1 << 20;
+  cfg.socket_buffer_bytes = (1 << 20) + 1;  // > max_frame
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.socket_buffer_bytes = 1 << 20;  // == max_frame: fine
+  EXPECT_NO_THROW(Runtime rt(cfg));
+  cfg = valid_base();
+  cfg.socket_buffer_bytes = std::size_t{1} << 40;  // > INT_MAX
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsOverflowableSocketFrameCap) {
+  Config cfg = valid_base();
+  cfg.socket_max_frame_bytes = (std::size_t{1} << 37) + 1;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.socket_max_frame_bytes = std::size_t{1} << 37;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
+// --- TCP knob validation (the knobs bsp_launch's environment feeds). The
+// Runtime must reject a bad rank topology at construction, long before the
+// mesh bootstrap would hang trying to realise it.
+
+Config valid_tcp() {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.delivery = DeliveryStrategy::Tcp;
+  cfg.tcp_rank = 2;
+  return cfg;
+}
+
+TEST(TcpConfigValidation, AcceptsValidRankConfig) {
+  // Construction only selects the transport; the mesh bootstrap (which would
+  // need live peers) happens at run(). So a valid config must construct.
+  EXPECT_NO_THROW(Runtime rt(valid_tcp()));
+}
+
+TEST(TcpConfigValidation, RejectsSerializedScheduling) {
+  Config cfg = valid_tcp();
+  cfg.scheduling = Scheduling::Serialized;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(TcpConfigValidation, RejectsRankOutsideRun) {
+  for (int r : {-1, 4, 100}) {
+    Config cfg = valid_tcp();
+    cfg.tcp_rank = r;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << r;
+  }
+}
+
+TEST(TcpConfigValidation, RejectsMalformedHost) {
+  for (const char* h : {"", "127.0.0.1:4710", "local host", "\t"}) {
+    Config cfg = valid_tcp();
+    cfg.tcp_host = h;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << "\"" << h << "\"";
+  }
+}
+
+TEST(TcpConfigValidation, RejectsPortOutsideRange) {
+  for (int port : {0, -1, 65536}) {
+    Config cfg = valid_tcp();
+    cfg.tcp_port = port;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << port;
+  }
+}
+
+TEST(TcpConfigValidation, RejectsPortWindowPastMax) {
+  // Rank r listens on tcp_port + r: the whole window must fit in 16 bits.
+  Config cfg = valid_tcp();
+  cfg.tcp_port = 65533;  // 4 ranks need 65533..65536
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.tcp_port = 65532;  // 65532..65535: fine
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
+TEST(TcpConfigValidation, RejectsOutOfRangeConnectTimeout) {
+  Config cfg = valid_tcp();
+  cfg.tcp_connect_timeout_ms = 0;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.tcp_connect_timeout_ms = 3'600'001;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(TcpConfigValidation, KnobsIgnoredOffTcp) {
+  // The tcp_* knobs gate only the tcp transport; an unrelated delivery mode
+  // must not reject a config that happens to carry stale values.
+  Config cfg = valid_base();
+  cfg.tcp_rank = -7;
+  cfg.tcp_host = "not a host";
+  cfg.tcp_port = 0;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
 TEST(TransportNames, RoundTripThroughStrings) {
   for (auto d : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
-                 DeliveryStrategy::Socket}) {
+                 DeliveryStrategy::Socket, DeliveryStrategy::Tcp}) {
     EXPECT_EQ(delivery_from_string(to_string(d)), d);
   }
-  EXPECT_THROW((void)delivery_from_string("tcp"), std::invalid_argument);
   EXPECT_THROW((void)delivery_from_string(""), std::invalid_argument);
   EXPECT_THROW((void)delivery_from_string("Deferred"), std::invalid_argument);
+  EXPECT_THROW((void)delivery_from_string("inet"), std::invalid_argument);
 }
 
 TEST(TransportNames, FactoryMatchesEnum) {
   SlabPool pool;
   for (auto d : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
-                 DeliveryStrategy::Socket}) {
+                 DeliveryStrategy::Socket, DeliveryStrategy::Tcp}) {
     Config cfg;
     cfg.delivery = d;
     auto t = make_transport(cfg, pool, nullptr);

@@ -216,5 +216,56 @@ TEST(Cannon, WorksUnderEagerDelivery) {
   EXPECT_LT(C.max_abs_diff(matmul_naive(A, B)), 1e-10 * 24);
 }
 
+// The broadcast-layout entry point distributes the operands through the
+// bulk collective instead of reading shared inputs; the Cannon body after
+// distribution is the same code on the same operands, so the product must
+// be BIT-identical (max_abs_diff exactly 0.0), not merely close.
+TEST(Cannon, BroadcastLayoutBitIdentical) {
+  const int n = 24;
+  Matrix A = random_matrix(n, 41), B = random_matrix(n, 42);
+  for (int p : {1, 4, 6, 9}) {
+    Matrix shared_c(n), bcast_c(n);
+    Config cfg;
+    cfg.nprocs = p;
+    Runtime rt(cfg);
+    rt.run(make_cannon_program(A, B, &shared_c));
+    rt.run(make_cannon_broadcast_program(A, B, &bcast_c));
+    EXPECT_DOUBLE_EQ(shared_c.max_abs_diff(bcast_c), 0.0) << "p=" << p;
+  }
+}
+
+TEST(Cannon, BroadcastLayoutBitIdenticalUnderForcedTree) {
+  // Forcing the tree schedule reroutes the operand broadcast through
+  // relays; the delivered bytes — and therefore C — must not change.
+  const int n = 24;
+  Matrix A = random_matrix(n, 43), B = random_matrix(n, 44);
+  Matrix shared_c(n), bcast_c(n);
+  Config cfg;
+  cfg.nprocs = 9;
+  Runtime rt(cfg);
+  rt.run(make_cannon_program(A, B, &shared_c));
+  cfg.collective_schedule = CollectiveSchedule::Tree;
+  Runtime tree_rt(cfg);
+  tree_rt.run(make_cannon_broadcast_program(A, B, &bcast_c));
+  EXPECT_DOUBLE_EQ(shared_c.max_abs_diff(bcast_c), 0.0);
+}
+
+TEST(Cannon, BroadcastLayoutBitIdenticalOverSocketSplitPhase) {
+  // The distribution rewrite must compose with the other layouts: staged
+  // socket delivery underneath, split-phase overlap inside the shifts.
+  const int n = 24;
+  Matrix A = random_matrix(n, 45), B = random_matrix(n, 46);
+  Matrix shared_c(n), bcast_c(n);
+  Config cfg;
+  cfg.nprocs = 4;
+  Runtime rt(cfg);
+  rt.run(make_cannon_program(A, B, &shared_c));
+  cfg.delivery = DeliveryStrategy::Socket;
+  Runtime sock_rt(cfg);
+  sock_rt.run(
+      make_cannon_broadcast_program(A, B, &bcast_c, SyncMode::SplitPhase));
+  EXPECT_DOUBLE_EQ(shared_c.max_abs_diff(bcast_c), 0.0);
+}
+
 }  // namespace
 }  // namespace gbsp

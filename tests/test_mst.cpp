@@ -6,6 +6,7 @@
 #include <set>
 
 #include "apps/mst/mst.hpp"
+#include "core/transport.hpp"
 #include "graph/geometric.hpp"
 #include "graph/kruskal.hpp"
 #include "graph/union_find.hpp"
@@ -95,6 +96,50 @@ TEST(Mst, SerializedSchedulerSameWeight) {
   rt.run(make_mst_program(part, MstConfig{}, &result));
   EXPECT_NEAR(result.total_weight, ref.total_weight, 1e-9);
   EXPECT_EQ(result.edge_count, 499);
+}
+
+// The endgame now rides the bulk collectives (gatherv onto rank 0, Direct
+// broadcast_span of the final result). gatherv hands rank 0 the
+// contributions concatenated in pid order no matter which transport carried
+// them, so the floating-point reduction order — and therefore the result
+// bits — must be identical across transports, runs, and schedulers.
+TEST(Mst, CollectiveEndgameBitIdenticalAcrossTransports) {
+  const GeometricGraph gg = make_geometric_graph(400, 21);
+  const GraphPartition part = partition_by_stripes(gg.graph, gg.points, 4);
+  MstConfig mcfg;
+  mcfg.collect_edges = true;
+  const auto run_with = [&](DeliveryStrategy d, Scheduling s) {
+    MstParallelResult r;
+    Config rc;
+    rc.nprocs = 4;
+    rc.delivery = d;
+    rc.scheduling = s;
+    Runtime rt(rc);
+    rt.run(make_mst_program(part, mcfg, &r));
+    rt.run(make_mst_program(part, mcfg, &r));  // second run: reuse path
+    return r;
+  };
+  const MstParallelResult ref =
+      run_with(DeliveryStrategy::Deferred, Scheduling::Parallel);
+  ASSERT_EQ(ref.edge_count, 399);
+  const std::pair<DeliveryStrategy, Scheduling> variants[] = {
+      {DeliveryStrategy::Deferred, Scheduling::Parallel},
+      {DeliveryStrategy::Eager, Scheduling::Parallel},
+      {DeliveryStrategy::Socket, Scheduling::Parallel},
+      {DeliveryStrategy::Deferred, Scheduling::Serialized},
+  };
+  for (const auto& [d, s] : variants) {
+    const MstParallelResult got = run_with(d, s);
+    EXPECT_EQ(got.total_weight, ref.total_weight)
+        << "transport " << to_string(d);  // EQ, not NEAR: identical bits
+    EXPECT_EQ(got.edge_count, ref.edge_count);
+    ASSERT_EQ(got.edges.size(), ref.edges.size());
+    for (std::size_t i = 0; i < ref.edges.size(); ++i) {
+      EXPECT_EQ(got.edges[i].u, ref.edges[i].u) << i;
+      EXPECT_EQ(got.edges[i].v, ref.edges[i].v) << i;
+      EXPECT_EQ(got.edges[i].w, ref.edges[i].w) << i;
+    }
+  }
 }
 
 TEST(Mst, DuplicateWeightsResolvedConsistently) {

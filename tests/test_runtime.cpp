@@ -33,6 +33,7 @@ std::string param_name(const testing::TestParamInfo<RuntimeParam>& info) {
     case DeliveryStrategy::Deferred: s += "Def"; break;
     case DeliveryStrategy::Eager: s += "Eag"; break;
     case DeliveryStrategy::Socket: s += "Sock"; break;
+    case DeliveryStrategy::Tcp: s += "Tcp"; break;
   }
   switch (p.barrier) {
     case BarrierKind::CentralSpin: s += "Spin"; break;

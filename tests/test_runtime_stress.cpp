@@ -141,6 +141,7 @@ std::string stress_name(const testing::TestParamInfo<StressParam>& info) {
     case DeliveryStrategy::Deferred: s += "Def"; break;
     case DeliveryStrategy::Eager: s += "Eag"; break;
     case DeliveryStrategy::Socket: s += "Sock"; break;
+    case DeliveryStrategy::Tcp: s += "Tcp"; break;
   }
   s += "P" + std::to_string(p.nprocs);
   return s;

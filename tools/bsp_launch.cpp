@@ -1,0 +1,179 @@
+// bsp_launch: the rank runner of the tcp transport — the piece of the
+// paper's Appendix B.3 PC-LAN setup that started one BSP process per
+// machine. Here all p ranks land on one host (loopback) unless the program
+// is pointed elsewhere; the runner's only job is process lifecycle and the
+// rank environment:
+//
+//   bsp_launch -p 4 [--host H] [--port BASE] [--timeout-ms T] [--] prog args...
+//
+// forks p children, each exec'ing `prog args...` with
+//
+//   GBSP_RANK=<r>  GBSP_NPROCS=<p>  GBSP_HOST=<H>  GBSP_PORT=<BASE>
+//   GBSP_CONNECT_TIMEOUT_MS=<T>
+//
+// which configure_tcp_from_env (core/transport.hpp) turns into a
+// Config{delivery=Tcp, nprocs, tcp_*}. Rank r then listens on BASE + r and
+// the ranks bootstrap their full mesh themselves (core/mesh.hpp).
+//
+// Exit policy: wait for every rank; the run's exit status is the first
+// failing rank's (128 + signal for a signalled child). Once one rank fails,
+// the rest are SIGTERMed — their peer connections are dead anyway, and a
+// wedged survivor would otherwise hold the launcher until its own stage
+// timeout fires.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -p <nprocs> [--host <ipv4>] [--port <base>] "
+      "[--timeout-ms <ms>] [--] <program> [args...]\n"
+      "\n"
+      "Runs <program> as nprocs cooperating BSP ranks over TCP: rank r is\n"
+      "exec'd with GBSP_RANK=r, GBSP_NPROCS, GBSP_HOST (default 127.0.0.1),\n"
+      "GBSP_PORT (default 47100; rank r listens on port+r) and\n"
+      "GBSP_CONNECT_TIMEOUT_MS (default 10000) in its environment.\n",
+      argv0);
+}
+
+long parse_long(const char* flag, const char* raw, long lo, long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "bsp_launch: %s expects an integer in [%ld, %ld], got \"%s\"\n",
+                 flag, lo, hi, raw);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nprocs = 0;
+  std::string host = "127.0.0.1";
+  long port = 47100;
+  long timeout_ms = 10'000;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-p" || a == "--nprocs") {
+      if (i + 1 >= argc) { usage(argv[0]); return 2; }
+      nprocs = static_cast<int>(parse_long("-p", argv[++i], 1, 1 << 12));
+    } else if (a == "--host") {
+      if (i + 1 >= argc) { usage(argv[0]); return 2; }
+      host = argv[++i];
+    } else if (a == "--port") {
+      if (i + 1 >= argc) { usage(argv[0]); return 2; }
+      port = parse_long("--port", argv[++i], 1, 65535);
+    } else if (a == "--timeout-ms") {
+      if (i + 1 >= argc) { usage(argv[0]); return 2; }
+      timeout_ms = parse_long("--timeout-ms", argv[++i], 1, 3'600'000);
+    } else if (a == "--") {
+      ++i;
+      break;
+    } else if (a == "-h" || a == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "bsp_launch: unknown flag \"%s\"\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      break;  // first positional: the program
+    }
+  }
+  if (nprocs == 0 || i >= argc) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (port + nprocs - 1 > 65535) {
+    std::fprintf(stderr,
+                 "bsp_launch: port window %ld..%ld exceeds 65535 "
+                 "(lower --port or -p)\n",
+                 port, port + nprocs - 1);
+    return 2;
+  }
+
+  std::vector<pid_t> kids(static_cast<std::size_t>(nprocs), -1);
+  for (int r = 0; r < nprocs; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("bsp_launch: fork");
+      for (int k = 0; k < r; ++k) ::kill(kids[static_cast<std::size_t>(k)], SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: rank r. setenv + execvp keeps the parent's environment
+      // (PATH, sanitizer options) and overlays the rank variables.
+      ::setenv("GBSP_RANK", std::to_string(r).c_str(), 1);
+      ::setenv("GBSP_NPROCS", std::to_string(nprocs).c_str(), 1);
+      ::setenv("GBSP_HOST", host.c_str(), 1);
+      ::setenv("GBSP_PORT", std::to_string(port).c_str(), 1);
+      ::setenv("GBSP_CONNECT_TIMEOUT_MS", std::to_string(timeout_ms).c_str(),
+               1);
+      ::execvp(argv[i], argv + i);
+      std::fprintf(stderr, "bsp_launch: exec %s: %s\n", argv[i],
+                   std::strerror(errno));
+      std::_Exit(127);
+    }
+    kids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  // Reap in completion order so the FIRST failure wins the run's status and
+  // triggers the teardown of the survivors.
+  int exit_status = 0;
+  int live = nprocs;
+  bool tore_down = false;
+  while (live > 0) {
+    int wstatus = 0;
+    const pid_t pid = ::waitpid(-1, &wstatus, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    int rank = -1;
+    for (int r = 0; r < nprocs; ++r) {
+      if (kids[static_cast<std::size_t>(r)] == pid) { rank = r; break; }
+    }
+    if (rank < 0) continue;  // not one of ours (reparented grandchild)
+    kids[static_cast<std::size_t>(rank)] = -1;
+    --live;
+    int rc = 0;
+    if (WIFEXITED(wstatus)) {
+      rc = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+      rc = 128 + WTERMSIG(wstatus);
+      std::fprintf(stderr, "bsp_launch: rank %d killed by signal %d\n", rank,
+                   WTERMSIG(wstatus));
+    }
+    if (rc != 0 && exit_status == 0) {
+      exit_status = rc;
+      if (rc != 128 + SIGTERM) {
+        std::fprintf(stderr, "bsp_launch: rank %d exited with status %d\n",
+                     rank, rc);
+      }
+    }
+    if (exit_status != 0 && !tore_down) {
+      tore_down = true;
+      for (int r = 0; r < nprocs; ++r) {
+        if (kids[static_cast<std::size_t>(r)] >= 0) {
+          ::kill(kids[static_cast<std::size_t>(r)], SIGTERM);
+        }
+      }
+    }
+  }
+  return exit_status;
+}
