@@ -7,8 +7,9 @@
 // same h-relation.
 //
 //   --transport all|deferred|eager|socket   restrict the rows
-//   --transport tcp                         cross-process rows; must run
-//                                           under bsp_launch (rank env), and
+//   --transport tcp|shm                     cross-process rows; must run
+//                                           under bsp_launch (rank env, with
+//                                           the matching --transport), and
 //                                           is deliberately NOT part of
 //                                           "all" — the in-process rows
 //                                           would measure nothing useful
@@ -65,6 +66,7 @@ struct Row {
   double msgs_per_s = 0.0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t wire_syscalls = 0;
+  std::uint64_t wire_zc_bytes = 0;
   double syscalls_per_stage = 0.0;
 };
 
@@ -76,6 +78,7 @@ Row measure(const gbsp::Config& cfg, const std::string& label, int steps,
   std::vector<double> us;
   std::uint64_t wire = 0;
   std::uint64_t syscalls = 0;
+  std::uint64_t zc = 0;
   us.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     gbsp::WallTimer timer;
@@ -83,6 +86,7 @@ Row measure(const gbsp::Config& cfg, const std::string& label, int steps,
     us.push_back(timer.elapsed_us() / steps);
     wire = stats.total_wire_bytes();
     syscalls = stats.total_wire_syscalls();
+    zc = stats.total_wire_zc_bytes();
   }
   std::sort(us.begin(), us.end());
   Row row;
@@ -96,6 +100,7 @@ Row measure(const gbsp::Config& cfg, const std::string& label, int steps,
   row.msgs_per_s = total_msgs / (row.us_per_superstep * 1e-6);
   row.wire_bytes = wire;
   row.wire_syscalls = syscalls;
+  row.wire_zc_bytes = zc;
   // The staged total exchange runs p*(p-1) worker-stages per boundary
   // (each worker sends one stage and drains one stage per peer).
   const double stages = static_cast<double>(steps) * cfg.nprocs *
@@ -133,15 +138,22 @@ int main(int argc, char** argv) {
     return which == "all" || which == t;
   };
 
-  Config tcp_base;  // rank identity from bsp_launch when --transport tcp
-  if (which == "tcp" && !configure_tcp_from_env(tcp_base)) {
-    std::cerr << "--transport tcp needs the bsp_launch rank environment; "
-                 "run e.g.\n  bsp_launch -p 4 -- " << argv[0]
-              << " --transport tcp\n";
+  const bool proc_mode = which == "tcp" || which == "shm";
+  Config tcp_base;  // rank identity from bsp_launch when --transport tcp|shm
+  if (proc_mode &&
+      (!configure_proc_from_env(tcp_base) ||
+       to_string(tcp_base.delivery) != which)) {
+    std::cerr << "--transport " << which
+              << " needs the matching bsp_launch rank environment; run "
+                 "e.g.\n  bsp_launch -p 4 --transport " << which << " -- "
+              << argv[0] << " --transport " << which << "\n";
     return 1;
   }
-  const bool chatty = which != "tcp" || tcp_base.tcp_rank == 0;
-  const int run_np = which == "tcp" ? tcp_base.nprocs : np;
+  const int proc_rank = tcp_base.delivery == DeliveryStrategy::Shm
+                            ? tcp_base.shm_rank
+                            : tcp_base.tcp_rank;
+  const bool chatty = !proc_mode || proc_rank == 0;
+  const int run_np = proc_mode ? tcp_base.nprocs : np;
 
   if (chatty) {
     std::cout << "== delivery ablation: " << msgs
@@ -184,16 +196,18 @@ int main(int argc, char** argv) {
       rows.push_back(measure(cfg, "socket (staged total exchange)" + suffix,
                              steps, m, size, reps));
     }
-    if (which == "tcp") {
+    if (proc_mode) {
       // Every rank runs the same measurement in lockstep; rank 0's wall
       // clock is the row (the boundary barrier keeps all ranks within one
       // exchange of each other).
-      rows.push_back(measure(tcp_base, "tcp (cross-process loopback)" + suffix,
-                             steps, m, size, reps));
+      const std::string label =
+          which == "shm" ? "shm (zero-syscall shared memory)" + suffix
+                         : "tcp (cross-process loopback)" + suffix;
+      rows.push_back(measure(tcp_base, label, steps, m, size, reps));
     }
   }
 
-  if (!chatty) return 0;  // non-zero tcp ranks: measure, stay silent
+  if (!chatty) return 0;  // non-zero proc ranks: measure, stay silent
 
   TextTable t({"strategy", "payload B", "us/superstep", "msgs/s",
                "wire bytes/run", "syscalls/stage"});
@@ -229,6 +243,7 @@ int main(int argc, char** argv) {
          << ", \"msgs_per_s\": " << static_cast<std::uint64_t>(r.msgs_per_s)
          << ", \"wire_bytes_per_run\": " << r.wire_bytes
          << ", \"wire_syscalls_per_run\": " << r.wire_syscalls
+         << ", \"wire_zc_bytes_per_run\": " << r.wire_zc_bytes
          << ", \"syscalls_per_stage\": " << r.syscalls_per_stage << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
     }

@@ -2,7 +2,7 @@
 // Figure 2.1 recipe, using the native thread backend.
 //
 //   $ bsp_probe [--procs 1,2,4,8] [--steps 200]
-//               [--transport deferred|eager|socket|tcp] [--overlap]
+//               [--transport deferred|eager|socket|tcp|shm] [--overlap]
 //               [--fault-plan "site=...,kind=...;..."] [--fault-seed N]
 //               [--retries N] [--checkpoint-every N]
 //
@@ -11,10 +11,11 @@
 // total-exchange supersteps; both via a least-squares fit across h sizes.
 // --transport probes a specific Transport: the socket transport's g and L
 // are this machine's loopback analogue of the paper's PC-LAN column.
-// --transport tcp must run under the rank runner —
-//   bsp_launch -p 4 -- bsp_probe --transport tcp
+// --transport tcp and --transport shm must run under the rank runner —
+//   bsp_launch -p 4 [--transport shm] -- bsp_probe --transport tcp|shm
 // — each rank is a separate OS process; nprocs comes from GBSP_NPROCS (the
-// --procs list is ignored) and only rank 0 prints.
+// --procs list is ignored) and only rank 0 prints. The shm rows are the
+// zero-syscall shared-memory backend's g and L on this host.
 // --overlap drives every boundary through the split-phase pair
 // (sync_begin()/sync_end() with no compute in the window), measuring the
 // pure protocol overhead of split-phase synchronization against the rigid
@@ -64,20 +65,24 @@ int main(int argc, char** argv) {
   auto procs = args.get_int_list("procs", {1, 2, 4, 8});
   DeliveryStrategy delivery;
   FaultPlan fault_plan;
-  Config tcp_base;  // delivery/nprocs/tcp_* from bsp_launch's environment
+  Config tcp_base;  // delivery/nprocs/tcp_*/shm_* from bsp_launch's env
   try {
     delivery = delivery_from_string(args.get_string("transport", "deferred"));
     const std::string plan_spec = args.get_string("fault-plan", "");
     if (!plan_spec.empty()) fault_plan = parse_fault_plan(plan_spec);
     fault_plan.seed = static_cast<std::uint64_t>(args.get_int(
         "fault-seed", static_cast<std::int64_t>(fault_plan.seed)));
-    if (delivery == DeliveryStrategy::Tcp) {
-      if (!configure_tcp_from_env(tcp_base)) {
+    if (delivery == DeliveryStrategy::Tcp ||
+        delivery == DeliveryStrategy::Shm) {
+      if (!configure_proc_from_env(tcp_base) ||
+          tcp_base.delivery != delivery) {
         std::fprintf(stderr,
-                     "--transport tcp needs the bsp_launch rank environment "
-                     "(GBSP_RANK/GBSP_NPROCS); run e.g.\n"
-                     "  bsp_launch -p 4 -- %s --transport tcp\n",
-                     argv[0]);
+                     "--transport %s needs the matching bsp_launch rank "
+                     "environment (GBSP_RANK/GBSP_NPROCS/GBSP_TRANSPORT); "
+                     "run e.g.\n"
+                     "  bsp_launch -p 4 --transport %s -- %s --transport %s\n",
+                     to_string(delivery), to_string(delivery), argv[0],
+                     to_string(delivery));
         return 1;
       }
       // One process == one rank: the run size is the launcher's, and every
@@ -89,7 +94,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool chatty =
-      delivery != DeliveryStrategy::Tcp || tcp_base.tcp_rank == 0;
+      (delivery != DeliveryStrategy::Tcp &&
+       delivery != DeliveryStrategy::Shm) ||
+      (delivery == DeliveryStrategy::Tcp ? tcp_base.tcp_rank
+                                         : tcp_base.shm_rank) == 0;
   const auto retries =
       static_cast<std::size_t>(args.get_int("retries", 0));
   const auto checkpoint_every =
@@ -98,11 +106,13 @@ int main(int argc, char** argv) {
   const bool collectives = args.has_flag("collectives");
 
   if (chatty) {
-    if (delivery == DeliveryStrategy::Tcp) {
+    if (delivery == DeliveryStrategy::Tcp ||
+        delivery == DeliveryStrategy::Shm) {
       std::printf(
-          "probing the cross-process tcp backend (%d ranks via bsp_launch, "
-          "loopback unless GBSP_HOST says otherwise), sync=%s\n",
-          tcp_base.nprocs, overlap ? "split-phase" : "rigid");
+          "probing the cross-process %s backend (%d ranks via bsp_launch), "
+          "sync=%s\n",
+          to_string(delivery), tcp_base.nprocs,
+          overlap ? "split-phase" : "rigid");
     } else {
       std::printf(
           "probing the native thread backend (%u hardware threads), "
@@ -175,7 +185,8 @@ int main(int argc, char** argv) {
       if (np < 2) continue;  // every schedule degenerates at p = 1
       const std::size_t sp = static_cast<std::size_t>(np);
       const bool staged = delivery == DeliveryStrategy::Socket ||
-                          delivery == DeliveryStrategy::Tcp;
+                          delivery == DeliveryStrategy::Tcp ||
+                          delivery == DeliveryStrategy::Shm;
       const double g = mp.g_us > 0.0 ? mp.g_us : 0.001;
       const double l = mp.L_us > 0.0 ? mp.L_us : 0.001;
       // Representative h-relations: 512 KiB per rank, spread vs focused.

@@ -1,52 +1,8 @@
 #!/usr/bin/env bash
-# Loopback smoke driver for the cross-process TCP transport: drives the REAL
-# bsp_launch runner (fork/exec, one OS process per rank, GBSP_* environment)
-# against the probe and the delivery bench — the multi-process path the
-# in-process test suite (ctest -L tcp) deliberately does not cover.
+# Thin wrapper kept for muscle memory and CI configs: the TCP-only slice of
+# scripts/run_proc_smoke.sh, which covers both cross-process transports
+# (tcp + shm) and is the maintained entry point.
 #
 #   scripts/run_tcp_smoke.sh [nprocs] [build-dir]
-#
-# Defaults: 4 ranks against ./build. The port base is derived from this
-# shell's pid so concurrent invocations do not fight over ports. Exits
-# non-zero on the first failing phase, propagating bsp_launch's exit status
-# (which is the first failing rank's).
 set -euo pipefail
-
-nprocs="${1:-4}"
-build="${2:-build}"
-launch="${build}/tools/bsp_launch"
-probe="${build}/examples/bsp_probe"
-suite="${build}/tools/bsp_app_suite"
-bench="${build}/bench/bench_ablation_delivery"
-
-for bin in "${launch}" "${probe}" "${suite}"; do
-  if [[ ! -x "${bin}" ]]; then
-    echo "run_tcp_smoke: ${bin} not built (cmake --build ${build})" >&2
-    exit 2
-  fi
-done
-
-port=$((20000 + ($$ % 40000)))
-echo "=== tcp smoke 1/4: launcher rejects a bad invocation cleanly"
-if "${launch}" -p 0 -- true 2>/dev/null; then
-  echo "run_tcp_smoke: bsp_launch accepted -p 0" >&2
-  exit 1
-fi
-
-echo "=== tcp smoke 2/4: bsp_probe, ${nprocs} ranks over loopback TCP (port base ${port})"
-"${launch}" -p "${nprocs}" --port "${port}" -- \
-  "${probe}" --transport tcp --steps 50
-
-echo "=== tcp smoke 3/4: full app suite (cannon, mst, sample sort), ${nprocs} ranks over loopback TCP"
-"${launch}" -p "${nprocs}" --port $((port + 64)) -- \
-  "${suite}" --transport tcp
-
-if [[ -x "${bench}" ]]; then
-  echo "=== tcp smoke 4/4: delivery bench, ${nprocs} ranks over loopback TCP"
-  "${launch}" -p "${nprocs}" --port $((port + 128)) -- \
-    "${bench}" --transport tcp --steps 100 --msgs 500
-else
-  echo "=== tcp smoke 4/4: skipped (${bench} not built; bench phase is optional)"
-fi
-
-echo "run_tcp_smoke: ${nprocs}-rank loopback TCP smoke passed"
+exec "$(dirname "$0")/run_proc_smoke.sh" tcp "${1:-4}" "${2:-build}"

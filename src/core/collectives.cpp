@@ -66,6 +66,11 @@ double default_collective_g_us(DeliveryStrategy d, int nprocs) {
       // with the inet stack's extra per-byte cost; measured 0.136us at
       // p=2, 0.336us at p=4 (BENCH_tcp.json).
       return 0.08 * p;
+    case DeliveryStrategy::Shm:
+      // Cross-process shared-memory rings: the staged schedule's per-byte
+      // cost is one memcpy each way, no kernel; measured 0.13us at p=2,
+      // 0.31us at p=4 (BENCH_shm.json).
+      return 0.07 * p;
     case DeliveryStrategy::Eager:
       return 0.10;
     case DeliveryStrategy::Deferred:
@@ -86,6 +91,11 @@ double default_collective_l_us(DeliveryStrategy d, int nprocs) {
       // wake-ups between processes; measured 21.8us at p=2, 74.4us at
       // p=4 (BENCH_tcp.json).
       return 24.0 * (p > 1.0 ? p - 1.0 : 1.0);
+    case DeliveryStrategy::Shm:
+      // Staged rounds meet spin-then-yield waits instead of poll wake-ups,
+      // so the boundary undercuts both socket transports; measured 8us at
+      // p=2, 27us at p=4 (BENCH_shm.json).
+      return 9.0 * (p > 1.0 ? p - 1.0 : 1.0);
     case DeliveryStrategy::Eager:
       return 25.0;
     case DeliveryStrategy::Deferred:

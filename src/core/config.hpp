@@ -44,6 +44,14 @@ enum class DeliveryStrategy {
   /// process run, normally launched by `bsp_launch`, and connects to its
   /// peers over loopback or a real LAN. See core/transport_tcp.hpp.
   Tcp,
+  /// The same staged exchange between separate OS processes over shared
+  /// memory: each rank pair shares an mmap'd memfd segment holding one SPSC
+  /// byte ring per direction (plus a zero-copy payload slab), bootstrapped
+  /// by an AF_UNIX fd-passing handshake. The steady-state data path is pure
+  /// memcpy + atomic head/tail counters — zero syscalls (wire_syscalls
+  /// reads 0). One process == one rank (shm_rank), normally launched by
+  /// `bsp_launch --transport shm`. See core/transport_shm.hpp.
+  Shm,
 };
 
 /// Which schedule the collectives layer (core/collectives.hpp) uses for an
@@ -159,6 +167,37 @@ struct Config {
   /// start at different times; ECONNREFUSED is retried until the listener
   /// comes up) and each blocking rank-handshake read/write.
   std::size_t tcp_connect_timeout_ms = 10'000;
+
+  /// Shm transport (delivery == Shm): which rank of the nprocs-process run
+  /// THIS process is. Set by bsp_launch via the GBSP_RANK environment
+  /// variable (see configure_proc_from_env).
+  int shm_rank = 0;
+
+  /// Shm transport: run identity. The bootstrap rendezvous uses abstract
+  /// AF_UNIX socket names derived from it ("\0gbsp-shm.<name>.<rank>"), so
+  /// every rank of one run must use the same name and concurrent runs on one
+  /// host must use different names (bsp_launch generates one per launch).
+  std::string shm_name = "default";
+
+  /// Shm transport: bytes of SPSC ring per direction per rank pair. The ring
+  /// carries the staged exchange's sectioned wire bytes; stages larger than
+  /// the ring stream through it incrementally, so this bounds memory, not
+  /// message size. Pages are touched lazily (memfd), so idle capacity is
+  /// virtual only.
+  std::size_t shm_ring_bytes = std::size_t{1} << 20;  // 1 MiB
+
+  /// Shm transport: bytes of zero-copy payload slab per direction per rank
+  /// pair. Payloads >= shm_inline_threshold are written straight into the
+  /// slab and the receiver's inbox views alias the mapping — no copy at all.
+  /// The slab is split into two halves recycled on alternating boundary
+  /// epochs; a payload above half the slab (or a slab-full epoch) falls back
+  /// to inline ring delivery. 0 disables zero-copy entirely.
+  std::size_t shm_slab_bytes = std::size_t{1} << 23;  // 8 MiB
+
+  /// Shm transport: smallest payload delivered zero-copy through the slab.
+  /// Below it the inline ring copy is cheaper than the descriptor
+  /// indirection; above it the payload moves no bytes at all.
+  std::size_t shm_inline_threshold = 4096;
 
   /// Collectives layer (core/collectives.hpp): schedule override. Auto picks
   /// Direct / Tree / TwoPhase per call from the h-relation and the
@@ -315,6 +354,65 @@ inline void validate_config(const Config& cfg) {
         cfg.tcp_connect_timeout_ms > kMaxStageTimeoutMs) {
       throw std::invalid_argument(
           "gbsp: tcp_connect_timeout_ms must be in [1, 3600000], got " +
+          std::to_string(cfg.tcp_connect_timeout_ms));
+    }
+  }
+  if (cfg.delivery == DeliveryStrategy::Shm) {
+    if (cfg.scheduling == Scheduling::Serialized) {
+      throw std::invalid_argument(
+          "gbsp: Serialized scheduling is incompatible with the shm "
+          "transport (one process hosts one rank; there is no global "
+          "exchange to serialize)");
+    }
+    if (cfg.shm_rank < 0 || cfg.shm_rank >= cfg.nprocs) {
+      throw std::invalid_argument(
+          "gbsp: shm_rank must be in [0, nprocs), got shm_rank=" +
+          std::to_string(cfg.shm_rank) +
+          " with nprocs=" + std::to_string(cfg.nprocs));
+    }
+    // The name lands inside sun_path of an abstract AF_UNIX address
+    // ("\0gbsp-shm.<name>.<rank>"), which caps at ~107 bytes.
+    if (cfg.shm_name.empty() || cfg.shm_name.size() > 64 ||
+        cfg.shm_name.find_first_of(" \t\n/") != std::string::npos) {
+      throw std::invalid_argument(
+          "gbsp: shm_name must be 1..64 chars with no whitespace or '/' "
+          "(it names the bootstrap rendezvous socket), got \"" +
+          cfg.shm_name + "\"");
+    }
+    constexpr std::size_t kMinRingBytes = 4096;
+    constexpr std::size_t kMaxShmBytes = std::size_t{1} << 34;  // 16 GiB
+    if (cfg.shm_ring_bytes < kMinRingBytes ||
+        cfg.shm_ring_bytes > kMaxShmBytes) {
+      throw std::invalid_argument(
+          "gbsp: shm_ring_bytes must be in [4096, 2^34], got " +
+          std::to_string(cfg.shm_ring_bytes));
+    }
+    if (cfg.shm_slab_bytes > kMaxShmBytes) {
+      throw std::invalid_argument(
+          "gbsp: shm_slab_bytes must be <= 2^34, got " +
+          std::to_string(cfg.shm_slab_bytes));
+    }
+    if (cfg.shm_slab_bytes != 0 &&
+        cfg.shm_slab_bytes < 2 * cfg.shm_inline_threshold) {
+      throw std::invalid_argument(
+          "gbsp: a nonzero shm_slab_bytes (" +
+          std::to_string(cfg.shm_slab_bytes) +
+          ") must be at least 2 * shm_inline_threshold (" +
+          std::to_string(cfg.shm_inline_threshold) +
+          "): each of the slab's two epoch halves must fit the smallest "
+          "zero-copy payload");
+    }
+    if (cfg.shm_inline_threshold < 64) {
+      throw std::invalid_argument(
+          "gbsp: shm_inline_threshold must be >= 64 (tiny payloads are "
+          "cheaper inline than through a slab descriptor), got " +
+          std::to_string(cfg.shm_inline_threshold));
+    }
+    if (cfg.tcp_connect_timeout_ms == 0 ||
+        cfg.tcp_connect_timeout_ms > kMaxStageTimeoutMs) {
+      throw std::invalid_argument(
+          "gbsp: tcp_connect_timeout_ms (also the shm bootstrap deadline) "
+          "must be in [1, 3600000], got " +
           std::to_string(cfg.tcp_connect_timeout_ms));
     }
   }

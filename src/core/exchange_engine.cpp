@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 
@@ -65,6 +66,19 @@ void ExchangeEngine::attach(int pid, int nprocs) {
   inbox_arena_.release_slabs();
   split_active_ = false;
   split_done_ = false;
+  shm_pairs_.assign(static_cast<std::size_t>(nprocs), nullptr);
+  is_shm_ = false;
+  for (int j = 0; j < nprocs; ++j) {
+    if (j == pid) continue;
+    shm_pairs_[static_cast<std::size_t>(j)] = mesh_->shm_pair(pid, j);
+    if (shm_pairs_[static_cast<std::size_t>(j)] != nullptr) is_shm_ = true;
+  }
+  // An attach follows a fresh mesh build, whose segments' counters start at
+  // zero — the zero-copy epoch restarts with them.
+  boundary_count_ = 0;
+  zc_alloc_.assign(static_cast<std::size_t>(nprocs), ZcAlloc{});
+  zc_out_.assign(static_cast<std::size_t>(nprocs), {});
+  zc_in_.clear();
 }
 
 void ExchangeEngine::reset_for_reuse() {
@@ -75,6 +89,12 @@ void ExchangeEngine::reset_for_reuse() {
   // begin_window() of the new run resume a dead stage.
   split_active_ = false;
   split_done_ = false;
+  // Staged-but-undelivered descriptor frames die with their outbox arenas.
+  // boundary_count_ deliberately survives: the mesh and its segments persist
+  // across clean-run reuse, and the new run's first zero-copy epoch must not
+  // alias the slab half behind the previous run's final, still-live views.
+  for (auto& v : zc_out_) v.clear();
+  zc_in_.clear();
 }
 
 bool ExchangeEngine::has_unflushed() const {
@@ -96,18 +116,113 @@ std::byte* ExchangeEngine::reserve(WorkerState& st, int dest, std::size_t n) {
         /*err=*/0, /*bytes_moved=*/0);
   }
   const std::size_t d = static_cast<std::size_t>(dest);
+  if (is_shm_ && dest != pid_ && cfg_->shm_slab_bytes != 0 &&
+      n >= cfg_->shm_inline_threshold) {
+    if (std::byte* slot = try_reserve_zc(st, dest, n)) return slot;
+  }
   // Same bump-append staging as the deferred transport; the bytes hit the
   // wire at the boundary, in the rigid stage for this destination.
   return outbox_[d].append(static_cast<std::uint32_t>(st.pid),
                            st.seq_to[d]++, n);
 }
 
+std::byte* ExchangeEngine::try_reserve_zc(WorkerState& st, int dest,
+                                          std::size_t n) {
+  ShmPairView* pv = shm_pairs_[static_cast<std::size_t>(dest)];
+  if (pv == nullptr) return nullptr;
+  const std::size_t half_cap = pv->send.slab_cap / 2;
+  // Every slab slot is 16-byte aligned (the arena's own out-of-line
+  // guarantee) and whole within one epoch half.
+  const std::size_t need = (n + 15) & ~std::size_t{15};
+  if (need == 0 || need > half_cap) return nullptr;
+  ZcAlloc& za = zc_alloc_[static_cast<std::size_t>(dest)];
+  const std::uint64_t e = boundary_count_;
+  if (za.epoch != e) {
+    // Entering epoch e flips this pair onto slab half e&1, last written by
+    // epoch e-2. Those payloads' inbox views died when the receiver opened
+    // its e-th boundary; until the receiver reports that, fall back to the
+    // inline ring copy rather than block — the guard is advisory, and the
+    // peer may publish mid-superstep, unblocking a later reserve.
+    if (e >= 2 &&
+        pv->send.ctl->boundaries_opened.load(std::memory_order_acquire) < e) {
+      return nullptr;
+    }
+    za.epoch = e;
+    za.off = 0;
+  }
+  if (za.off + need > half_cap) return nullptr;  // epoch half full
+  const std::size_t abs =
+      static_cast<std::size_t>(e & 1) * half_cap + za.off;
+  za.off += need;
+  // What travels the ring is this 16-byte descriptor, flagged by pad == 1 in
+  // its wire header (begin_stage); the payload bytes never move again.
+  ShmZcDesc desc;
+  desc.offset = abs;
+  desc.len = n;
+  const std::size_t d = static_cast<std::size_t>(dest);
+  std::byte* dslot = outbox_[d].append(static_cast<std::uint32_t>(st.pid),
+                                       st.seq_to[d]++, sizeof(desc));
+  std::memcpy(dslot, &desc, sizeof(desc));
+  zc_out_[d].push_back(outbox_[d].message_count() - 1);
+  st.wire_zc_bytes += n;
+  return pv->send.slab + abs;
+}
+
 void ExchangeEngine::open_boundary(WorkerState& dst) {
   dst.inbox.clear();
   dst.inbox_cursor = 0;
   inbox_arena_.release_slabs();  // last superstep's views are dead now
+  if (is_shm_) {
+    // Opening boundary b invalidates the views delivered at boundary b-1;
+    // publishing the count is what lets each peer recycle the slab half
+    // those views aliased (the zero-copy epoch feedback channel).
+    ++boundary_count_;
+    for (ShmPairView* pv : shm_pairs_) {
+      if (pv != nullptr) {
+        pv->recv.ctl->boundaries_opened.store(boundary_count_,
+                                              std::memory_order_release);
+      }
+    }
+    zc_in_.clear();  // defensive: an unwound publish must not leak fixups
+  }
   // Stage 0 of the schedule: self-delivery moves whole slabs, no wire.
   inbox_arena_.splice_from(outbox_[static_cast<std::size_t>(dst.pid)]);
+}
+
+void ExchangeEngine::apply_zc_views(WorkerState& dst,
+                                    std::uint64_t& recv_packets) {
+  for (const ZcIn& z : zc_in_) {
+    Message& m = dst.inbox[z.ordinal];
+    ShmZcDesc desc;
+    std::memcpy(&desc, m.payload.data(), sizeof(desc));
+    ShmPairView* pv = shm_pairs_[static_cast<std::size_t>(z.src)];
+    // A descriptor is peer-controlled input; validate before aliasing the
+    // mapping, exactly like the wire headers it rode in with.
+    if (pv == nullptr || desc.len > cfg_->socket_max_frame_bytes ||
+        desc.offset > pv->recv.slab_cap ||
+        desc.len > pv->recv.slab_cap - desc.offset) {
+      throw BspTransportError(
+          "zero-copy descriptor out of bounds: offset " +
+              std::to_string(desc.offset) + ", len " +
+              std::to_string(desc.len) + " against a " +
+              std::to_string(pv != nullptr ? pv->recv.slab_cap : 0) +
+              "-byte slab (stream corruption?)",
+          dst.pid, z.src, static_cast<std::int64_t>(dst.superstep),
+          /*stage=*/-1, /*err=*/0, /*bytes_moved=*/0);
+    }
+    m.payload = ByteView{pv->recv.slab + desc.offset,
+                         static_cast<std::size_t>(desc.len)};
+    dst.wire_zc_bytes += desc.len;
+    if (cfg_->collect_stats) {
+      // append_views charged the 16 descriptor bytes; swap that for the
+      // payload's true h-relation contribution.
+      recv_packets +=
+          packets_for_bytes(static_cast<std::size_t>(desc.len),
+                            cfg_->packet_unit_bytes) -
+          packets_for_bytes(sizeof(ShmZcDesc), cfg_->packet_unit_bytes);
+    }
+  }
+  zc_in_.clear();
 }
 
 void ExchangeEngine::begin_stage(StageState& ss, int k) {
@@ -123,13 +238,26 @@ void ExchangeEngine::begin_stage(StageState& ss, int k) {
   // section leaves the process from the memory stage_send wrote it to.
   hdr_out_.clear();
   hdr_out_.reserve(static_cast<std::size_t>(ss.send_pre.header_bytes));
+  // zc_out_ holds the arena ordinals (ascending, by construction) of frames
+  // that are zero-copy descriptors; those get pad == 1 on the wire so the
+  // receiver knows to resolve them against the slab instead of treating the
+  // 16 descriptor bytes as the payload.
+  const std::vector<std::size_t>& zc = zc_out_[sp];
+  std::size_t zi = 0;
+  std::size_t ordinal = 0;
   ob.for_each_frame([&](const MessageArena::Frame& f) {
     WireFrameHeader h;
     h.seq = f.seq;
     h.pad = 0;
+    if (zi < zc.size() && zc[zi] == ordinal) {
+      h.pad = 1;
+      ++zi;
+    }
     h.len = f.len;
     append_bytes(hdr_out_, &h, sizeof(h));
+    ++ordinal;
   });
+  zc_out_[sp].clear();
   send_iov_.clear();
   send_iov_.push_back({&ss.send_pre, sizeof(StagePreamble)});
   if (!hdr_out_.empty()) {
@@ -169,6 +297,15 @@ std::optional<FaultInjector::Decision> ExchangeEngine::syscall_fault(
       // Shut down our end of the stream: the peer observes EOF and we
       // observe EPIPE/EOF on the next real call — a bidirectional death.
       ::shutdown(fd, SHUT_RDWR);
+      if (is_shm_) {
+        // The shm data path is memory, so a severed control channel is only
+        // noticed on the idle path — which a busy run may never reach. Fail
+        // here, deterministically, like the socket backends' next I/O would.
+        throw BspTransportError(
+            "injected peer hangup severed the shm control channel", st.pid,
+            peer, static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
+            moved);
+      }
       return std::nullopt;
     case FaultKind::Abort:
       throw BspTransportError(
@@ -197,6 +334,8 @@ void ExchangeEngine::maybe_corrupt(WorkerState& st, const StageState& ss,
 std::size_t ExchangeEngine::pump_send(WorkerState& st, StageState& ss) {
   const int peer = send_peer(ss);
   const int fd = mesh_->fd(pid_, peer);
+  ShmPairView* pv =
+      is_shm_ ? shm_pairs_[static_cast<std::size_t>(peer)] : nullptr;
   std::size_t moved = 0;
   while (!ss.send_done) {
     if (ss.send_idx == send_iov_.size()) {
@@ -215,6 +354,24 @@ std::size_t ExchangeEngine::pump_send(WorkerState& st, StageState& ss) {
       if (d->kind == FaultKind::ShortIo) {
         clamp = std::max<std::uint64_t>(d->arg, 1);
       }
+    }
+    if (pv != nullptr) {
+      // Shm fast path: the same sectioned iovec list streams into the pair's
+      // SPSC ring with plain memcpy. A full ring is the EAGAIN analogue. No
+      // syscall happens, so wire_syscalls stays untouched — that IS the
+      // headline metric.
+      const std::size_t cnt =
+          clamp != 0 ? 1 : std::min(send_iov_.size() - ss.send_idx, iov_max());
+      const std::size_t maxb =
+          clamp != 0 ? clamp : std::numeric_limits<std::size_t>::max();
+      const std::size_t w = shm_ring_write(
+          pv->send, send_iov_.data() + ss.send_idx, cnt, maxb);
+      if (w == 0) break;  // ring full
+      advance_iov(send_iov_, ss.send_idx, w);
+      moved += w;
+      ss.send_moved += static_cast<std::uint64_t>(w);
+      st.wire_bytes += static_cast<std::uint64_t>(w);
+      continue;
     }
     iovec clamped{};
     msghdr mh{};
@@ -260,7 +417,10 @@ void ExchangeEngine::parse_header_block(WorkerState& st, StageState& ss,
   for (std::size_t i = 0; i < count; ++i) {
     WireFrameHeader h;
     std::memcpy(&h, hdr_in_.data() + i * sizeof(WireFrameHeader), sizeof(h));
-    if (h.pad != 0) {
+    // pad == 1 on a 16-byte frame flags a zero-copy descriptor, accepted
+    // only on the shm transport; every other nonzero pad is corruption.
+    if (h.pad != 0 &&
+        !(is_shm_ && h.pad == 1 && h.len == sizeof(ShmZcDesc))) {
       throw BspTransportError(
           "frame header " + std::to_string(i) + " has nonzero pad " +
               std::to_string(h.pad) + " (stream corruption?)",
@@ -296,6 +456,12 @@ void ExchangeEngine::parse_header_block(WorkerState& st, StageState& ss,
   for (std::size_t i = 0; i < count; ++i) {
     WireFrameHeader h;
     std::memcpy(&h, hdr_in_.data() + i * sizeof(WireFrameHeader), sizeof(h));
+    if (h.pad == 1) {
+      // The arena ordinal equals the final inbox index (the inbox was
+      // cleared at open_boundary and publish appends the whole arena), so
+      // this is where apply_zc_views finds the descriptor to resolve.
+      zc_in_.push_back({inbox_arena_.message_count(), src});
+    }
     std::byte* slot =
         inbox_arena_.append(static_cast<std::uint32_t>(src), h.seq,
                             static_cast<std::size_t>(h.len));
@@ -311,6 +477,8 @@ void ExchangeEngine::parse_header_block(WorkerState& st, StageState& ss,
 std::size_t ExchangeEngine::pump_recv(WorkerState& st, StageState& ss) {
   const int src = recv_peer(ss);
   const int fd = mesh_->fd(pid_, src);
+  ShmPairView* pv =
+      is_shm_ ? shm_pairs_[static_cast<std::size_t>(src)] : nullptr;
   std::size_t moved = 0;
   while (!ss.recv_done) {
     if (ss.phase == StageState::Phase::Done) {
@@ -326,58 +494,98 @@ std::size_t ExchangeEngine::pump_recv(WorkerState& st, StageState& ss) {
         clamp = std::max<std::uint64_t>(d->arg, 1);
       }
     }
-    ssize_t n = 0;
-    switch (ss.phase) {
-      case StageState::Phase::Preamble: {
-        std::size_t want = sizeof(StagePreamble) - ss.scratch_off;
-        if (clamp != 0) want = std::min(want, clamp);
-        n = ::recv(fd, ss.scratch + ss.scratch_off, want, 0);
-        break;
-      }
-      case StageState::Phase::Headers: {
-        // One bulk read for the whole remaining header block — this is the
-        // receive-side win over the per-frame state machine.
-        std::size_t want = hdr_in_.size() - ss.hdr_off;
-        if (clamp != 0) want = std::min(want, clamp);
-        n = ::recv(fd, hdr_in_.data() + ss.hdr_off, want, 0);
-        break;
-      }
-      case StageState::Phase::Payload: {
-        if (clamp != 0) {
-          iovec clamped = recv_iov_[ss.recv_idx];
-          clamped.iov_len = std::min(clamped.iov_len, clamp);
-          n = ::readv(fd, &clamped, 1);
+    std::size_t got = 0;
+    if (pv != nullptr) {
+      // Shm fast path: drain the pair's SPSC ring with plain memcpy; an
+      // empty ring is the EAGAIN analogue (peer death surfaces on the idle
+      // path via the control channel, not here). No syscall, no
+      // wire_syscalls.
+      switch (ss.phase) {
+        case StageState::Phase::Preamble: {
+          std::size_t want = sizeof(StagePreamble) - ss.scratch_off;
+          if (clamp != 0) want = std::min(want, clamp);
+          got = shm_ring_read(pv->recv, ss.scratch + ss.scratch_off, want);
           break;
         }
-        const std::size_t cnt =
-            std::min(recv_iov_.size() - ss.recv_idx, iov_max());
-        n = ::readv(fd, recv_iov_.data() + ss.recv_idx,
-                    static_cast<int>(cnt));
-        break;
+        case StageState::Phase::Headers: {
+          std::size_t want = hdr_in_.size() - ss.hdr_off;
+          if (clamp != 0) want = std::min(want, clamp);
+          got = shm_ring_read(pv->recv, hdr_in_.data() + ss.hdr_off, want);
+          break;
+        }
+        case StageState::Phase::Payload: {
+          if (clamp != 0) {
+            iovec clamped = recv_iov_[ss.recv_idx];
+            clamped.iov_len = std::min(clamped.iov_len, clamp);
+            got = shm_ring_read_iov(pv->recv, &clamped, 1, clamp);
+            break;
+          }
+          const std::size_t cnt =
+              std::min(recv_iov_.size() - ss.recv_idx, iov_max());
+          got = shm_ring_read_iov(pv->recv, recv_iov_.data() + ss.recv_idx,
+                                  cnt,
+                                  std::numeric_limits<std::size_t>::max());
+          break;
+        }
+        case StageState::Phase::Done:
+          break;
       }
-      case StageState::Phase::Done:
-        break;
+      if (got == 0) break;  // ring empty
+    } else {
+      ssize_t n = 0;
+      switch (ss.phase) {
+        case StageState::Phase::Preamble: {
+          std::size_t want = sizeof(StagePreamble) - ss.scratch_off;
+          if (clamp != 0) want = std::min(want, clamp);
+          n = ::recv(fd, ss.scratch + ss.scratch_off, want, 0);
+          break;
+        }
+        case StageState::Phase::Headers: {
+          // One bulk read for the whole remaining header block — this is the
+          // receive-side win over the per-frame state machine.
+          std::size_t want = hdr_in_.size() - ss.hdr_off;
+          if (clamp != 0) want = std::min(want, clamp);
+          n = ::recv(fd, hdr_in_.data() + ss.hdr_off, want, 0);
+          break;
+        }
+        case StageState::Phase::Payload: {
+          if (clamp != 0) {
+            iovec clamped = recv_iov_[ss.recv_idx];
+            clamped.iov_len = std::min(clamped.iov_len, clamp);
+            n = ::readv(fd, &clamped, 1);
+            break;
+          }
+          const std::size_t cnt =
+              std::min(recv_iov_.size() - ss.recv_idx, iov_max());
+          n = ::readv(fd, recv_iov_.data() + ss.recv_idx,
+                      static_cast<int>(cnt));
+          break;
+        }
+        case StageState::Phase::Done:
+          break;
+      }
+      if (n == 0) {
+        throw BspTransportError(
+            "peer closed its endpoint mid-stage (peer death)", st.pid, src,
+            static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
+            ss.recv_moved);
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        throw BspTransportError(
+            "stage recv failed", st.pid, src,
+            static_cast<std::int64_t>(st.superstep), ss.k, errno,
+            ss.recv_moved);
+      }
+      ++st.wire_syscalls;  // like the send side: only calls that moved bytes
+      got = static_cast<std::size_t>(n);
     }
-    if (n == 0) {
-      throw BspTransportError(
-          "peer closed its endpoint mid-stage (peer death)", st.pid, src,
-          static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
-          ss.recv_moved);
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      throw BspTransportError(
-          "stage recv failed", st.pid, src,
-          static_cast<std::int64_t>(st.superstep), ss.k, errno,
-          ss.recv_moved);
-    }
-    ++st.wire_syscalls;  // like the send side: only calls that moved bytes
-    moved += static_cast<std::size_t>(n);
-    ss.recv_moved += static_cast<std::uint64_t>(n);
+    moved += got;
+    ss.recv_moved += static_cast<std::uint64_t>(got);
     switch (ss.phase) {
       case StageState::Phase::Preamble:
-        ss.scratch_off += static_cast<std::size_t>(n);
+        ss.scratch_off += got;
         if (ss.scratch_off == sizeof(StagePreamble)) {
           // Corruption fires on completed control sections — the validation
           // path must be the thing that catches the garbled byte.
@@ -429,14 +637,14 @@ std::size_t ExchangeEngine::pump_recv(WorkerState& st, StageState& ss) {
         }
         break;
       case StageState::Phase::Headers:
-        ss.hdr_off += static_cast<std::size_t>(n);
+        ss.hdr_off += got;
         if (ss.hdr_off == hdr_in_.size()) {
           maybe_corrupt(st, ss, src, hdr_in_.data(), hdr_in_.size());
           parse_header_block(st, ss, src);
         }
         break;
       case StageState::Phase::Payload:
-        advance_iov(recv_iov_, ss.recv_idx, static_cast<std::size_t>(n));
+        advance_iov(recv_iov_, ss.recv_idx, got);
         if (ss.recv_idx == recv_iov_.size()) {
           ss.phase = StageState::Phase::Done;
         }
@@ -449,12 +657,48 @@ std::size_t ExchangeEngine::pump_recv(WorkerState& st, StageState& ss) {
   return moved;
 }
 
+void ExchangeEngine::check_peer_alive(WorkerState& st, const StageState& ss,
+                                      int peer) {
+  const int fd = mesh_->fd(pid_, peer);
+  if (fd < 0) return;
+  char b;
+  const ssize_t r = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (r == 0) {
+    // EOF on the bootstrap control stream: the peer process exited (or its
+    // endpoints were killed) — the same condition the socket pumps see as a
+    // mid-stage close.
+    throw BspTransportError(
+        "peer closed its endpoint mid-stage (peer death)", st.pid, peer,
+        static_cast<std::int64_t>(st.superstep), ss.k, /*err=*/0,
+        ss.send_moved + ss.recv_moved);
+  }
+  if (r > 0) {
+    // Nothing is ever sent on the control stream after bootstrap.
+    throw BspTransportError(
+        "unexpected bytes on the shm control channel (stream corruption?)",
+        st.pid, peer, static_cast<std::int64_t>(st.superstep), ss.k,
+        /*err=*/0, ss.send_moved + ss.recv_moved);
+  }
+  if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+    throw BspTransportError("shm control channel failed", st.pid, peer,
+                            static_cast<std::int64_t>(st.superstep), ss.k,
+                            errno, ss.send_moved + ss.recv_moved);
+  }
+}
+
 void ExchangeEngine::run_stage(WorkerState& st, StageState& ss) {
   using Clock = std::chrono::steady_clock;
   const int sfd = mesh_->fd(pid_, send_peer(ss));
   const int rfd = mesh_->fd(pid_, recv_peer(ss));
   auto last_progress = Clock::now();
   std::size_t backoff_ms = cfg_->socket_backoff_initial_ms;
+  // The shm idle nap is microsecond-scale: unlike poll(), which wakes the
+  // moment the peer writes, a sleep against a memory ring is blind — the
+  // full nap is paid even if the ring fills immediately. Millisecond naps
+  // would dominate every stage on an oversubscribed host (ranks > cores),
+  // where a peer is one scheduler quantum — not one poll wake-up — away.
+  constexpr std::size_t kShmNapInitialUs = 50;
+  std::size_t backoff_us = kShmNapInitialUs;
   for (;;) {
     // Pump both directions each round: interleaving is what makes the
     // full-duplex stage deadlock-free when transfers exceed kernel buffers
@@ -466,6 +710,7 @@ void ExchangeEngine::run_stage(WorkerState& st, StageState& ss) {
     if (moved != 0) {
       last_progress = Clock::now();
       backoff_ms = cfg_->socket_backoff_initial_ms;
+      backoff_us = kShmNapInitialUs;
       continue;
     }
     if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) {
@@ -483,8 +728,33 @@ void ExchangeEngine::run_stage(WorkerState& st, StageState& ss) {
     // Adaptive wait: a peer in the same boundary is typically microseconds
     // away, so retry the non-blocking pumps for the spin budget (yielding
     // the core each round for oversubscribed hosts) before paying a poll.
-    if (idle < std::chrono::microseconds(cfg_->socket_spin_us)) {
+    // On shm the spin budget is stretched: a yield round-robins the ranks
+    // sharing the host's cores (each yield is a cheap handoff to a peer that
+    // may be about to write this ring), where a nap is a blind wait.
+    const std::size_t spin_us =
+        is_shm_ ? cfg_->socket_spin_us * 64 : cfg_->socket_spin_us;
+    if (idle < std::chrono::microseconds(spin_us)) {
       std::this_thread::yield();
+      continue;
+    }
+    if (is_shm_) {
+      // The shm rings are memory — there is nothing to poll. Past the spin
+      // budget, probe the bootstrap control channel for peer death (the one
+      // failure the data path cannot observe), then sleep with the same
+      // bounded exponential backoff the socket path uses. These probes only
+      // run while idle, so the zero-syscall steady state is preserved.
+      if (!ss.send_done) check_peer_alive(st, ss, send_peer(ss));
+      if (!ss.recv_done) check_peer_alive(st, ss, recv_peer(ss));
+      if (const auto d = syscall_fault(st, ss, FaultSite::PollCall, rfd,
+                                       recv_peer(ss), 0)) {
+        (void)d;  // Eintr/Eagain: skip this wait round
+        backoff_us = std::min(backoff_us * 2,
+                              cfg_->socket_backoff_max_ms * 1000);
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us =
+          std::min(backoff_us * 2, cfg_->socket_backoff_max_ms * 1000);
       continue;
     }
     // Idle past the spin budget: wait for either direction to open up,

@@ -36,6 +36,20 @@
 // between attempts, so oversubscribed hosts hand the core to the peer)
 // before falling back to poll with bounded exponential backoff.
 //
+// Shm fast path: when the mesh exposes shared-memory pair views
+// (Mesh::shm_pair, non-null for ShmMesh), both pumps swap their syscalls for
+// SPSC ring operations (core/shm_ring.hpp) on the same iovec cursors — the
+// whole sectioned state machine, validation, fault clamps, and split-phase
+// windows run unchanged, a full ring is the EAGAIN analogue, and nothing on
+// the steady-state data path enters the kernel (wire_syscalls reads 0; idle
+// waits replace poll with bounded sleeps plus a liveness peek of the mesh's
+// control streams). Payloads >= Config::shm_inline_threshold additionally go
+// zero-copy: reserve() hands the sender a slot inside the pair's shared
+// slab, a 16-byte ShmZcDesc travels the ring in the payload's place (wire
+// header pad == 1), and apply_zc_views() re-points the receiver's inbox
+// views at the mapping itself. Slab halves recycle on alternating boundary
+// epochs, fenced by the consumer-published boundaries_opened counter.
+//
 // Robustness: both directions of a stage are pumped through non-blocking
 // partial read/write loops (EINTR retried), so a full-duplex stage never
 // deadlocks on kernel buffer limits. A stage that makes no progress for
@@ -71,7 +85,9 @@ namespace detail {
 /// mesh link are same-architecture — the TCP mesh's RankHello magic doubles
 /// as the byte-order tripwire). pad is transmitted as zero and validated on
 /// receipt — a nonzero pad is the cheapest tripwire for a desynchronised or
-/// corrupt stream.
+/// corrupt stream — with ONE carve-out: on a shm mesh, pad == 1 with
+/// len == 16 flags a zero-copy descriptor frame (the payload is a ShmZcDesc
+/// pointing into the pair's shared slab); everything else stays corruption.
 struct WireFrameHeader {
   std::uint32_t seq;
   std::uint32_t pad;
@@ -149,8 +165,17 @@ class ExchangeEngine {
   std::byte* reserve(WorkerState& st, int dest, std::size_t n);
 
   /// Self-delivery + inbox reset at the top of a boundary (stage 0 of the
-  /// schedule: whole slabs splice over, no wire).
+  /// schedule: whole slabs splice over, no wire). On a shm mesh this also
+  /// advances the zero-copy epoch and publishes it to every peer.
   void open_boundary(WorkerState& dst);
+
+  /// Shm only: re-points every zero-copy inbox view of the boundary just
+  /// exchanged from its 16-byte on-ring descriptor to the payload's bytes in
+  /// the pair's shared slab, validating the descriptor's bounds, and adjusts
+  /// `recv_packets` from descriptor size to true payload size. The transport
+  /// calls this between append_views and finish_delivery; a no-op when the
+  /// boundary carried no zero-copy frames.
+  void apply_zc_views(WorkerState& dst, std::uint64_t& recv_packets);
 
   /// Builds the v2 stage sections for outbox[(pid + k) % p]: packs the
   /// header block, points send_iov_ at preamble/headers/arena payload spans,
@@ -225,6 +250,14 @@ class ExchangeEngine {
   /// validation path reads them.
   void maybe_corrupt(WorkerState& st, const StageState& ss, int src,
                      std::byte* buf, std::size_t n);
+  /// Shm idle path: one non-consuming, non-blocking peek of the control
+  /// stream with `peer`. EOF means the peer died (or was kill_endpoints'd);
+  /// throws the same peer-death BspTransportError the socket pumps raise.
+  void check_peer_alive(WorkerState& st, const StageState& ss, int peer);
+  /// Attempts a zero-copy slab reservation of `n` bytes toward `dest`;
+  /// returns nullptr (inline fallback) when the pair has no slab, the epoch
+  /// half is not yet recycled or is full, or `n` exceeds half the slab.
+  std::byte* try_reserve_zc(WorkerState& st, int dest, std::size_t n);
   [[nodiscard]] FaultInjector* injector() const {
     return fault_ != nullptr ? *fault_ : nullptr;
   }
@@ -248,6 +281,31 @@ class ExchangeEngine {
   StageState split_ss_;
   bool split_active_ = false;
   bool split_done_ = false;
+
+  // --- Shm fast path (cached at attach; empty/false on fd meshes).
+  std::vector<ShmPairView*> shm_pairs_;  // per peer; nullptr on the diagonal
+  bool is_shm_ = false;
+  // Boundaries opened since attach — the zero-copy epoch. MONOTONIC across
+  // clean-run reuse (reset only at attach, which follows a fresh mesh build
+  // with freshly zeroed segment counters): run N+1's first epoch must not
+  // alias the slab half behind run N's final, still-live inbox views.
+  std::uint64_t boundary_count_ = 0;
+  // Per-destination bump allocator over the current epoch's slab half.
+  struct ZcAlloc {
+    std::uint64_t epoch = ~std::uint64_t{0};  // sentinel: no epoch entered
+    std::size_t off = 0;
+  };
+  std::vector<ZcAlloc> zc_alloc_;
+  // Ordinals (append order) of staged descriptor frames, per destination;
+  // consumed by begin_stage when it packs the headers (pad = 1).
+  std::vector<std::vector<std::size_t>> zc_out_;
+  // Inbox-arena ordinals of received descriptor frames of this boundary,
+  // with their source rank; consumed by apply_zc_views.
+  struct ZcIn {
+    std::size_t ordinal;
+    int src;
+  };
+  std::vector<ZcIn> zc_in_;
 };
 
 }  // namespace detail

@@ -5,7 +5,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <string>
 #include <thread>
 
@@ -514,6 +518,605 @@ void TcpMesh::do_build(int nprocs) {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     apply_endpoint_options(fd);
     seed_buffer_marks(me, j);
+  }
+}
+
+// ----------------------------------------------------------------- ShmMesh
+
+namespace {
+
+constexpr std::size_t kShmPage = 4096;
+
+std::size_t page_up(std::size_t n) {
+  return (n + kShmPage - 1) & ~(kShmPage - 1);
+}
+
+/// One direction block: a control page, the ring, and the zero-copy slab,
+/// each page-aligned so the producer and consumer never share a page across
+/// role boundaries.
+std::size_t shm_dir_bytes(const Config& cfg) {
+  return kShmPage + page_up(cfg.shm_ring_bytes) + page_up(cfg.shm_slab_bytes);
+}
+
+/// Whole pair segment: header page + both direction blocks.
+std::size_t shm_segment_bytes(const Config& cfg) {
+  return kShmPage + 2 * shm_dir_bytes(cfg);
+}
+
+/// Abstract-namespace AF_UNIX address of `rank`'s bootstrap listener:
+/// "\0gbsp-shm.<shm_name>.<rank>". Abstract sockets vanish with their owning
+/// process, so a crashed run leaves nothing on the filesystem to unlink.
+socklen_t shm_abstract_addr(const Config& cfg, int rank, sockaddr_un* sa) {
+  std::memset(sa, 0, sizeof(*sa));
+  sa->sun_family = AF_UNIX;
+  const std::string tag =
+      "gbsp-shm." + cfg.shm_name + "." + std::to_string(rank);
+  // sun_path[0] stays NUL (abstract namespace); shm_name is capped at 64
+  // bytes by Config::validate, so the tag always fits sun_path.
+  std::memcpy(sa->sun_path + 1, tag.data(), tag.size());
+  return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                tag.size());
+}
+
+/// Passes the pair segment's memfd plus its announced byte length over the
+/// bootstrap stream. The SCM_RIGHTS cmsg rides the first byte of the length
+/// word; any stream-split tail follows as ordinary bytes.
+void send_fd_with_len(int sock, int seg_fd, std::uint64_t seg_len, int me,
+                      int peer) {
+  msghdr msg{};
+  iovec iov{&seg_len, sizeof(seg_len)};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  std::memset(cbuf, 0, sizeof(cbuf));
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+  cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  cm->cmsg_level = SOL_SOCKET;
+  cm->cmsg_type = SCM_RIGHTS;
+  cm->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cm), &seg_fd, sizeof(int));
+  for (;;) {
+    const ssize_t r = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (r >= 0) {
+      if (static_cast<std::size_t>(r) < sizeof(seg_len)) {
+        int err = 0;
+        if (!write_full(sock,
+                        reinterpret_cast<const std::byte*>(&seg_len) + r,
+                        sizeof(seg_len) - static_cast<std::size_t>(r), &err)) {
+          throw BspTransportError("failed to pass the shm segment fd", me,
+                                  peer, /*superstep=*/-1, /*stage=*/-1, err,
+                                  /*bytes_moved=*/0);
+        }
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    throw BspTransportError("failed to pass the shm segment fd", me, peer,
+                            /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+}
+
+/// Receives the segment fd + announced length from the pair's lower rank.
+/// EOF here is its own failure mode (distinct from a handshake-phase close,
+/// which the dialer retries): the peer completed the hello but died before
+/// — or while — handing the segment over.
+int recv_fd_with_len(int sock, std::uint64_t* seg_len, int me, int peer,
+                     int timeout_ms) {
+  msghdr msg{};
+  iovec iov{seg_len, sizeof(*seg_len)};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+  ssize_t r;
+  for (;;) {
+    r = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+    if (r >= 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw BspTransportError(
+          "shm segment handoff timed out after tcp_connect_timeout_ms=" +
+              std::to_string(timeout_ms) + "ms",
+          me, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    throw BspTransportError("failed to receive the shm segment fd", me, peer,
+                            /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+  int fd = -1;
+  for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+       cm = CMSG_NXTHDR(&msg, cm)) {
+    if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS) {
+      std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+    }
+  }
+  if (r == 0) {
+    if (fd >= 0) ::close(fd);
+    throw BspTransportError(
+        "peer closed during segment handoff (rank " + std::to_string(peer) +
+            " died after the handshake?)",
+        me, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (fd < 0) {
+    throw BspTransportError(
+        "shm segment handoff carried no fd (peer sent data without "
+        "SCM_RIGHTS — not a gbsp shm rank?)",
+        me, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (static_cast<std::size_t>(r) < sizeof(*seg_len)) {
+    int err = 0;
+    if (!read_full(sock, reinterpret_cast<std::byte*>(seg_len) + r,
+                   sizeof(*seg_len) - static_cast<std::size_t>(r), &err)) {
+      ::close(fd);
+      throw BspTransportError(
+          "peer closed during segment handoff (rank " + std::to_string(peer) +
+              " died mid-handoff?)",
+          me, peer, /*superstep=*/-1, /*stage=*/-1, err, /*bytes_moved=*/0);
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+void ShmMesh::teardown() {
+  for (int& fd : ctrl_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  for (Mapping& m : maps_) {
+    if (m.base != nullptr) ::munmap(m.base, m.len);
+    m = Mapping{};
+  }
+  pairs_.assign(pairs_.size(), ShmPairView{});
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+int ShmMesh::fd(int pid, int peer) const {
+  if (pid != cfg_.shm_rank) return -1;  // only the local rank has endpoints
+  return ctrl_[static_cast<std::size_t>(peer)];
+}
+
+void ShmMesh::kill_endpoints(int pid) {
+  mark_dirty();
+  if (pid != cfg_.shm_rank) return;
+  // shutdown, not close: the peer's engine observes EOF on its death-check
+  // peek of the control stream, exactly as a real process death reads.
+  for (int fd : ctrl_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+ShmPairView* ShmMesh::shm_pair(int pid, int peer) {
+  if (pid != cfg_.shm_rank || peer == pid) return nullptr;
+  if (peer < 0 || peer >= nprocs_) return nullptr;
+  if (maps_[static_cast<std::size_t>(peer)].base == nullptr) return nullptr;
+  return &pairs_[static_cast<std::size_t>(peer)];
+}
+
+void ShmMesh::send_hello(int fd, int peer) const {
+  RankHello h;
+  h.rank = static_cast<std::uint32_t>(cfg_.shm_rank);
+  h.nprocs = static_cast<std::uint32_t>(nprocs_);
+  int err = 0;
+  if (!write_full(fd, &h, sizeof(h), &err)) {
+    throw BspTransportError("failed to send the rank handshake",
+                            cfg_.shm_rank, peer, /*superstep=*/-1,
+                            /*stage=*/-1, err, /*bytes_moved=*/0);
+  }
+}
+
+RankHello ShmMesh::recv_hello(int fd, int peer) const {
+  RankHello h;
+  int err = 0;
+  if (!read_full(fd, &h, sizeof(h), &err)) {
+    if (err == 0) {
+      throw BspTransportError(
+          "peer closed the connection during the rank handshake (peer died "
+          "during accept?)",
+          cfg_.shm_rank, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      throw BspTransportError(
+          "rank handshake timed out after tcp_connect_timeout_ms=" +
+              std::to_string(cfg_.tcp_connect_timeout_ms) + "ms",
+          cfg_.shm_rank, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    throw BspTransportError("failed to read the rank handshake",
+                            cfg_.shm_rank, peer, /*superstep=*/-1,
+                            /*stage=*/-1, err, /*bytes_moved=*/0);
+  }
+  return h;
+}
+
+void ShmMesh::check_hello(const RankHello& h, int expect_rank) const {
+  const int me = cfg_.shm_rank;
+  if (h.magic != RankHello::kMagic) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(h.magic));
+    throw BspTransportError(
+        std::string("rank handshake has bad magic ") + hex +
+            " — the peer is not a gbsp mesh rank (or a byte-order mismatch)",
+        me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (h.version != RankHello::kVersion) {
+    throw BspTransportError(
+        "rank handshake version mismatch: peer speaks mesh protocol v" +
+            std::to_string(h.version) + ", this build expects v" +
+            std::to_string(RankHello::kVersion),
+        me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (h.reserved != 0) {
+    throw BspTransportError(
+        "rank handshake has nonzero reserved field (stream corruption?)", me,
+        expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (h.nprocs != static_cast<std::uint32_t>(nprocs_)) {
+    throw BspTransportError(
+        "rank handshake nprocs mismatch: peer was launched with " +
+            std::to_string(h.nprocs) + " ranks, this rank with " +
+            std::to_string(nprocs_),
+        me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  if (expect_rank >= 0) {
+    if (h.rank != static_cast<std::uint32_t>(expect_rank)) {
+      throw BspTransportError(
+          "rank handshake rank mismatch: expected rank " +
+              std::to_string(expect_rank) +
+              " on this socket, peer claims rank " + std::to_string(h.rank) +
+              " (shm_name collision between runs?)",
+          me, expect_rank, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    return;
+  }
+  // Accept side: any higher rank we have not accepted yet.
+  if (h.rank >= static_cast<std::uint32_t>(nprocs_) ||
+      static_cast<int>(h.rank) <= me) {
+    throw BspTransportError(
+        "rank handshake rank mismatch: accepted a connection claiming rank " +
+            std::to_string(h.rank) + ", but rank " + std::to_string(me) +
+            " of " + std::to_string(nprocs_) +
+            " only accepts from higher ranks",
+        me, static_cast<int>(h.rank), /*superstep=*/-1, /*stage=*/-1,
+        /*err=*/0, /*bytes_moved=*/0);
+  }
+  if (ctrl_[h.rank] >= 0) {
+    throw BspTransportError(
+        "duplicate rank handshake: rank " + std::to_string(h.rank) +
+            " connected twice (two processes launched with the same "
+            "GBSP_RANK?)",
+        me, static_cast<int>(h.rank), /*superstep=*/-1, /*stage=*/-1,
+        /*err=*/0, /*bytes_moved=*/0);
+  }
+}
+
+int ShmMesh::create_segment(int peer) {
+  const int me = cfg_.shm_rank;
+  const std::size_t len = shm_segment_bytes(cfg_);
+  const std::string tag = "gbsp-shm." + cfg_.shm_name + "." +
+                          std::to_string(std::min(me, peer)) + "-" +
+                          std::to_string(std::max(me, peer));
+  const int seg_fd = ::memfd_create(tag.c_str(), MFD_CLOEXEC);
+  if (seg_fd < 0) {
+    throw BspTransportError("memfd_create for the shm pair segment failed",
+                            me, peer, /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+  if (::ftruncate(seg_fd, static_cast<off_t>(len)) != 0) {
+    const int err = errno;
+    ::close(seg_fd);
+    throw BspTransportError(
+        "ftruncate of the shm pair segment to " + std::to_string(len) +
+            " bytes failed",
+        me, peer, /*superstep=*/-1, /*stage=*/-1, err, /*bytes_moved=*/0);
+  }
+  void* base =
+      ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, seg_fd, 0);
+  if (base == MAP_FAILED) {
+    const int err = errno;
+    ::close(seg_fd);
+    throw BspTransportError("mmap of the shm pair segment failed", me, peer,
+                            /*superstep=*/-1, /*stage=*/-1, err,
+                            /*bytes_moved=*/0);
+  }
+  // memfd pages are born zero — already the rings' initial cursor state —
+  // but the header and control blocks still get explicit construction.
+  auto* hdr = new (base) ShmSegmentHdr;
+  hdr->nprocs = static_cast<std::uint32_t>(nprocs_);
+  hdr->rank_lo = static_cast<std::uint32_t>(std::min(me, peer));
+  hdr->rank_hi = static_cast<std::uint32_t>(std::max(me, peer));
+  hdr->ring_bytes = cfg_.shm_ring_bytes;
+  hdr->slab_bytes = cfg_.shm_slab_bytes;
+  const std::size_t dir = shm_dir_bytes(cfg_);
+  new (static_cast<std::byte*>(base) + kShmPage) ShmRingCtl{};
+  new (static_cast<std::byte*>(base) + kShmPage + dir) ShmRingCtl{};
+  maps_[static_cast<std::size_t>(peer)] = Mapping{base, len};
+  wire_views(base, peer);
+  return seg_fd;
+}
+
+void ShmMesh::adopt_segment(int seg_fd, int peer) {
+  const int me = cfg_.shm_rank;
+  struct stat st {};
+  if (::fstat(seg_fd, &st) != 0) {
+    throw BspTransportError("fstat of the received shm segment fd failed", me,
+                            peer, /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+  const std::size_t want = shm_segment_bytes(cfg_);
+  if (static_cast<std::size_t>(st.st_size) != want) {
+    throw BspTransportError(
+        "shm segment size mismatch: rank " + std::to_string(peer) + " sent " +
+            std::to_string(st.st_size) +
+            " bytes, this rank's shm_ring_bytes/shm_slab_bytes expect " +
+            std::to_string(want) + " (ranks launched with different configs?)",
+        me, peer, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+        /*bytes_moved=*/0);
+  }
+  void* base =
+      ::mmap(nullptr, want, PROT_READ | PROT_WRITE, MAP_SHARED, seg_fd, 0);
+  if (base == MAP_FAILED) {
+    throw BspTransportError("mmap of the received shm segment failed", me,
+                            peer, /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+  const auto* hdr = static_cast<const ShmSegmentHdr*>(base);
+  std::string why;
+  if (hdr->magic != ShmSegmentHdr::kMagic) {
+    why = "bad segment magic (not a gbsp shm segment?)";
+  } else if (hdr->version != ShmSegmentHdr::kVersion) {
+    why = "segment protocol v" + std::to_string(hdr->version) +
+          ", this build expects v" + std::to_string(ShmSegmentHdr::kVersion);
+  } else if (hdr->nprocs != static_cast<std::uint32_t>(nprocs_)) {
+    why = "segment built for " + std::to_string(hdr->nprocs) +
+          " ranks, this rank expects " + std::to_string(nprocs_);
+  } else if (hdr->rank_lo != static_cast<std::uint32_t>(std::min(me, peer)) ||
+             hdr->rank_hi != static_cast<std::uint32_t>(std::max(me, peer))) {
+    why = "segment belongs to pair (" + std::to_string(hdr->rank_lo) + ", " +
+          std::to_string(hdr->rank_hi) + "), expected (" +
+          std::to_string(std::min(me, peer)) + ", " +
+          std::to_string(std::max(me, peer)) + ")";
+  } else if (hdr->ring_bytes != cfg_.shm_ring_bytes) {
+    why = "ring-size mismatch: segment rings are " +
+          std::to_string(hdr->ring_bytes) +
+          " bytes, this rank's shm_ring_bytes=" +
+          std::to_string(cfg_.shm_ring_bytes);
+  } else if (hdr->slab_bytes != cfg_.shm_slab_bytes) {
+    why = "slab-size mismatch: segment slabs are " +
+          std::to_string(hdr->slab_bytes) +
+          " bytes, this rank's shm_slab_bytes=" +
+          std::to_string(cfg_.shm_slab_bytes);
+  }
+  if (!why.empty()) {
+    ::munmap(base, want);
+    throw BspTransportError("shm segment validation failed: " + why, me, peer,
+                            /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+                            /*bytes_moved=*/0);
+  }
+  maps_[static_cast<std::size_t>(peer)] = Mapping{base, want};
+  wire_views(base, peer);
+}
+
+void ShmMesh::wire_views(void* base, int peer) {
+  const int me = cfg_.shm_rank;
+  const std::size_t dir = shm_dir_bytes(cfg_);
+  std::byte* b = static_cast<std::byte*>(base);
+  const auto view = [&](std::size_t off) {
+    ShmDirView d;
+    d.ctl = reinterpret_cast<ShmRingCtl*>(b + off);
+    d.ring = b + off + kShmPage;
+    d.ring_cap = cfg_.shm_ring_bytes;
+    d.slab = b + off + kShmPage + page_up(cfg_.shm_ring_bytes);
+    d.slab_cap = cfg_.shm_slab_bytes;
+    return d;
+  };
+  const ShmDirView d0 = view(kShmPage);        // lo -> hi direction
+  const ShmDirView d1 = view(kShmPage + dir);  // hi -> lo direction
+  ShmPairView& pv = pairs_[static_cast<std::size_t>(peer)];
+  if (me < peer) {
+    pv.send = d0;
+    pv.recv = d1;
+  } else {
+    pv.send = d1;
+    pv.recv = d0;
+  }
+}
+
+void ShmMesh::do_build(int nprocs) {
+  const int me = cfg_.shm_rank;
+  const std::size_t p = static_cast<std::size_t>(nprocs);
+  ctrl_.assign(p, -1);
+  pairs_.assign(p, ShmPairView{});
+  maps_.assign(p, Mapping{});
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(cfg_.tcp_connect_timeout_ms);
+
+  // 1. Listener first — the same deadlock-free shape as the TCP bootstrap:
+  // every rank's listener exists (or shortly will; dialers retry) before
+  // anyone blocks in accept.
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw BspTransportError("socket(AF_UNIX) failed", me, /*peer=*/-1,
+                            /*superstep=*/-1, /*stage=*/-1, errno,
+                            /*bytes_moved=*/0);
+  }
+  sockaddr_un sa;
+  const socklen_t salen = shm_abstract_addr(cfg_, me, &sa);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), salen) != 0) {
+    throw BspTransportError(
+        "bind of abstract socket \"gbsp-shm." + cfg_.shm_name + "." +
+            std::to_string(me) + "\" failed (another rank " +
+            std::to_string(me) + " already running under this shm_name?)",
+        me, /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1, errno,
+        /*bytes_moved=*/0);
+  }
+  if (::listen(listen_fd_, nprocs) != 0) {
+    throw BspTransportError("listen on the shm bootstrap socket failed", me,
+                            /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+                            errno, /*bytes_moved=*/0);
+  }
+
+  // 2. Dial every lower rank's listener; after the hello exchange the lower
+  // rank hands over the pair segment's memfd, which this side maps and
+  // validates. ECONNREFUSED just means that rank's listener is not up yet.
+  for (int j = 0; j < me; ++j) {
+    int fd = -1;
+    for (;;) {
+      if (Clock::now() >= deadline) {
+        throw BspTransportError(
+            "connect to rank " + std::to_string(j) +
+                "'s shm bootstrap socket timed out after "
+                "tcp_connect_timeout_ms=" +
+                std::to_string(cfg_.tcp_connect_timeout_ms) +
+                "ms (rank never launched, or died during bootstrap?)",
+            me, j, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+            /*bytes_moved=*/0);
+      }
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) {
+        throw BspTransportError("socket(AF_UNIX) failed", me, j,
+                                /*superstep=*/-1, /*stage=*/-1, errno,
+                                /*bytes_moved=*/0);
+      }
+      sockaddr_un pa;
+      const socklen_t palen = shm_abstract_addr(cfg_, j, &pa);
+      set_io_timeout(fd, remaining_ms(deadline));
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&pa), palen) == 0) {
+        // A peer that closes underneath the HANDSHAKE may be tearing down a
+        // previous incarnation — retry like a refused connect. A close
+        // during the segment HANDOFF (after a validated hello) is fatal:
+        // that peer committed to this build and died.
+        try {
+          send_hello(fd, j);
+          const RankHello h = recv_hello(fd, j);
+          check_hello(h, /*expect_rank=*/j);
+          std::uint64_t seg_len = 0;
+          const int seg_fd = recv_fd_with_len(fd, &seg_len, me, j,
+                                              cfg_.tcp_connect_timeout_ms);
+          try {
+            if (seg_len != shm_segment_bytes(cfg_)) {
+              throw BspTransportError(
+                  "shm segment size mismatch: rank " + std::to_string(j) +
+                      " announced " + std::to_string(seg_len) +
+                      " bytes, this rank's shm_ring_bytes/shm_slab_bytes "
+                      "expect " +
+                      std::to_string(shm_segment_bytes(cfg_)) +
+                      " (ranks launched with different configs?)",
+                  me, j, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+                  /*bytes_moved=*/0);
+            }
+            adopt_segment(seg_fd, j);
+          } catch (...) {
+            ::close(seg_fd);
+            throw;
+          }
+          ::close(seg_fd);  // the mapping outlives the fd
+          break;
+        } catch (const BspTransportError& e) {
+          ::close(fd);
+          fd = -1;
+          if (e.err == ECONNRESET || e.err == EPIPE ||
+              (e.err == 0 &&
+               std::string(e.what()).find(
+                   "peer closed the connection during the rank handshake") !=
+                   std::string::npos)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          throw;
+        }
+      }
+      const int cerr = errno;
+      ::close(fd);
+      fd = -1;
+      if (cerr == ECONNREFUSED || cerr == ENOENT || cerr == ETIMEDOUT ||
+          cerr == EINTR || cerr == EAGAIN) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      throw BspTransportError(
+          "connect to rank " + std::to_string(j) +
+              "'s shm bootstrap socket failed",
+          me, j, /*superstep=*/-1, /*stage=*/-1, cerr, /*bytes_moved=*/0);
+    }
+    ctrl_[static_cast<std::size_t>(j)] = fd;
+  }
+
+  // 3. Accept every higher rank; this side creates each pair's segment and
+  // passes the fd. A failed handshake or handoff fails the whole bootstrap.
+  int expected = nprocs - 1 - me;
+  while (expected > 0) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw BspTransportError("poll on the shm bootstrap listener failed", me,
+                              /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+                              errno, /*bytes_moved=*/0);
+    }
+    if (pr == 0) {
+      throw BspTransportError(
+          "accept on abstract socket \"gbsp-shm." + cfg_.shm_name + "." +
+              std::to_string(me) + "\" timed out with " +
+              std::to_string(expected) +
+              " rank(s) still unconnected (tcp_connect_timeout_ms=" +
+              std::to_string(cfg_.tcp_connect_timeout_ms) + "ms)",
+          me, /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1, /*err=*/0,
+          /*bytes_moved=*/0);
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw BspTransportError("accept on the shm bootstrap socket failed", me,
+                              /*peer=*/-1, /*superstep=*/-1, /*stage=*/-1,
+                              errno, /*bytes_moved=*/0);
+    }
+    set_io_timeout(fd, remaining_ms(deadline));
+    int seg_fd = -1;
+    try {
+      const RankHello h = recv_hello(fd, /*peer=*/-1);
+      check_hello(h, /*expect_rank=*/-1);
+      send_hello(fd, static_cast<int>(h.rank));
+      seg_fd = create_segment(static_cast<int>(h.rank));
+      send_fd_with_len(fd, seg_fd, shm_segment_bytes(cfg_), me,
+                       static_cast<int>(h.rank));
+      ::close(seg_fd);
+      seg_fd = -1;
+      ctrl_[h.rank] = fd;
+    } catch (...) {
+      if (seg_fd >= 0) ::close(seg_fd);
+      ::close(fd);
+      throw;
+    }
+    --expected;
+  }
+  // Bootstrap complete: close the listener so nothing can dial in mid-run.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 4. The control streams carry no stage traffic; drop the handshake
+  // timeout so the engine's death-detection peek never sees a spurious
+  // timeout errno.
+  for (std::size_t j = 0; j < p; ++j) {
+    if (ctrl_[j] >= 0) set_io_timeout(ctrl_[j], 0);
   }
 }
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/shm_ring.hpp"
 
 namespace gbsp {
 namespace detail {
@@ -84,9 +85,20 @@ class Mesh {
 
   /// Grow-only SO_SNDBUF/SO_RCVBUF request toward `stage_bytes` for pid's
   /// endpoint with peer (adaptive mode only; no-op when pinned or when the
-  /// high-water mark already covers it).
-  void grow_kernel_buffer(int pid, int peer, bool send_side,
-                          std::size_t stage_bytes);
+  /// high-water mark already covers it). Virtual because ShmMesh has no
+  /// kernel buffers to size — its fds are a control channel, not the data
+  /// path.
+  virtual void grow_kernel_buffer(int pid, int peer, bool send_side,
+                                  std::size_t stage_bytes);
+
+  /// Shared-memory view of pid's pair with peer, or nullptr for meshes whose
+  /// data path is the fds themselves. A non-null view switches the exchange
+  /// engine onto the zero-syscall ring pumps (core/shm_ring.hpp).
+  [[nodiscard]] virtual ShmPairView* shm_pair(int pid, int peer) {
+    (void)pid;
+    (void)peer;
+    return nullptr;
+  }
 
   /// Marks the wire unusable for reuse; the next build() rebuilds. Safe to
   /// call from concurrently failing workers.
@@ -206,6 +218,81 @@ class TcpMesh final : public Mesh {
 
   // fd_[j]: the local rank's stream with rank j; -1 for self and unbuilt.
   std::vector<int> fd_;
+  int listen_fd_ = -1;
+};
+
+/// Header page of one shm pair segment, written by the creating (lower)
+/// rank and validated by the mapping (higher) rank — the shm analogue of the
+/// RankHello's bidirectional checks, but for the geometry both ends must
+/// agree on byte-for-byte.
+struct ShmSegmentHdr {
+  static constexpr std::uint64_t kMagic = 0x47454D5350534247ULL;  // "GBSPSMEG"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t nprocs = 0;
+  std::uint32_t rank_lo = 0;
+  std::uint32_t rank_hi = 0;
+  std::uint64_t ring_bytes = 0;
+  std::uint64_t slab_bytes = 0;
+};
+static_assert(sizeof(ShmSegmentHdr) == 40, "shm segment header drifted");
+
+/// Cross-process shared-memory mesh: this process is rank Config::shm_rank
+/// of an nprocs-process run on ONE host. Bootstrap reuses the TCP mesh's
+/// shape over abstract AF_UNIX sockets ("\0gbsp-shm.<shm_name>.<rank>"):
+/// the higher rank of each pair dials the lower rank's listener, both ends
+/// exchange + validate a RankHello, then the lower rank creates the pair's
+/// memfd segment (header + two direction blocks of ring/slab, see
+/// core/shm_ring.hpp) and passes the fd over the stream with SCM_RIGHTS.
+/// Both ends mmap it and keep the AF_UNIX stream open as a control channel:
+/// it carries no data, but EOF on it is how a peer's death (or an injected
+/// PeerHangup) is observed without putting a single syscall on the data
+/// path, and kill_endpoints() shuts it down. fd(pid, peer) returns that
+/// control fd.
+class ShmMesh final : public Mesh {
+ public:
+  explicit ShmMesh(const Config& cfg) : Mesh(cfg) {}
+  ~ShmMesh() override { ShmMesh::teardown(); }
+
+  [[nodiscard]] const char* name() const override { return "shm"; }
+  void teardown() override;
+  [[nodiscard]] int fd(int pid, int peer) const override;
+  void kill_endpoints(int pid) override;
+  /// The data path is shared memory; there are no kernel buffers to size.
+  void grow_kernel_buffer(int, int, bool, std::size_t) override {}
+  [[nodiscard]] ShmPairView* shm_pair(int pid, int peer) override;
+
+  [[nodiscard]] int local_rank() const { return cfg_.shm_rank; }
+
+ protected:
+  void do_build(int nprocs) override;
+
+ private:
+  struct Mapping {
+    void* base = nullptr;
+    std::size_t len = 0;
+  };
+
+  void send_hello(int fd, int peer) const;
+  [[nodiscard]] RankHello recv_hello(int fd, int peer) const;
+  void check_hello(const RankHello& h, int peer) const;
+  /// Creates, sizes and maps the pair segment with `peer` (lower-rank side),
+  /// initialises its header and control blocks, and returns the memfd (the
+  /// caller passes it to the peer and closes it).
+  int create_segment(int peer);
+  /// Maps a received segment fd (higher-rank side) and validates its header
+  /// against this rank's expectations of the pair geometry.
+  void adopt_segment(int seg_fd, int peer);
+  /// Slices a mapped segment into the two ShmDirViews of `peer`'s pair.
+  void wire_views(void* base, int peer);
+
+  // ctrl_[j]: the bootstrap AF_UNIX stream with rank j, kept open as the
+  // death-detection control channel; -1 for self and unbuilt.
+  std::vector<int> ctrl_;
+  std::vector<ShmPairView> pairs_;  // indexed by peer rank
+  std::vector<Mapping> maps_;       // indexed by peer rank
   int listen_fd_ = -1;
 };
 

@@ -143,6 +143,8 @@ void Runtime::record_step(detail::WorkerState& st) {
   st.wire_bytes = 0;
   r.wire_syscalls = st.wire_syscalls;
   st.wire_syscalls = 0;
+  r.wire_zc_bytes = st.wire_zc_bytes;
+  st.wire_zc_bytes = 0;
   r.sent_packets = st.sent_packets;
   r.sent_bytes = st.sent_bytes;
   r.sent_messages = st.sent_messages;
@@ -412,7 +414,7 @@ bool Runtime::run_attempt(const std::function<void(Worker&)>& fn) {
   states_.reserve(static_cast<std::size_t>(nl));
   for (int i = 0; i < nl; ++i) {
     auto st = std::make_unique<detail::WorkerState>();
-    st->pid = process_mode() ? cfg_.tcp_rank : i;
+    st->pid = process_mode() ? process_rank() : i;
     st->seq_to.assign(static_cast<std::size_t>(p), 0);
     if (cfg_.collect_comm_matrix) {
       st->sent_to.assign(static_cast<std::size_t>(p), 0);

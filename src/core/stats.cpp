@@ -47,6 +47,12 @@ std::uint64_t RunStats::total_wire_syscalls() const {
   return n;
 }
 
+std::uint64_t RunStats::total_wire_zc_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : supersteps) n += s.total_wire_zc_bytes;
+  return n;
+}
+
 std::uint64_t RunStats::total_injected_faults() const {
   std::uint64_t n = 0;
   for (const auto& s : supersteps) n += s.total_injected_faults;
@@ -95,6 +101,7 @@ void RunStats::aggregate_from_traces() {
                                        r.sent_messages + r.recv_messages);
       agg.total_wire_bytes += r.wire_bytes;
       agg.total_wire_syscalls += r.wire_syscalls;
+      agg.total_wire_zc_bytes += r.wire_zc_bytes;
       agg.total_injected_faults += r.injected_faults;
       agg.total_checkpoint_bytes += r.checkpoint_bytes;
       agg.checkpoint_max_us = std::max(agg.checkpoint_max_us, r.checkpoint_us);

@@ -33,6 +33,11 @@ struct WorkerStepRecord {
   /// worker at the boundary that opened this superstep — the software-path
   /// constant factor behind the wire bytes. Zero for in-memory transports.
   std::uint64_t wire_syscalls = 0;
+  /// Payload bytes that crossed to this worker's peers zero-copy through a
+  /// shared-memory slab at the boundary that opened this superstep (sender
+  /// reservations plus receiver view fixups; disjoint from wire_bytes). Zero
+  /// off the shm transport.
+  std::uint64_t wire_zc_bytes = 0;
   /// Faults the injection harness (core/fault.hpp) fired on this worker's
   /// behalf during the boundary that opened this superstep. Zero unless a
   /// FaultPlan is installed.
@@ -80,6 +85,10 @@ struct SuperstepStats {
   /// in-memory transports): the per-stage software overhead that the socket
   /// transport's sectioned wire format amortises.
   std::uint64_t total_wire_syscalls = 0;
+  /// Total payload bytes that moved zero-copy through shared-memory slabs at
+  /// this superstep's boundary (0 off the shm transport; disjoint from
+  /// total_wire_bytes).
+  std::uint64_t total_wire_zc_bytes = 0;
   /// Faults injected across all processors at this superstep's boundary.
   std::uint64_t total_injected_faults = 0;
   /// Checkpoint bytes snapshotted across all processors at the top of this
@@ -132,6 +141,10 @@ struct RunStats {
   /// Total data-path syscalls over the whole run (0 unless the socket
   /// transport ran the exchanges).
   [[nodiscard]] std::uint64_t total_wire_syscalls() const;
+
+  /// Total zero-copy slab bytes over the whole run (0 unless the shm
+  /// transport ran the exchanges).
+  [[nodiscard]] std::uint64_t total_wire_zc_bytes() const;
 
   /// Total faults injected over the whole run (0 without a FaultPlan).
   [[nodiscard]] std::uint64_t total_injected_faults() const;

@@ -14,10 +14,11 @@ namespace {
 constexpr char kHeader[] =
     "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
     "total_messages,h_messages,endpoint_messages,total_wire_bytes,"
-    "total_wire_syscalls,injected_faults,checkpoint_bytes,checkpoint_max_us,"
+    "total_wire_syscalls,total_wire_zc_bytes,injected_faults,checkpoint_bytes,"
+    "checkpoint_max_us,"
     "restore_max_us,overlap_max_us,total_overlap_wire_bytes";
 
-constexpr std::size_t kColumns = 17;
+constexpr std::size_t kColumns = 18;
 
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> out;
@@ -43,7 +44,8 @@ void write_superstep_csv(std::ostream& os, const RunStats& stats) {
        << s.h_packets << ',' << s.total_packets << ',' << s.total_bytes
        << ',' << s.total_messages << ',' << s.h_messages << ','
        << s.endpoint_messages << ',' << s.total_wire_bytes << ','
-       << s.total_wire_syscalls << ',' << s.total_injected_faults << ','
+       << s.total_wire_syscalls << ',' << s.total_wire_zc_bytes << ','
+       << s.total_injected_faults << ','
        << s.total_checkpoint_bytes << ',' << s.checkpoint_max_us << ','
        << s.restore_max_us << ',' << s.overlap_max_us << ','
        << s.total_overlap_wire_bytes << '\n';
@@ -75,12 +77,13 @@ RunStats read_superstep_csv(std::istream& is, int nprocs) {
       s.endpoint_messages = std::stoull(cells[8]);
       s.total_wire_bytes = std::stoull(cells[9]);
       s.total_wire_syscalls = std::stoull(cells[10]);
-      s.total_injected_faults = std::stoull(cells[11]);
-      s.total_checkpoint_bytes = std::stoull(cells[12]);
-      s.checkpoint_max_us = std::stod(cells[13]);
-      s.restore_max_us = std::stod(cells[14]);
-      s.overlap_max_us = std::stod(cells[15]);
-      s.total_overlap_wire_bytes = std::stoull(cells[16]);
+      s.total_wire_zc_bytes = std::stoull(cells[11]);
+      s.total_injected_faults = std::stoull(cells[12]);
+      s.total_checkpoint_bytes = std::stoull(cells[13]);
+      s.checkpoint_max_us = std::stod(cells[14]);
+      s.restore_max_us = std::stod(cells[15]);
+      s.overlap_max_us = std::stod(cells[16]);
+      s.total_overlap_wire_bytes = std::stoull(cells[17]);
     } catch (const std::exception&) {
       throw std::invalid_argument("stats_io: malformed CSV value: " + line);
     }

@@ -9,6 +9,7 @@
 
 #include "core/transport_deferred.hpp"
 #include "core/transport_eager.hpp"
+#include "core/transport_shm.hpp"
 #include "core/transport_socket.hpp"
 #include "core/transport_tcp.hpp"
 
@@ -48,6 +49,7 @@ const char* to_string(DeliveryStrategy d) {
     case DeliveryStrategy::Eager: return "eager";
     case DeliveryStrategy::Socket: return "socket";
     case DeliveryStrategy::Tcp: return "tcp";
+    case DeliveryStrategy::Shm: return "shm";
   }
   return "unknown";
 }
@@ -57,9 +59,10 @@ DeliveryStrategy delivery_from_string(const std::string& s) {
   if (s == "eager") return DeliveryStrategy::Eager;
   if (s == "socket") return DeliveryStrategy::Socket;
   if (s == "tcp") return DeliveryStrategy::Tcp;
+  if (s == "shm") return DeliveryStrategy::Shm;
   throw std::invalid_argument(
       "gbsp: unknown transport \"" + s +
-      "\" (expected deferred, eager, socket, or tcp)");
+      "\" (expected deferred, eager, socket, tcp, or shm)");
 }
 
 std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
@@ -73,6 +76,8 @@ std::unique_ptr<Transport> make_transport(const Config& cfg, SlabPool& pool,
       return std::make_unique<SocketTransport>(cfg, pool, abort_flag);
     case DeliveryStrategy::Tcp:
       return std::make_unique<TcpTransport>(cfg, pool, abort_flag);
+    case DeliveryStrategy::Shm:
+      return std::make_unique<ShmTransport>(cfg, pool, abort_flag);
   }
   throw std::invalid_argument("gbsp: unknown DeliveryStrategy");
 }
@@ -94,7 +99,7 @@ int env_int(const char* name, const char* raw, int lo, int hi) {
 
 }  // namespace
 
-bool configure_tcp_from_env(Config& cfg) {
+bool configure_proc_from_env(Config& cfg) {
   const char* rank = std::getenv("GBSP_RANK");
   if (rank == nullptr) return false;
   const char* nprocs = std::getenv("GBSP_NPROCS");
@@ -103,19 +108,38 @@ bool configure_tcp_from_env(Config& cfg) {
         "gbsp: GBSP_RANK is set but GBSP_NPROCS is not (both are exported by "
         "bsp_launch; a lone GBSP_RANK is a broken launch environment)");
   }
-  cfg.delivery = DeliveryStrategy::Tcp;
+  // Absent GBSP_TRANSPORT means tcp — the contract the first process-mode
+  // launcher established, kept for old launch scripts.
+  std::string transport = "tcp";
+  if (const char* t = std::getenv("GBSP_TRANSPORT")) transport = t;
+  if (transport != "tcp" && transport != "shm") {
+    throw std::invalid_argument(
+        "gbsp: GBSP_TRANSPORT=\"" + transport +
+        "\" is not a cross-process transport (expected tcp or shm)");
+  }
   cfg.nprocs = env_int("GBSP_NPROCS", nprocs, 1, 1 << 20);
-  cfg.tcp_rank = env_int("GBSP_RANK", rank, 0, cfg.nprocs - 1);
-  if (const char* host = std::getenv("GBSP_HOST")) cfg.tcp_host = host;
-  if (const char* port = std::getenv("GBSP_PORT")) {
-    cfg.tcp_port = env_int("GBSP_PORT", port, 1, 65535);
+  const int r = env_int("GBSP_RANK", rank, 0, cfg.nprocs - 1);
+  if (transport == "shm") {
+    cfg.delivery = DeliveryStrategy::Shm;
+    cfg.shm_rank = r;
+    if (const char* name = std::getenv("GBSP_SHM_NAME")) cfg.shm_name = name;
+  } else {
+    cfg.delivery = DeliveryStrategy::Tcp;
+    cfg.tcp_rank = r;
+    if (const char* host = std::getenv("GBSP_HOST")) cfg.tcp_host = host;
+    if (const char* port = std::getenv("GBSP_PORT")) {
+      cfg.tcp_port = env_int("GBSP_PORT", port, 1, 65535);
+    }
   }
   if (const char* t = std::getenv("GBSP_CONNECT_TIMEOUT_MS")) {
+    // Doubles as the shm bootstrap deadline (Config docs the dual role).
     cfg.tcp_connect_timeout_ms = static_cast<std::size_t>(
         env_int("GBSP_CONNECT_TIMEOUT_MS", t, 1, 3'600'000));
   }
   return true;
 }
+
+bool configure_tcp_from_env(Config& cfg) { return configure_proc_from_env(cfg); }
 
 namespace detail {
 

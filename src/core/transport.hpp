@@ -192,11 +192,17 @@ class Transport {
 /// names.
 [[nodiscard]] DeliveryStrategy delivery_from_string(const std::string& s);
 
-/// Applies the bsp_launch rank environment (GBSP_RANK, GBSP_NPROCS, and
-/// optional GBSP_HOST / GBSP_PORT / GBSP_CONNECT_TIMEOUT_MS) to `cfg`:
-/// selects the tcp transport and fills nprocs + tcp_*. Returns false —
-/// leaving cfg untouched — when GBSP_RANK is absent (not launched by
-/// bsp_launch); throws std::invalid_argument on a malformed environment.
+/// Applies the bsp_launch rank environment to `cfg`: GBSP_RANK + GBSP_NPROCS
+/// select process mode; GBSP_TRANSPORT (tcp when absent) picks the
+/// cross-process transport and routes the rank into tcp_rank or shm_rank;
+/// GBSP_HOST / GBSP_PORT / GBSP_SHM_NAME / GBSP_CONNECT_TIMEOUT_MS fill the
+/// transport's knobs. Returns false — leaving cfg untouched — when GBSP_RANK
+/// is absent (not launched by bsp_launch); throws std::invalid_argument on a
+/// malformed environment.
+bool configure_proc_from_env(Config& cfg);
+
+/// Old name of configure_proc_from_env, kept for existing callers; identical
+/// behavior (including GBSP_TRANSPORT=shm).
 bool configure_tcp_from_env(Config& cfg);
 
 /// Builds the Transport for cfg.delivery. `pool` must outlive the transport

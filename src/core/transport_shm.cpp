@@ -1,0 +1,123 @@
+#include "core/transport_shm.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace gbsp {
+
+void ShmTransport::reset_run(
+    const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
+  // Process mode: the Runtime hands us exactly the one local worker, already
+  // carrying the global rank.
+  if (states.size() != 1 ||
+      states[0]->pid != cfg_.shm_rank) {
+    throw BspTransportError(
+        "shm transport expects exactly one local worker with pid == shm_rank "
+        "(" +
+        std::to_string(cfg_.shm_rank) + "), got " +
+        std::to_string(states.size()) + " worker(s)");
+  }
+  if (!mesh_.dirty() && eng_ != nullptr && mesh_.nprocs() == cfg_.nprocs) {
+    // Clean previous run: the rings are drained and the zero-copy epoch
+    // counter persists with the mapping — reuse the mesh, reset only the
+    // arenas (the engine keeps its epoch monotonic across this).
+    eng_->reset_for_reuse();
+    return;
+  }
+  // First run or a run that unwound mid-stage. Rebuilding the mesh re-enters
+  // the full bind/dial/fd-pass bootstrap, which only completes when every
+  // peer rank does the same — a coordinated retry remaps fresh segments, a
+  // dead peer makes the bootstrap time out with a descriptive error.
+  mesh_.build(cfg_.nprocs);
+  eng_ = std::make_unique<detail::ExchangeEngine>(cfg_, *pool_, mesh_, abort_,
+                                                 &fault_);
+  eng_->attach(cfg_.shm_rank, cfg_.nprocs);
+}
+
+void ShmTransport::stage_send(detail::WorkerState& st, int dest,
+                              const void* data, std::size_t n) {
+  std::byte* slot = stage_reserve(st, dest, n);
+  if (n != 0) std::memcpy(slot, data, n);
+}
+
+std::byte* ShmTransport::stage_reserve(detail::WorkerState& st, int dest,
+                                       std::size_t n) {
+  return eng_->reserve(st, dest, n);
+}
+
+void ShmTransport::publish(detail::WorkerState& dst) {
+  dst.inbox.reserve(eng_->inbox_arena().message_count());
+  std::uint64_t recv_packets = 0;
+  append_views(dst, eng_->inbox_arena(), recv_packets);
+  // Zero-copy frames arrived as 16-byte slab descriptors; swap their views
+  // (and their packet accounting) onto the shared mapping before the
+  // deterministic sort fixes the inbox order.
+  eng_->apply_zc_views(dst, recv_packets);
+  finish_delivery(dst, recv_packets, cfg_.deterministic_delivery);
+}
+
+void ShmTransport::deliver_to(detail::WorkerState& dst) {
+  try {
+    inject_boundary_fault(FaultSite::Deliver, dst);
+    eng_->run_all_stages(dst);
+  } catch (...) {
+    // Unwinding mid-stage desynchronises the rings with every peer; the
+    // next run must re-bootstrap the mesh (fresh segments, fresh epoch).
+    mesh_.mark_dirty();
+    throw;
+  }
+  publish(dst);
+}
+
+void ShmTransport::begin_exchange(detail::WorkerState& st) {
+  try {
+    inject_boundary_fault(FaultSite::Flush, st);
+    inject_boundary_fault(FaultSite::Deliver, st);
+    eng_->begin_window(st);
+  } catch (...) {
+    mesh_.mark_dirty();
+    throw;
+  }
+}
+
+bool ShmTransport::progress(detail::WorkerState& st) {
+  if (!eng_->window_active()) return false;
+  if (eng_->window_done()) return true;
+  try {
+    return eng_->pump_window(st);
+  } catch (...) {
+    mesh_.mark_dirty();
+    throw;
+  }
+}
+
+void ShmTransport::finish_exchange(detail::WorkerState& st) {
+  if (!eng_->window_active()) {
+    deliver_to(st);
+    return;
+  }
+  try {
+    eng_->finish_window(st);
+  } catch (...) {
+    mesh_.mark_dirty();
+    throw;
+  }
+  publish(st);
+}
+
+void ShmTransport::exchange(
+    const std::vector<std::unique_ptr<detail::WorkerState>>& states) {
+  // validate_config rejects Serialized + Shm before a Runtime exists; this
+  // is the defensive backstop, not a reachable path.
+  (void)states;
+  throw BspTransportError(
+      "the shm transport has no serialized global exchange (one process "
+      "hosts one rank)");
+}
+
+bool ShmTransport::has_unflushed(const detail::WorkerState& st) const {
+  (void)st;
+  return eng_ != nullptr && eng_->has_unflushed();
+}
+
+}  // namespace gbsp

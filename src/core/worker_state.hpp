@@ -53,6 +53,12 @@ struct WorkerState {
   // syscalls is the constant factor the sectioned wire format exists to
   // shrink, so it is tracked first-class.
   std::uint64_t wire_syscalls = 0;
+  // Payload bytes that moved zero-copy through a shared-memory slab (sender
+  // charged at reservation, receiver at view fixup) instead of traveling a
+  // ring or socket; same charging rule as wire_bytes. Zero off the shm
+  // transport. These bytes are NOT in wire_bytes — the two sum to total
+  // traffic.
+  std::uint64_t wire_zc_bytes = 0;
   // Faults the injection harness (core/fault.hpp) fired on this worker since
   // the last record; charged like wire_bytes to the superstep being opened
   // when they fire during an exchange. Zero when no injector is installed.

@@ -437,6 +437,7 @@ INSTANTIATE_TEST_SUITE_P(
         case DeliveryStrategy::Eager: name = "Eager"; break;
         case DeliveryStrategy::Socket: name = "Socket"; break;
         case DeliveryStrategy::Tcp: name = "Tcp"; break;
+        case DeliveryStrategy::Shm: name = "Shm"; break;
       }
       return name + (info.param.mode == SyncMode::Rigid ? "Rigid" : "Split");
     });
@@ -512,6 +513,36 @@ TEST(CollectivesExtra, RootedSelectorTradesLatencyAgainstBandwidth) {
       evaluate_rooted_schedule(8, 1 << 20, /*g_us=*/0.1, /*l_us=*/100.0, 16);
   EXPECT_EQ(big.schedule, CollectiveSchedule::Tree);
   EXPECT_LT(big.tree_us, big.direct_us);
+}
+
+TEST(CollectivesExtra, ShmSelectorDefaultsTrackTheMeasuredFits) {
+  // The Shm rows are linear fits of the bsp_probe medians in BENCH_shm.json
+  // (g 0.13/0.31us, L 7.8/26.6us at p=2/4). Pin the fit so a constant edit
+  // without fresh measurements trips a test, not just a stale comment.
+  EXPECT_NEAR(default_collective_g_us(DeliveryStrategy::Shm, 2), 0.14, 0.05);
+  EXPECT_NEAR(default_collective_g_us(DeliveryStrategy::Shm, 4), 0.28, 0.06);
+  EXPECT_NEAR(default_collective_l_us(DeliveryStrategy::Shm, 2), 9.0, 2.5);
+  EXPECT_NEAR(default_collective_l_us(DeliveryStrategy::Shm, 4), 27.0, 3.0);
+
+  // Orderings the measurements establish: the shm boundary undercuts both
+  // socket transports (spin-then-yield vs poll wake-ups), and its per-byte
+  // cost sits at or below theirs (one memcpy each way, no kernel).
+  for (int p : {2, 4, 8}) {
+    EXPECT_LT(default_collective_l_us(DeliveryStrategy::Shm, p),
+              default_collective_l_us(DeliveryStrategy::Socket, p));
+    EXPECT_LT(default_collective_l_us(DeliveryStrategy::Shm, p),
+              default_collective_l_us(DeliveryStrategy::Tcp, p));
+    EXPECT_LE(default_collective_g_us(DeliveryStrategy::Shm, p),
+              default_collective_g_us(DeliveryStrategy::Tcp, p));
+    EXPECT_LT(default_collective_g_us(DeliveryStrategy::Shm, p),
+              default_collective_g_us(DeliveryStrategy::Socket, p));
+  }
+
+  // A staged boundary still costs more than the in-memory transports'
+  // flat L, so explicit g/L overrides keep beating the default on
+  // thread-backed runs.
+  EXPECT_GT(default_collective_l_us(DeliveryStrategy::Shm, 4),
+            default_collective_l_us(DeliveryStrategy::Deferred, 4));
 }
 
 TEST(CollectivesExtra, ConfigRejectsNegativeCollectiveParams) {

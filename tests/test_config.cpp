@@ -211,9 +211,100 @@ TEST(TcpConfigValidation, KnobsIgnoredOffTcp) {
   EXPECT_NO_THROW(Runtime rt(cfg));
 }
 
+// The shm_* knobs mirror the tcp_* discipline: reject degenerate geometry at
+// Runtime construction, before the fd-passed bootstrap could build a broken
+// segment mesh.
+
+Config valid_shm() {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.delivery = DeliveryStrategy::Shm;
+  cfg.shm_rank = 2;
+  cfg.shm_name = "cfgtest";
+  return cfg;
+}
+
+TEST(ShmConfigValidation, AcceptsValidRankConfig) {
+  EXPECT_NO_THROW(Runtime rt(valid_shm()));
+}
+
+TEST(ShmConfigValidation, RejectsSerializedScheduling) {
+  Config cfg = valid_shm();
+  cfg.scheduling = Scheduling::Serialized;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ShmConfigValidation, RejectsRankOutsideRun) {
+  for (int r : {-1, 4, 100}) {
+    Config cfg = valid_shm();
+    cfg.shm_rank = r;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << r;
+  }
+}
+
+TEST(ShmConfigValidation, RejectsMalformedSegmentName) {
+  // The name seeds abstract-socket addresses and segment labels: no
+  // whitespace, no '/', and short enough for sun_path once prefixed.
+  const std::string too_long(65, 'x');
+  for (const std::string& n :
+       {std::string(""), std::string("two words"), std::string("a/b"),
+        std::string("tab\there"), too_long}) {
+    Config cfg = valid_shm();
+    cfg.shm_name = n;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << "\"" << n << "\"";
+  }
+}
+
+TEST(ShmConfigValidation, RejectsRingGeometryOutsideBounds) {
+  // A ring below one page can't hold a stage preamble plus a frame; past
+  // 2^34 the paired segments stop fitting sensible memfd sizes.
+  for (std::size_t bytes :
+       {std::size_t{0}, std::size_t{4095}, (std::size_t{1} << 34) + 1}) {
+    Config cfg = valid_shm();
+    cfg.shm_ring_bytes = bytes;
+    EXPECT_THROW(Runtime rt(cfg), std::invalid_argument) << bytes;
+  }
+}
+
+TEST(ShmConfigValidation, RejectsSlabTooSmallForItsThreshold) {
+  // Each zero-copy epoch is half the slab: a nonzero slab must hold at
+  // least one threshold-sized payload per epoch half.
+  Config cfg = valid_shm();
+  cfg.shm_inline_threshold = 4096;
+  cfg.shm_slab_bytes = 8191;  // < 2 * threshold
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.shm_slab_bytes = 8192;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+  cfg.shm_slab_bytes = 0;  // zero disables the slab entirely: fine
+  EXPECT_NO_THROW(Runtime rt(cfg));
+  cfg.shm_slab_bytes = (std::size_t{1} << 34) + 1;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ShmConfigValidation, RejectsTinyInlineThreshold) {
+  Config cfg = valid_shm();
+  cfg.shm_inline_threshold = 63;
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+  cfg.shm_inline_threshold = 64;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
+TEST(ShmConfigValidation, KnobsIgnoredOffShm) {
+  // Like tcp_*, the shm_* knobs gate only the shm transport; stale values
+  // must not poison an in-memory run.
+  Config cfg = valid_base();
+  cfg.shm_rank = -7;
+  cfg.shm_name = "not / a name";
+  cfg.shm_ring_bytes = 1;
+  cfg.shm_slab_bytes = 1;
+  cfg.shm_inline_threshold = 0;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
 TEST(TransportNames, RoundTripThroughStrings) {
   for (auto d : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
-                 DeliveryStrategy::Socket, DeliveryStrategy::Tcp}) {
+                 DeliveryStrategy::Socket, DeliveryStrategy::Tcp,
+                 DeliveryStrategy::Shm}) {
     EXPECT_EQ(delivery_from_string(to_string(d)), d);
   }
   EXPECT_THROW((void)delivery_from_string(""), std::invalid_argument);
@@ -224,7 +315,8 @@ TEST(TransportNames, RoundTripThroughStrings) {
 TEST(TransportNames, FactoryMatchesEnum) {
   SlabPool pool;
   for (auto d : {DeliveryStrategy::Deferred, DeliveryStrategy::Eager,
-                 DeliveryStrategy::Socket, DeliveryStrategy::Tcp}) {
+                 DeliveryStrategy::Socket, DeliveryStrategy::Tcp,
+                 DeliveryStrategy::Shm}) {
     Config cfg;
     cfg.delivery = d;
     auto t = make_transport(cfg, pool, nullptr);

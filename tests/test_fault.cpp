@@ -17,10 +17,13 @@
 // (resume_superstep() is 0 and registration restores nothing).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -390,6 +393,71 @@ TEST(FaultInjector, CounterRulesAreDeterministic) {
 
 // Transport errors carry uniform context (rank/peer/superstep/stage/errno/
 // bytes-moved) — spot-check via the injector's Abort path.
+// ---------------------------------------------------------------------------
+// Cross-process shm: the one fault the memory data path can never observe on
+// its own is a severed peer — an injected PeerHangup must shut the control
+// channel down AND throw immediately on the injecting rank, the surviving
+// rank must notice via its idle-path death probe, and both ranks' retry
+// machinery must rebuild the mesh (fresh segments, fresh zero-copy epochs)
+// and replay to the bit-identical result. Each rank is a thread owning its
+// own rank-r Runtime, as in test_transport_shm.cpp.
+
+TEST(ShmFault, InjectedPeerHangupRecoversAcrossRanks) {
+  const int p = 2;
+  const std::string name =
+      "flt" + std::to_string(static_cast<long>(::getpid()));
+  std::vector<std::uint64_t> expected(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint64_t> got(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint64_t> recoveries(static_cast<std::size_t>(p), 0);
+  std::vector<std::thread> ranks;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        Config cfg;
+        cfg.nprocs = p;
+        cfg.delivery = DeliveryStrategy::Shm;
+        cfg.shm_rank = r;
+        cfg.shm_name = name;
+        cfg.deterministic_delivery = true;
+        cfg.collect_stats = true;
+        cfg.max_run_retries = 5;
+        cfg.retry_backoff_us = 50'000;
+        cfg.socket_stage_timeout_ms = 20'000;
+        cfg.tcp_connect_timeout_ms = 20'000;
+        Runtime rt(cfg);
+        expected[static_cast<std::size_t>(r)] =
+            run_ring(rt, nullptr)[static_cast<std::size_t>(r)];
+        if (r == 1) {
+          FaultPlan plan;
+          FaultRule rule;
+          rule.site = FaultSite::SendCall;
+          rule.kind = FaultKind::PeerHangup;
+          rule.rank = 1;
+          rule.superstep = 2;
+          plan.rules.push_back(rule);
+          rt.set_fault_plan(plan);
+        }
+        RunStats stats;
+        got[static_cast<std::size_t>(r)] =
+            run_ring(rt, &stats)[static_cast<std::size_t>(r)];
+        recoveries[static_cast<std::size_t>(r)] = stats.recoveries;
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  EXPECT_EQ(got, expected) << "faulted shm run diverged from fault-free run";
+  EXPECT_GE(recoveries[1], 1u)
+      << "the injected hangup never actually failed rank 1";
+  EXPECT_GE(recoveries[0], 1u)
+      << "rank 0 never observed its peer's death through the control channel";
+}
+
 TEST(FaultInjector, AbortErrorsCarryContext) {
   Config cfg = base_config(DeliveryStrategy::Socket);
   Runtime rt(cfg);

@@ -3,6 +3,8 @@
 // all combinations must implement identical BSP semantics.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -34,6 +36,7 @@ std::string param_name(const testing::TestParamInfo<RuntimeParam>& info) {
     case DeliveryStrategy::Eager: s += "Eag"; break;
     case DeliveryStrategy::Socket: s += "Sock"; break;
     case DeliveryStrategy::Tcp: s += "Tcp"; break;
+    case DeliveryStrategy::Shm: s += "Shm"; break;
   }
   switch (p.barrier) {
     case BarrierKind::CentralSpin: s += "Spin"; break;
@@ -584,6 +587,34 @@ TEST(Runtime, CommMatrixRecordsPerDestinationPackets) {
   EXPECT_EQ(rec.sent_to_packets[2], 1u);
   EXPECT_EQ(rec.sent_to_packets[0], 0u);
   EXPECT_EQ(rec.sent_to_packets[3], 0u);
+}
+
+TEST(Runtime, ShmIsProcessModeWithOneLocalWorker) {
+  // The shm transport, like tcp, makes the Runtime a single-rank process:
+  // one local worker whose pid is shm_rank, peers living in other
+  // processes. The degenerate single-rank run exercises the whole
+  // process-mode plumbing (mesh build with no peers, self-delivery only)
+  // without needing a peer process. Cross-rank coverage lives in
+  // test_transport_shm.cpp and scripts/run_proc_smoke.sh.
+  Config cfg;
+  cfg.nprocs = 1;
+  cfg.delivery = DeliveryStrategy::Shm;
+  cfg.shm_rank = 0;
+  cfg.shm_name = "rt" + std::to_string(static_cast<long>(::getpid()));
+  cfg.collect_stats = true;
+  Runtime rt(cfg);
+  EXPECT_STREQ(rt.transport().name(), "shm");
+  const RunStats stats = rt.run([](Worker& w) {
+    EXPECT_EQ(w.pid(), 0);
+    EXPECT_EQ(w.nprocs(), 1);
+    w.send(0, 42);
+    w.sync();
+    const Message* m = w.get_message();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->as<int>(), 42);
+  });
+  EXPECT_EQ(stats.total_wire_syscalls(), 0u)
+      << "self-delivery must never touch a wire";
 }
 
 TEST(Runtime, UnequalSyncCountsAreToleratedInSerializedMode) {

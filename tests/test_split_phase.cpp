@@ -15,9 +15,12 @@
 //     during a rigid sync() (test_fault.cpp's contract).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -373,6 +376,54 @@ INSTANTIATE_TEST_SUITE_P(CkptAndReplay, SplitPhaseFault, ::testing::Bool(),
                            return info.param ? std::string("Ckpt")
                                              : std::string("Replay");
                          });
+
+// --------------------------------------------------------------- shm ranks
+
+TEST(SplitPhaseShm, SplitWindowMatchesRigidAcrossRanks) {
+  // The split-phase contract over the cross-process shm transport: each
+  // rank is a thread owning its own rank-r Runtime (as in
+  // test_transport_shm.cpp), the compute-in-window variant must be
+  // bit-identical to the rigid run on the SAME mesh, and the whole exchange
+  // must stay zero-syscall while overlapping.
+  const int p = 2;
+  const std::string name =
+      "sp" + std::to_string(static_cast<long>(::getpid()));
+  std::vector<std::uint64_t> rigid(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint64_t> split(static_cast<std::size_t>(p), 0);
+  std::vector<std::thread> ranks;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        Config cfg;
+        cfg.nprocs = p;
+        cfg.delivery = DeliveryStrategy::Shm;
+        cfg.shm_rank = r;
+        cfg.shm_name = name;
+        cfg.deterministic_delivery = true;
+        cfg.collect_stats = true;
+        cfg.socket_stage_timeout_ms = 20'000;
+        cfg.tcp_connect_timeout_ms = 20'000;
+        Runtime rt(cfg);
+        rigid[static_cast<std::size_t>(r)] =
+            run_ring(rt, Boundary::Rigid, nullptr)[static_cast<std::size_t>(r)];
+        RunStats stats;
+        split[static_cast<std::size_t>(r)] = run_ring(
+            rt, Boundary::SplitCompute, &stats)[static_cast<std::size_t>(r)];
+        EXPECT_EQ(stats.total_wire_syscalls(), 0u)
+            << "rank " << r << " paid syscalls inside the overlap window";
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  EXPECT_EQ(split, rigid)
+      << "split-phase shm run diverged from the rigid run on the same mesh";
+}
 
 }  // namespace
 }  // namespace gbsp

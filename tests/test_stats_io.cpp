@@ -78,14 +78,15 @@ TEST(StatsIo, MalformedInputIsDiagnosed) {
   const std::string header =
       "superstep,w_max_us,w_total_us,h_packets,total_packets,total_bytes,"
       "total_messages,h_messages,endpoint_messages,total_wire_bytes,"
-      "total_wire_syscalls,injected_faults,checkpoint_bytes,"
-      "checkpoint_max_us,restore_max_us,overlap_max_us,"
+      "total_wire_syscalls,total_wire_zc_bytes,injected_faults,"
+      "checkpoint_bytes,checkpoint_max_us,restore_max_us,overlap_max_us,"
       "total_overlap_wire_bytes\n";
 
   std::stringstream short_row(header + "1,2,3\n");
   EXPECT_THROW((void)read_superstep_csv(short_row, 2), std::invalid_argument);
 
-  std::stringstream bad_value(header + "0,x,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n");
+  std::stringstream bad_value(header +
+                              "0,x,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n");
   EXPECT_THROW((void)read_superstep_csv(bad_value, 2), std::invalid_argument);
 }
 

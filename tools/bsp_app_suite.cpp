@@ -1,10 +1,11 @@
 // bsp_app_suite: runs the application suite (Cannon matmul, parallel MST,
 // sample sort) on ONE Runtime and verifies every output — the binary that
-// proves the cross-process TCP backend carries real application traffic,
-// not just microbenchmarks.
+// proves the cross-process backends (TCP and shared-memory) carry real
+// application traffic, not just microbenchmarks.
 //
-//   bsp_launch -p 4 -- bsp_app_suite --transport tcp    # one process/rank
-//   bsp_app_suite --procs 4 [--transport socket]        # in-process threads
+//   bsp_launch -p 4 -- bsp_app_suite --transport tcp      # one process/rank
+//   bsp_launch -p 4 --transport shm -- bsp_app_suite --transport shm
+//   bsp_app_suite --procs 4 [--transport socket]          # in-process
 //
 // Under bsp_launch each rank is a separate OS process, so "shared" inputs
 // are shared by CONSTRUCTION: every rank builds bit-identical inputs from
@@ -49,15 +50,20 @@ int main(int argc, char** argv) {
   bool process_mode = false;
   try {
     cfg.delivery = delivery_from_string(args.get_string("transport", "deferred"));
-    if (cfg.delivery == DeliveryStrategy::Tcp) {
-      if (!configure_tcp_from_env(cfg)) {
+    if (cfg.delivery == DeliveryStrategy::Tcp ||
+        cfg.delivery == DeliveryStrategy::Shm) {
+      const DeliveryStrategy want = cfg.delivery;
+      if (!configure_proc_from_env(cfg) || cfg.delivery != want) {
         std::fprintf(stderr,
-                     "--transport tcp needs the bsp_launch rank environment; "
-                     "run e.g.\n  bsp_launch -p 4 -- %s --transport tcp\n",
-                     argv[0]);
+                     "--transport %s needs the matching bsp_launch rank "
+                     "environment; run e.g.\n  bsp_launch -p 4 --transport "
+                     "%s -- %s --transport %s\n",
+                     to_string(want), to_string(want), argv[0],
+                     to_string(want));
         return 1;
       }
-      rank = cfg.tcp_rank;
+      rank = cfg.delivery == DeliveryStrategy::Tcp ? cfg.tcp_rank
+                                                   : cfg.shm_rank;
       process_mode = true;
     } else {
       cfg.nprocs = static_cast<int>(args.get_int("procs", 4));
